@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-full examples vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 1200s ./internal/...
+
+# One testing.B benchmark per experiment (quick sweeps).
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full experiment sweeps with pretty tables (minutes).
+bench-full:
+	$(GO) run ./cmd/mochi-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hepnos-workflow
+	$(GO) run ./examples/elastic-kv
+	$(GO) run ./examples/resilient-kv
+	$(GO) run ./examples/colza-pipeline
+
+clean:
+	$(GO) clean ./...

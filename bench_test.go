@@ -1,0 +1,51 @@
+// Package main_test holds the repository-level benchmark harness: one
+// testing.B benchmark per experiment in EXPERIMENTS.md (E1–E10). Each
+// benchmark runs the corresponding experiment harness and reports its
+// table through the benchmark log, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation. cmd/mochi-bench runs the same
+// harnesses in full (non-quick) mode with nicer output.
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"mochi/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for _, r := range experiments.All() {
+		if r.ID != id {
+			continue
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb, err := r.Run(true)
+			if err != nil {
+				b.Fatalf("%s: %v", id, err)
+			}
+			if i == 0 {
+				var sb strings.Builder
+				tb.Render(&sb)
+				b.Logf("\n%s", sb.String())
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown experiment %s", id)
+}
+
+func BenchmarkE1_MonitoringOverhead(b *testing.B)   { runExperiment(b, "E1") }
+func BenchmarkE2_ReconfigLatency(b *testing.B)      { runExperiment(b, "E2") }
+func BenchmarkE3_RemiCrossover(b *testing.B)        { runExperiment(b, "E3") }
+func BenchmarkE4_SwimDetection(b *testing.B)        { runExperiment(b, "E4") }
+func BenchmarkE5_RaftFailover(b *testing.B)         { runExperiment(b, "E5") }
+func BenchmarkE6_PufferscaleTradeoffs(b *testing.B) { runExperiment(b, "E6") }
+func BenchmarkE7_ElasticScaling(b *testing.B)       { runExperiment(b, "E7") }
+func BenchmarkE8_VirtualKVOverhead(b *testing.B)    { runExperiment(b, "E8") }
+func BenchmarkE9_YokanBackends(b *testing.B)        { runExperiment(b, "E9") }
+func BenchmarkE10_DynamicHepnos(b *testing.B)       { runExperiment(b, "E10") }

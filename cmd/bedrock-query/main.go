@@ -1,0 +1,89 @@
+// Command bedrock-query sends a Jx9 query (paper Listing 4) or a
+// configuration request to a running bedrock process and prints the
+// result.
+//
+// Usage:
+//
+//	bedrock-query -addr tcp://127.0.0.1:4242                        # full config
+//	bedrock-query -addr tcp://... -script 'return count($__config__.providers);'
+//	echo '<script>' | bedrock-query -addr tcp://... -script -
+//	bedrock-query -addr tcp://... -shutdown
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+func main() {
+	addr := flag.String("addr", "", "address of the bedrock process (tcp://host:port)")
+	script := flag.String("script", "", "Jx9 query to run ('-' reads stdin); empty prints the full config")
+	stats := flag.Bool("stats", false, "print the process's monitoring statistics (Listing 1 JSON)")
+	shutdown := flag.Bool("shutdown", false, "ask the process to shut down")
+	token := flag.String("token", "", "authentication token, for processes configured with auth_secret")
+	timeout := flag.Duration("timeout", 10*time.Second, "RPC timeout")
+	flag.Parse()
+	if *addr == "" {
+		log.Fatal("bedrock-query: -addr is required")
+	}
+
+	class, err := mercury.NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("bedrock-query: %v", err)
+	}
+	if *token != "" {
+		class.SetAuthToken(*token)
+	}
+	inst, err := margo.New(class, nil)
+	if err != nil {
+		log.Fatalf("bedrock-query: %v", err)
+	}
+	defer inst.Finalize()
+
+	sh := bedrock.NewClient(inst).MakeServiceHandle(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch {
+	case *stats:
+		_, raw, err := sh.GetStats(ctx)
+		if err != nil {
+			log.Fatalf("bedrock-query: %v", err)
+		}
+		fmt.Println(string(raw))
+	case *shutdown:
+		if err := sh.Shutdown(ctx); err != nil {
+			log.Fatalf("bedrock-query: %v", err)
+		}
+		fmt.Println("shutdown requested")
+	case *script != "":
+		src := *script
+		if src == "-" {
+			raw, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				log.Fatalf("bedrock-query: reading stdin: %v", err)
+			}
+			src = string(raw)
+		}
+		out, err := sh.QueryConfig(ctx, src)
+		if err != nil {
+			log.Fatalf("bedrock-query: %v", err)
+		}
+		fmt.Println(string(out))
+	default:
+		_, raw, err := sh.GetConfig(ctx)
+		if err != nil {
+			log.Fatalf("bedrock-query: %v", err)
+		}
+		fmt.Println(string(raw))
+	}
+}

@@ -1,0 +1,50 @@
+// Command mochi-bench runs the evaluation suite (EXPERIMENTS.md,
+// E1–E10) and prints one table per experiment.
+//
+// Usage:
+//
+//	mochi-bench [-quick] [-only E3,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mochi/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps (CI mode)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failed := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Printf("running %s: %s ...\n", r.ID, r.Name)
+		start := time.Now()
+		table, err := r.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n\n", r.ID, err)
+			failed++
+			continue
+		}
+		table.Render(os.Stdout)
+		fmt.Printf("(%s completed in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

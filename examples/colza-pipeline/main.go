@@ -1,0 +1,152 @@
+// Colza-pipeline shows the client-side strategies for tracking an
+// elastic service (paper §6, Observation 7): pipeline providers
+// depend on an SSG group and maintain a hash of its view; client RPCs
+// carry the hash, so a stale client is told to refresh. Consistent
+// iteration processing uses a two-phase commit driven by the
+// application.
+//
+// Run with: go run ./examples/colza-pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mochi/internal/colza"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/ssg"
+)
+
+func main() {
+	fabric := mercury.NewFabric()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	swim := ssg.Config{ProtocolPeriod: 30 * time.Millisecond, SuspicionPeriods: 3}
+
+	// Three pipeline processes in an SSG group.
+	var insts []*margo.Instance
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		cls, err := fabric.NewClass(fmt.Sprintf("viz-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := margo.New(cls, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		insts = append(insts, inst)
+		addrs = append(addrs, inst.Addr())
+	}
+	var groups []*ssg.Group
+	var provs []*colza.Provider
+	for _, inst := range insts {
+		g, err := ssg.Create(inst, "viz", addrs, swim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		groups = append(groups, g)
+		p, err := colza.NewProvider(inst, 1, nil, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		provs = append(provs, p)
+	}
+	defer func() {
+		for _, p := range provs {
+			p.Close()
+		}
+		for _, g := range groups {
+			g.Stop()
+		}
+		for _, inst := range insts {
+			inst.Finalize()
+		}
+	}()
+
+	// The simulation (client) stages data blocks each iteration.
+	ccls, err := fabric.NewClass("simulation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cinst, err := margo.New(ccls, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cinst.Finalize()
+	client := colza.NewClient(cinst, "viz", addrs[0], 1)
+	if err := client.RefreshView(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline view: %d members\n", len(client.Members()))
+
+	// Iteration 1 on three members.
+	for b := uint64(0); b < 12; b++ {
+		if err := client.Stage(ctx, 1, b, make([]byte, 4096)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := client.Commit(ctx, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iteration 1 committed via 2PC: %d blocks, %d bytes\n", res.Blocks, res.Bytes)
+
+	// A new pipeline process joins the group (elastic scale-out).
+	cls, err := fabric.NewClass("viz-new")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ninst, err := margo.New(cls, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ninst.Finalize()
+	ng, err := ssg.Join(ctx, ninst, "viz", addrs[0], swim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ng.Stop()
+	np, err := colza.NewProvider(ninst, 1, nil, ng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer np.Close()
+	// Wait until every provider's view includes the newcomer; until
+	// then the client's staging would be told "stale view".
+	for {
+		ok := true
+		for _, g := range groups {
+			if len(g.View().Live()) != 4 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("a fourth process joined the group")
+
+	// The client still holds the 3-member view: its first RPC is
+	// rejected with a stale-view error, it transparently refreshes,
+	// and staging proceeds over four members.
+	for b := uint64(0); b < 12; b++ {
+		if err := client.Stage(ctx, 2, b, make([]byte, 4096)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("client refreshed its view automatically: now %d members\n", len(client.Members()))
+	res, err = client.Commit(ctx, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iteration 2 committed across the grown pipeline: %d blocks\n", res.Blocks)
+	if r, ok := np.Result(2); ok {
+		fmt.Printf("the new member processed %d of them\n", r.Blocks)
+	}
+}

@@ -1,0 +1,139 @@
+// Elastic-kv: a dynamic key-value service that grows and shrinks at
+// run time (paper §6). Three Bedrock-managed processes host Yokan
+// databases and are tracked by an SSG group; the service then expands
+// to a fourth node, rebalances data onto it with Pufferscale-driven
+// REMI migrations, and finally drains a node and shrinks back.
+//
+// Run with: go run ./examples/elastic-kv
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mochi/internal/core"
+	"mochi/internal/mercury"
+	"mochi/internal/modules"
+	"mochi/internal/pufferscale"
+	"mochi/internal/ssg"
+	"mochi/internal/yokan"
+)
+
+func main() {
+	modules.RegisterBuiltins()
+	fabric := mercury.NewFabric()
+	cluster := core.NewClusterSim("node", 6)
+	base, err := os.MkdirTemp("", "elastic-kv-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	// The first node starts with four database providers (a freshly
+	// deployed service before any scale-out); the others start empty
+	// and receive migrated providers.
+	spec := core.Spec{
+		GroupName: "elastic-kv",
+		SSG: ssg.Config{
+			ProtocolPeriod:   50 * time.Millisecond,
+			PingTimeout:      10 * time.Millisecond,
+			SuspicionPeriods: 3,
+		},
+		NodeConfig: func(node string) []byte {
+			dir := filepath.Join(base, node)
+			if node != "node-0" {
+				return []byte(fmt.Sprintf(`{
+				  "libraries": {"yokan": "libyokan.so"},
+				  "remi_root": %q
+				}`, filepath.Join(dir, "remi")))
+			}
+			providers := ""
+			for i := 1; i <= 4; i++ {
+				if i > 1 {
+					providers += ","
+				}
+				providers += fmt.Sprintf(`
+				    {"name": "db-%d", "type": "yokan", "provider_id": %d,
+				     "config": {"type": "log", "path": %q, "no_sync": true}}`,
+					i, i, filepath.Join(dir, fmt.Sprintf("db-%d.log", i)))
+			}
+			return []byte(fmt.Sprintf(`{
+			  "libraries": {"yokan": "libyokan.so"},
+			  "remi_root": %q,
+			  "providers": [%s]
+			}`, filepath.Join(dir, "remi"), providers))
+		},
+	}
+	svc := core.NewService(fabric, cluster, spec)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := svc.Start(ctx, 3); err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Stop()
+	fmt.Printf("service started on %v\n", svc.Nodes())
+
+	// Load skewed data: all four databases live on node-0.
+	p0, _ := svc.Process("node-0")
+	for dbID := uint16(1); dbID <= 4; dbID++ {
+		db := yokan.NewClient(svc.Admin()).Handle(p0.Addr(), dbID)
+		var pairs []yokan.KeyValue
+		for i := 0; i < 50; i++ {
+			pairs = append(pairs, yokan.KeyValue{
+				Key:   []byte(fmt.Sprintf("key-%d-%04d", dbID, i)),
+				Value: make([]byte, 2048),
+			})
+		}
+		if err := db.PutMulti(ctx, pairs); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("loaded 4 databases (~100KB each) onto node-0")
+
+	// Elasticity: grow by one node.
+	proc, err := svc.Expand(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expanded: %v (the group view propagates via SSG)\n", svc.Nodes())
+
+	// Rebalance data across the four nodes (Pufferscale plan,
+	// executed with REMI migrations through Bedrock).
+	plan, err := svc.Rebalance(ctx, pufferscale.Objectives{WData: 1, WTime: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebalanced: %d moves, %.0f bytes migrated, data imbalance %.2f\n",
+		len(plan.Moves), plan.BytesMoved, plan.DataImbalance())
+	for _, node := range svc.Nodes() {
+		p, _ := svc.Process(node)
+		for _, info := range p.Server.ResourceInventory() {
+			fmt.Printf("  %-8s holds %-12s (%6d bytes)\n", node, info.Name, info.Bytes)
+		}
+	}
+
+	// Shrink: drain the node we just added and give it back.
+	if err := svc.Shrink(ctx, proc.Node); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shrunk back to %v (free nodes in cluster: %d)\n", svc.Nodes(), cluster.Free())
+
+	// The data survived both reconfigurations.
+	total := 0
+	for _, node := range svc.Nodes() {
+		p, _ := svc.Process(node)
+		for _, info := range p.Server.ResourceInventory() {
+			h := yokan.NewClient(svc.Admin()).Handle(p.Addr(), info.ProviderID)
+			n, err := h.Count(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += n
+		}
+	}
+	fmt.Printf("total keys after scale-out + rebalance + scale-in: %d (expected 200)\n", total)
+}

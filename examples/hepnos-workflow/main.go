@@ -1,0 +1,151 @@
+// Hepnos-workflow runs the paper's motivating scenario (§1): a
+// NOvA-like analysis whose steps have very different I/O patterns,
+// served by a HEPnOS-style event store. Between steps the service is
+// reconfigured online — each shard's metadata provider is
+// checkpointed, restarted with a backend suited to the next step, and
+// restored — without restarting the processes.
+//
+// Run with: go run ./examples/hepnos-workflow
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/hepnos"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/modules"
+)
+
+const shardConfigMap = `{
+  "libraries": {"yokan": "libyokan.so", "warabi": "libwarabi.so"},
+  "providers": [
+    {"name": "meta", "type": "yokan",  "provider_id": 1, "config": {"type": "map"}},
+    {"name": "data", "type": "warabi", "provider_id": 2, "config": {"type": "memory"}}
+  ]
+}`
+
+func main() {
+	modules.RegisterBuiltins()
+	fabric := mercury.NewFabric()
+	fabric.SetModel(mercury.DefaultHPCModel())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Two storage shards, each a Bedrock process with a Yokan
+	// (metadata) and a Warabi (event payload) provider.
+	var servers []*bedrock.Server
+	var shards []hepnos.Shard
+	for i := 0; i < 2; i++ {
+		cls, err := fabric.NewClass(fmt.Sprintf("shard-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := bedrock.NewServer(cls, []byte(shardConfigMap))
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, srv)
+		shards = append(shards, hepnos.Shard{Addr: srv.Addr(), YokanID: 1, WarabiID: 2})
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Shutdown()
+		}
+	}()
+
+	ccls, err := fabric.NewClass("analysis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cinst, err := margo.New(ccls, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cinst.Finalize()
+	store, err := hepnos.New(cinst, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const events = 2000
+	const runs = 8
+	payload := make([]byte, 512)
+
+	// Step 1 — ingest: write-heavy, served by the "map" backend.
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		id := hepnos.EventID{Run: uint64(i % runs), SubRun: 0, Event: uint64(i)}
+		if err := store.StoreEvent(ctx, "nova", id, payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("step 1 (ingest %d events, map backend): %s\n", events, time.Since(start).Round(time.Millisecond))
+
+	// Step 2 — random reconstruction reads.
+	start = time.Now()
+	for i := 0; i < events; i++ {
+		j := (i * 7919) % events
+		id := hepnos.EventID{Run: uint64(j % runs), SubRun: 0, Event: uint64(j)}
+		if _, err := store.LoadEvent(ctx, "nova", id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("step 2 (random reads, map backend):      %s\n", time.Since(start).Round(time.Millisecond))
+
+	// Online reconfiguration before the scan step: swap each shard's
+	// metadata backend to the ordered skiplist, preserving the data
+	// via checkpoint/restore — the service never goes down.
+	ckpt, err := os.MkdirTemp("", "hepnos-ckpt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckpt)
+	start = time.Now()
+	for _, srv := range servers {
+		if err := srv.CheckpointProvider("meta", ckpt); err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.StopProvider("meta"); err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.StartProvider(bedrock.ProviderConfig{
+			Name:       "meta",
+			Type:       "yokan",
+			ProviderID: 1,
+			Config:     []byte(`{"type": "skiplist"}`),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.RestoreProvider("meta", ckpt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("online reconfiguration (map→skiplist on both shards): %s\n", time.Since(start).Round(time.Millisecond))
+
+	// Step 3 — ordered scans over each run.
+	start = time.Now()
+	total := 0
+	for pass := 0; pass < 3; pass++ {
+		for run := uint64(0); run < runs; run++ {
+			ids, err := store.ListRunEvents(ctx, "nova", run)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += len(ids)
+		}
+	}
+	fmt.Printf("step 3 (ordered scans, skiplist backend): %s (%d events scanned)\n",
+		time.Since(start).Round(time.Millisecond), total)
+
+	n, err := store.CountEvents(ctx, "nova")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset intact through reconfiguration: %d events\n", n)
+}

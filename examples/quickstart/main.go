@@ -1,0 +1,118 @@
+// Quickstart: boot one Bedrock-managed process from a Listing-3 style
+// JSON configuration, talk to its Yokan key-value provider, query the
+// live configuration with Jx9 (Listing 4), and dump the monitoring
+// statistics (Listing 1).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/modules"
+	"mochi/internal/yokan"
+)
+
+const processConfig = `{
+  "margo": {
+    "argobots": {
+      "pools": [ { "name": "MyPoolX", "type": "fifo_wait", "access": "mpmc" } ],
+      "xstreams": [ { "name": "MyES0",
+                      "scheduler": { "type": "basic_wait", "pools": ["MyPoolX"] } } ]
+    },
+    "progress_pool": "MyPoolX",
+    "rpc_pool": "MyPoolX",
+    "enable_monitoring": true
+  },
+  "libraries": { "yokan": "libyokan.so" },
+  "providers": [
+    { "name": "myProviderA", "type": "yokan", "provider_id": 1,
+      "pool": "MyPoolX", "config": {"type": "skiplist"} }
+  ]
+}`
+
+func main() {
+	modules.RegisterBuiltins()
+
+	// One in-process fabric stands in for the cluster network; the
+	// same code runs across real processes with mercury.NewTCPClass
+	// (see cmd/bedrock).
+	fabric := mercury.NewFabric()
+
+	serverClass, err := fabric.NewClass("node-0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := bedrock.NewServer(serverClass, []byte(processConfig))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Shutdown()
+	fmt.Printf("service process up at %s with providers %v\n", server.Addr(), server.Providers())
+
+	// A client process.
+	clientClass, err := fabric.NewClass("client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := margo.New(clientClass, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Finalize()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Use the key-value provider through its resource handle
+	// (Figure 1: address + provider ID).
+	db := yokan.NewClient(client).Handle(server.Addr(), 1)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("particle-%d", i)
+		if err := db.Put(ctx, []byte(key), []byte(fmt.Sprintf("energy=%d GeV", 10*i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, err := db.Get(ctx, []byte("particle-3"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get(particle-3) = %q\n", v)
+	keys, err := db.ListKeys(ctx, nil, []byte("particle-"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored keys: %d\n", len(keys))
+
+	// Query the process configuration remotely with Jx9 (Listing 4).
+	sh := bedrock.NewClient(client).MakeServiceHandle(server.Addr())
+	names, err := sh.QueryConfig(ctx, `
+$result = [];
+foreach ($__config__.providers as $p) {
+    array_push($result, $p.name); }
+return $result;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("providers via Jx9 query: %s\n", names)
+
+	// Dump the Listing-1 style monitoring statistics.
+	stats := server.Instance().Stats()
+	if st, ok := stats.FindByName(yokan.RPCPut); ok {
+		for peer, ts := range st.Target {
+			fmt.Printf("monitoring: %s %s: %d ULTs, avg %.1fµs\n",
+				yokan.RPCPut, peer, ts.ULT.Duration.Num, ts.ULT.Duration.Avg*1e6)
+		}
+	}
+	raw, err := stats.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full monitoring document: %d bytes of JSON\n", len(raw))
+}

@@ -1,0 +1,213 @@
+// Resilient-kv demonstrates the paper's two resilience designs (§7):
+//
+//  1. Bottom-up, with composable consensus: three Yokan databases are
+//     kept consistent by Mochi-RAFT state-machine replication; the
+//     service keeps serving through a leader crash.
+//  2. Bottom-up, with a virtual resource: a provider that holds no
+//     data forwards operations to replicas; clients never notice a
+//     replica failure.
+//
+// Failure detection throughout comes from SSG's SWIM protocol.
+//
+// Run with: go run ./examples/resilient-kv
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mochi/internal/core"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/raft"
+	"mochi/internal/ssg"
+	"mochi/internal/yokan"
+)
+
+func main() {
+	fabric := mercury.NewFabric()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// --- Part 1: RAFT-replicated Yokan ---------------------------------
+	fmt.Println("== composable consensus: RAFT-replicated key-value group ==")
+	var insts []*margo.Instance
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		cls, err := fabric.NewClass(fmt.Sprintf("raft-kv-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := margo.New(cls, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		insts = append(insts, inst)
+		addrs = append(addrs, inst.Addr())
+	}
+	cfg := raft.Config{
+		ElectionTimeoutMin: 60 * time.Millisecond,
+		ElectionTimeoutMax: 120 * time.Millisecond,
+		HeartbeatInterval:  15 * time.Millisecond,
+	}
+	nodes := map[string]*raft.Node{}
+	for _, inst := range insts {
+		db, err := yokan.Open(yokan.Config{Type: "map"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		node, err := core.NewRaftKVNode(inst, "rkv", addrs, raft.NewMemoryStore(), db, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[inst.Addr()] = node
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+		for _, inst := range insts {
+			inst.Finalize()
+		}
+	}()
+
+	ccls, err := fabric.NewClass("raft-kv-client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cinst, err := margo.New(ccls, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cinst.Finalize()
+	rkv := core.NewRaftKVClient(cinst, "rkv", addrs)
+	if err := rkv.Put(ctx, []byte("detector"), []byte("online")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replicated put committed through the RAFT log")
+
+	// Find and kill the leader.
+	var leader *raft.Node
+	for leader == nil {
+		for _, n := range nodes {
+			if n.IsLeader() {
+				leader = n
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("killing the leader (%s)...\n", leader.ID())
+	start := time.Now()
+	fabric.Kill(leader.ID())
+	leader.Stop()
+	delete(nodes, leader.ID())
+	if err := rkv.Put(ctx, []byte("after"), []byte("failover")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := rkv.Get(ctx, []byte("detector"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service recovered in %s; pre-crash value intact: %q\n",
+		time.Since(start).Round(time.Millisecond), v)
+
+	// --- Part 2: virtual (replicated) resource -------------------------
+	fmt.Println("\n== virtual resource: replication behind an ordinary provider ==")
+	var backends []struct {
+		Addr       string
+		ProviderID uint16
+	}
+	var binsts []*margo.Instance
+	var baddrs []string
+	for i := 0; i < 3; i++ {
+		cls, err := fabric.NewClass(fmt.Sprintf("replica-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := margo.New(cls, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		binsts = append(binsts, inst)
+		baddrs = append(baddrs, inst.Addr())
+		if _, err := yokan.NewProvider(inst, 1, nil, yokan.Config{Type: "map"}); err != nil {
+			log.Fatal(err)
+		}
+		backends = append(backends, struct {
+			Addr       string
+			ProviderID uint16
+		}{inst.Addr(), 1})
+	}
+	defer func() {
+		for _, inst := range binsts {
+			inst.Finalize()
+		}
+	}()
+
+	// SWIM watches the replicas and reports deaths (§7 Obs. 12).
+	var groups []*ssg.Group
+	swimCfg := ssg.Config{ProtocolPeriod: 30 * time.Millisecond, SuspicionPeriods: 3}
+	for _, inst := range binsts {
+		g, err := ssg.Create(inst, "replicas", baddrs, swimCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		groups = append(groups, g)
+	}
+	defer func() {
+		for _, g := range groups {
+			g.Stop()
+		}
+	}()
+	// Watch from a survivor's perspective (replica 2 stays alive).
+	deaths := make(chan string, 8)
+	groups[2].OnChange(func(m ssg.Member, _, s ssg.State) {
+		if s == ssg.StateDead {
+			deaths <- m.Addr
+		}
+	})
+
+	fcls, err := fabric.NewClass("virtual-front")
+	if err != nil {
+		log.Fatal(err)
+	}
+	finst, err := margo.New(fcls, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finst.Finalize()
+	vdb, err := core.NewVirtualKV(finst, backends, core.VirtualKVConfig{WriteQuorum: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := yokan.NewProviderWithDatabase(finst, 9, nil, vdb, yokan.Config{Type: "virtual"}); err != nil {
+		log.Fatal(err)
+	}
+
+	h := yokan.NewClient(cinst).Handle(finst.Addr(), 9)
+	if err := h.Put(ctx, []byte("important"), []byte("triplicated")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("put through virtual provider replicated to %d backends\n", vdb.Replicas())
+
+	fabric.Kill(backends[0].Addr)
+	fmt.Printf("killed replica %s\n", backends[0].Addr)
+	if v, err := h.Get(ctx, []byte("important")); err == nil {
+		fmt.Printf("client still reads %q — unaware of the failure\n", v)
+	} else {
+		log.Fatal(err)
+	}
+	for {
+		select {
+		case dead := <-deaths:
+			if dead == backends[0].Addr {
+				fmt.Printf("SWIM reported the death of %s to the group\n", dead)
+				return
+			}
+		case <-time.After(30 * time.Second):
+			log.Fatal("SWIM never detected the failure")
+		}
+	}
+}

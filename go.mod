@@ -1,0 +1,3 @@
+module mochi
+
+go 1.22

@@ -1,0 +1,475 @@
+package argobots
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func basicConfig() Config {
+	return Config{
+		Pools: []PoolConfig{
+			{Name: "p0", Kind: "fifo_wait", Access: "mpmc"},
+		},
+		Xstreams: []XstreamConfig{
+			{Name: "es0", Scheduler: SchedConfig{Kind: "basic_wait", Pools: []string{"p0"}}},
+		},
+	}
+}
+
+func TestRuntimeRunsULT(t *testing.T) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	p, _ := r.FindPool("p0")
+	var ran atomic.Bool
+	th, err := p.Push(func() { ran.Store(true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+	if !ran.Load() {
+		t.Fatal("ULT did not run")
+	}
+}
+
+func TestManyULTsAllExecute(t *testing.T) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	p, _ := r.FindPool("p0")
+	var count atomic.Int64
+	var ths []*Thread
+	for i := 0; i < 500; i++ {
+		th, err := p.Push(func() { count.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ths = append(ths, th)
+	}
+	for _, th := range ths {
+		th.Join()
+	}
+	if count.Load() != 500 {
+		t.Fatalf("executed %d, want 500", count.Load())
+	}
+	if p.Executed() != 500 {
+		t.Fatalf("pool Executed() = %d", p.Executed())
+	}
+}
+
+func TestMultipleXstreamsShareOnePool(t *testing.T) {
+	cfg := Config{
+		Pools: []PoolConfig{{Name: "shared", Kind: "fifo_wait"}},
+		Xstreams: []XstreamConfig{
+			{Name: "es0", Scheduler: SchedConfig{Kind: "basic_wait", Pools: []string{"shared"}}},
+			{Name: "es1", Scheduler: SchedConfig{Kind: "basic_wait", Pools: []string{"shared"}}},
+		},
+	}
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	p, _ := r.FindPool("shared")
+	// Two blocking ULTs must run concurrently if both ES are draining.
+	// The channels are buffered and released in a t.Cleanup so that a
+	// failure can never leave a ULT blocked forever (which would hang
+	// Runtime.Stop's join and with it the whole package).
+	var wg sync.WaitGroup
+	arrived := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	doRelease := func() { releaseOnce.Do(func() { close(release) }) }
+	t.Cleanup(func() {
+		doRelease()
+		wg.Wait()
+	})
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		_, err := p.Push(func() {
+			defer wg.Done()
+			arrived <- struct{}{}
+			<-release
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// If both ULTs arrive while neither has been released, they ran in
+	// parallel on the two xstreams.
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-arrived:
+		case <-timeout:
+			t.Fatal("ULTs not running concurrently on two xstreams")
+		}
+	}
+	doRelease()
+	wg.Wait()
+}
+
+// TestFigure2Topology builds the exact topology of the paper's
+// Figure 2: pools X, Y, Z; ES0 draining X and Y, ES1 dedicated to Z
+// (the network progress pool).
+func TestFigure2Topology(t *testing.T) {
+	cfg := Config{
+		Pools: []PoolConfig{
+			{Name: "PoolX", Kind: "fifo_wait", Access: "mpmc"},
+			{Name: "PoolY", Kind: "fifo_wait", Access: "mpmc"},
+			{Name: "PoolZ", Kind: "fifo_wait", Access: "mpmc"},
+		},
+		Xstreams: []XstreamConfig{
+			{Name: "ES0", Scheduler: SchedConfig{Kind: "basic_wait", Pools: []string{"PoolX", "PoolY"}}},
+			{Name: "ES1", Scheduler: SchedConfig{Kind: "basic_wait", Pools: []string{"PoolZ"}}},
+		},
+	}
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	var fromX, fromY, fromZ atomic.Int64
+	px, _ := r.FindPool("PoolX")
+	py, _ := r.FindPool("PoolY")
+	pz, _ := r.FindPool("PoolZ")
+	var ths []*Thread
+	for i := 0; i < 10; i++ {
+		tx, _ := px.Push(func() { fromX.Add(1) })
+		ty, _ := py.Push(func() { fromY.Add(1) })
+		tz, _ := pz.Push(func() { fromZ.Add(1) })
+		ths = append(ths, tx, ty, tz)
+	}
+	for _, th := range ths {
+		th.Join()
+	}
+	if fromX.Load() != 10 || fromY.Load() != 10 || fromZ.Load() != 10 {
+		t.Fatalf("work not drained: X=%d Y=%d Z=%d", fromX.Load(), fromY.Load(), fromZ.Load())
+	}
+	x0, _ := r.FindXstream("ES0")
+	x1, _ := r.FindXstream("ES1")
+	if x0.Executed()+x1.Executed() != 30 {
+		t.Fatalf("xstream totals = %d + %d", x0.Executed(), x1.Executed())
+	}
+	// ES1 only drains PoolZ.
+	if x1.Executed() != 10 {
+		t.Fatalf("ES1 executed %d, want exactly its pool's 10", x1.Executed())
+	}
+}
+
+func TestPrioPool(t *testing.T) {
+	p := NewPool("prio", PoolPrio, AccessMPMC)
+	defer p.Close()
+	// Enqueue normal then prio without a consumer; prio must pop first.
+	if _, err := p.Push(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	if _, err := p.PushPrio(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	it, ok := p.tryPop()
+	if !ok {
+		t.Fatal("empty pop")
+	}
+	it.fn()
+	select {
+	case <-done:
+	default:
+		t.Fatal("priority ULT was not popped first")
+	}
+}
+
+func TestDuplicatePoolRejected(t *testing.T) {
+	r, _ := NewRuntime(Config{})
+	defer r.Stop()
+	if _, err := r.AddPool(PoolConfig{Name: "dup"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddPool(PoolConfig{Name: "dup"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestDuplicateXstreamRejected(t *testing.T) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	_, err = r.AddXstream(XstreamConfig{Name: "es0", Scheduler: SchedConfig{Pools: []string{"p0"}}})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestXstreamUnknownPoolRejected(t *testing.T) {
+	r, _ := NewRuntime(Config{})
+	defer r.Stop()
+	_, err := r.AddXstream(XstreamConfig{Name: "x", Scheduler: SchedConfig{Pools: []string{"ghost"}}})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadConfigsRejected(t *testing.T) {
+	r, _ := NewRuntime(Config{})
+	defer r.Stop()
+	if _, err := r.AddPool(PoolConfig{Name: ""}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty name: %v", err)
+	}
+	if _, err := r.AddPool(PoolConfig{Name: "x", Kind: "lifo"}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad kind: %v", err)
+	}
+	if _, err := r.AddPool(PoolConfig{Name: "x", Access: "weird"}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad access: %v", err)
+	}
+	if _, err := r.AddXstream(XstreamConfig{Name: "x", Scheduler: SchedConfig{Kind: "rr", Pools: []string{"p"}}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad sched: %v", err)
+	}
+	if _, err := r.AddPool(PoolConfig{Name: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddXstream(XstreamConfig{Name: "x2", Scheduler: SchedConfig{Pools: nil}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no pools: %v", err)
+	}
+}
+
+// TestRemovePoolInUseRefused verifies the paper's §5 validity rule:
+// "not allowing ... removing a pool that is in use by an ES".
+func TestRemovePoolInUseRefused(t *testing.T) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.RemovePool("p0"); !errors.Is(err, ErrPoolInUse) {
+		t.Fatalf("err = %v, want ErrPoolInUse", err)
+	}
+	// After removing the xstream, the pool can go.
+	if err := r.RemoveXstream("es0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemovePool("p0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.FindPool("p0"); ok {
+		t.Fatal("pool still findable after removal")
+	}
+}
+
+func TestRemovePoolRetainedByProviderRefused(t *testing.T) {
+	r, _ := NewRuntime(Config{})
+	defer r.Stop()
+	p, _ := r.AddPool(PoolConfig{Name: "held"})
+	p.Retain() // a provider holds it
+	if err := r.RemovePool("held"); !errors.Is(err, ErrPoolInUse) {
+		t.Fatalf("err = %v", err)
+	}
+	p.Release()
+	if err := r.RemovePool("held"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveSoleConsumerOfBusyPoolRefused(t *testing.T) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	p, _ := r.FindPool("p0")
+	block := make(chan struct{})
+	// Occupy the xstream, then queue more work so the pool is non-empty.
+	th, _ := p.Push(func() { <-block })
+	var queued []*Thread
+	for i := 0; i < 3; i++ {
+		q, _ := p.Push(func() {})
+		queued = append(queued, q)
+	}
+	err = r.RemoveXstream("es0")
+	close(block)
+	th.Join()
+	if !errors.Is(err, ErrPoolInUse) {
+		t.Fatalf("err = %v, want ErrPoolInUse", err)
+	}
+	for _, q := range queued {
+		q.Join()
+	}
+}
+
+func TestRemoveXstreamLeavesOtherConsumer(t *testing.T) {
+	cfg := Config{
+		Pools: []PoolConfig{{Name: "p", Kind: "fifo_wait"}},
+		Xstreams: []XstreamConfig{
+			{Name: "a", Scheduler: SchedConfig{Pools: []string{"p"}}},
+			{Name: "b", Scheduler: SchedConfig{Pools: []string{"p"}}},
+		},
+	}
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.RemoveXstream("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Pool still drains via b.
+	p, _ := r.FindPool("p")
+	th, _ := p.Push(func() {})
+	th.Join()
+}
+
+func TestDynamicAddPoolAndXstream(t *testing.T) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	// Paper Listing 2/5: add MyPoolX then an ES draining it, online.
+	p, err := r.AddPool(PoolConfig{Name: "MyPoolX", Kind: "fifo_wait", Access: "mpmc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddXstream(XstreamConfig{
+		Name:      "MyES0",
+		Scheduler: SchedConfig{Kind: "basic", Pools: []string{"MyPoolX"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	th, err := p.Push(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{
+		Pools: []PoolConfig{
+			{Name: "a", Kind: "fifo", Access: "mpmc"},
+			{Name: "b", Kind: "fifo_wait", Access: "mpmc"},
+		},
+		Xstreams: []XstreamConfig{
+			{Name: "x", Scheduler: SchedConfig{Kind: "basic", Pools: []string{"a", "b"}}},
+		},
+	}
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	snap := r.Snapshot()
+	if len(snap.Pools) != 2 || len(snap.Xstreams) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Xstreams[0].Scheduler.Pools[0] != "a" || snap.Xstreams[0].Scheduler.Pools[1] != "b" {
+		t.Fatalf("pool order lost: %+v", snap.Xstreams[0])
+	}
+	// A snapshot must reconstruct an equivalent runtime.
+	r2, err := NewRuntime(snap)
+	if err != nil {
+		t.Fatalf("snapshot not re-instantiable: %v", err)
+	}
+	r2.Stop()
+}
+
+func TestPanickedULTDoesNotKillXstream(t *testing.T) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	p, _ := r.FindPool("p0")
+	th, _ := p.Push(func() { panic("ULT bug") })
+	th.Join()
+	// The xstream must still process new work.
+	var ok atomic.Bool
+	th2, _ := p.Push(func() { ok.Store(true) })
+	th2.Join()
+	if !ok.Load() {
+		t.Fatal("xstream dead after ULT panic")
+	}
+}
+
+func TestPushToClosedPoolFails(t *testing.T) {
+	p := NewPool("c", PoolFIFOWait, AccessMPMC)
+	p.Close()
+	if _, err := p.Push(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStopIsIdempotentAndTerminal(t *testing.T) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Stop()
+	r.Stop()
+	if _, err := r.AddPool(PoolConfig{Name: "late"}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.AddXstream(XstreamConfig{Name: "late", Scheduler: SchedConfig{Pools: []string{"p0"}}}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchedBasicDrainsWithoutWait(t *testing.T) {
+	cfg := Config{
+		Pools:    []PoolConfig{{Name: "p", Kind: "fifo"}},
+		Xstreams: []XstreamConfig{{Name: "x", Scheduler: SchedConfig{Kind: "basic", Pools: []string{"p"}}}},
+	}
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	p, _ := r.FindPool("p")
+	var n atomic.Int64
+	var ths []*Thread
+	for i := 0; i < 50; i++ {
+		th, _ := p.Push(func() { n.Add(1) })
+		ths = append(ths, th)
+	}
+	for _, th := range ths {
+		th.Join()
+	}
+	if n.Load() != 50 {
+		t.Fatalf("n = %d", n.Load())
+	}
+}
+
+func TestPoolNamesSorted(t *testing.T) {
+	r, _ := NewRuntime(Config{Pools: []PoolConfig{{Name: "z"}, {Name: "a"}, {Name: "m"}}})
+	defer r.Stop()
+	names := r.PoolNames()
+	if len(names) != 3 || names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func BenchmarkULTDispatch(b *testing.B) {
+	r, err := NewRuntime(basicConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Stop()
+	p, _ := r.FindPool("p0")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th, err := p.Push(func() {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		th.Join()
+	}
+}

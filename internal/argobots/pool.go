@@ -1,0 +1,245 @@
+// Package argobots provides the user-level-threading runtime shared by
+// all providers in a process (paper §3.2, Figure 2): work queues
+// (pools) holding user-level threads (ULTs), and execution streams
+// (xstreams) that drain them. The dynamic topology — which pools
+// exist, which xstreams drain which pools — is exactly what the
+// paper's online-reconfiguration requirement (§5, Observation 2)
+// manipulates at run time.
+//
+// ULTs are Go closures executed by xstream worker goroutines. This
+// preserves the properties the paper's methodology depends on (pool
+// topology, submission routing, dynamic add/remove, introspection of
+// queue depths) without reimplementing C-level context switching.
+package argobots
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by the runtime.
+var (
+	ErrPoolClosed = errors.New("argobots: pool closed")
+	ErrDuplicate  = errors.New("argobots: duplicate name")
+	ErrNotFound   = errors.New("argobots: not found")
+	ErrPoolInUse  = errors.New("argobots: pool in use")
+	ErrBadConfig  = errors.New("argobots: invalid configuration")
+	ErrStopped    = errors.New("argobots: runtime stopped")
+)
+
+// PoolKind selects the queue discipline.
+type PoolKind string
+
+const (
+	// PoolFIFO is a plain FIFO queue; idle xstreams spin-poll it.
+	PoolFIFO PoolKind = "fifo"
+	// PoolFIFOWait is a FIFO queue whose consumers block until work
+	// arrives (Argobots' fifo_wait, the common Margo choice).
+	PoolFIFOWait PoolKind = "fifo_wait"
+	// PoolPrio is a two-level queue: high-priority ULTs run first.
+	PoolPrio PoolKind = "prio_wait"
+)
+
+// Access declares the producer/consumer concurrency of a pool
+// (Argobots access modes). All pools here are implemented safely for
+// mpmc; the declared mode is kept for configuration fidelity and
+// introspection.
+type Access string
+
+const (
+	AccessMPMC Access = "mpmc"
+	AccessSPSC Access = "spsc"
+	AccessMPSC Access = "mpsc"
+	AccessSPMC Access = "spmc"
+)
+
+// ULT is a unit of work (user-level thread body).
+type ULT func()
+
+// Thread is the handle of a submitted ULT.
+type Thread struct {
+	done chan struct{}
+}
+
+// Join blocks until the ULT has finished executing.
+func (t *Thread) Join() { <-t.done }
+
+// Done returns a channel closed when the ULT finishes.
+func (t *Thread) Done() <-chan struct{} { return t.done }
+
+type poolItem struct {
+	fn   ULT
+	th   *Thread
+	prio bool
+}
+
+// Pool is a queue of ULTs drained by zero or more xstreams.
+type Pool struct {
+	name   string
+	kind   PoolKind
+	access Access
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []poolItem
+	prioQ  []poolItem
+	closed bool
+
+	executed atomic.Uint64
+	// refs counts external users (providers, xstreams) registered via
+	// Retain/Release; the runtime refuses to remove referenced pools.
+	refs atomic.Int64
+
+	waiterMu sync.Mutex
+	waiters  []chan struct{}
+}
+
+// addWaiter registers a channel to be signalled (non-blocking) when
+// work arrives; xstreams use this to sleep across multiple pools.
+func (p *Pool) addWaiter(ch chan struct{}) {
+	p.waiterMu.Lock()
+	p.waiters = append(p.waiters, ch)
+	p.waiterMu.Unlock()
+}
+
+func (p *Pool) removeWaiter(ch chan struct{}) {
+	p.waiterMu.Lock()
+	for i, w := range p.waiters {
+		if w == ch {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			break
+		}
+	}
+	p.waiterMu.Unlock()
+}
+
+func (p *Pool) notifyWaiters() {
+	p.waiterMu.Lock()
+	for _, w := range p.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	p.waiterMu.Unlock()
+}
+
+// NewPool creates a standalone pool (runtimes normally create pools
+// via Runtime.AddPool).
+func NewPool(name string, kind PoolKind, access Access) *Pool {
+	p := &Pool{name: name, kind: kind, access: access}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Name returns the pool's name.
+func (p *Pool) Name() string { return p.name }
+
+// Kind returns the queue discipline.
+func (p *Pool) Kind() PoolKind { return p.kind }
+
+// Access returns the declared access mode.
+func (p *Pool) Access() Access { return p.access }
+
+// Len reports the number of queued (not yet running) ULTs; the margo
+// monitor samples this for the paper's §4 pool-size statistics.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) + len(p.prioQ)
+}
+
+// Executed reports how many ULTs this pool has handed to xstreams.
+func (p *Pool) Executed() uint64 { return p.executed.Load() }
+
+// Retain marks the pool as referenced by a provider or xstream.
+func (p *Pool) Retain() { p.refs.Add(1) }
+
+// Release drops a reference taken with Retain.
+func (p *Pool) Release() { p.refs.Add(-1) }
+
+// Refs returns the current external reference count.
+func (p *Pool) Refs() int64 { return p.refs.Load() }
+
+// Push submits a ULT and returns its handle.
+func (p *Pool) Push(fn ULT) (*Thread, error) {
+	return p.push(fn, false)
+}
+
+// PushPrio submits a high-priority ULT (front of the line for
+// PoolPrio pools; equivalent to Push for FIFO pools).
+func (p *Pool) PushPrio(fn ULT) (*Thread, error) {
+	return p.push(fn, true)
+}
+
+func (p *Pool) push(fn ULT, prio bool) (*Thread, error) {
+	th := &Thread{done: make(chan struct{})}
+	item := poolItem{fn: fn, th: th, prio: prio}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if prio && p.kind == PoolPrio {
+		p.prioQ = append(p.prioQ, item)
+	} else {
+		p.queue = append(p.queue, item)
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+	p.notifyWaiters()
+	return th, nil
+}
+
+// tryPop removes the next ULT without blocking.
+func (p *Pool) tryPop() (poolItem, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.popLocked()
+}
+
+func (p *Pool) popLocked() (poolItem, bool) {
+	if len(p.prioQ) > 0 {
+		it := p.prioQ[0]
+		p.prioQ = p.prioQ[1:]
+		p.executed.Add(1)
+		return it, true
+	}
+	if len(p.queue) > 0 {
+		it := p.queue[0]
+		p.queue = p.queue[1:]
+		p.executed.Add(1)
+		return it, true
+	}
+	return poolItem{}, false
+}
+
+// waitPop blocks until a ULT is available or the pool closes.
+func (p *Pool) waitPop() (poolItem, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if it, ok := p.popLocked(); ok {
+			return it, true
+		}
+		if p.closed {
+			return poolItem{}, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// Close marks the pool closed: submissions fail, waiting consumers
+// drain remaining work then stop.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *Pool) String() string {
+	return fmt.Sprintf("pool %q (%s/%s, %d queued)", p.name, p.kind, p.access, p.Len())
+}

@@ -1,0 +1,308 @@
+package argobots
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PoolConfig describes one pool (Listing 2's "pools" entries).
+type PoolConfig struct {
+	Name   string `json:"name"`
+	Kind   string `json:"type"`
+	Access string `json:"access,omitempty"`
+}
+
+// SchedConfig describes an xstream's scheduler.
+type SchedConfig struct {
+	Kind  string   `json:"type"`
+	Pools []string `json:"pools"`
+}
+
+// XstreamConfig describes one execution stream (Listing 2's
+// "xstreams" entries).
+type XstreamConfig struct {
+	Name      string      `json:"name"`
+	Scheduler SchedConfig `json:"scheduler"`
+}
+
+// Config is the full argobots section of a Margo configuration.
+type Config struct {
+	Pools    []PoolConfig    `json:"pools"`
+	Xstreams []XstreamConfig `json:"xstreams"`
+}
+
+// Runtime owns the live pool/xstream topology of one process and
+// enforces the validity rules the paper assigns to Margo (§5):
+// unique names, no removal of pools still referenced by an xstream or
+// provider.
+type Runtime struct {
+	mu       sync.RWMutex
+	pools    map[string]*Pool
+	xstreams map[string]*Xstream
+	stopped  bool
+}
+
+// NewRuntime builds a runtime from a configuration, creating and
+// starting every pool and xstream.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	r := &Runtime{
+		pools:    map[string]*Pool{},
+		xstreams: map[string]*Xstream{},
+	}
+	for _, pc := range cfg.Pools {
+		if _, err := r.AddPool(pc); err != nil {
+			r.Stop()
+			return nil, err
+		}
+	}
+	for _, xc := range cfg.Xstreams {
+		if _, err := r.AddXstream(xc); err != nil {
+			r.Stop()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func normalizeKind(k string) (PoolKind, error) {
+	switch PoolKind(k) {
+	case "", PoolFIFOWait:
+		return PoolFIFOWait, nil
+	case PoolFIFO:
+		return PoolFIFO, nil
+	case PoolPrio:
+		return PoolPrio, nil
+	}
+	return "", fmt.Errorf("%w: unknown pool type %q", ErrBadConfig, k)
+}
+
+func normalizeAccess(a string) (Access, error) {
+	switch Access(a) {
+	case "", AccessMPMC:
+		return AccessMPMC, nil
+	case AccessSPSC, AccessMPSC, AccessSPMC:
+		return Access(a), nil
+	}
+	return "", fmt.Errorf("%w: unknown access mode %q", ErrBadConfig, a)
+}
+
+// AddPool creates a pool at run time (margo_add_pool_from_json).
+func (r *Runtime) AddPool(pc PoolConfig) (*Pool, error) {
+	if pc.Name == "" {
+		return nil, fmt.Errorf("%w: pool needs a name", ErrBadConfig)
+	}
+	kind, err := normalizeKind(pc.Kind)
+	if err != nil {
+		return nil, err
+	}
+	access, err := normalizeAccess(pc.Access)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return nil, ErrStopped
+	}
+	if _, ok := r.pools[pc.Name]; ok {
+		return nil, fmt.Errorf("%w: pool %q", ErrDuplicate, pc.Name)
+	}
+	p := NewPool(pc.Name, kind, access)
+	r.pools[pc.Name] = p
+	return p, nil
+}
+
+// FindPool returns the named pool (margo_find_pool_by_name).
+func (r *Runtime) FindPool(name string) (*Pool, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.pools[name]
+	return p, ok
+}
+
+// RemovePool deletes an unreferenced pool. It fails with ErrPoolInUse
+// while any xstream schedules from it or any provider retains it —
+// the validity check the paper requires of Margo.
+func (r *Runtime) RemovePool(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.pools[name]
+	if !ok {
+		return fmt.Errorf("%w: pool %q", ErrNotFound, name)
+	}
+	if p.Refs() > 0 {
+		return fmt.Errorf("%w: pool %q has %d references", ErrPoolInUse, name, p.Refs())
+	}
+	p.Close()
+	delete(r.pools, name)
+	return nil
+}
+
+// AddXstream creates and starts an execution stream at run time.
+func (r *Runtime) AddXstream(xc XstreamConfig) (*Xstream, error) {
+	if xc.Name == "" {
+		return nil, fmt.Errorf("%w: xstream needs a name", ErrBadConfig)
+	}
+	switch SchedKind(xc.Scheduler.Kind) {
+	case SchedBasic, SchedBasicWait:
+	case "":
+		xc.Scheduler.Kind = string(SchedBasicWait)
+	default:
+		return nil, fmt.Errorf("%w: unknown scheduler %q", ErrBadConfig, xc.Scheduler.Kind)
+	}
+	if len(xc.Scheduler.Pools) == 0 {
+		return nil, fmt.Errorf("%w: xstream %q schedules no pools", ErrBadConfig, xc.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return nil, ErrStopped
+	}
+	if _, ok := r.xstreams[xc.Name]; ok {
+		return nil, fmt.Errorf("%w: xstream %q", ErrDuplicate, xc.Name)
+	}
+	pools := make([]*Pool, 0, len(xc.Scheduler.Pools))
+	for _, pn := range xc.Scheduler.Pools {
+		p, ok := r.pools[pn]
+		if !ok {
+			return nil, fmt.Errorf("%w: pool %q for xstream %q", ErrNotFound, pn, xc.Name)
+		}
+		pools = append(pools, p)
+	}
+	x := newXstream(xc.Name, SchedKind(xc.Scheduler.Kind), pools)
+	r.xstreams[xc.Name] = x
+	x.start()
+	return x, nil
+}
+
+// FindXstream returns the named xstream.
+func (r *Runtime) FindXstream(name string) (*Xstream, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	x, ok := r.xstreams[name]
+	return x, ok
+}
+
+// RemoveXstream stops and deletes an execution stream. Queued ULTs
+// remain in its pools; removing the only xstream of a non-empty pool
+// is refused so work cannot be stranded silently.
+func (r *Runtime) RemoveXstream(name string) error {
+	r.mu.Lock()
+	x, ok := r.xstreams[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: xstream %q", ErrNotFound, name)
+	}
+	// Refuse if this is the sole consumer of any pool that still has
+	// pending work or provider references.
+	for _, p := range x.Pools() {
+		if r.consumersLocked(p) == 1 && (p.Len() > 0 || p.Refs() > 1) {
+			r.mu.Unlock()
+			return fmt.Errorf("%w: xstream %q is the only consumer of pool %q", ErrPoolInUse, name, p.Name())
+		}
+	}
+	delete(r.xstreams, name)
+	r.mu.Unlock()
+	x.Stop()
+	return nil
+}
+
+func (r *Runtime) consumersLocked(p *Pool) int {
+	n := 0
+	for _, x := range r.xstreams {
+		for _, xp := range x.Pools() {
+			if xp == p {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// PoolNames returns the sorted names of all pools.
+func (r *Runtime) PoolNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.pools))
+	for n := range r.pools {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// XstreamNames returns the sorted names of all xstreams.
+func (r *Runtime) XstreamNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.xstreams))
+	for n := range r.xstreams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns the current configuration, suitable for JSON
+// round-tripping (the paper's requirement that a running process can
+// always report its live topology).
+func (r *Runtime) Snapshot() Config {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var cfg Config
+	names := make([]string, 0, len(r.pools))
+	for n := range r.pools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := r.pools[n]
+		cfg.Pools = append(cfg.Pools, PoolConfig{Name: p.Name(), Kind: string(p.Kind()), Access: string(p.Access())})
+	}
+	xnames := make([]string, 0, len(r.xstreams))
+	for n := range r.xstreams {
+		xnames = append(xnames, n)
+	}
+	sort.Strings(xnames)
+	for _, n := range xnames {
+		x := r.xstreams[n]
+		var pools []string
+		for _, p := range x.Pools() {
+			pools = append(pools, p.Name())
+		}
+		cfg.Xstreams = append(cfg.Xstreams, XstreamConfig{
+			Name:      x.Name(),
+			Scheduler: SchedConfig{Kind: string(x.Sched()), Pools: pools},
+		})
+	}
+	return cfg
+}
+
+// Stop shuts down all xstreams and closes all pools.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	xs := make([]*Xstream, 0, len(r.xstreams))
+	for _, x := range r.xstreams {
+		xs = append(xs, x)
+	}
+	ps := make([]*Pool, 0, len(r.pools))
+	for _, p := range r.pools {
+		ps = append(ps, p)
+	}
+	r.xstreams = map[string]*Xstream{}
+	r.pools = map[string]*Pool{}
+	r.mu.Unlock()
+	for _, p := range ps {
+		p.Close()
+	}
+	for _, x := range xs {
+		x.Stop()
+	}
+}

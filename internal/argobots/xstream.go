@@ -1,0 +1,147 @@
+package argobots
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SchedKind selects an xstream's scheduling policy across its pools.
+type SchedKind string
+
+const (
+	// SchedBasic round-robins across pools, yielding briefly when all
+	// are empty (Argobots' "basic").
+	SchedBasic SchedKind = "basic"
+	// SchedBasicWait round-robins across pools and blocks while all
+	// are empty (Argobots' "basic_wait", Margo's default).
+	SchedBasicWait SchedKind = "basic_wait"
+)
+
+// Xstream is an execution stream: the analogue of an OS thread bound
+// to a scheduler that pulls ULTs from an ordered list of pools
+// (paper Figure 2, "ES 0 ... ES 1").
+type Xstream struct {
+	name  string
+	sched SchedKind
+
+	mu    sync.Mutex
+	pools []*Pool
+
+	wake    chan struct{}
+	stop    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+
+	executed atomic.Uint64
+	running  atomic.Bool
+}
+
+func newXstream(name string, sched SchedKind, pools []*Pool) *Xstream {
+	x := &Xstream{
+		name:    name,
+		sched:   sched,
+		pools:   pools,
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	for _, p := range pools {
+		p.Retain()
+		p.addWaiter(x.wake)
+	}
+	return x
+}
+
+// Name returns the xstream's name.
+func (x *Xstream) Name() string { return x.name }
+
+// Sched returns the scheduler kind.
+func (x *Xstream) Sched() SchedKind { return x.sched }
+
+// Pools returns the pools this xstream drains, in scheduling order.
+func (x *Xstream) Pools() []*Pool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]*Pool(nil), x.pools...)
+}
+
+// Executed reports how many ULTs this xstream has run.
+func (x *Xstream) Executed() uint64 { return x.executed.Load() }
+
+// Running reports whether the xstream's scheduler loop is live.
+func (x *Xstream) Running() bool { return x.running.Load() }
+
+func (x *Xstream) start() {
+	x.running.Store(true)
+	go x.loop()
+}
+
+func (x *Xstream) loop() {
+	defer close(x.stopped)
+	defer x.running.Store(false)
+	for {
+		select {
+		case <-x.stop:
+			return
+		default:
+		}
+		ran := false
+		x.mu.Lock()
+		pools := x.pools
+		x.mu.Unlock()
+		for _, p := range pools {
+			if it, ok := p.tryPop(); ok {
+				x.run(it)
+				ran = true
+			}
+		}
+		if ran {
+			continue
+		}
+		switch x.sched {
+		case SchedBasicWait:
+			select {
+			case <-x.wake:
+			case <-x.stop:
+				return
+			}
+		default:
+			select {
+			case <-x.wake:
+			case <-time.After(200 * time.Microsecond):
+			case <-x.stop:
+				return
+			}
+		}
+	}
+}
+
+func (x *Xstream) run(it poolItem) {
+	defer func() {
+		// A panicking ULT must not take down the whole xstream; this
+		// mirrors how a segfaulting ULT would be isolated in tests.
+		if r := recover(); r != nil {
+			close(it.th.done)
+		}
+	}()
+	it.fn()
+	x.executed.Add(1)
+	close(it.th.done)
+}
+
+// Stop terminates the scheduler loop and waits for the in-flight ULT
+// (if any) to finish. Queued ULTs remain in the pools for other
+// xstreams to drain.
+func (x *Xstream) Stop() {
+	x.once.Do(func() { close(x.stop) })
+	<-x.stopped
+	x.mu.Lock()
+	pools := x.pools
+	x.pools = nil
+	x.mu.Unlock()
+	for _, p := range pools {
+		p.removeWaiter(x.wake)
+		p.Release()
+	}
+}

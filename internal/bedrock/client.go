@@ -1,0 +1,184 @@
+package bedrock
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"mochi/internal/margo"
+)
+
+// Client creates service handles to remote bedrock processes
+// (Listing 5: "bedrock::Client client; client.makeServiceHandle(...)").
+type Client struct {
+	inst *margo.Instance
+}
+
+// NewClient creates a bedrock client.
+func NewClient(inst *margo.Instance) *Client {
+	return &Client{inst: inst}
+}
+
+// ServiceHandle manipulates one process's configuration remotely and
+// at run time (the Go rendering of Listing 5's C++ API).
+type ServiceHandle struct {
+	client *Client
+	addr   string
+}
+
+// MakeServiceHandle returns a handle to the bedrock process at addr.
+func (c *Client) MakeServiceHandle(addr string) *ServiceHandle {
+	return &ServiceHandle{client: c, addr: addr}
+}
+
+// Addr returns the target process address.
+func (sh *ServiceHandle) Addr() string { return sh.addr }
+
+func (sh *ServiceHandle) call(ctx context.Context, rpc string, args any) ([]byte, error) {
+	var payload []byte
+	if args != nil {
+		payload = mustJSON(args)
+	}
+	out, err := sh.client.inst.Forward(ctx, sh.addr, rpc, payload)
+	if err != nil {
+		return nil, err
+	}
+	var reply rpcReply
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return nil, fmt.Errorf("bedrock: bad reply: %w", err)
+	}
+	if !reply.OK {
+		return nil, fmt.Errorf("bedrock: %s: %s", sh.addr, reply.Error)
+	}
+	return reply.Data, nil
+}
+
+// GetConfig fetches the process's full live configuration.
+func (sh *ServiceHandle) GetConfig(ctx context.Context) (Config, []byte, error) {
+	raw, err := sh.call(ctx, rpcGetConfig, nil)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return Config{}, nil, err
+	}
+	return cfg, raw, nil
+}
+
+// QueryConfig runs a Jx9 script on the remote process (Listing 4)
+// and returns the result as JSON.
+func (sh *ServiceHandle) QueryConfig(ctx context.Context, script string) ([]byte, error) {
+	return sh.call(ctx, rpcQueryConfig, queryArgs{Script: script})
+}
+
+// AddPool adds a pool from a JSON config ("p.addPool(jsonPoolConfig)").
+func (sh *ServiceHandle) AddPool(ctx context.Context, jsonPoolConfig string) error {
+	out, err := sh.client.inst.Forward(ctx, sh.addr, rpcAddPool, []byte(jsonPoolConfig))
+	if err != nil {
+		return err
+	}
+	var reply rpcReply
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return err
+	}
+	if !reply.OK {
+		return fmt.Errorf("bedrock: %s", reply.Error)
+	}
+	return nil
+}
+
+// RemovePool removes a pool by name ("p.removePool(\"MyPoolX\")").
+func (sh *ServiceHandle) RemovePool(ctx context.Context, name string) error {
+	_, err := sh.call(ctx, rpcRemovePool, nameArgs{Name: name})
+	return err
+}
+
+// AddXstream adds an execution stream from a JSON config.
+func (sh *ServiceHandle) AddXstream(ctx context.Context, jsonXstreamConfig string) error {
+	out, err := sh.client.inst.Forward(ctx, sh.addr, rpcAddXstream, []byte(jsonXstreamConfig))
+	if err != nil {
+		return err
+	}
+	var reply rpcReply
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return err
+	}
+	if !reply.OK {
+		return fmt.Errorf("bedrock: %s", reply.Error)
+	}
+	return nil
+}
+
+// RemoveXstream removes an execution stream by name.
+func (sh *ServiceHandle) RemoveXstream(ctx context.Context, name string) error {
+	_, err := sh.call(ctx, rpcRemoveXstream, nameArgs{Name: name})
+	return err
+}
+
+// LoadModule makes a provider type available in the remote process
+// ("p.loadModule(\"B\", \"libcomponent_b.so\")"). The path is kept
+// for configuration fidelity; types resolve against the in-process
+// module registry.
+func (sh *ServiceHandle) LoadModule(ctx context.Context, typ, path string) error {
+	_, err := sh.call(ctx, rpcLoadModule, loadModuleArgs{Type: typ, Path: path})
+	return err
+}
+
+// StartProvider starts a provider remotely
+// ("p.startProvider(\"myProviderB\", \"B\", ...)").
+func (sh *ServiceHandle) StartProvider(ctx context.Context, pc ProviderConfig) error {
+	_, err := sh.call(ctx, rpcStartProvider, pc)
+	return err
+}
+
+// StopProvider stops a provider remotely.
+func (sh *ServiceHandle) StopProvider(ctx context.Context, name string) error {
+	_, err := sh.call(ctx, rpcStopProvider, nameArgs{Name: name})
+	return err
+}
+
+// MigrateProvider moves a provider's resource to another bedrock
+// process and stops it locally (§6).
+func (sh *ServiceHandle) MigrateProvider(ctx context.Context, name, destAddr string, destRemiID uint16, method string, removeSource bool) error {
+	_, err := sh.call(ctx, rpcMigrate, migrateArgs{
+		Name:         name,
+		DestAddr:     destAddr,
+		DestRemiID:   destRemiID,
+		Method:       method,
+		RemoveSource: removeSource,
+	})
+	return err
+}
+
+// CheckpointProvider saves a provider's state under dir (§7 Obs. 9).
+func (sh *ServiceHandle) CheckpointProvider(ctx context.Context, name, dir string) error {
+	_, err := sh.call(ctx, rpcCheckpoint, checkpointArgs{Name: name, Dir: dir})
+	return err
+}
+
+// RestoreProvider loads a provider's state from dir.
+func (sh *ServiceHandle) RestoreProvider(ctx context.Context, name, dir string) error {
+	_, err := sh.call(ctx, rpcRestore, checkpointArgs{Name: name, Dir: dir})
+	return err
+}
+
+// GetStats fetches the remote process's monitoring snapshot
+// (Listing 1's schema), §4's runtime statistics API.
+func (sh *ServiceHandle) GetStats(ctx context.Context) (*margo.StatsSnapshot, []byte, error) {
+	raw, err := sh.call(ctx, rpcGetStats, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	var snap margo.StatsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, nil, err
+	}
+	return &snap, raw, nil
+}
+
+// Shutdown asks the remote process to shut down.
+func (sh *ServiceHandle) Shutdown(ctx context.Context) error {
+	_, err := sh.call(ctx, rpcShutdown, nil)
+	return err
+}

@@ -1,0 +1,97 @@
+package bedrock
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"mochi/internal/jx9"
+	"mochi/internal/margo"
+)
+
+// ProviderConfig describes one provider in a process configuration
+// (Listing 3's "providers" entries).
+type ProviderConfig struct {
+	Name         string            `json:"name"`
+	Type         string            `json:"type"`
+	ProviderID   uint16            `json:"provider_id"`
+	Pool         string            `json:"pool,omitempty"`
+	Config       json.RawMessage   `json:"config,omitempty"`
+	Dependencies map[string]string `json:"dependencies,omitempty"`
+}
+
+// Config is a full process description (Listing 3): the margo
+// runtime section, the libraries to load, and the providers to
+// instantiate.
+type Config struct {
+	Margo     margo.Config      `json:"margo"`
+	Libraries map[string]string `json:"libraries,omitempty"`
+	Providers []ProviderConfig  `json:"providers,omitempty"`
+	// RemiRoot, when set, starts a built-in REMI provider receiving
+	// migrated filesets under this directory.
+	RemiRoot string `json:"remi_root,omitempty"`
+	// RemiProviderID is the REMI provider's ID (default 65000).
+	RemiProviderID uint16 `json:"remi_provider_id,omitempty"`
+	// AuthSecret, when set, enables transparent authentication at the
+	// runtime layer (the §9 security direction): every inbound RPC to
+	// this process must carry the secret, and every outbound RPC
+	// carries it. Components are unaware.
+	AuthSecret string `json:"auth_secret,omitempty"`
+}
+
+// ParseConfig decodes a process description. The input is either a
+// Listing-3 style JSON document or a Jx9 script whose return value is
+// that document ("Jx9 can also be used as input in place of JSON,
+// allowing parameterized configurations", §5). Scripts may read the
+// $__params__ object, injected from params (may be nil).
+func ParseConfig(raw []byte) (Config, error) {
+	return ParseConfigParams(raw, nil)
+}
+
+// ParseConfigParams is ParseConfig with parameters made visible to
+// Jx9 configuration scripts as $__params__.
+func ParseConfigParams(raw []byte, params map[string]any) (Config, error) {
+	var cfg Config
+	if trimmed := bytes.TrimSpace(raw); len(trimmed) > 0 && trimmed[0] != '{' {
+		// Not a JSON object: treat it as a Jx9 configuration script.
+		pv := map[string]jx9.Value{}
+		pm := make(map[string]jx9.Value, len(params))
+		for k, v := range params {
+			pm[k] = jx9.FromGo(v)
+		}
+		pv["__params__"] = jx9.Object(pm)
+		var engine jx9.Engine
+		res, err := engine.Run(string(raw), pv)
+		if err != nil {
+			return Config{}, fmt.Errorf("bedrock: config script: %w", err)
+		}
+		if !res.Return.IsObject() {
+			return Config{}, fmt.Errorf("bedrock: config script returned %s, want an object", res.Return)
+		}
+		raw = []byte(res.Return.String())
+	}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return Config{}, fmt.Errorf("bedrock: bad config: %w", err)
+		}
+	}
+	if cfg.RemiProviderID == 0 {
+		cfg.RemiProviderID = 65000
+	}
+	seen := map[string]bool{}
+	ids := map[uint16]bool{}
+	for _, p := range cfg.Providers {
+		if p.Name == "" || p.Type == "" {
+			return Config{}, fmt.Errorf("bedrock: provider needs name and type: %+v", p)
+		}
+		if seen[p.Name] {
+			return Config{}, fmt.Errorf("bedrock: duplicate provider name %q", p.Name)
+		}
+		if ids[p.ProviderID] {
+			return Config{}, fmt.Errorf("bedrock: duplicate provider id %d", p.ProviderID)
+		}
+		seen[p.Name] = true
+		ids[p.ProviderID] = true
+	}
+	return cfg, nil
+}

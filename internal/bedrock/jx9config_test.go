@@ -1,0 +1,79 @@
+package bedrock_test
+
+import (
+	"strings"
+	"testing"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/mercury"
+)
+
+// TestJx9ConfigScript: the paper notes that "Jx9 can also be used as
+// input in place of JSON, allowing parameterized configurations". A
+// script builds the provider list programmatically.
+func TestJx9ConfigScript(t *testing.T) {
+	script := `
+$n = $__params__.databases;
+if (is_null($n)) { $n = 2; }
+$providers = [];
+$i = 0;
+while ($i < $n) {
+    array_push($providers, {
+        name: "db" + $i,
+        type: "yokan",
+        provider_id: $i + 1,
+        config: {type: "map"}
+    });
+    $i = $i + 1;
+}
+return {
+    libraries: {yokan: "libyokan.so"},
+    providers: $providers
+};`
+
+	cfg, err := bedrock.ParseConfigParams([]byte(script), map[string]any{"databases": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Providers) != 3 {
+		t.Fatalf("providers = %d", len(cfg.Providers))
+	}
+	if cfg.Providers[0].Name != "db0" || cfg.Providers[2].ProviderID != 3 {
+		t.Fatalf("generated config wrong: %+v", cfg.Providers)
+	}
+
+	// Default parameter path.
+	cfg, err = bedrock.ParseConfig([]byte(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Providers) != 2 {
+		t.Fatalf("default providers = %d", len(cfg.Providers))
+	}
+
+	// A server boots from the script directly.
+	f := mercury.NewFabric()
+	cls, _ := f.NewClass("jx9cfg")
+	srv, err := bedrock.NewServer(cls, []byte(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if got := srv.Providers(); len(got) != 2 || got[0] != "db0" {
+		t.Fatalf("providers = %v", got)
+	}
+}
+
+func TestJx9ConfigScriptErrors(t *testing.T) {
+	if _, err := bedrock.ParseConfig([]byte(`return 42;`)); err == nil || !strings.Contains(err.Error(), "object") {
+		t.Fatalf("non-object return accepted: %v", err)
+	}
+	if _, err := bedrock.ParseConfig([]byte(`$x = ;`)); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	// Plain JSON still parses.
+	cfg, err := bedrock.ParseConfig([]byte(`{"libraries": {"yokan": "x"}}`))
+	if err != nil || cfg.Libraries["yokan"] != "x" {
+		t.Fatalf("json path broken: %+v %v", cfg, err)
+	}
+}

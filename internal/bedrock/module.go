@@ -1,0 +1,153 @@
+// Package bedrock is the "provider of providers" (paper §5): a
+// component whose managed resource is the configuration of the
+// process it runs on. It bootstraps a process from a JSON description
+// (Listing 3), resolves dependencies between providers within and
+// across processes, and exposes a remote API (Listing 5) for querying
+// (via Jx9, Listing 4) and altering the configuration at run time —
+// including starting/stopping providers, adding/removing pools and
+// execution streams, and triggering provider migration (§6),
+// checkpoint and restore (§7).
+package bedrock
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mochi/internal/argobots"
+	"mochi/internal/margo"
+	"mochi/internal/remi"
+)
+
+// Errors returned by bedrock.
+var (
+	ErrUnknownModule     = errors.New("bedrock: unknown module type")
+	ErrModuleNotLoaded   = errors.New("bedrock: module not loaded in this process")
+	ErrProviderExists    = errors.New("bedrock: provider already exists")
+	ErrNoSuchProvider    = errors.New("bedrock: no such provider")
+	ErrProviderPinned    = errors.New("bedrock: provider is a dependency of others")
+	ErrDependency        = errors.New("bedrock: dependency resolution failed")
+	ErrNotMigratable     = errors.New("bedrock: provider does not support migration")
+	ErrNotCheckpointable = errors.New("bedrock: provider does not support checkpointing")
+	ErrShutdown          = errors.New("bedrock: server is shut down")
+)
+
+// Dependency is one resolved dependency handed to a provider at
+// instantiation (Figure 1: providers depend on resource handles
+// pointing to other providers).
+type Dependency struct {
+	// Name is the dependency's key in the configuration.
+	Name string
+	// Spec is the raw specifier, e.g. "kv_provider" (local name) or
+	// "yokan:3@sm://node2" (type:id@address).
+	Spec string
+	// Address and ProviderID locate the target provider.
+	Address    string
+	ProviderID uint16
+	// Local is the target's instance when it lives in this process.
+	Local ProviderInstance
+}
+
+// ProviderArgs parameterizes provider instantiation.
+type ProviderArgs struct {
+	Instance     *margo.Instance
+	Name         string
+	ProviderID   uint16
+	Pool         *argobots.Pool
+	Config       json.RawMessage
+	Dependencies map[string]Dependency
+}
+
+// ProviderInstance is a running provider managed by bedrock.
+type ProviderInstance interface {
+	// Config returns the provider's current configuration as JSON.
+	Config() (json.RawMessage, error)
+	// Close stops the provider and releases its resource.
+	Close() error
+}
+
+// Migratable is implemented by provider instances whose resource can
+// be migrated via REMI (§6, Observation 5: components "declare a
+// dependency on a REMI provider ... and expose a migrate function").
+type Migratable interface {
+	ProviderInstance
+	// Files returns the resource's backing files.
+	Files() []string
+	// Flush makes the files consistent before transfer.
+	Flush() error
+}
+
+// Checkpointable is implemented by provider instances that can save
+// and restore their state through a directory on a shared file system
+// (§7, Observation 9: "checkpoint and restore function pointers").
+type Checkpointable interface {
+	ProviderInstance
+	Checkpoint(dir string) error
+	Restore(dir string) error
+}
+
+// Module is the analogue of the function-pointer table a Bedrock C
+// module exports: it knows how to instantiate providers of one type.
+type Module interface {
+	// Type returns the module's provider type name (e.g. "yokan").
+	Type() string
+	// StartProvider creates a provider.
+	StartProvider(args ProviderArgs) (ProviderInstance, error)
+}
+
+// MigrationReceiver is implemented by modules that can instantiate a
+// provider over a fileset received through REMI, adjusting file paths
+// in the configuration to the destination root.
+type MigrationReceiver interface {
+	Module
+	ReceiveProvider(args ProviderArgs, fs *remi.FileSet) (ProviderInstance, error)
+}
+
+// moduleRegistry is the process-wide module table (the analogue of
+// the dynamic-linker namespace the C implementation loads .so files
+// into).
+var moduleRegistry = struct {
+	mu      sync.RWMutex
+	modules map[string]Module
+}{modules: map[string]Module{}}
+
+// RegisterModule makes a module available for loading by servers.
+// Registering the same type twice replaces the previous module.
+func RegisterModule(m Module) {
+	moduleRegistry.mu.Lock()
+	defer moduleRegistry.mu.Unlock()
+	moduleRegistry.modules[m.Type()] = m
+}
+
+// LookupModule returns the registered module of the given type.
+func LookupModule(typ string) (Module, bool) {
+	moduleRegistry.mu.RLock()
+	defer moduleRegistry.mu.RUnlock()
+	m, ok := moduleRegistry.modules[typ]
+	return m, ok
+}
+
+// ParseDependencySpec parses "type:id@address" remote specifiers.
+// Anything else is treated as a local provider name.
+func ParseDependencySpec(spec string) (typ string, id uint16, addr string, remote bool) {
+	at := -1
+	colon := -1
+	for i, c := range spec {
+		if c == ':' && colon < 0 {
+			colon = i
+		}
+		if c == '@' {
+			at = i
+		}
+	}
+	if colon < 0 || at < 0 || at < colon {
+		return "", 0, "", false
+	}
+	typ = spec[:colon]
+	var idNum uint64
+	if _, err := fmt.Sscanf(spec[colon+1:at], "%d", &idNum); err != nil {
+		return "", 0, "", false
+	}
+	return typ, uint16(idNum), spec[at+1:], true
+}

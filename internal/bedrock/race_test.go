@@ -1,0 +1,88 @@
+package bedrock_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/mercury"
+)
+
+// TestConcurrentStartSameProviderName: many clients racing to create
+// the same provider name — exactly one must win, and the process must
+// end up with exactly one provider.
+func TestConcurrentStartSameProviderName(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newServer(t, f, "race-start", `{"libraries": {"yokan": "x"}}`)
+	const racers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = srv.StartProvider(bedrock.ProviderConfig{
+				Name:       "contested",
+				Type:       "yokan",
+				ProviderID: uint16(100 + i), // distinct IDs: only the name collides
+				Config:     json.RawMessage(`{"type":"map"}`),
+			})
+		}(i)
+	}
+	wg.Wait()
+	wins := 0
+	for _, err := range errs {
+		if err == nil {
+			wins++
+		} else if !errors.Is(err, bedrock.ErrProviderExists) && !errors.Is(err, mercury.ErrRemoteFailure) {
+			// Losers that lost the margo registration race surface it
+			// as a provider-registration error; both are acceptable,
+			// anything else is not.
+			t.Logf("loser error: %v", err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d racers won (want exactly 1): %v", wins, errs)
+	}
+	if got := srv.Providers(); len(got) != 1 || got[0] != "contested" {
+		t.Fatalf("providers = %v", got)
+	}
+}
+
+// TestConcurrentStartStopDistinctProviders: heavy concurrent create
+// and destroy of distinct providers must leave a consistent table.
+func TestConcurrentStartStopDistinctProviders(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newServer(t, f, "race-churn", `{"libraries": {"yokan": "x"}}`)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn-%d", i)
+			for rep := 0; rep < 5; rep++ {
+				if err := srv.StartProvider(bedrock.ProviderConfig{
+					Name:       name,
+					Type:       "yokan",
+					ProviderID: uint16(200 + i),
+					Config:     json.RawMessage(`{"type":"map"}`),
+				}); err != nil {
+					t.Errorf("%s start: %v", name, err)
+					return
+				}
+				if err := srv.StopProvider(name); err != nil {
+					t.Errorf("%s stop: %v", name, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := srv.Providers(); len(got) != 0 {
+		t.Fatalf("leftover providers: %v", got)
+	}
+}

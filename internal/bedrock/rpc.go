@@ -1,0 +1,321 @@
+package bedrock
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"mochi/internal/argobots"
+	"mochi/internal/mercury"
+	"mochi/internal/remi"
+)
+
+// rpcTimeout bounds internal control-plane RPCs.
+const rpcTimeout = 10 * time.Second
+
+// Control-plane messages are JSON: bedrock is a low-rate
+// configuration path, and JSON keeps it debuggable (mirroring the C
+// implementation's use of JSON throughout).
+
+type rpcReply struct {
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+type queryArgs struct {
+	Script string `json:"script"`
+}
+
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+type loadModuleArgs struct {
+	Type string `json:"type"`
+	Path string `json:"path"`
+}
+
+type migrateArgs struct {
+	Name         string `json:"name"`
+	DestAddr     string `json:"dest_addr"`
+	DestRemiID   uint16 `json:"dest_remi_id,omitempty"`
+	Method       string `json:"method,omitempty"`
+	RemoveSource bool   `json:"remove_source,omitempty"`
+}
+
+type checkpointArgs struct {
+	Name string `json:"name"`
+	Dir  string `json:"dir"`
+}
+
+type pinArgs struct {
+	Name       string `json:"name,omitempty"`
+	Type       string `json:"type,omitempty"`
+	ProviderID uint16 `json:"provider_id"`
+	Holder     string `json:"holder"`
+}
+
+func mustJSON(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // all control structs are marshalable
+	}
+	return raw
+}
+
+func respondOK(h *mercury.Handle, data []byte) {
+	_ = h.Respond(mustJSON(rpcReply{OK: true, Data: data}))
+}
+
+func respondErr(h *mercury.Handle, err error) {
+	_ = h.Respond(mustJSON(rpcReply{Error: err.Error()}))
+}
+
+func (s *Server) registerRPCs() error {
+	type entry struct {
+		name string
+		fn   func(ctx context.Context, h *mercury.Handle)
+	}
+	entries := []entry{
+		{rpcGetConfig, s.rpcGetConfig},
+		{rpcQueryConfig, s.rpcQueryConfig},
+		{rpcAddPool, s.rpcAddPool},
+		{rpcRemovePool, s.rpcRemovePool},
+		{rpcAddXstream, s.rpcAddXstream},
+		{rpcRemoveXstream, s.rpcRemoveXstream},
+		{rpcLoadModule, s.rpcLoadModule},
+		{rpcStartProvider, s.rpcStartProvider},
+		{rpcStopProvider, s.rpcStopProvider},
+		{rpcMigrate, s.rpcMigrate},
+		{rpcCheckpoint, s.rpcCheckpoint},
+		{rpcRestore, s.rpcRestore},
+		{rpcPin, s.rpcPin},
+		{rpcUnpin, s.rpcUnpin},
+		{rpcShutdown, s.rpcShutdown},
+		{rpcGetStats, s.rpcGetStats},
+	}
+	for _, e := range entries {
+		if _, err := s.inst.Register(e.name, e.fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) rpcGetConfig(_ context.Context, h *mercury.Handle) {
+	raw, err := s.GetConfig()
+	if err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, raw)
+}
+
+func (s *Server) rpcQueryConfig(_ context.Context, h *mercury.Handle) {
+	var args queryArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	out, err := s.QueryConfig(args.Script)
+	if err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, out)
+}
+
+func (s *Server) rpcAddPool(_ context.Context, h *mercury.Handle) {
+	if _, err := s.inst.AddPoolFromJSON(h.Input()); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcRemovePool(_ context.Context, h *mercury.Handle) {
+	var args nameArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	if err := s.inst.RemovePool(args.Name); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcAddXstream(_ context.Context, h *mercury.Handle) {
+	if _, err := s.inst.AddXstreamFromJSON(h.Input()); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcRemoveXstream(_ context.Context, h *mercury.Handle) {
+	var args nameArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	if err := s.inst.RemoveXstream(args.Name); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcLoadModule(_ context.Context, h *mercury.Handle) {
+	var args loadModuleArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	if err := s.loadModule(args.Type); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcStartProvider(_ context.Context, h *mercury.Handle) {
+	var pc ProviderConfig
+	if err := json.Unmarshal(h.Input(), &pc); err != nil {
+		respondErr(h, err)
+		return
+	}
+	if err := s.StartProvider(pc); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcStopProvider(_ context.Context, h *mercury.Handle) {
+	var args nameArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	if err := s.StopProvider(args.Name); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcMigrate(ctx context.Context, h *mercury.Handle) {
+	var args migrateArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	method := remi.MethodAuto
+	switch args.Method {
+	case "bulk":
+		method = remi.MethodBulk
+	case "chunked":
+		method = remi.MethodChunked
+	}
+	mctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := s.MigrateProvider(mctx, args.Name, args.DestAddr, args.DestRemiID, method, args.RemoveSource); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcCheckpoint(_ context.Context, h *mercury.Handle) {
+	var args checkpointArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	if err := s.CheckpointProvider(args.Name, args.Dir); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+func (s *Server) rpcRestore(_ context.Context, h *mercury.Handle) {
+	var args checkpointArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	if err := s.RestoreProvider(args.Name, args.Dir); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, nil)
+}
+
+// rpcPin handles remote dependency pinning (phase 1 of the
+// cross-process two-phase provider creation).
+func (s *Server) rpcPin(_ context.Context, h *mercury.Handle) {
+	var args pinArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range s.providers {
+		if (args.Name != "" && rec.cfg.Name == args.Name) ||
+			(args.Name == "" && rec.cfg.ProviderID == args.ProviderID && (args.Type == "" || rec.cfg.Type == args.Type)) {
+			rec.pins[args.Holder]++
+			respondOK(h, nil)
+			return
+		}
+	}
+	respondErr(h, ErrNoSuchProvider)
+}
+
+func (s *Server) rpcUnpin(_ context.Context, h *mercury.Handle) {
+	var args pinArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range s.providers {
+		if (args.Name != "" && rec.cfg.Name == args.Name) ||
+			(args.Name == "" && rec.cfg.ProviderID == args.ProviderID) {
+			if _, ok := rec.pins[args.Holder]; ok {
+				rec.pins[args.Holder]--
+				if rec.pins[args.Holder] <= 0 {
+					delete(rec.pins, args.Holder)
+				}
+			}
+			respondOK(h, nil)
+			return
+		}
+	}
+	respondErr(h, ErrNoSuchProvider)
+}
+
+func (s *Server) rpcShutdown(_ context.Context, h *mercury.Handle) {
+	respondOK(h, nil)
+	go s.Shutdown()
+}
+
+// rpcGetStats returns the process's Listing-1 monitoring snapshot,
+// the remote entry point to §4's "available at run time via an API".
+func (s *Server) rpcGetStats(_ context.Context, h *mercury.Handle) {
+	raw, err := s.inst.Stats().JSON()
+	if err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, raw)
+}
+
+// Ensure argobots types stay referenced (pool configs travel as raw
+// JSON through the add-pool/add-xstream RPCs).
+var _ = argobots.PoolConfig{}

@@ -1,0 +1,69 @@
+package bedrock_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/mercury"
+)
+
+// The shipped example configurations must stay valid: both the JSON
+// one and the parameterized Jx9 one have to bootstrap a server.
+func TestShippedExampleConfigs(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("service.json", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(root, "examples/configs/service.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Point the file-backed paths into a temp dir.
+		dir := t.TempDir()
+		cfg := strings.ReplaceAll(string(raw), "/tmp/mochi", dir+"/mochi")
+		f := mercury.NewFabric()
+		cls, _ := f.NewClass("sample-json")
+		srv, err := bedrock.NewServer(cls, []byte(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Shutdown()
+		if got := srv.Providers(); len(got) != 2 {
+			t.Fatalf("providers = %v", got)
+		}
+		if srv.RemiProviderID() == 0 {
+			t.Fatal("remi provider not started")
+		}
+	})
+	t.Run("service.jx9", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(root, "examples/configs/service.jx9"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := bedrock.ParseConfigParams(raw, map[string]any{"databases": 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cfg.Providers) != 6 {
+			t.Fatalf("providers = %d", len(cfg.Providers))
+		}
+		// Pools: progress + one per provider pair.
+		if len(cfg.Margo.Argobots.Pools) != 4 {
+			t.Fatalf("pools = %d", len(cfg.Margo.Argobots.Pools))
+		}
+		f := mercury.NewFabric()
+		cls, _ := f.NewClass("sample-jx9")
+		srv, err := bedrock.NewServer(cls, raw) // default params
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Shutdown()
+		if got := srv.Providers(); len(got) != 4 {
+			t.Fatalf("default providers = %v", got)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package bedrock_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/yokan"
+)
+
+import "mochi/internal/mercury"
+
+// TestRemoteStats exercises §4's runtime statistics API end to end:
+// a client fetches the Listing-1 snapshot from a running process.
+func TestRemoteStats(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newServer(t, f, "stats-srv", `{
+	  "margo": {"enable_monitoring": true},
+	  "libraries": {"yokan": "x"},
+	  "providers": [{"name":"db","type":"yokan","provider_id":1,"config":{"type":"map"}}]
+	}`)
+	cli := newClientInst(t, f, "stats-cli")
+	ctx := bctx(t)
+	h := yokan.NewClient(cli).Handle(srv.Addr(), 1)
+	for i := 0; i < 7; i++ {
+		if err := h.Put(ctx, []byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := bedrock.NewClient(cli).MakeServiceHandle(srv.Addr())
+	snap, raw, err := sh.GetStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := snap.FindByName(yokan.RPCPut)
+	if !ok {
+		t.Fatalf("no yokan_put in remote stats: %s", raw)
+	}
+	var total int64
+	for _, ts := range st.Target {
+		total += ts.ULT.Duration.Num
+	}
+	if total != 7 {
+		t.Fatalf("remote stats recorded %d puts", total)
+	}
+	if !strings.Contains(string(raw), `"parent_rpc_id"`) {
+		t.Fatal("raw stats missing Listing-1 fields")
+	}
+}
+
+// TestMonitoringOutputFileOnShutdown: §4 says the default monitor
+// "outputs them as JSON when shutting down the service".
+func TestMonitoringOutputFileOnShutdown(t *testing.T) {
+	f := mercury.NewFabric()
+	out := filepath.Join(t.TempDir(), "stats.json")
+	srv := newServer(t, f, "dump-srv", `{
+	  "margo": {"enable_monitoring": true, "monitoring_output": "`+out+`"},
+	  "libraries": {"yokan": "x"},
+	  "providers": [{"name":"db","type":"yokan","provider_id":1,"config":{"type":"map"}}]
+	}`)
+	cli := newClientInst(t, f, "dump-cli")
+	ctx := bctx(t)
+	h := yokan.NewClient(cli).Handle(srv.Addr(), 1)
+	if err := h.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	deadline := time.Now().Add(5 * time.Second)
+	var raw []byte
+	for time.Now().Before(deadline) {
+		var err error
+		raw, err = os.ReadFile(out)
+		if err == nil && len(raw) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(raw) == 0 {
+		t.Fatal("no stats file written on shutdown")
+	}
+	for _, want := range []string{`"rpcs"`, `"yokan_put"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("stats dump missing %s:\n%s", want, raw)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package clock abstracts time so that protocols built on timeouts
+// (SWIM failure detection, Raft elections, periodic monitors) can run
+// against either the real wall clock or a deterministic simulated
+// clock that tests advance manually.
+package clock
+
+import "time"
+
+// Timer is the subset of time.Timer functionality protocols need.
+type Timer interface {
+	// C returns the channel on which the expiry time is delivered.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing. It reports whether the
+	// call stopped the timer before it fired.
+	Stop() bool
+	// Reset re-arms the timer to fire after d.
+	Reset(d time.Duration) bool
+}
+
+// Ticker is the subset of time.Ticker functionality protocols need.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Clock is a source of time and timers. Implementations must be safe
+// for concurrent use.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+	NewTimer(d time.Duration) Timer
+	NewTicker(d time.Duration) Ticker
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// New returns the wall clock.
+func New() Clock { return Real{} }
+
+func (Real) Now() time.Time                         { return time.Now() }
+func (Real) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (Real) Since(t time.Time) time.Duration        { return time.Since(t) }
+
+func (Real) NewTimer(d time.Duration) Timer {
+	return realTimer{time.NewTimer(d)}
+}
+
+func (Real) NewTicker(d time.Duration) Ticker {
+	return realTicker{time.NewTicker(d)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time        { return r.t.C }
+func (r realTimer) Stop() bool                 { return r.t.Stop() }
+func (r realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }

@@ -1,0 +1,233 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := New()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealTimerFires(t *testing.T) {
+	c := New()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
+
+func TestSimZeroStartGetsEpoch(t *testing.T) {
+	s := NewSim(time.Time{})
+	if s.Now().IsZero() {
+		t.Fatal("sim clock started at zero time")
+	}
+}
+
+func TestSimAdvanceMovesTime(t *testing.T) {
+	s := NewSim(time.Time{})
+	t0 := s.Now()
+	s.Advance(5 * time.Second)
+	if got := s.Since(t0); got != 5*time.Second {
+		t.Fatalf("Since = %v, want 5s", got)
+	}
+}
+
+func TestSimTimerFiresInOrder(t *testing.T) {
+	s := NewSim(time.Time{})
+	t1 := s.NewTimer(10 * time.Millisecond)
+	t2 := s.NewTimer(5 * time.Millisecond)
+	s.Advance(20 * time.Millisecond)
+
+	at1 := <-t1.C()
+	at2 := <-t2.C()
+	if !at2.Before(at1) {
+		t.Fatalf("timer order wrong: t2 at %v, t1 at %v", at2, at1)
+	}
+}
+
+func TestSimTimerDoesNotFireEarly(t *testing.T) {
+	s := NewSim(time.Time{})
+	tm := s.NewTimer(10 * time.Millisecond)
+	s.Advance(9 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before deadline")
+	default:
+	}
+	s.Advance(time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim(time.Time{})
+	tm := s.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on armed timer returned false")
+	}
+	s.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+}
+
+func TestSimTimerReset(t *testing.T) {
+	s := NewSim(time.Time{})
+	tm := s.NewTimer(10 * time.Millisecond)
+	tm.Stop()
+	tm.Reset(5 * time.Millisecond)
+	s.Advance(5 * time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestSimImmediateTimer(t *testing.T) {
+	s := NewSim(time.Time{})
+	tm := s.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+}
+
+func TestSimTickerRepeats(t *testing.T) {
+	s := NewSim(time.Time{})
+	tk := s.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		s.Advance(10 * time.Millisecond)
+		select {
+		case <-tk.C():
+		default:
+			t.Fatalf("ticker missed tick %d", i)
+		}
+	}
+}
+
+func TestSimTickerDropsWhenFull(t *testing.T) {
+	s := NewSim(time.Time{})
+	tk := s.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	s.Advance(10 * time.Millisecond) // 10 ticks into a 1-buffer channel
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("drained %d ticks, want 1 (buffered)", n)
+	}
+}
+
+func TestSimTickerStop(t *testing.T) {
+	s := NewSim(time.Time{})
+	tk := s.NewTicker(time.Millisecond)
+	tk.Stop()
+	s.Advance(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+	if s.PendingTimers() != 0 {
+		t.Fatalf("PendingTimers = %d after stop", s.PendingTimers())
+	}
+}
+
+func TestSimStep(t *testing.T) {
+	s := NewSim(time.Time{})
+	if s.Step() {
+		t.Fatal("Step with no timers returned true")
+	}
+	tm := s.NewTimer(42 * time.Millisecond)
+	t0 := s.Now()
+	if !s.Step() {
+		t.Fatal("Step with a pending timer returned false")
+	}
+	if got := s.Since(t0); got != 42*time.Millisecond {
+		t.Fatalf("Step advanced %v, want 42ms", got)
+	}
+	<-tm.C()
+}
+
+func TestSimSleepUnblocksOnAdvance(t *testing.T) {
+	s := NewSim(time.Time{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register its timer.
+	for i := 0; i < 1000 && s.PendingTimers() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep never unblocked")
+	}
+	wg.Wait()
+}
+
+func TestSimAdvanceToPastIsNoop(t *testing.T) {
+	s := NewSim(time.Time{})
+	t0 := s.Now()
+	s.AdvanceTo(t0.Add(-time.Hour))
+	if !s.Now().Equal(t0) {
+		t.Fatal("AdvanceTo moved time backwards")
+	}
+}
+
+func TestSimConcurrentTimers(t *testing.T) {
+	s := NewSim(time.Time{})
+	const n = 50
+	var wg sync.WaitGroup
+	fired := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tm := s.NewTimer(time.Duration(i+1) * time.Millisecond)
+			<-tm.C()
+			fired <- struct{}{}
+		}(i)
+	}
+	for s.PendingTimers() < n {
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(time.Duration(n+1) * time.Millisecond)
+	wg.Wait()
+	if len(fired) != n {
+		t.Fatalf("%d timers fired, want %d", len(fired), n)
+	}
+}

@@ -1,0 +1,210 @@
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sim is a simulated clock. Time only moves when a test calls Advance
+// (or AdvanceTo). Timers and tickers created from a Sim fire
+// synchronously during Advance, in expiry order, which makes
+// timeout-driven protocols fully deterministic.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*simWaiter // sorted by deadline
+	seq     uint64       // tie-break for identical deadlines
+}
+
+// NewSim returns a simulated clock starting at the given time. A zero
+// time.Time is replaced by a fixed, arbitrary epoch so that durations
+// since "start" are meaningful.
+func NewSim(start time.Time) *Sim {
+	if start.IsZero() {
+		start = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return &Sim{now: start}
+}
+
+type simWaiter struct {
+	deadline time.Time
+	seq      uint64
+	ch       chan time.Time
+	period   time.Duration // 0 for timers, >0 for tickers
+	stopped  bool
+	clock    *Sim
+}
+
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Sleep blocks the calling goroutine until another goroutine advances
+// the clock past the deadline. Tests that drive the clock from the
+// same goroutine should use After/timers instead.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	return s.NewTimer(d).C()
+}
+
+func (s *Sim) NewTimer(d time.Duration) Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.addWaiterLocked(d, 0)
+	return w
+}
+
+func (s *Sim) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.addWaiterLocked(d, d)
+	return simTicker{w}
+}
+
+// simTicker adapts a simWaiter to the Ticker interface, whose Stop
+// returns nothing.
+type simTicker struct{ w *simWaiter }
+
+func (t simTicker) C() <-chan time.Time { return t.w.ch }
+func (t simTicker) Stop()               { t.w.Stop() }
+
+func (s *Sim) addWaiterLocked(d, period time.Duration) *simWaiter {
+	s.seq++
+	w := &simWaiter{
+		deadline: s.now.Add(d),
+		seq:      s.seq,
+		ch:       make(chan time.Time, 1),
+		period:   period,
+		clock:    s,
+	}
+	if d <= 0 && period == 0 {
+		// Immediate fire for non-positive timer durations,
+		// matching time.NewTimer behaviour closely enough.
+		w.ch <- s.now
+		w.stopped = true
+		return w
+	}
+	s.insertLocked(w)
+	return w
+}
+
+func (s *Sim) insertLocked(w *simWaiter) {
+	i := sort.Search(len(s.waiters), func(i int) bool {
+		if s.waiters[i].deadline.Equal(w.deadline) {
+			return s.waiters[i].seq > w.seq
+		}
+		return s.waiters[i].deadline.After(w.deadline)
+	})
+	s.waiters = append(s.waiters, nil)
+	copy(s.waiters[i+1:], s.waiters[i:])
+	s.waiters[i] = w
+}
+
+func (s *Sim) removeLocked(w *simWaiter) {
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Advance moves simulated time forward by d, firing every timer and
+// ticker whose deadline falls within the window, in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.advanceToLocked(target)
+	s.mu.Unlock()
+}
+
+// AdvanceTo moves simulated time forward to t (no-op if t is in the past).
+func (s *Sim) AdvanceTo(t time.Time) {
+	s.mu.Lock()
+	s.advanceToLocked(t)
+	s.mu.Unlock()
+}
+
+func (s *Sim) advanceToLocked(target time.Time) {
+	for len(s.waiters) > 0 && !s.waiters[0].deadline.After(target) {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.now = w.deadline
+		select {
+		case w.ch <- w.deadline:
+		default: // ticker with a full buffer drops ticks, like time.Ticker
+		}
+		if w.period > 0 && !w.stopped {
+			w.deadline = w.deadline.Add(w.period)
+			s.seq++
+			w.seq = s.seq
+			s.insertLocked(w)
+		}
+	}
+	if s.now.Before(target) {
+		s.now = target
+	}
+}
+
+// Step advances to the next pending deadline, if any, and reports
+// whether a timer fired.
+func (s *Sim) Step() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) == 0 {
+		return false
+	}
+	s.advanceToLocked(s.waiters[0].deadline)
+	return true
+}
+
+// PendingTimers reports how many timers/tickers are armed.
+func (s *Sim) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+func (w *simWaiter) C() <-chan time.Time { return w.ch }
+
+func (w *simWaiter) Stop() bool {
+	w.clock.mu.Lock()
+	defer w.clock.mu.Unlock()
+	if w.stopped {
+		return false
+	}
+	w.stopped = true
+	before := len(w.clock.waiters)
+	w.clock.removeLocked(w)
+	return len(w.clock.waiters) < before
+}
+
+func (w *simWaiter) Reset(d time.Duration) bool {
+	w.clock.mu.Lock()
+	defer w.clock.mu.Unlock()
+	active := !w.stopped
+	w.clock.removeLocked(w)
+	w.stopped = false
+	w.deadline = w.clock.now.Add(d)
+	w.clock.seq++
+	w.seq = w.clock.seq
+	w.clock.insertLocked(w)
+	return active
+}
+
+var _ Clock = (*Sim)(nil)
+var _ Clock = Real{}

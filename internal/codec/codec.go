@@ -1,0 +1,259 @@
+// Package codec implements the compact binary wire format used by the
+// mercury RPC layer for RPC headers and by components for their
+// argument structures. It favours simplicity and zero external
+// dependencies: little-endian fixed-width integers, unsigned varints
+// for lengths, and length-prefixed byte strings.
+//
+// The format is the moral equivalent of Mercury's "hg_proc"
+// serialization callbacks: each message type implements Marshal/
+// Unmarshal in terms of an Encoder/Decoder pair.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer is returned when a Decoder runs out of input.
+var ErrShortBuffer = errors.New("codec: short buffer")
+
+// ErrOverflow is returned when a varint is malformed or a declared
+// length exceeds the remaining input.
+var ErrOverflow = errors.New("codec: length overflow")
+
+// MaxStringLen bounds decoded string/byte lengths to protect against
+// corrupt or hostile inputs declaring absurd allocations.
+const MaxStringLen = 1 << 30
+
+// Encoder appends primitive values to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing into buf (may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf[:0]} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse, keeping the allocation.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+func (e *Encoder) Bool(v bool)   { e.Uint8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (e *Encoder) Uint16(v uint16) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+}
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+func (e *Encoder) Int64(v int64)     { e.Uint64(uint64(v)) }
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Uvarint appends v using unsigned LEB128.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Varint appends v using zig-zag LEB128.
+func (e *Encoder) Varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// Bytes appends a length-prefixed byte string.
+func (e *Encoder) BytesField(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// StringSlice appends a count-prefixed slice of strings.
+func (e *Encoder) StringSlice(ss []string) {
+	e.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+// Decoder consumes primitive values from a byte buffer.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(err error) { //nolint:unparam
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Decoder) Uint8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+func (d *Decoder) Uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *Decoder) Int64() int64     { return int64(d.Uint64()) }
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrOverflow)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrOverflow)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// BytesField decodes a length-prefixed byte string. The returned slice
+// aliases the decoder's buffer; callers that retain it must copy.
+func (d *Decoder) BytesField() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxStringLen || n > uint64(d.Remaining()) {
+		d.fail(ErrOverflow)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// String decodes a length-prefixed string.
+func (d *Decoder) String() string { return string(d.BytesField()) }
+
+// StringSlice decodes a count-prefixed slice of strings.
+func (d *Decoder) StringSlice() []string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) { // each string needs ≥1 length byte
+		d.fail(ErrOverflow)
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ss = append(ss, d.String())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return ss
+}
+
+// Finish reports an error if decoding failed or if input remains.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("codec: %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+// Marshaler is implemented by message types that serialize themselves.
+type Marshaler interface {
+	MarshalMochi(e *Encoder)
+}
+
+// Unmarshaler is implemented by message types that deserialize themselves.
+type Unmarshaler interface {
+	UnmarshalMochi(d *Decoder)
+}
+
+// Marshal encodes m into a fresh buffer.
+func Marshal(m Marshaler) []byte {
+	e := NewEncoder(nil)
+	m.MarshalMochi(e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes buf into m, requiring full consumption.
+func Unmarshal(buf []byte, m Unmarshaler) error {
+	d := NewDecoder(buf)
+	m.UnmarshalMochi(d)
+	return d.Finish()
+}

@@ -1,0 +1,81 @@
+// Package core is the dynamic-service layer this reproduction exists
+// for: it composes the substrate components — Bedrock bootstrapping
+// and online reconfiguration (§5), REMI migration and Pufferscale
+// rebalancing (§6), SSG membership/failure detection and Raft
+// consensus (§7), and Margo's performance introspection (§4) — into a
+// Service abstraction with the paper's four dynamic properties:
+// performance introspection, online reconfiguration, elasticity, and
+// resilience.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrNoNodesAvailable is returned when the cluster cannot grant a node.
+var ErrNoNodesAvailable = errors.New("core: no nodes available")
+
+// ClusterSim is a toy resource manager standing in for Flux/Slurm
+// elastic allocation (paper §2.3: "elastic data services pair well
+// with high-level HPC resource managers such as Flux"). It owns a
+// finite set of node names and grants/reclaims them.
+type ClusterSim struct {
+	mu        sync.Mutex
+	free      []string
+	allocated map[string]bool
+}
+
+// NewClusterSim creates a cluster with n nodes named prefix-<i>.
+func NewClusterSim(prefix string, n int) *ClusterSim {
+	c := &ClusterSim{allocated: map[string]bool{}}
+	for i := 0; i < n; i++ {
+		c.free = append(c.free, fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return c
+}
+
+// Allocate grants one node.
+func (c *ClusterSim) Allocate() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.free) == 0 {
+		return "", ErrNoNodesAvailable
+	}
+	node := c.free[0]
+	c.free = c.free[1:]
+	c.allocated[node] = true
+	return node, nil
+}
+
+// Release returns a node to the pool.
+func (c *ClusterSim) Release(node string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.allocated[node] {
+		delete(c.allocated, node)
+		c.free = append(c.free, node)
+		sort.Strings(c.free)
+	}
+}
+
+// Free reports how many nodes are unallocated.
+func (c *ClusterSim) Free() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.free)
+}
+
+// Allocated returns the currently granted nodes, sorted.
+func (c *ClusterSim) Allocated() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.allocated))
+	for n := range c.allocated {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/raft"
+	"mochi/internal/yokan"
+)
+
+// RaftKV is the paper's composable-consensus example (§7,
+// Observation 11): "multiple Yokan providers could use a Mochi-RAFT
+// instance as a dependency to ensure that the content of their
+// key-value databases is consistent." Each member runs a local yokan
+// database as the Raft state machine; clients submit commands through
+// the Raft log, so all replicas apply the same operations in the same
+// order. Yokan itself is unaware of the replication — the composable
+// design the paper argues for.
+
+// kvCommand ops.
+const (
+	kvOpPut uint8 = iota
+	kvOpErase
+	kvOpGet // reads via the log are linearizable
+)
+
+type kvCommand struct {
+	Op    uint8
+	Key   []byte
+	Value []byte
+}
+
+func (c *kvCommand) MarshalMochi(e *codec.Encoder) {
+	e.Uint8(c.Op)
+	e.BytesField(c.Key)
+	e.BytesField(c.Value)
+}
+
+func (c *kvCommand) UnmarshalMochi(d *codec.Decoder) {
+	c.Op = d.Uint8()
+	c.Key = append([]byte(nil), d.BytesField()...)
+	c.Value = append([]byte(nil), d.BytesField()...)
+}
+
+type kvResult struct {
+	Status uint8 // 0 ok, 1 not found, 2 error
+	Err    string
+	Value  []byte
+}
+
+func (r *kvResult) MarshalMochi(e *codec.Encoder) {
+	e.Uint8(r.Status)
+	e.String(r.Err)
+	e.BytesField(r.Value)
+}
+
+func (r *kvResult) UnmarshalMochi(d *codec.Decoder) {
+	r.Status = d.Uint8()
+	r.Err = d.String()
+	r.Value = append([]byte(nil), d.BytesField()...)
+}
+
+// kvFSM adapts a yokan.Database to raft.FSM.
+type kvFSM struct {
+	db yokan.Database
+}
+
+// Apply implements raft.FSM.
+func (f *kvFSM) Apply(_ uint64, cmd []byte) []byte {
+	var c kvCommand
+	if err := codec.Unmarshal(cmd, &c); err != nil {
+		return codec.Marshal(&kvResult{Status: 2, Err: err.Error()})
+	}
+	var res kvResult
+	switch c.Op {
+	case kvOpPut:
+		if err := f.db.Put(c.Key, c.Value); err != nil {
+			res.Status, res.Err = 2, err.Error()
+		}
+	case kvOpErase:
+		switch err := f.db.Erase(c.Key); err {
+		case nil:
+		case yokan.ErrKeyNotFound:
+			res.Status = 1
+		default:
+			res.Status, res.Err = 2, err.Error()
+		}
+	case kvOpGet:
+		v, err := f.db.Get(c.Key)
+		switch err {
+		case nil:
+			res.Value = v
+		case yokan.ErrKeyNotFound:
+			res.Status = 1
+		default:
+			res.Status, res.Err = 2, err.Error()
+		}
+	}
+	return codec.Marshal(&res)
+}
+
+// Snapshot implements raft.FSM.
+func (f *kvFSM) Snapshot() ([]byte, error) {
+	kvs, err := f.db.ListKeyValues(nil, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	e := codec.NewEncoder(nil)
+	e.Uvarint(uint64(len(kvs)))
+	for _, kv := range kvs {
+		e.BytesField(kv.Key)
+		e.BytesField(kv.Value)
+	}
+	return e.Bytes(), nil
+}
+
+// Restore implements raft.FSM.
+func (f *kvFSM) Restore(snap []byte) error {
+	// Clear the database by erasing all keys, then load the snapshot.
+	keys, err := f.db.ListKeys(nil, nil, 0)
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := f.db.Erase(k); err != nil && err != yokan.ErrKeyNotFound {
+			return err
+		}
+	}
+	d := codec.NewDecoder(snap)
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		k := append([]byte(nil), d.BytesField()...)
+		v := append([]byte(nil), d.BytesField()...)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if err := f.db.Put(k, v); err != nil {
+			return err
+		}
+	}
+	return d.Finish()
+}
+
+// NewRaftKVNode starts one member of a Raft-replicated key-value
+// group: the given database becomes the member's state machine.
+func NewRaftKVNode(inst *margo.Instance, group string, peers []string, store raft.Store, db yokan.Database, cfg raft.Config) (*raft.Node, error) {
+	return raft.NewNode(inst, group, peers, store, &kvFSM{db: db}, cfg)
+}
+
+// RaftKVClient performs replicated KV operations from any process.
+type RaftKVClient struct {
+	rc *raft.Client
+}
+
+// NewRaftKVClient creates a client for the replicated KV group.
+func NewRaftKVClient(inst *margo.Instance, group string, seeds []string) *RaftKVClient {
+	return &RaftKVClient{rc: raft.NewClient(inst, group, seeds)}
+}
+
+func (c *RaftKVClient) do(ctx context.Context, cmd kvCommand) (*kvResult, error) {
+	out, err := c.rc.Apply(ctx, codec.Marshal(&cmd))
+	if err != nil {
+		return nil, err
+	}
+	var res kvResult
+	if err := codec.Unmarshal(out, &res); err != nil {
+		return nil, err
+	}
+	if res.Status == 2 {
+		return nil, fmt.Errorf("core: raft kv: %s", res.Err)
+	}
+	return &res, nil
+}
+
+// Put stores a pair through the Raft log.
+func (c *RaftKVClient) Put(ctx context.Context, key, value []byte) error {
+	_, err := c.do(ctx, kvCommand{Op: kvOpPut, Key: key, Value: value})
+	return err
+}
+
+// Get reads linearizably (through the log).
+func (c *RaftKVClient) Get(ctx context.Context, key []byte) ([]byte, error) {
+	res, err := c.do(ctx, kvCommand{Op: kvOpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if res.Status == 1 {
+		return nil, yokan.ErrKeyNotFound
+	}
+	return res.Value, nil
+}
+
+// Erase removes a key through the log.
+func (c *RaftKVClient) Erase(ctx context.Context, key []byte) error {
+	res, err := c.do(ctx, kvCommand{Op: kvOpErase, Key: key})
+	if err != nil {
+		return err
+	}
+	if res.Status == 1 {
+		return yokan.ErrKeyNotFound
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/yokan"
+)
+
+// ErrQuorum is returned when too few replicas acknowledged a write.
+var ErrQuorum = errors.New("core: quorum not reached")
+
+// VirtualKVConfig tunes a virtual (replicated) key-value resource.
+type VirtualKVConfig struct {
+	// WriteQuorum is the number of replicas that must acknowledge a
+	// write (default: all).
+	WriteQuorum int
+	// OpTimeout bounds each per-replica operation (default 5s).
+	OpTimeout time.Duration
+}
+
+// VirtualKV implements yokan.Database by forwarding operations to N
+// backing databases on other nodes — the paper's "virtual resource"
+// design for bottom-up replication (§7, Observation 10): "a Yokan
+// 'virtual database' could forward the data it receives to N other
+// actual databases living on other nodes. The client accessing this
+// virtual database does not know that the provider it contacts does
+// not actually hold data itself."
+//
+// Writes go to all replicas (succeeding when the write quorum acks);
+// reads try replicas in order until one answers, so the virtual
+// database keeps serving while replicas are down.
+type VirtualKV struct {
+	replicas []*yokan.DatabaseHandle
+	cfg      VirtualKVConfig
+}
+
+// NewVirtualKV builds a virtual database over the given replica
+// handles. Wrap it in a provider with yokan.NewProviderWithDatabase
+// to serve it transparently.
+func NewVirtualKV(inst *margo.Instance, replicas []struct {
+	Addr       string
+	ProviderID uint16
+}, cfg VirtualKVConfig) (*VirtualKV, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("core: virtual kv needs at least one replica")
+	}
+	if cfg.WriteQuorum <= 0 || cfg.WriteQuorum > len(replicas) {
+		cfg.WriteQuorum = len(replicas)
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 5 * time.Second
+	}
+	client := yokan.NewClient(inst)
+	v := &VirtualKV{cfg: cfg}
+	for _, r := range replicas {
+		v.replicas = append(v.replicas, client.Handle(r.Addr, r.ProviderID))
+	}
+	return v, nil
+}
+
+// Replicas returns the number of backing databases.
+func (v *VirtualKV) Replicas() int { return len(v.replicas) }
+
+func (v *VirtualKV) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), v.cfg.OpTimeout)
+}
+
+// writeAll applies op to every replica and enforces the write quorum.
+func (v *VirtualKV) writeAll(op func(ctx context.Context, h *yokan.DatabaseHandle) error) error {
+	acks := 0
+	var notFound int
+	var lastErr error
+	for _, h := range v.replicas {
+		ctx, cancel := v.ctx()
+		err := op(ctx, h)
+		cancel()
+		switch {
+		case err == nil:
+			acks++
+		case yokan.IsNotFound(err):
+			notFound++
+		default:
+			lastErr = err
+		}
+	}
+	if acks+notFound >= v.cfg.WriteQuorum {
+		// Key-not-found acks count for erase semantics; if every
+		// replica reported not-found, surface it.
+		if acks == 0 && notFound > 0 {
+			return yokan.ErrKeyNotFound
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %d/%d acks (last error: %v)", ErrQuorum, acks, v.cfg.WriteQuorum, lastErr)
+}
+
+// readAny tries replicas in order until one answers.
+func (v *VirtualKV) readAny(op func(ctx context.Context, h *yokan.DatabaseHandle) error) error {
+	var lastErr error
+	for _, h := range v.replicas {
+		ctx, cancel := v.ctx()
+		err := op(ctx, h)
+		cancel()
+		if err == nil || yokan.IsNotFound(err) {
+			return err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("core: no replicas")
+	}
+	return lastErr
+}
+
+// Put implements yokan.Database.
+func (v *VirtualKV) Put(key, value []byte) error {
+	return v.writeAll(func(ctx context.Context, h *yokan.DatabaseHandle) error {
+		return h.Put(ctx, key, value)
+	})
+}
+
+// Get implements yokan.Database.
+func (v *VirtualKV) Get(key []byte) ([]byte, error) {
+	var out []byte
+	err := v.readAny(func(ctx context.Context, h *yokan.DatabaseHandle) error {
+		val, err := h.Get(ctx, key)
+		if err == nil {
+			out = val
+		}
+		return err
+	})
+	return out, err
+}
+
+// Erase implements yokan.Database.
+func (v *VirtualKV) Erase(key []byte) error {
+	return v.writeAll(func(ctx context.Context, h *yokan.DatabaseHandle) error {
+		return h.Erase(ctx, key)
+	})
+}
+
+// Exists implements yokan.Database.
+func (v *VirtualKV) Exists(key []byte) (bool, error) {
+	var out bool
+	err := v.readAny(func(ctx context.Context, h *yokan.DatabaseHandle) error {
+		ok, err := h.Exists(ctx, key)
+		if err == nil {
+			out = ok
+		}
+		return err
+	})
+	return out, err
+}
+
+// Count implements yokan.Database.
+func (v *VirtualKV) Count() (int, error) {
+	var out int
+	err := v.readAny(func(ctx context.Context, h *yokan.DatabaseHandle) error {
+		n, err := h.Count(ctx)
+		if err == nil {
+			out = n
+		}
+		return err
+	})
+	return out, err
+}
+
+// ListKeys implements yokan.Database.
+func (v *VirtualKV) ListKeys(fromKey, prefix []byte, max int) ([][]byte, error) {
+	var out [][]byte
+	err := v.readAny(func(ctx context.Context, h *yokan.DatabaseHandle) error {
+		keys, err := h.ListKeys(ctx, fromKey, prefix, max)
+		if err == nil {
+			out = keys
+		}
+		return err
+	})
+	return out, err
+}
+
+// ListKeyValues implements yokan.Database.
+func (v *VirtualKV) ListKeyValues(fromKey, prefix []byte, max int) ([]yokan.KeyValue, error) {
+	var out []yokan.KeyValue
+	err := v.readAny(func(ctx context.Context, h *yokan.DatabaseHandle) error {
+		kvs, err := h.ListKeyValues(ctx, fromKey, prefix, max)
+		if err == nil {
+			out = kvs
+		}
+		return err
+	})
+	return out, err
+}
+
+// Flush implements yokan.Database (no-op: replicas flush themselves).
+func (v *VirtualKV) Flush() error { return nil }
+
+// Files implements yokan.Database: a virtual resource holds no data.
+func (v *VirtualKV) Files() []string { return nil }
+
+// Close implements yokan.Database.
+func (v *VirtualKV) Close() error { return nil }
+
+// Destroy implements yokan.Database.
+func (v *VirtualKV) Destroy() error { return nil }
+
+var _ yokan.Database = (*VirtualKV)(nil)

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/remi"
+	"mochi/internal/ssg"
+)
+
+// E3RemiCrossover sweeps fileset shapes across REMI's two transfer
+// methods (§6 Observation 4). Expected shape: the RDMA-style bulk
+// path wins for few large files; the pipelined chunk path closes the
+// gap (and can win) for many small files, where per-file bulk
+// handshakes dominate.
+func E3RemiCrossover(quick bool) (*Table, error) {
+	type shape struct {
+		count int
+		size  int
+	}
+	shapes := []shape{
+		{1, 16 << 20},
+		{4, 1 << 20},
+		{64, 64 << 10},
+		{512, 4 << 10},
+	}
+	if quick {
+		shapes = []shape{{1, 4 << 20}, {256, 4 << 10}}
+	}
+	t := &Table{
+		ID:      "E3",
+		Title:   "migration time: bulk (RDMA) vs chunked pipelined RPCs",
+		Columns: []string{"files", "file size", "total", "bulk", "chunked", "winner"},
+	}
+	// A network where per-message software overhead is the dominant
+	// cost (the regime the paper's Observation 4 reasons about): RPCs
+	// pay a substantial per-message price, one-sided bulk operations a
+	// fraction of it.
+	model := &mercury.HPCModel{
+		RPCOverhead:  150 * time.Microsecond,
+		BulkOverhead: 30 * time.Microsecond,
+		BytesPerSec:  4e9,
+		EagerLimit:   4096,
+	}
+	reps := 3
+	if quick {
+		reps = 2
+	}
+	for _, sh := range shapes {
+		// Interleaved repetitions, best of each: scheduler noise on a
+		// loaded host must not decide the winner.
+		bulkT, chunkT := time.Duration(1<<62), time.Duration(1<<62)
+		for rep := 0; rep < reps; rep++ {
+			b, err := e3Run(sh.count, sh.size, remi.MethodBulk, model)
+			if err != nil {
+				return nil, err
+			}
+			if b < bulkT {
+				bulkT = b
+			}
+			c, err := e3Run(sh.count, sh.size, remi.MethodChunked, model)
+			if err != nil {
+				return nil, err
+			}
+			if c < chunkT {
+				chunkT = c
+			}
+		}
+		winner := "bulk"
+		if chunkT < bulkT {
+			winner = "chunked"
+		}
+		t.AddRow(
+			fmt.Sprint(sh.count),
+			fmtBytes(int64(sh.size)),
+			fmtBytes(int64(sh.count*sh.size)),
+			fmtDur(bulkT),
+			fmtDur(chunkT),
+			winner,
+		)
+	}
+	t.Note("expected: bulk wins for few/large files; chunked pipelining catches up for many/small files")
+	return t, nil
+}
+
+func e3Run(count, size int, method remi.Method, model mercury.NetModel) (time.Duration, error) {
+	f := mercury.NewFabric()
+	f.SetModel(model)
+	scls, err := f.NewClass("e3-src")
+	if err != nil {
+		return 0, err
+	}
+	dcls, err := f.NewClass("e3-dst")
+	if err != nil {
+		return 0, err
+	}
+	src, err := margo.New(scls, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer src.Finalize()
+	dst, err := margo.New(dcls, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer dst.Finalize()
+	dstRoot, err := os.MkdirTemp("", "e3-dst-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dstRoot)
+	prov, err := remi.NewProvider(dst, 1, nil, dstRoot)
+	if err != nil {
+		return 0, err
+	}
+	defer prov.Close()
+
+	srcRoot, err := os.MkdirTemp("", "e3-src-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(srcRoot)
+	data := bytes.Repeat([]byte("m"), size)
+	var paths []string
+	for i := 0; i < count; i++ {
+		p := filepath.Join(srcRoot, fmt.Sprintf("f%04d.dat", i))
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			return 0, err
+		}
+		paths = append(paths, p)
+	}
+	fs, err := remi.BuildFileSet("bench", srcRoot, paths, nil)
+	if err != nil {
+		return 0, err
+	}
+	client := remi.NewClient(src)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	start := time.Now()
+	if _, err := client.Migrate(ctx, dst.Addr(), 1, fs, remi.Options{
+		Method:    method,
+		ChunkSize: 256 << 10,
+		Pipeline:  8,
+	}); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// E4SwimDetection measures SWIM failure-detection latency and message
+// load as the group grows (§7 Observation 12). Expected shape:
+// detection time is bounded by a few protocol periods regardless of
+// N, and the per-node message rate stays roughly constant — the
+// scalability property that motivates SWIM over heartbeating.
+func E4SwimDetection(quick bool) (*Table, error) {
+	sizes := []int{8, 16, 32, 64}
+	if quick {
+		sizes = []int{8, 16}
+	}
+	t := &Table{
+		ID:      "E4",
+		Title:   "SWIM detection time and per-node message load vs group size",
+		Columns: []string{"members", "detect(first)", "detect(all)", "pings/node/s", "periods"},
+	}
+	cfg := ssg.Config{
+		ProtocolPeriod:   20 * time.Millisecond,
+		PingTimeout:      5 * time.Millisecond,
+		IndirectPings:    3,
+		SuspicionPeriods: 3,
+		PiggybackLimit:   16,
+	}
+	for _, n := range sizes {
+		first, all, pingRate, err := e4Run(n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprint(n),
+			fmtDur(first),
+			fmtDur(all),
+			fmt.Sprintf("%.1f", pingRate),
+			fmt.Sprintf("%.1f", first.Seconds()/cfg.ProtocolPeriod.Seconds()),
+		)
+	}
+	t.Note("expected: detection bounded by a few protocol periods at every N; ping load per node ~constant")
+
+	// Ablation: the suspicion mechanism. On a lossy network, declaring
+	// members dead after a single failed probe produces false
+	// positives; the suspicion window (plus refutation) suppresses
+	// them — the core argument of the SWIM paper that SSG builds on.
+	lossy := cfg
+	n := 12
+	window := 60 * cfg.ProtocolPeriod
+	for _, susp := range []int{1, 6} {
+		lossy.SuspicionPeriods = susp
+		falseDeaths, err := e4FalsePositives(n, lossy, 0.25, window)
+		if err != nil {
+			return nil, err
+		}
+		t.Note("ablation (25%% msg loss, %d members, %v): suspicion=%d periods → %d false death declarations",
+			n, window, susp, falseDeaths)
+	}
+	t.Note("expected: the longer suspicion window suppresses false positives under loss")
+	return t, nil
+}
+
+// e4FalsePositives runs a healthy group over a lossy fabric and counts
+// death declarations — every one is a false positive since nobody dies.
+func e4FalsePositives(n int, cfg ssg.Config, dropRate float64, window time.Duration) (int64, error) {
+	f := mercury.NewFabric()
+	var insts []*margo.Instance
+	var addrs []string
+	for i := 0; i < n; i++ {
+		cls, err := f.NewClass(fmt.Sprintf("e4fp-%d", i))
+		if err != nil {
+			return 0, err
+		}
+		inst, err := margo.New(cls, nil)
+		if err != nil {
+			return 0, err
+		}
+		insts = append(insts, inst)
+		addrs = append(addrs, inst.Addr())
+	}
+	defer func() {
+		for _, inst := range insts {
+			inst.Finalize()
+		}
+	}()
+	var groups []*ssg.Group
+	for _, inst := range insts {
+		g, err := ssg.Create(inst, "e4fp", addrs, cfg)
+		if err != nil {
+			return 0, err
+		}
+		groups = append(groups, g)
+	}
+	defer func() {
+		for _, g := range groups {
+			g.Stop()
+		}
+	}()
+	f.SetDropRate(dropRate)
+	time.Sleep(window)
+	f.SetDropRate(0)
+	var deaths int64
+	for _, g := range groups {
+		deaths += g.Stats().DeathsDeclared.Load()
+	}
+	return deaths, nil
+}
+
+func e4Run(n int, cfg ssg.Config) (first, all time.Duration, pingRate float64, err error) {
+	f := mercury.NewFabric()
+	var insts []*margo.Instance
+	var addrs []string
+	for i := 0; i < n; i++ {
+		cls, cerr := f.NewClass(fmt.Sprintf("e4-%d", i))
+		if cerr != nil {
+			return 0, 0, 0, cerr
+		}
+		inst, merr := margo.New(cls, nil)
+		if merr != nil {
+			return 0, 0, 0, merr
+		}
+		insts = append(insts, inst)
+		addrs = append(addrs, inst.Addr())
+	}
+	defer func() {
+		for _, inst := range insts {
+			inst.Finalize()
+		}
+	}()
+	var groups []*ssg.Group
+	victim := addrs[n-1]
+	var mu sync.Mutex
+	detections := map[string]time.Time{}
+	for i, inst := range insts {
+		g, gerr := ssg.Create(inst, "e4", addrs, cfg)
+		if gerr != nil {
+			return 0, 0, 0, gerr
+		}
+		groups = append(groups, g)
+		self := addrs[i]
+		g.OnChange(func(m ssg.Member, _, s ssg.State) {
+			if m.Addr == victim && s == ssg.StateDead {
+				mu.Lock()
+				if _, ok := detections[self]; !ok {
+					detections[self] = time.Now()
+				}
+				mu.Unlock()
+			}
+		})
+	}
+	defer func() {
+		for _, g := range groups {
+			g.Stop()
+		}
+	}()
+
+	// Let the protocol settle, then measure steady-state ping load.
+	time.Sleep(10 * cfg.ProtocolPeriod)
+	var pingsBefore int64
+	for _, g := range groups {
+		pingsBefore += g.Stats().PingsSent.Load()
+	}
+	loadWindow := 20 * cfg.ProtocolPeriod
+	time.Sleep(loadWindow)
+	var pingsAfter int64
+	for _, g := range groups {
+		pingsAfter += g.Stats().PingsSent.Load()
+	}
+	pingRate = float64(pingsAfter-pingsBefore) / loadWindow.Seconds() / float64(n)
+
+	killAt := time.Now()
+	f.Kill(victim)
+	deadline := time.Now().Add(60 * cfg.ProtocolPeriod * time.Duration(1+n/16))
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := len(detections) >= n-1
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(cfg.ProtocolPeriod / 4)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(detections) == 0 {
+		return 0, 0, 0, fmt.Errorf("e4: no survivor detected the failure (n=%d)", n)
+	}
+	var firstT, lastT time.Time
+	for _, at := range detections {
+		if firstT.IsZero() || at.Before(firstT) {
+			firstT = at
+		}
+		if at.After(lastT) {
+			lastT = at
+		}
+	}
+	return firstT.Sub(killAt), lastT.Sub(killAt), pingRate, nil
+}

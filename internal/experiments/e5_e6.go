@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/pufferscale"
+	"mochi/internal/raft"
+)
+
+// countFSM is a trivial state machine for throughput measurement.
+type countFSM struct{ n uint64 }
+
+func (f *countFSM) Apply(_ uint64, _ []byte) []byte { f.n++; return nil }
+func (f *countFSM) Snapshot() ([]byte, error)       { return []byte{0}, nil }
+func (f *countFSM) Restore([]byte) error            { return nil }
+
+// E5Raft measures replicated-command throughput and leader-failover
+// time across cluster sizes (§7 Observation 11). Expected shape:
+// throughput degrades gently as the majority grows; failover is
+// bounded by the election timeout.
+func E5Raft(quick bool) (*Table, error) {
+	sizes := []int{3, 5, 7}
+	ops := 400
+	if quick {
+		sizes = []int{3}
+		ops = 100
+	}
+	t := &Table{
+		ID:      "E5",
+		Title:   "Raft command throughput and failover time vs cluster size",
+		Columns: []string{"members", "commit lat", "throughput", "failover"},
+	}
+	cfg := raft.Config{
+		ElectionTimeoutMin: 60 * time.Millisecond,
+		ElectionTimeoutMax: 120 * time.Millisecond,
+		HeartbeatInterval:  15 * time.Millisecond,
+	}
+	for _, n := range sizes {
+		lat, failover, err := e5Run(n, ops, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprint(n),
+			fmtDur(lat),
+			fmtRate(ops, lat*time.Duration(ops)),
+			fmtDur(failover),
+		)
+	}
+	t.Note("expected: gentle throughput decline with N; failover within a few election timeouts (60-120ms here)")
+	return t, nil
+}
+
+func e5Run(n, ops int, cfg raft.Config) (commitLat, failover time.Duration, err error) {
+	f := mercury.NewFabric()
+	var insts []*margo.Instance
+	var addrs []string
+	for i := 0; i < n; i++ {
+		cls, cerr := f.NewClass(fmt.Sprintf("e5-%d", i))
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		inst, merr := margo.New(cls, nil)
+		if merr != nil {
+			return 0, 0, merr
+		}
+		insts = append(insts, inst)
+		addrs = append(addrs, inst.Addr())
+	}
+	defer func() {
+		for _, inst := range insts {
+			inst.Finalize()
+		}
+	}()
+	nodes := map[string]*raft.Node{}
+	for _, inst := range insts {
+		node, nerr := raft.NewNode(inst, "e5", addrs, raft.NewMemoryStore(), &countFSM{}, cfg)
+		if nerr != nil {
+			return 0, 0, nerr
+		}
+		nodes[inst.Addr()] = node
+	}
+	defer func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	}()
+
+	leader := func(exclude string) *raft.Node {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			for a, node := range nodes {
+				if a != exclude && node.IsLeader() {
+					return node
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	}
+	ld := leader("")
+	if ld == nil {
+		return 0, 0, fmt.Errorf("e5: no leader (n=%d)", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cmd := []byte("increment")
+	// Warm-up.
+	for i := 0; i < 10; i++ {
+		if _, err := ld.Apply(ctx, cmd); err != nil {
+			return 0, 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := ld.Apply(ctx, cmd); err != nil {
+			return 0, 0, err
+		}
+	}
+	commitLat = time.Since(start) / time.Duration(ops)
+
+	// Failover: kill the leader, time until a new leader commits.
+	old := ld.ID()
+	killAt := time.Now()
+	f.Kill(old)
+	nodes[old].Stop()
+	delete(nodes, old)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if nl := leaderNoWait(nodes); nl != nil {
+			cctx, ccancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, aerr := nl.Apply(cctx, cmd)
+			ccancel()
+			if aerr == nil {
+				failover = time.Since(killAt)
+				return commitLat, failover, nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return commitLat, 0, fmt.Errorf("e5: no post-failover commit")
+}
+
+func leaderNoWait(nodes map[string]*raft.Node) *raft.Node {
+	for _, n := range nodes {
+		if n.IsLeader() {
+			return n
+		}
+	}
+	return nil
+}
+
+// E6Pufferscale sweeps the objective weights over a skewed resource
+// population (§6 Observation 6). Expected shape: emphasizing load or
+// data balance drives the respective imbalance toward 1.0 at the cost
+// of more bytes moved; emphasizing rebalancing time reduces movement
+// at the cost of balance — the three-way trade-off of the Pufferscale
+// paper.
+func E6Pufferscale(quick bool) (*Table, error) {
+	nRes := 200
+	if quick {
+		nRes = 60
+	}
+	rng := rand.New(rand.NewSource(42))
+	nodes := []string{"n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7"}
+	// Skew: everything starts on the first two nodes; loads and sizes
+	// anti-correlate so the objectives genuinely compete.
+	var resources []pufferscale.Resource
+	for i := 0; i < nRes; i++ {
+		r := pufferscale.Resource{
+			ID:   fmt.Sprintf("r%03d", i),
+			Node: nodes[i%2],
+		}
+		if i%2 == 0 {
+			r.Load = float64(rng.Intn(90) + 10)
+			r.Size = float64(rng.Intn(50) + 1)
+		} else {
+			r.Load = float64(rng.Intn(5) + 1)
+			r.Size = float64(rng.Intn(900) + 100)
+		}
+		resources = append(resources, r)
+	}
+	t := &Table{
+		ID:      "E6",
+		Title:   "rebalancing plans under different objective weights (8 nodes, skewed start)",
+		Columns: []string{"objective", "load imb", "data imb", "moved", "moves"},
+	}
+	cases := []struct {
+		name string
+		obj  pufferscale.Objectives
+	}{
+		{"load only", pufferscale.Objectives{WLoad: 1}},
+		{"data only", pufferscale.Objectives{WData: 1}},
+		{"time only", pufferscale.Objectives{WTime: 1}},
+		{"balanced", pufferscale.Objectives{WLoad: 1, WData: 1, WTime: 1}},
+		{"time-heavy", pufferscale.Objectives{WLoad: 1, WData: 1, WTime: 10}},
+	}
+	for _, c := range cases {
+		plan, err := pufferscale.Rebalance(resources, nodes, c.obj)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			c.name,
+			fmt.Sprintf("%.2f", plan.LoadImbalance()),
+			fmt.Sprintf("%.2f", plan.DataImbalance()),
+			fmtBytes(int64(plan.BytesMoved)),
+			fmt.Sprint(len(plan.Moves)),
+		)
+	}
+	t.Note("expected: each single objective optimizes its own metric; time-heavy plans move the least data")
+	return t, nil
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mochi/internal/core"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/modules"
+	"mochi/internal/pufferscale"
+	"mochi/internal/ssg"
+	"mochi/internal/yokan"
+)
+
+// E7Elasticity measures end-to-end scale-out and scale-in of a
+// bedrock/SSG-managed service (§6): expanding adds a node and
+// rebalances data onto it; shrinking drains a node back. Expected
+// shape: redistribution time scales with the data volume moved, not
+// with the total service size.
+func E7Elasticity(quick bool) (*Table, error) {
+	volumes := []int{1 << 20, 4 << 20}
+	if quick {
+		volumes = []int{256 << 10}
+	}
+	modules.RegisterBuiltins()
+	t := &Table{
+		ID:      "E7",
+		Title:   "elastic scale-out/in: data redistribution time vs volume (3→4→3 nodes)",
+		Columns: []string{"volume", "expand+rebalance", "moved", "shrink(drain)"},
+	}
+	for _, vol := range volumes {
+		expandT, moved, shrinkT, err := e7Run(vol)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtBytes(int64(vol)), fmtDur(expandT), fmtBytes(moved), fmtDur(shrinkT))
+	}
+	t.Note("expected: times grow with moved volume; service stays online throughout")
+	return t, nil
+}
+
+func e7Run(volume int) (expandT time.Duration, moved int64, shrinkT time.Duration, err error) {
+	f := mercury.NewFabric()
+	cluster := core.NewClusterSim("e7", 6)
+	base, err := os.MkdirTemp("", "e7-*")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(base)
+	// Each original node hosts four databases so the rebalancer has
+	// units it can actually redistribute onto the new node.
+	const dbsPerNode = 4
+	nodeSeq := map[string]int{}
+	spec := core.Spec{
+		GroupName: "e7",
+		SSG: ssg.Config{
+			ProtocolPeriod:   20 * time.Millisecond,
+			PingTimeout:      5 * time.Millisecond,
+			SuspicionPeriods: 3,
+		},
+		NodeConfig: func(node string) []byte {
+			seq, ok := nodeSeq[node]
+			if !ok {
+				seq = len(nodeSeq)
+				nodeSeq[node] = seq
+			}
+			dir := filepath.Join(base, node)
+			if seq >= 3 {
+				// Nodes added by Expand start empty (receivers).
+				return []byte(fmt.Sprintf(`{
+				  "libraries": {"yokan": "x"},
+				  "remi_root": %q
+				}`, filepath.Join(dir, "remi")))
+			}
+			providers := ""
+			for i := 0; i < dbsPerNode; i++ {
+				if i > 0 {
+					providers += ","
+				}
+				id := seq*dbsPerNode + i + 1
+				providers += fmt.Sprintf(`
+				  {"name": "db-%d", "type": "yokan", "provider_id": %d,
+				   "config": {"type": "log", "path": %q, "no_sync": true}}`,
+					id, id, filepath.Join(dir, fmt.Sprintf("db-%d.log", id)))
+			}
+			return []byte(fmt.Sprintf(`{
+			  "libraries": {"yokan": "x"},
+			  "remi_root": %q,
+			  "providers": [%s]
+			}`, filepath.Join(dir, "remi"), providers))
+		},
+	}
+	svc := core.NewService(f, cluster, spec)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := svc.Start(ctx, 3); err != nil {
+		return 0, 0, 0, err
+	}
+	defer svc.Stop()
+
+	// Load data across the twelve initial databases.
+	cli := yokan.NewClient(svc.Admin())
+	value := make([]byte, 4096)
+	perDB := volume / (3 * dbsPerNode) / len(value)
+	if perDB < 1 {
+		perDB = 1
+	}
+	for _, node := range svc.Nodes() {
+		p, _ := svc.Process(node)
+		for _, info := range p.Server.ResourceInventory() {
+			h := cli.Handle(p.Addr(), info.ProviderID)
+			var pairs []yokan.KeyValue
+			for i := 0; i < perDB; i++ {
+				pairs = append(pairs, yokan.KeyValue{
+					Key:   []byte(fmt.Sprintf("%s-%06d", info.Name, i)),
+					Value: value,
+				})
+			}
+			if err := h.PutMulti(ctx, pairs); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+
+	// Scale out: add a node and rebalance data onto it.
+	start := time.Now()
+	newProc, err := svc.Expand(ctx)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	plan, err := svc.Rebalance(ctx, pufferscale.Objectives{WData: 1, WTime: 0.2})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	expandT = time.Since(start)
+	moved = int64(plan.BytesMoved)
+
+	// Scale in: drain the newly added node back out.
+	start = time.Now()
+	if err := svc.Shrink(ctx, newProc.Node); err != nil {
+		return 0, 0, 0, err
+	}
+	shrinkT = time.Since(start)
+	return expandT, moved, shrinkT, nil
+}
+
+// E8VirtualKV measures the cost of the §7 Observation 10 virtual
+// resource as the replication factor grows. Expected shape: put
+// latency grows roughly linearly with N (the virtual provider writes
+// every replica); get latency stays flat (reads hit one replica).
+func E8VirtualKV(quick bool) (*Table, error) {
+	factors := []int{1, 2, 3, 5}
+	ops := 500
+	if quick {
+		factors = []int{1, 3}
+		ops = 100
+	}
+	t := &Table{
+		ID:      "E8",
+		Title:   "virtual (replicated) KV: operation latency vs replication factor",
+		Columns: []string{"replicas", "put", "get", "put vs N=1"},
+	}
+	var basePut time.Duration
+	for _, n := range factors {
+		putLat, getLat, err := e8Run(n, ops)
+		if err != nil {
+			return nil, err
+		}
+		if n == factors[0] {
+			basePut = putLat
+		}
+		t.AddRow(
+			fmt.Sprint(n),
+			fmtDur(putLat),
+			fmtDur(getLat),
+			fmt.Sprintf("%.1fx", putLat.Seconds()/basePut.Seconds()),
+		)
+	}
+	t.Note("expected: puts scale ~linearly with N (write-all), gets stay ~flat (read-one)")
+	return t, nil
+}
+
+func e8Run(replicas, ops int) (putLat, getLat time.Duration, err error) {
+	f := mercury.NewFabric()
+	f.SetModel(mercury.DefaultHPCModel())
+	var insts []*margo.Instance
+	var backends []struct {
+		Addr       string
+		ProviderID uint16
+	}
+	for i := 0; i < replicas; i++ {
+		cls, cerr := f.NewClass(fmt.Sprintf("e8-%d", i))
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		inst, merr := margo.New(cls, nil)
+		if merr != nil {
+			return 0, 0, merr
+		}
+		insts = append(insts, inst)
+		if _, perr := yokan.NewProvider(inst, 1, nil, yokan.Config{Type: "map"}); perr != nil {
+			return 0, 0, perr
+		}
+		backends = append(backends, struct {
+			Addr       string
+			ProviderID uint16
+		}{inst.Addr(), 1})
+	}
+	defer func() {
+		for _, inst := range insts {
+			inst.Finalize()
+		}
+	}()
+	vcls, err := f.NewClass("e8-front")
+	if err != nil {
+		return 0, 0, err
+	}
+	vinst, err := margo.New(vcls, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer vinst.Finalize()
+	vdb, err := core.NewVirtualKV(vinst, backends, core.VirtualKVConfig{})
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := yokan.NewProviderWithDatabase(vinst, 7, nil, vdb, yokan.Config{Type: "virtual"}); err != nil {
+		return 0, 0, err
+	}
+	ccls, err := f.NewClass("e8-client")
+	if err != nil {
+		return 0, 0, err
+	}
+	cinst, err := margo.New(ccls, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cinst.Finalize()
+	h := yokan.NewClient(cinst).Handle(vinst.Addr(), 7)
+	ctx := context.Background()
+	value := make([]byte, 512)
+
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := h.Put(ctx, []byte(fmt.Sprintf("k%06d", i)), value); err != nil {
+			return 0, 0, err
+		}
+	}
+	putLat = time.Since(start) / time.Duration(ops)
+
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := h.Get(ctx, []byte(fmt.Sprintf("k%06d", i))); err != nil {
+			return 0, 0, err
+		}
+	}
+	getLat = time.Since(start) / time.Duration(ops)
+	return putLat, getLat, nil
+}

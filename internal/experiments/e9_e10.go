@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/modules"
+	"mochi/internal/yokan"
+)
+
+// E9Backends compares Yokan's interchangeable backends (the Fig. 1
+// "abstract interface" property) on point and range workloads.
+// Expected shape: the hash map wins point ops; the skip list wins
+// ordered scans; the log backend pays the persistence tax on writes.
+func E9Backends(quick bool) (*Table, error) {
+	n := 20000
+	if quick {
+		n = 3000
+	}
+	t := &Table{
+		ID:      "E9",
+		Title:   fmt.Sprintf("yokan backends, %d keys (local, no RPC)", n),
+		Columns: []string{"backend", "put", "get", "scan-all", "persistent"},
+	}
+	for _, typ := range []string{"map", "skiplist", "btree", "log"} {
+		cfg := yokan.Config{Type: typ, NoSync: true}
+		var dir string
+		if typ == "log" {
+			var err error
+			dir, err = os.MkdirTemp("", "e9-*")
+			if err != nil {
+				return nil, err
+			}
+			cfg.Path = filepath.Join(dir, "db.log")
+		}
+		db, err := yokan.Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		value := make([]byte, 128)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("key-%08d", i)), value); err != nil {
+				return nil, err
+			}
+		}
+		putLat := time.Since(start) / time.Duration(n)
+
+		start = time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := db.Get([]byte(fmt.Sprintf("key-%08d", i))); err != nil {
+				return nil, err
+			}
+		}
+		getLat := time.Since(start) / time.Duration(n)
+
+		start = time.Now()
+		var from []byte
+		scanned := 0
+		for {
+			keys, err := db.ListKeys(from, nil, 512)
+			if err != nil {
+				return nil, err
+			}
+			scanned += len(keys)
+			if len(keys) < 512 {
+				break
+			}
+			from = keys[len(keys)-1]
+		}
+		scanT := time.Since(start)
+		if scanned != n {
+			return nil, fmt.Errorf("e9: scan returned %d of %d keys", scanned, n)
+		}
+		persistent := "no"
+		if typ == "log" {
+			persistent = "yes"
+		}
+		t.AddRow(typ, fmtDur(putLat), fmtDur(getLat), fmtDur(scanT), persistent)
+		db.Close()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+	t.Note("expected: map fastest for point ops; skiplist fastest full scans; log pays write amplification for durability")
+	return t, nil
+}
+
+// E10Hepnos reproduces the paper's motivating HEPnOS claim (§1): a
+// NOvA-like workflow whose steps have different I/O patterns. Static
+// configurations must pick one Yokan backend for the whole workflow;
+// the dynamic configuration reconfigures the service between steps —
+// checkpointing each shard's provider through Bedrock, restarting it
+// with the backend suited to the next step, and restoring the state —
+// all while the processes stay up. Expected shape: neither static
+// config wins all steps, and the dynamic run approaches the per-step
+// winners while paying only a small reconfiguration cost.
+//
+// The workload is the metadata index of an event store: batched
+// ingest, batched random lookups, and full ordered scans — the access
+// patterns of the NOvA steps, batched so that backend costs (not RPC
+// overheads) dominate.
+func E10Hepnos(quick bool) (*Table, error) {
+	events := 60000
+	scanPasses := 4
+	if quick {
+		events = 10000
+		scanPasses = 2
+	}
+	modules.RegisterBuiltins()
+	t := &Table{
+		ID:      "E10",
+		Title:   fmt.Sprintf("NOvA-like metadata workflow (%d events, 2 shards): static configs vs per-step reconfiguration", events),
+		Columns: []string{"configuration", "step1 ingest", "step2 random read", "step3 ordered scan", "reconfig", "total"},
+	}
+	type result struct {
+		name                 string
+		s1, s2, s3, reconfig time.Duration
+	}
+	var results []result
+	for _, c := range []struct {
+		name     string
+		backends [3]string // backend per step
+	}{
+		{"static map", [3]string{"map", "map", "map"}},
+		{"static skiplist", [3]string{"skiplist", "skiplist", "skiplist"}},
+		{"dynamic (map,map,skiplist)", [3]string{"map", "map", "skiplist"}},
+	} {
+		r, err := e10Run(c.backends, events, scanPasses)
+		if err != nil {
+			return nil, err
+		}
+		r.name = c.name
+		results = append(results, r)
+	}
+	for _, r := range results {
+		total := r.s1 + r.s2 + r.s3 + r.reconfig
+		t.AddRow(r.name, fmtDur(r.s1), fmtDur(r.s2), fmtDur(r.s3), fmtDur(r.reconfig), fmtDur(total))
+	}
+	t.Note("expected: no static backend wins all steps; dynamic tracks the per-step winners plus a small reconfiguration cost")
+	return t, nil
+}
+
+func e10Run(backends [3]string, events, scanPasses int) (r struct {
+	name                 string
+	s1, s2, s3, reconfig time.Duration
+}, err error) {
+	f := mercury.NewFabric()
+	const shards = 2
+	const batch = 500
+	var servers []*bedrock.Server
+	for i := 0; i < shards; i++ {
+		cls, cerr := f.NewClass(fmt.Sprintf("e10-%d", i))
+		if cerr != nil {
+			return r, cerr
+		}
+		cfg := fmt.Sprintf(`{
+		  "libraries": {"yokan": "x"},
+		  "providers": [
+		    {"name": "meta", "type": "yokan", "provider_id": 1, "config": {"type": %q}}
+		  ]
+		}`, backends[0])
+		srv, serr := bedrock.NewServer(cls, []byte(cfg))
+		if serr != nil {
+			return r, serr
+		}
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Shutdown()
+		}
+	}()
+	ccls, cerr := f.NewClass("e10-client")
+	if cerr != nil {
+		return r, cerr
+	}
+	cinst, merr := margo.New(ccls, nil)
+	if merr != nil {
+		return r, merr
+	}
+	defer cinst.Finalize()
+	cli := yokan.NewClient(cinst)
+	handles := make([]*yokan.DatabaseHandle, shards)
+	for i, srv := range servers {
+		handles[i] = cli.Handle(srv.Addr(), 1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	ckptDir, derr := os.MkdirTemp("", "e10-ckpt-*")
+	if derr != nil {
+		return r, derr
+	}
+	defer os.RemoveAll(ckptDir)
+
+	// reconfigure swaps every shard's metadata backend via Bedrock:
+	// checkpoint, stop, start with the new backend, restore — online.
+	reconfigure := func(backend string) (time.Duration, error) {
+		start := time.Now()
+		for _, srv := range servers {
+			if err := srv.CheckpointProvider("meta", ckptDir); err != nil {
+				return 0, err
+			}
+			if err := srv.StopProvider("meta"); err != nil {
+				return 0, err
+			}
+			if err := srv.StartProvider(bedrock.ProviderConfig{
+				Name:       "meta",
+				Type:       "yokan",
+				ProviderID: 1,
+				Config:     []byte(fmt.Sprintf(`{"type": %q}`, backend)),
+			}); err != nil {
+				return 0, err
+			}
+			if err := srv.RestoreProvider("meta", ckptDir); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	key := func(i int) []byte {
+		return []byte(fmt.Sprintf("run/%08x/evt/%08x", i%64, i))
+	}
+	meta := []byte("{region: 42, size: 4096}")
+
+	// Step 1: batched ingest (write-heavy).
+	start := time.Now()
+	for base := 0; base < events; base += batch {
+		pairs := make([]yokan.KeyValue, 0, batch)
+		for i := base; i < base+batch && i < events; i++ {
+			pairs = append(pairs, yokan.KeyValue{Key: key(i), Value: meta})
+		}
+		if err := handles[base/batch%shards].PutMulti(ctx, pairs); err != nil {
+			return r, err
+		}
+	}
+	r.s1 = time.Since(start)
+
+	if backends[1] != backends[0] {
+		d, rerr := reconfigure(backends[1])
+		if rerr != nil {
+			return r, rerr
+		}
+		r.reconfig += d
+	}
+
+	// Step 2: batched random lookups (read-heavy reconstruction).
+	start = time.Now()
+	for base := 0; base < events; base += batch {
+		keys := make([][]byte, 0, batch)
+		for i := base; i < base+batch && i < events; i++ {
+			keys = append(keys, key((i*7919)%events))
+		}
+		for _, h := range handles {
+			if _, _, err := h.GetMulti(ctx, keys); err != nil {
+				return r, err
+			}
+		}
+	}
+	r.s2 = time.Since(start)
+
+	if backends[2] != backends[1] {
+		d, rerr := reconfigure(backends[2])
+		if rerr != nil {
+			return r, rerr
+		}
+		r.reconfig += d
+	}
+
+	// Step 3: ordered full scans (analysis sweeps).
+	start = time.Now()
+	for pass := 0; pass < scanPasses; pass++ {
+		for _, h := range handles {
+			var from []byte
+			for {
+				kvs, err := h.ListKeyValues(ctx, from, nil, batch)
+				if err != nil {
+					return r, err
+				}
+				if len(kvs) < batch {
+					break
+				}
+				from = kvs[len(kvs)-1].Key
+			}
+		}
+	}
+	r.s3 = time.Since(start)
+	return r, nil
+}

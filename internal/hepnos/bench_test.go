@@ -1,0 +1,88 @@
+package hepnos
+
+import (
+	"context"
+	"testing"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/warabi"
+	"mochi/internal/yokan"
+)
+
+func benchStore(b *testing.B, shards int) *EventStore {
+	b.Helper()
+	f := mercury.NewFabric()
+	var list []Shard
+	var insts []*margo.Instance
+	for i := 0; i < shards; i++ {
+		cls, err := f.NewClass("hb-" + string(rune('a'+i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := margo.New(cls, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = append(insts, inst)
+		if _, err := yokan.NewProvider(inst, 1, nil, yokan.Config{Type: "map"}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warabi.NewProvider(inst, 2, nil, warabi.Config{Type: "memory"}); err != nil {
+			b.Fatal(err)
+		}
+		list = append(list, Shard{Addr: inst.Addr(), YokanID: 1, WarabiID: 2})
+	}
+	ccls, _ := f.NewClass("hb-client")
+	cinst, err := margo.New(ccls, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := New(cinst, list)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		for _, inst := range insts {
+			inst.Finalize()
+		}
+		cinst.Finalize()
+	})
+	return store
+}
+
+func BenchmarkStoreEvent(b *testing.B) {
+	store := benchStore(b, 2)
+	ctx := context.Background()
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := EventID{Run: uint64(i % 16), SubRun: 0, Event: uint64(i)}
+		if err := store.StoreEvent(ctx, "bench", id, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadEvent(b *testing.B) {
+	store := benchStore(b, 2)
+	ctx := context.Background()
+	payload := make([]byte, 1024)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		id := EventID{Run: uint64(i % 16), SubRun: 0, Event: uint64(i)}
+		if err := store.StoreEvent(ctx, "bench", id, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		id := EventID{Run: uint64(j % 16), SubRun: 0, Event: uint64(j)}
+		if _, err := store.LoadEvent(ctx, "bench", id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package hepnos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/warabi"
+	"mochi/internal/yokan"
+)
+
+type testCluster struct {
+	fabric *mercury.Fabric
+	insts  []*margo.Instance
+	shards []Shard
+	client *margo.Instance
+	store  *EventStore
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	c := &testCluster{fabric: mercury.NewFabric()}
+	for i := 0; i < n; i++ {
+		cls, err := c.fabric.NewClass(fmt.Sprintf("hep-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := margo.New(cls, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.insts = append(c.insts, inst)
+		if _, err := yokan.NewProvider(inst, 1, nil, yokan.Config{Type: "skiplist"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := warabi.NewProvider(inst, 2, nil, warabi.Config{Type: "memory"}); err != nil {
+			t.Fatal(err)
+		}
+		c.shards = append(c.shards, Shard{Addr: inst.Addr(), YokanID: 1, WarabiID: 2})
+	}
+	ccls, err := c.fabric.NewClass("hep-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.client, err = margo.New(ccls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.store, err = New(c.client, c.shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, inst := range c.insts {
+			inst.Finalize()
+		}
+		c.client.Finalize()
+	})
+	return c
+}
+
+func hctx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestStoreAndLoadEvent(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := hctx(t)
+	payload := []byte("raw detector data")
+	id := EventID{Run: 5, SubRun: 2, Event: 99}
+	if err := c.store.StoreEvent(ctx, "nova", id, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.store.LoadEvent(ctx, "nova", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestDuplicateEventRejected(t *testing.T) {
+	c := newTestCluster(t, 2)
+	ctx := hctx(t)
+	id := EventID{Run: 1, SubRun: 1, Event: 1}
+	if err := c.store.StoreEvent(ctx, "ds", id, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.store.StoreEvent(ctx, "ds", id, []byte("y")); !errors.Is(err, ErrEventExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadMissingEvent(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if _, err := c.store.LoadEvent(hctx(t), "ds", EventID{Run: 9}); !errors.Is(err, ErrEventNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	c := newTestCluster(t, 1)
+	ctx := hctx(t)
+	id := EventID{Run: 3, SubRun: 0, Event: 0}
+	if err := c.store.StoreEvent(ctx, "ds", id, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.store.LoadEvent(ctx, "ds", id)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestListRunEventsOrdered(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := hctx(t)
+	// Insert out of order.
+	for _, e := range []uint64{5, 1, 3, 2, 4} {
+		if err := c.store.StoreEvent(ctx, "ds", EventID{Run: 7, SubRun: 0, Event: e}, []byte("d")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := c.store.ListRunEvents(ctx, "ds", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 {
+		t.Fatalf("got %d events", len(ids))
+	}
+	for i, id := range ids {
+		if id.Event != uint64(i+1) {
+			t.Fatalf("order broken: %v", ids)
+		}
+	}
+	// Another run on the same dataset is not included.
+	if err := c.store.StoreEvent(ctx, "ds", EventID{Run: 8, SubRun: 0, Event: 1}, []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = c.store.ListRunEvents(ctx, "ds", 7)
+	if len(ids) != 5 {
+		t.Fatalf("run isolation broken: %d", len(ids))
+	}
+}
+
+func TestEventsSpreadAcrossShards(t *testing.T) {
+	c := newTestCluster(t, 4)
+	ctx := hctx(t)
+	for run := uint64(0); run < 32; run++ {
+		if err := c.store.StoreEvent(ctx, "spread", EventID{Run: run, SubRun: 0, Event: 0}, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At least 3 of 4 shards should hold something (hash spread).
+	kv := yokan.NewClient(c.client)
+	used := 0
+	for _, sh := range c.shards {
+		n, err := kv.Handle(sh.Addr, sh.YokanID).Count(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 {
+			used++
+		}
+	}
+	if used < 3 {
+		t.Fatalf("events on only %d shards", used)
+	}
+	total, err := c.store.CountEvents(ctx, "spread")
+	if err != nil || total != 32 {
+		t.Fatalf("count = %d, %v", total, err)
+	}
+}
+
+func TestCountEventsPagination(t *testing.T) {
+	c := newTestCluster(t, 1)
+	ctx := hctx(t)
+	// More than one 256-key page.
+	for i := uint64(0); i < 300; i++ {
+		if err := c.store.StoreEvent(ctx, "big", EventID{Run: 1, SubRun: 0, Event: i}, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.store.CountEvents(ctx, "big")
+	if err != nil || n != 300 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	// Listing also paginates (128-key pages).
+	ids, err := c.store.ListRunEvents(ctx, "big", 1)
+	if err != nil || len(ids) != 300 {
+		t.Fatalf("list = %d, %v", len(ids), err)
+	}
+}
+
+func TestDatasetIsolation(t *testing.T) {
+	c := newTestCluster(t, 2)
+	ctx := hctx(t)
+	if err := c.store.StoreEvent(ctx, "ds-a", EventID{Run: 1, SubRun: 0, Event: 1}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.store.StoreEvent(ctx, "ds-b", EventID{Run: 1, SubRun: 0, Event: 1}, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := c.store.CountEvents(ctx, "ds-a")
+	nb, _ := c.store.CountEvents(ctx, "ds-b")
+	if na != 1 || nb != 1 {
+		t.Fatalf("counts = %d %d", na, nb)
+	}
+	va, _ := c.store.LoadEvent(ctx, "ds-a", EventID{Run: 1, SubRun: 0, Event: 1})
+	if string(va) != "a" {
+		t.Fatalf("cross-dataset contamination: %q", va)
+	}
+}
+
+func TestNoShardsRejected(t *testing.T) {
+	f := mercury.NewFabric()
+	cls, _ := f.NewClass("hep-none")
+	inst, _ := margo.New(cls, nil)
+	defer inst.Finalize()
+	if _, err := New(inst, nil); !errors.Is(err, ErrNoShards) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLargeEventUsesBulkPath(t *testing.T) {
+	c := newTestCluster(t, 1)
+	ctx := hctx(t)
+	payload := make([]byte, 1<<20) // > warabi eager threshold
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	id := EventID{Run: 2, SubRun: 1, Event: 7}
+	if err := c.store.StoreEvent(ctx, "bulk", id, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.store.LoadEvent(ctx, "bulk", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large payload corrupted")
+	}
+}

@@ -1,0 +1,117 @@
+package jx9
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type litExpr struct{ val Value } // number, string, bool, null
+
+type varExpr struct {
+	name string
+	line int
+}
+
+type arrayExpr struct{ elems []expr }
+
+type objectExpr struct {
+	keys []string
+	vals []expr
+}
+
+type binaryExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string
+	x    expr
+	line int
+}
+
+// memberExpr is obj.key access.
+type memberExpr struct {
+	x    expr
+	name string
+	line int
+}
+
+// indexExpr is a[i] access.
+type indexExpr struct {
+	x, i expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+// ternaryExpr is cond ? a : b.
+type ternaryExpr struct{ cond, a, b expr }
+
+func (litExpr) exprNode()     {}
+func (varExpr) exprNode()     {}
+func (arrayExpr) exprNode()   {}
+func (objectExpr) exprNode()  {}
+func (binaryExpr) exprNode()  {}
+func (unaryExpr) exprNode()   {}
+func (memberExpr) exprNode()  {}
+func (indexExpr) exprNode()   {}
+func (callExpr) exprNode()    {}
+func (ternaryExpr) exprNode() {}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type exprStmt struct{ x expr }
+
+type assignStmt struct {
+	target expr // varExpr, memberExpr or indexExpr
+	value  expr
+	line   int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els []stmt
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+}
+
+type foreachStmt struct {
+	src    expr
+	keyVar string // empty when only the value form is used
+	valVar string
+	body   []stmt
+	line   int
+}
+
+type returnStmt struct{ x expr } // x may be nil
+
+type breakStmt struct{}
+
+type continueStmt struct{}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+func (exprStmt) stmtNode()     {}
+func (assignStmt) stmtNode()   {}
+func (ifStmt) stmtNode()       {}
+func (whileStmt) stmtNode()    {}
+func (foreachStmt) stmtNode()  {}
+func (returnStmt) stmtNode()   {}
+func (breakStmt) stmtNode()    {}
+func (continueStmt) stmtNode() {}
+func (funcDecl) stmtNode()     {}

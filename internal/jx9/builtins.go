@@ -1,0 +1,429 @@
+package jx9
+
+import (
+	"errors"
+	"sort"
+	"strings"
+)
+
+// sortValues is a tiny stable-sort wrapper so eval.go does not import sort.
+func sortValues(vs []Value, less func(a, b Value) bool) {
+	sort.SliceStable(vs, func(i, j int) bool { return less(vs[i], vs[j]) })
+}
+
+type builtinFunc func(st *evalState, args []Value) (Value, error)
+
+var builtins map[string]builtinFunc
+
+func init() {
+	builtins = map[string]builtinFunc{
+		"count":        bCount,
+		"sizeof":       bCount,
+		"strlen":       bStrlen,
+		"array_keys":   bArrayKeys,
+		"array_values": bArrayValues,
+		"in_array":     bInArray,
+		"array_merge":  bArrayMerge,
+		"array_slice":  bArraySlice,
+		"implode":      bImplode,
+		"explode":      bExplode,
+		"substr":       bSubstr,
+		"strtoupper":   bUpper,
+		"strtolower":   bLower,
+		"str_contains": bContains,
+		"trim":         bTrim,
+		"abs":          bAbs,
+		"min":          bMin,
+		"max":          bMax,
+		"floor":        bFloor,
+		"ceil":         bCeil,
+		"round":        bRound,
+		"intval":       bIntval,
+		"strval":       bStrval,
+		"type_of":      bTypeOf,
+		"is_null":      bIsNull,
+		"is_array":     bIsArray,
+		"is_object":    bIsObject,
+		"is_string":    bIsString,
+		"is_numeric":   bIsNumeric,
+		"json_encode":  bJSONEncode,
+		"json_decode":  bJSONDecode,
+		"print":        bPrint,
+		"db_keys":      bArrayKeys, // Jx9 alias used in some Bedrock docs
+	}
+}
+
+func need(args []Value, n int) error {
+	if len(args) < n {
+		return errors.New("too few arguments")
+	}
+	return nil
+}
+
+func bCount(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return Int(int64(args[0].Len())), nil
+}
+
+func bStrlen(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return Int(int64(len(args[0].StringVal()))), nil
+}
+
+func bArrayKeys(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	v := args[0]
+	switch {
+	case v.IsObject():
+		keys := v.Keys()
+		out := make([]Value, len(keys))
+		for i, k := range keys {
+			out[i] = String(k)
+		}
+		return Array(out...), nil
+	case v.IsArray():
+		out := make([]Value, v.Len())
+		for i := range out {
+			out[i] = Int(int64(i))
+		}
+		return Array(out...), nil
+	}
+	return Array(), nil
+}
+
+func bArrayValues(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	v := args[0]
+	switch {
+	case v.IsObject():
+		keys := v.Keys()
+		out := make([]Value, len(keys))
+		for i, k := range keys {
+			out[i] = v.Get(k)
+		}
+		return Array(out...), nil
+	case v.IsArray():
+		return Array(append([]Value(nil), v.Elems()...)...), nil
+	}
+	return Array(), nil
+}
+
+func bInArray(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 2); err != nil {
+		return Value{}, err
+	}
+	needle, hay := args[0], args[1]
+	for _, e := range hay.Elems() {
+		if e.Equal(needle) {
+			return Bool(true), nil
+		}
+	}
+	return Bool(false), nil
+}
+
+func bArrayMerge(_ *evalState, args []Value) (Value, error) {
+	var out []Value
+	for _, a := range args {
+		out = append(out, a.Elems()...)
+	}
+	return Array(out...), nil
+}
+
+func bArraySlice(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 2); err != nil {
+		return Value{}, err
+	}
+	elems := args[0].Elems()
+	start := int(args[1].Int64())
+	if start < 0 {
+		start = len(elems) + start
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start > len(elems) {
+		start = len(elems)
+	}
+	end := len(elems)
+	if len(args) >= 3 {
+		n := int(args[2].Int64())
+		if start+n < end {
+			end = start + n
+		}
+	}
+	return Array(append([]Value(nil), elems[start:end]...)...), nil
+}
+
+func bImplode(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 2); err != nil {
+		return Value{}, err
+	}
+	sep := args[0].StringVal()
+	parts := make([]string, 0, args[1].Len())
+	for _, e := range args[1].Elems() {
+		parts = append(parts, toDisplay(e))
+	}
+	return String(strings.Join(parts, sep)), nil
+}
+
+func bExplode(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 2); err != nil {
+		return Value{}, err
+	}
+	parts := strings.Split(args[1].StringVal(), args[0].StringVal())
+	out := make([]Value, len(parts))
+	for i, p := range parts {
+		out[i] = String(p)
+	}
+	return Array(out...), nil
+}
+
+func bSubstr(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 2); err != nil {
+		return Value{}, err
+	}
+	s := args[0].StringVal()
+	start := int(args[1].Int64())
+	if start < 0 {
+		start = len(s) + start
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start > len(s) {
+		return String(""), nil
+	}
+	end := len(s)
+	if len(args) >= 3 {
+		n := int(args[2].Int64())
+		if start+n < end {
+			end = start + n
+		}
+	}
+	return String(s[start:end]), nil
+}
+
+func bUpper(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return String(strings.ToUpper(args[0].StringVal())), nil
+}
+
+func bLower(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return String(strings.ToLower(args[0].StringVal())), nil
+}
+
+func bContains(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 2); err != nil {
+		return Value{}, err
+	}
+	return Bool(strings.Contains(args[0].StringVal(), args[1].StringVal())), nil
+}
+
+func bTrim(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return String(strings.TrimSpace(args[0].StringVal())), nil
+}
+
+func bAbs(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	v := args[0]
+	if v.k == kindInt {
+		if v.i < 0 {
+			return Int(-v.i), nil
+		}
+		return v, nil
+	}
+	f := v.Float64()
+	if f < 0 {
+		f = -f
+	}
+	return Float(f), nil
+}
+
+func bMin(_ *evalState, args []Value) (Value, error) {
+	return pick(args, -1)
+}
+
+func bMax(_ *evalState, args []Value) (Value, error) {
+	return pick(args, 1)
+}
+
+func pick(args []Value, sign int) (Value, error) {
+	items := args
+	if len(args) == 1 && args[0].IsArray() {
+		items = args[0].Elems()
+	}
+	if len(items) == 0 {
+		return Value{}, errors.New("empty input")
+	}
+	best := items[0]
+	for _, v := range items[1:] {
+		c, err := compare(v, best, 0)
+		if err != nil {
+			return Value{}, err
+		}
+		if c*sign > 0 {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+func bFloor(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	f := args[0].Float64()
+	i := int64(f)
+	if f < 0 && float64(i) != f {
+		i--
+	}
+	return Int(i), nil
+}
+
+func bCeil(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	f := args[0].Float64()
+	i := int64(f)
+	if f > 0 && float64(i) != f {
+		i++
+	}
+	return Int(i), nil
+}
+
+func bRound(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	f := args[0].Float64()
+	if f >= 0 {
+		return Int(int64(f + 0.5)), nil
+	}
+	return Int(-int64(-f + 0.5)), nil
+}
+
+func bIntval(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	v := args[0]
+	switch v.k {
+	case kindString:
+		var n int64
+		neg := false
+		s := strings.TrimSpace(v.s)
+		for i, c := range s {
+			if i == 0 && (c == '-' || c == '+') {
+				neg = c == '-'
+				continue
+			}
+			if c < '0' || c > '9' {
+				break
+			}
+			n = n*10 + int64(c-'0')
+		}
+		if neg {
+			n = -n
+		}
+		return Int(n), nil
+	case kindBool:
+		if v.b {
+			return Int(1), nil
+		}
+		return Int(0), nil
+	}
+	return Int(v.Int64()), nil
+}
+
+func bStrval(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return String(toDisplay(args[0])), nil
+}
+
+func bTypeOf(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return String(kindName(args[0].k)), nil
+}
+
+func bIsNull(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return Bool(args[0].IsNull()), nil
+}
+
+func bIsArray(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return Bool(args[0].IsArray()), nil
+}
+
+func bIsObject(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return Bool(args[0].IsObject()), nil
+}
+
+func bIsString(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return Bool(args[0].IsString()), nil
+}
+
+func bIsNumeric(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return Bool(args[0].IsNumber()), nil
+}
+
+func bJSONEncode(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	return String(args[0].String()), nil
+}
+
+func bJSONDecode(_ *evalState, args []Value) (Value, error) {
+	if err := need(args, 1); err != nil {
+		return Value{}, err
+	}
+	v, err := ParseJSON([]byte(args[0].StringVal()))
+	if err != nil {
+		return Value{}, nil // Jx9 json_decode yields null on bad input
+	}
+	return v, nil
+}
+
+func bPrint(st *evalState, args []Value) (Value, error) {
+	for _, a := range args {
+		st.out.WriteString(toDisplay(a))
+	}
+	return Int(1), nil
+}

@@ -1,0 +1,652 @@
+package jx9
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RuntimeError describes an evaluation failure.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("jx9: line %d: %s", e.Line, e.Msg)
+}
+
+func rtErrf(line int, format string, args ...any) error {
+	return &RuntimeError{line, fmt.Sprintf(format, args...)}
+}
+
+// Engine runs parsed programs against injected globals.
+type Engine struct {
+	// MaxSteps bounds the number of executed statements/expressions to
+	// protect a server against runaway scripts. Zero means the default
+	// (1e7).
+	MaxSteps int
+}
+
+// Result holds what a script produced.
+type Result struct {
+	// Return is the value of the script's top-level `return`, or null.
+	Return Value
+	// Output is everything the script print()ed.
+	Output string
+	// Globals is the final top-level variable environment, letting
+	// hosts (e.g. poesie) persist state across script invocations.
+	Globals map[string]Value
+}
+
+type evalState struct {
+	globals  map[string]Value
+	funcs    map[string]*funcDecl
+	out      strings.Builder
+	steps    int
+	maxSteps int
+}
+
+// control-flow signals, carried as error sentinels through the evaluator.
+type returnSignal struct{ v Value }
+type breakSignal struct{}
+type continueSignal struct{}
+
+func (returnSignal) Error() string   { return "return outside function" }
+func (breakSignal) Error() string    { return "break outside loop" }
+func (continueSignal) Error() string { return "continue outside loop" }
+
+// Run executes src with the provided globals (e.g. "__config__").
+// Globals are injected as $name variables.
+func (en *Engine) Run(src string, globals map[string]Value) (Result, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return en.RunProgram(prog, globals)
+}
+
+// RunProgram executes an already-parsed program.
+func (en *Engine) RunProgram(prog *Program, globals map[string]Value) (Result, error) {
+	st := &evalState{
+		globals:  map[string]Value{},
+		funcs:    prog.funcs,
+		maxSteps: en.MaxSteps,
+	}
+	if st.maxSteps == 0 {
+		st.maxSteps = 1e7
+	}
+	for k, v := range globals {
+		st.globals[k] = v
+	}
+	var res Result
+	err := st.execBlock(prog.stmts, st.globals)
+	if rs, ok := err.(returnSignal); ok {
+		res.Return = rs.v
+		err = nil
+	}
+	res.Output = st.out.String()
+	res.Globals = st.globals
+	return res, err
+}
+
+func (st *evalState) step(line int) error {
+	st.steps++
+	if st.steps > st.maxSteps {
+		return rtErrf(line, "script exceeded %d execution steps", st.maxSteps)
+	}
+	return nil
+}
+
+func (st *evalState) execBlock(body []stmt, env map[string]Value) error {
+	for _, s := range body {
+		if err := st.exec(s, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *evalState) exec(s stmt, env map[string]Value) error {
+	if err := st.step(0); err != nil {
+		return err
+	}
+	switch n := s.(type) {
+	case exprStmt:
+		_, err := st.eval(n.x, env)
+		return err
+	case assignStmt:
+		v, err := st.eval(n.value, env)
+		if err != nil {
+			return err
+		}
+		return st.assign(n.target, v, env)
+	case ifStmt:
+		c, err := st.eval(n.cond, env)
+		if err != nil {
+			return err
+		}
+		if c.Truthy() {
+			return st.execBlock(n.then, env)
+		}
+		return st.execBlock(n.els, env)
+	case whileStmt:
+		for {
+			c, err := st.eval(n.cond, env)
+			if err != nil {
+				return err
+			}
+			if !c.Truthy() {
+				return nil
+			}
+			err = st.execBlock(n.body, env)
+			switch err.(type) {
+			case nil, continueSignal:
+			case breakSignal:
+				return nil
+			default:
+				return err
+			}
+			if err := st.step(0); err != nil {
+				return err
+			}
+		}
+	case foreachStmt:
+		src, err := st.eval(n.src, env)
+		if err != nil {
+			return err
+		}
+		iter := func(k, v Value) error {
+			if n.keyVar != "" {
+				env[n.keyVar] = k
+			}
+			env[n.valVar] = v
+			err := st.execBlock(n.body, env)
+			switch err.(type) {
+			case nil, continueSignal:
+				return nil
+			default:
+				return err
+			}
+		}
+		switch {
+		case src.IsArray():
+			for i, e := range src.Elems() {
+				if err := iter(Int(int64(i)), e); err != nil {
+					if _, ok := err.(breakSignal); ok {
+						return nil
+					}
+					return err
+				}
+			}
+		case src.IsObject():
+			for _, k := range src.Keys() {
+				if err := iter(String(k), src.Get(k)); err != nil {
+					if _, ok := err.(breakSignal); ok {
+						return nil
+					}
+					return err
+				}
+			}
+		case src.IsNull():
+			// Iterating null silently does nothing, which makes
+			// queries over optional config sections convenient.
+		default:
+			return rtErrf(n.line, "foreach over non-iterable %s", kindName(src.k))
+		}
+		return nil
+	case returnStmt:
+		v := Value{}
+		if n.x != nil {
+			var err error
+			v, err = st.eval(n.x, env)
+			if err != nil {
+				return err
+			}
+		}
+		return returnSignal{v}
+	case breakStmt:
+		return breakSignal{}
+	case continueStmt:
+		return continueSignal{}
+	case funcDecl:
+		st.funcs[n.name] = &n
+		return nil
+	}
+	return fmt.Errorf("jx9: unknown statement %T", s)
+}
+
+func (st *evalState) assign(target expr, v Value, env map[string]Value) error {
+	switch t := target.(type) {
+	case varExpr:
+		env[t.name] = v
+		return nil
+	case memberExpr:
+		base, err := st.eval(t.x, env)
+		if err != nil {
+			return err
+		}
+		if !base.IsObject() {
+			return rtErrf(t.line, "cannot set member %q on %s", t.name, kindName(base.k))
+		}
+		base.o[t.name] = v
+		return nil
+	case indexExpr:
+		base, err := st.eval(t.x, env)
+		if err != nil {
+			return err
+		}
+		idx, err := st.eval(t.i, env)
+		if err != nil {
+			return err
+		}
+		switch {
+		case base.IsArray():
+			i := int(idx.Int64())
+			n := len(base.a.elems)
+			switch {
+			case i >= 0 && i < n:
+				base.a.elems[i] = v
+			case i == n:
+				base.a.elems = append(base.a.elems, v)
+			default:
+				return rtErrf(t.line, "array index %d out of range [0,%d]", i, n)
+			}
+			return nil
+		case base.IsObject():
+			if !idx.IsString() {
+				return rtErrf(t.line, "object index must be a string")
+			}
+			base.o[idx.s] = v
+			return nil
+		}
+		return rtErrf(t.line, "cannot index %s", kindName(base.k))
+	}
+	return fmt.Errorf("jx9: bad assignment target %T", target)
+}
+
+func (st *evalState) eval(x expr, env map[string]Value) (Value, error) {
+	if err := st.step(0); err != nil {
+		return Value{}, err
+	}
+	switch n := x.(type) {
+	case litExpr:
+		return n.val, nil
+	case varExpr:
+		v, ok := env[n.name]
+		if !ok {
+			// Unset variables read as null, like Jx9.
+			return Value{}, nil
+		}
+		return v, nil
+	case arrayExpr:
+		elems := make([]Value, len(n.elems))
+		for i, e := range n.elems {
+			v, err := st.eval(e, env)
+			if err != nil {
+				return Value{}, err
+			}
+			elems[i] = v
+		}
+		return Array(elems...), nil
+	case objectExpr:
+		m := make(map[string]Value, len(n.keys))
+		for i, k := range n.keys {
+			v, err := st.eval(n.vals[i], env)
+			if err != nil {
+				return Value{}, err
+			}
+			m[k] = v
+		}
+		return Object(m), nil
+	case memberExpr:
+		base, err := st.eval(n.x, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if base.IsObject() {
+			return base.Get(n.name), nil
+		}
+		if base.IsNull() {
+			return Value{}, nil
+		}
+		return Value{}, rtErrf(n.line, "member access %q on %s", n.name, kindName(base.k))
+	case indexExpr:
+		base, err := st.eval(n.x, env)
+		if err != nil {
+			return Value{}, err
+		}
+		idx, err := st.eval(n.i, env)
+		if err != nil {
+			return Value{}, err
+		}
+		switch {
+		case base.IsArray():
+			i := int(idx.Int64())
+			if i < 0 || i >= base.Len() {
+				return Value{}, nil
+			}
+			return base.a.elems[i], nil
+		case base.IsObject():
+			return base.Get(idx.StringVal()), nil
+		case base.IsString():
+			i := int(idx.Int64())
+			if i < 0 || i >= len(base.s) {
+				return Value{}, nil
+			}
+			return String(base.s[i : i+1]), nil
+		case base.IsNull():
+			return Value{}, nil
+		}
+		return Value{}, rtErrf(n.line, "cannot index %s", kindName(base.k))
+	case unaryExpr:
+		v, err := st.eval(n.x, env)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.op {
+		case "!":
+			return Bool(!v.Truthy()), nil
+		case "-":
+			switch v.k {
+			case kindInt:
+				return Int(-v.i), nil
+			case kindFloat:
+				return Float(-v.f), nil
+			}
+			return Value{}, rtErrf(n.line, "unary - on %s", kindName(v.k))
+		}
+	case binaryExpr:
+		return st.evalBinary(n, env)
+	case callExpr:
+		return st.call(n, env)
+	case ternaryExpr:
+		c, err := st.eval(n.cond, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.Truthy() {
+			return st.eval(n.a, env)
+		}
+		return st.eval(n.b, env)
+	}
+	return Value{}, fmt.Errorf("jx9: unknown expression %T", x)
+}
+
+func (st *evalState) evalBinary(n binaryExpr, env map[string]Value) (Value, error) {
+	// Short-circuit logic first.
+	if n.op == "&&" || n.op == "||" {
+		l, err := st.eval(n.l, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if n.op == "&&" && !l.Truthy() {
+			return Bool(false), nil
+		}
+		if n.op == "||" && l.Truthy() {
+			return Bool(true), nil
+		}
+		r, err := st.eval(n.r, env)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(r.Truthy()), nil
+	}
+	l, err := st.eval(n.l, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := st.eval(n.r, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.op {
+	case "==":
+		return Bool(l.Equal(r)), nil
+	case "!=":
+		return Bool(!l.Equal(r)), nil
+	case "===":
+		return Bool(l.k == r.k && l.Equal(r)), nil
+	case "!==":
+		return Bool(!(l.k == r.k && l.Equal(r))), nil
+	case "<", "<=", ">", ">=":
+		cmp, err := compare(l, r, n.line)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.op {
+		case "<":
+			return Bool(cmp < 0), nil
+		case "<=":
+			return Bool(cmp <= 0), nil
+		case ">":
+			return Bool(cmp > 0), nil
+		default:
+			return Bool(cmp >= 0), nil
+		}
+	case "+":
+		// String + anything concatenates, like Jx9's loose typing.
+		if l.IsString() || r.IsString() {
+			return String(toDisplay(l) + toDisplay(r)), nil
+		}
+		return arith(l, r, n.line, "+")
+	case "-", "*", "/", "%":
+		return arith(l, r, n.line, n.op)
+	}
+	return Value{}, rtErrf(n.line, "unknown operator %q", n.op)
+}
+
+func compare(l, r Value, line int) (int, error) {
+	if l.IsNumber() && r.IsNumber() {
+		a, b := l.Float64(), r.Float64()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if l.IsString() && r.IsString() {
+		return strings.Compare(l.s, r.s), nil
+	}
+	return 0, rtErrf(line, "cannot compare %s with %s", kindName(l.k), kindName(r.k))
+}
+
+func arith(l, r Value, line int, op string) (Value, error) {
+	if !l.IsNumber() || !r.IsNumber() {
+		return Value{}, rtErrf(line, "arithmetic %q on %s and %s", op, kindName(l.k), kindName(r.k))
+	}
+	if l.k == kindInt && r.k == kindInt {
+		a, b := l.i, r.i
+		switch op {
+		case "+":
+			return Int(a + b), nil
+		case "-":
+			return Int(a - b), nil
+		case "*":
+			return Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return Value{}, rtErrf(line, "division by zero")
+			}
+			if a%b == 0 {
+				return Int(a / b), nil
+			}
+			return Float(float64(a) / float64(b)), nil
+		case "%":
+			if b == 0 {
+				return Value{}, rtErrf(line, "modulo by zero")
+			}
+			return Int(a % b), nil
+		}
+	}
+	a, b := l.Float64(), r.Float64()
+	switch op {
+	case "+":
+		return Float(a + b), nil
+	case "-":
+		return Float(a - b), nil
+	case "*":
+		return Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return Value{}, rtErrf(line, "division by zero")
+		}
+		return Float(a / b), nil
+	case "%":
+		if b == 0 {
+			return Value{}, rtErrf(line, "modulo by zero")
+		}
+		return Int(int64(a) % int64(b)), nil
+	}
+	return Value{}, rtErrf(line, "unknown arithmetic operator %q", op)
+}
+
+func (st *evalState) call(n callExpr, env map[string]Value) (Value, error) {
+	// Mutating builtins receive their first argument as an lvalue.
+	switch n.name {
+	case "array_push", "array_pop", "sort", "unset":
+		return st.callMutating(n, env)
+	}
+	args := make([]Value, len(n.args))
+	for i, a := range n.args {
+		v, err := st.eval(a, env)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	if fd, ok := st.funcs[n.name]; ok {
+		if len(args) != len(fd.params) {
+			return Value{}, rtErrf(n.line, "function %s expects %d args, got %d", n.name, len(fd.params), len(args))
+		}
+		local := make(map[string]Value, len(fd.params)+4)
+		for i, p := range fd.params {
+			local[p] = args[i]
+		}
+		// User functions see injected globals (read-only by convention).
+		if cfg, ok := st.globals["__config__"]; ok {
+			local["__config__"] = cfg
+		}
+		err := st.execBlock(fd.body, local)
+		if rs, ok := err.(returnSignal); ok {
+			return rs.v, nil
+		}
+		return Value{}, err
+	}
+	if fn, ok := builtins[n.name]; ok {
+		v, err := fn(st, args)
+		if err != nil {
+			return Value{}, rtErrf(n.line, "%s: %v", n.name, err)
+		}
+		return v, nil
+	}
+	return Value{}, rtErrf(n.line, "unknown function %q", n.name)
+}
+
+func (st *evalState) callMutating(n callExpr, env map[string]Value) (Value, error) {
+	if len(n.args) == 0 {
+		return Value{}, rtErrf(n.line, "%s needs at least one argument", n.name)
+	}
+	target, err := st.eval(n.args[0], env)
+	if err != nil {
+		return Value{}, err
+	}
+	rest := make([]Value, 0, len(n.args)-1)
+	for _, a := range n.args[1:] {
+		v, err := st.eval(a, env)
+		if err != nil {
+			return Value{}, err
+		}
+		rest = append(rest, v)
+	}
+	switch n.name {
+	case "array_push":
+		if !target.IsArray() {
+			// Auto-vivify: pushing onto null creates the array, which
+			// requires the target to be assignable.
+			if target.IsNull() {
+				target = Array()
+				if err := st.assign(n.args[0], target, env); err != nil {
+					return Value{}, err
+				}
+			} else {
+				return Value{}, rtErrf(n.line, "array_push on %s", kindName(target.k))
+			}
+		}
+		target.a.elems = append(target.a.elems, rest...)
+		return Int(int64(len(target.a.elems))), nil
+	case "array_pop":
+		if !target.IsArray() || target.Len() == 0 {
+			return Value{}, nil
+		}
+		last := target.a.elems[len(target.a.elems)-1]
+		target.a.elems = target.a.elems[:len(target.a.elems)-1]
+		return last, nil
+	case "sort":
+		if !target.IsArray() {
+			return Value{}, rtErrf(n.line, "sort on %s", kindName(target.k))
+		}
+		var sortErr error
+		sortValues(target.a.elems, func(a, b Value) bool {
+			c, err := compare(a, b, n.line)
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			return c < 0
+		})
+		if sortErr != nil {
+			return Value{}, sortErr
+		}
+		return Bool(true), nil
+	case "unset":
+		if ix, ok := n.args[0].(indexExpr); ok && len(n.args) == 1 {
+			base, err := st.eval(ix.x, env)
+			if err != nil {
+				return Value{}, err
+			}
+			key, err := st.eval(ix.i, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if base.IsObject() && key.IsString() {
+				delete(base.o, key.s)
+				return Bool(true), nil
+			}
+		}
+		if ve, ok := n.args[0].(varExpr); ok {
+			delete(env, ve.name)
+			return Bool(true), nil
+		}
+		return Bool(false), nil
+	}
+	return Value{}, rtErrf(n.line, "unknown mutating builtin %q", n.name)
+}
+
+func kindName(k kind) string {
+	switch k {
+	case kindNull:
+		return "null"
+	case kindBool:
+		return "bool"
+	case kindInt:
+		return "int"
+	case kindFloat:
+		return "float"
+	case kindString:
+		return "string"
+	case kindArray:
+		return "array"
+	case kindObject:
+		return "object"
+	}
+	return "unknown"
+}
+
+// toDisplay renders a value for string concatenation and print().
+func toDisplay(v Value) string {
+	if v.IsString() {
+		return v.s
+	}
+	return v.String()
+}

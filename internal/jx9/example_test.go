@@ -1,0 +1,42 @@
+package jx9_test
+
+import (
+	"fmt"
+
+	"mochi/internal/jx9"
+)
+
+// The paper's Listing 4: list the names of all providers in a process
+// configuration.
+func ExampleEngine_Run() {
+	config, _ := jx9.ParseJSON([]byte(`{
+		"providers": [
+			{"name": "myProviderA"},
+			{"name": "myProviderB"}
+		]
+	}`))
+	var engine jx9.Engine
+	res, _ := engine.Run(`
+$result = [];
+foreach ($__config__.providers as $p) {
+    array_push($result, $p.name); }
+return $result;`, map[string]jx9.Value{"__config__": config})
+	fmt.Println(res.Return)
+	// Output: ["myProviderA","myProviderB"]
+}
+
+func ExampleEngine_Run_parameterized() {
+	var engine jx9.Engine
+	res, _ := engine.Run(`
+$out = {};
+$i = 0;
+while ($i < $__params__.n) {
+    $out["pool-" + $i] = {type: "fifo_wait"};
+    $i = $i + 1;
+}
+return $out;`, map[string]jx9.Value{
+		"__params__": jx9.Object(map[string]jx9.Value{"n": jx9.Int(2)}),
+	})
+	fmt.Println(res.Return)
+	// Output: {"pool-0":{"type":"fifo_wait"},"pool-1":{"type":"fifo_wait"}}
+}

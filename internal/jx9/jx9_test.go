@@ -1,0 +1,505 @@
+package jx9
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, src string, globals map[string]Value) Result {
+	t.Helper()
+	var en Engine
+	res, err := en.Run(src, globals)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return res
+}
+
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	var en Engine
+	_, err := en.Run(src, nil)
+	if err == nil {
+		t.Fatalf("Run(%q) unexpectedly succeeded", src)
+	}
+	return err
+}
+
+// TestListing4Query reproduces the paper's Listing 4 verbatim: listing
+// the names of all providers in a process configuration.
+func TestListing4Query(t *testing.T) {
+	config, err := ParseJSON([]byte(`{
+		"providers": [
+			{"name": "myProviderA", "type": "A"},
+			{"name": "myProviderB", "type": "B"},
+			{"name": "myProviderC", "type": "C"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := `
+$result = [];
+foreach ($__config__.providers as $p) {
+    array_push($result, $p.name); }
+return $result;`
+	res := run(t, script, map[string]Value{"__config__": config})
+	want := `["myProviderA","myProviderB","myProviderC"]`
+	if got := res.Return.String(); got != want {
+		t.Fatalf("query returned %s, want %s", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"return 1 + 2 * 3;", "7"},
+		{"return (1 + 2) * 3;", "9"},
+		{"return 7 / 2;", "3.5"},
+		{"return 8 / 2;", "4"},
+		{"return 7 % 3;", "1"},
+		{"return -5 + 2;", "-3"},
+		{"return 1.5 * 2;", "3"},
+		{"return 10 - 4 - 3;", "3"},
+		{"return 2 < 3;", "true"},
+		{"return 3 <= 3;", "true"},
+		{"return 4 > 5;", "false"},
+		{"return 1 == 1.0;", "true"},
+		{"return 1 === 1.0;", "false"},
+		{"return 1 !== 1.0;", "true"},
+		{"return \"a\" + \"b\";", `"ab"`},
+		{"return \"n=\" + 42;", `"n=42"`},
+		{"return true && false;", "false"},
+		{"return true || false;", "true"},
+		{"return !0;", "true"},
+	}
+	for _, c := range cases {
+		res := run(t, c.src, nil)
+		if got := res.Return.String(); got != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	res := run(t, `$x = 10; $y = $x * 2; $x = $x + 1; return [$x, $y];`, nil)
+	if got := res.Return.String(); got != "[11,20]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestUnsetVariableReadsNull(t *testing.T) {
+	res := run(t, `return $nothing;`, nil)
+	if !res.Return.IsNull() {
+		t.Fatalf("got %s, want null", res.Return)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+$x = 15;
+if ($x < 10) { return "small"; }
+else if ($x < 20) { return "medium"; }
+else { return "large"; }`
+	res := run(t, src, nil)
+	if got := res.Return.StringVal(); got != "medium" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWhileLoopWithBreakContinue(t *testing.T) {
+	src := `
+$sum = 0; $i = 0;
+while (true) {
+    $i = $i + 1;
+    if ($i > 10) { break; }
+    if ($i % 2 == 0) { continue; }
+    $sum = $sum + $i;
+}
+return $sum;`
+	res := run(t, src, nil)
+	if got := res.Return.Int64(); got != 25 { // 1+3+5+7+9
+		t.Fatalf("sum = %d, want 25", got)
+	}
+}
+
+func TestForeachKeyValue(t *testing.T) {
+	src := `
+$out = [];
+foreach ({b: 2, a: 1, c: 3} as $k => $v) {
+    array_push($out, $k + "=" + $v);
+}
+return implode(",", $out);`
+	res := run(t, src, nil)
+	// Object iteration is in sorted key order for determinism.
+	if got := res.Return.StringVal(); got != "a=1,b=2,c=3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestForeachArrayIndexKeys(t *testing.T) {
+	src := `
+$out = [];
+foreach (["x","y"] as $i => $v) { array_push($out, $i); }
+return $out;`
+	res := run(t, src, nil)
+	if got := res.Return.String(); got != "[0,1]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestForeachOverNullIsNoop(t *testing.T) {
+	res := run(t, `$n = 0; foreach ($missing as $v) { $n = $n + 1; } return $n;`, nil)
+	if res.Return.Int64() != 0 {
+		t.Fatal("foreach over null executed its body")
+	}
+}
+
+func TestForeachBreak(t *testing.T) {
+	src := `
+$n = 0;
+foreach ([1,2,3,4,5] as $v) {
+    if ($v == 3) { break; }
+    $n = $n + $v;
+}
+return $n;`
+	res := run(t, src, nil)
+	if res.Return.Int64() != 3 {
+		t.Fatalf("got %d, want 3", res.Return.Int64())
+	}
+}
+
+func TestNestedIndexingAndMemberAssignment(t *testing.T) {
+	src := `
+$cfg = {pools: [{name: "p0"}, {name: "p1"}]};
+$cfg.pools[1].name = "renamed";
+$cfg.extra = "added";
+return [$cfg.pools[1].name, $cfg.extra];`
+	res := run(t, src, nil)
+	if got := res.Return.String(); got != `["renamed","added"]` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestArrayAppendByIndexAssignment(t *testing.T) {
+	src := `$a = [1]; $a[1] = 2; return $a;`
+	res := run(t, src, nil)
+	if got := res.Return.String(); got != "[1,2]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestArrayIndexOutOfRangeAssignFails(t *testing.T) {
+	err := runErr(t, `$a = [1]; $a[5] = 2;`)
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUserFunctions(t *testing.T) {
+	src := `
+function add($a, $b) { return $a + $b; }
+function fact($n) {
+    if ($n <= 1) { return 1; }
+    return $n * fact($n - 1);
+}
+return [add(2,3), fact(5)];`
+	res := run(t, src, nil)
+	if got := res.Return.String(); got != "[5,120]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestFunctionScopeIsolation(t *testing.T) {
+	src := `
+$x = 1;
+function f() { $x = 99; return $x; }
+f();
+return $x;`
+	res := run(t, src, nil)
+	if res.Return.Int64() != 1 {
+		t.Fatal("function leaked local variable into globals")
+	}
+}
+
+func TestArrayPushAutovivifies(t *testing.T) {
+	res := run(t, `array_push($fresh, 1, 2); return $fresh;`, nil)
+	if got := res.Return.String(); got != "[1,2]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestArrayPushIntoNestedObject(t *testing.T) {
+	src := `
+$o = {list: []};
+array_push($o.list, "x");
+return $o.list;`
+	res := run(t, src, nil)
+	if got := res.Return.String(); got != `["x"]` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestArrayPop(t *testing.T) {
+	src := `$a = [1,2,3]; $last = array_pop($a); return [$last, count($a)];`
+	res := run(t, src, nil)
+	if got := res.Return.String(); got != "[3,2]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestSortBuiltin(t *testing.T) {
+	res := run(t, `$a = [3,1,2]; sort($a); return $a;`, nil)
+	if got := res.Return.String(); got != "[1,2,3]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestUnset(t *testing.T) {
+	res := run(t, `$o = {a:1, b:2}; unset($o["a"]); return array_keys($o);`, nil)
+	if got := res.Return.String(); got != `["b"]` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`return strlen("abcd");`, "4"},
+		{`return substr("hello world", 6);`, `"world"`},
+		{`return substr("hello", 1, 3);`, `"ell"`},
+		{`return substr("hello", -3);`, `"llo"`},
+		{`return strtoupper("abc");`, `"ABC"`},
+		{`return strtolower("ABC");`, `"abc"`},
+		{`return str_contains("margo runtime", "runtime");`, "true"},
+		{`return trim("  x  ");`, `"x"`},
+		{`return implode("-", [1,2,3]);`, `"1-2-3"`},
+		{`return explode(",", "a,b,c");`, `["a","b","c"]`},
+	}
+	for _, c := range cases {
+		res := run(t, c.src, nil)
+		if got := res.Return.String(); got != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNumericBuiltins(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`return abs(-4);`, "4"},
+		{`return min(3,1,2);`, "1"},
+		{`return max([3,1,2]);`, "3"},
+		{`return floor(2.7);`, "2"},
+		{`return floor(-2.1);`, "-3"},
+		{`return ceil(2.1);`, "3"},
+		{`return round(2.5);`, "3"},
+		{`return intval("42abc");`, "42"},
+		{`return intval("-7");`, "-7"},
+	}
+	for _, c := range cases {
+		res := run(t, c.src, nil)
+		if got := res.Return.String(); got != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	src := `return [type_of(null), type_of(1), type_of(1.5), type_of("s"),
+		type_of([1]), type_of({a:1}), is_null(null), is_array([]),
+		is_object({}), is_string("x"), is_numeric(3.2)];`
+	res := run(t, src, nil)
+	want := `["null","int","float","string","array","object",true,true,true,true,true]`
+	if got := res.Return.String(); got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestJSONEncodeDecode(t *testing.T) {
+	src := `
+$v = json_decode("{\"a\": [1, 2.5, \"x\"], \"b\": null}");
+return json_encode($v.a);`
+	res := run(t, src, nil)
+	if got := res.Return.StringVal(); got != `[1,2.5,"x"]` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestJSONDecodeBadInputYieldsNull(t *testing.T) {
+	res := run(t, `return is_null(json_decode("{bad"));`, nil)
+	if !res.Return.BoolVal() {
+		t.Fatal("bad JSON did not decode to null")
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	res := run(t, `print("a=", 1, "\n"); print([1,2]);`, nil)
+	if res.Output != "a=1\n[1,2]" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+$x = 1; /* block
+comment */ $y = 2;
+return $x + $y;`
+	res := run(t, src, nil)
+	if res.Return.Int64() != 3 {
+		t.Fatal("comments broke parsing")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	for _, src := range []string{
+		`return 1 / 0;`,
+		`return 5 % 0;`,
+		`return "a" - 1;`,
+		`return nosuchfunc();`,
+		`return {a:1} < 2;`,
+		`foreach (42 as $v) { }`,
+	} {
+		err := runErr(t, src)
+		if _, ok := err.(*RuntimeError); !ok {
+			t.Errorf("%s: error %v is %T, want *RuntimeError", src, err, err)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		`$x = ;`,
+		`if (true { }`,
+		`return "unterminated;`,
+		`foreach ($a as) { }`,
+		`$ = 1;`,
+		`function f($a { }`,
+		`/* never closed`,
+	} {
+		err := runErr(t, src)
+		if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("%s: error %v is %T, want *SyntaxError", src, err, err)
+		}
+	}
+}
+
+func TestInfiniteLoopIsBounded(t *testing.T) {
+	en := Engine{MaxSteps: 10000}
+	_, err := en.Run(`while (true) { $x = 1; }`, nil)
+	if err == nil || !strings.Contains(err.Error(), "execution steps") {
+		t.Fatalf("err = %v, want step-limit error", err)
+	}
+}
+
+func TestProgramReuse(t *testing.T) {
+	prog, err := Parse(`return $n * 2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var en Engine
+	for i := int64(0); i < 5; i++ {
+		res, err := en.RunProgram(prog, map[string]Value{"n": Int(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Return.Int64() != i*2 {
+			t.Fatalf("run %d returned %d", i, res.Return.Int64())
+		}
+	}
+}
+
+func TestValueEquality(t *testing.T) {
+	a := Array(Int(1), String("x"), Object(map[string]Value{"k": Bool(true)}))
+	b := Array(Int(1), String("x"), Object(map[string]Value{"k": Bool(true)}))
+	if !a.Equal(b) {
+		t.Fatal("deep-equal arrays reported unequal")
+	}
+	c := Array(Int(1), String("x"), Object(map[string]Value{"k": Bool(false)}))
+	if a.Equal(c) {
+		t.Fatal("different arrays reported equal")
+	}
+}
+
+func TestFromGoToGoRoundTrip(t *testing.T) {
+	in := map[string]any{
+		"s":   "str",
+		"n":   int64(42),
+		"f":   2.5,
+		"b":   true,
+		"nil": nil,
+		"arr": []any{int64(1), "two"},
+	}
+	v := FromGo(in)
+	out, ok := v.ToGo().(map[string]any)
+	if !ok {
+		t.Fatalf("ToGo returned %T", v.ToGo())
+	}
+	if out["s"] != "str" || out["n"] != int64(42) || out["f"] != 2.5 || out["b"] != true || out["nil"] != nil {
+		t.Fatalf("round trip mismatch: %v", out)
+	}
+}
+
+// Property: ParseJSON → String → ParseJSON is a fixed point.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(keys []string, nums []int64, s string) bool {
+		m := map[string]Value{}
+		for i, k := range keys {
+			if i < len(nums) {
+				m[k] = Int(nums[i])
+			} else {
+				m[k] = String(s)
+			}
+		}
+		v := Object(m)
+		enc := v.String()
+		v2, err := ParseJSON([]byte(enc))
+		if err != nil {
+			return false
+		}
+		return v.Equal(v2) && v2.String() == enc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the interpreter never panics on arbitrary source.
+func TestQuickNoPanicOnGarbage(t *testing.T) {
+	en := Engine{MaxSteps: 5000}
+	f := func(src string) bool {
+		_, _ = en.Run(src, nil)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkListing4Query(b *testing.B) {
+	providers := make([]Value, 64)
+	for i := range providers {
+		providers[i] = Object(map[string]Value{
+			"name": String("provider"),
+			"type": String("yokan"),
+		})
+	}
+	cfg := Object(map[string]Value{"providers": Array(providers...)})
+	prog, err := Parse(`
+$result = [];
+foreach ($__config__.providers as $p) { array_push($result, $p.name); }
+return $result;`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var en Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := en.RunProgram(prog, map[string]Value{"__config__": cfg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package jx9 implements a small interpreter for the subset of the
+// Jx9 scripting language that Bedrock exposes for querying and
+// transforming JSON configuration documents (paper §5, Listing 4):
+//
+//	$result = [];
+//	foreach ($__config__.providers as $p) {
+//	    array_push($result, $p.name); }
+//	return $result;
+//
+// Supported: variables ($x), JSON literals, arithmetic/comparison/
+// logical operators, string concatenation, member access (obj.key),
+// indexing (a[i]), if/else, while, foreach (with `as $v` and
+// `as $k => $v` forms), user functions, return/break/continue, and a
+// library of builtins (array_push, count, ...). Scripts evaluate over
+// a set of injected global variables such as $__config__.
+package jx9
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF   tokenKind = iota
+	tokVar             // $name
+	tokIdent           // name (keywords resolved by parser)
+	tokNumber
+	tokString
+	tokPunct // operators and punctuation
+)
+
+type token struct {
+	kind  tokenKind
+	text  string
+	num   float64
+	isInt bool
+	inum  int64
+	pos   int // byte offset, for errors
+	line  int
+}
+
+// SyntaxError describes a lexing or parsing failure.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jx9: line %d: %s", e.Line, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+var punctuation = []string{
+	// Longest first so the lexer is greedy.
+	"===", "!==", "==", "!=", "<=", ">=", "&&", "||", "=>", "++", "--",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "[", "]",
+	"{", "}", ",", ";", ".", ":",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			if err := l.blockComment(); err != nil {
+				return nil, err
+			}
+		case c == '$':
+			if err := l.variable(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '\'':
+			if err := l.str(byte(c)); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			l.number()
+		case isIdentStart(rune(c)):
+			l.ident()
+		default:
+			if !l.punct() {
+				return nil, &SyntaxError{l.line, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) blockComment() error {
+	start := l.line
+	l.pos += 2
+	for l.pos+1 < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return nil
+		}
+		l.pos++
+	}
+	return &SyntaxError{start, "unterminated block comment"}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) variable() error {
+	start := l.pos
+	l.pos++ // skip $
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	name := l.src[start+1 : l.pos]
+	if name == "" {
+		return &SyntaxError{l.line, "empty variable name after $"}
+	}
+	l.toks = append(l.toks, token{kind: tokVar, text: name, pos: start, line: l.line})
+	return nil
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start, line: l.line})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	isInt := true
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+		} else if c == '.' && isInt && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			isInt = false
+			l.pos++
+		} else if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			isInt = false
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		} else {
+			break
+		}
+	}
+	text := l.src[start:l.pos]
+	t := token{kind: tokNumber, text: text, pos: start, line: l.line, isInt: isInt}
+	if isInt {
+		var v int64
+		for _, ch := range text {
+			v = v*10 + int64(ch-'0')
+		}
+		t.inum = v
+		t.num = float64(v)
+	} else {
+		fmt.Sscanf(text, "%g", &t.num)
+	}
+	l.toks = append(l.toks, t)
+}
+
+func (l *lexer) str(quote byte) error {
+	startLine := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: l.pos, line: startLine})
+			return nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return &SyntaxError{startLine, "unterminated string"}
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case quote:
+				b.WriteByte(quote)
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+		case '\n':
+			return &SyntaxError{startLine, "newline in string literal"}
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return &SyntaxError{startLine, "unterminated string"}
+}
+
+func (l *lexer) punct() bool {
+	for _, p := range punctuation {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, pos: l.pos, line: l.line})
+			l.pos += len(p)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,366 @@
+package jx9
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type kind int
+
+const (
+	kindNull kind = iota
+	kindBool
+	kindInt
+	kindFloat
+	kindString
+	kindArray
+	kindObject
+)
+
+// arrayData gives arrays reference semantics (array_push through any
+// alias is visible everywhere), matching Jx9/PHP arrays closely enough
+// for configuration scripts.
+type arrayData struct{ elems []Value }
+
+// Value is a Jx9 runtime value: null, bool, int, float, string, array
+// or object. The zero Value is null.
+type Value struct {
+	k kind
+	b bool
+	i int64
+	f float64
+	s string
+	a *arrayData
+	o map[string]Value
+}
+
+// Constructors.
+
+func Null() Value           { return Value{} }
+func Bool(b bool) Value     { return Value{k: kindBool, b: b} }
+func Int(i int64) Value     { return Value{k: kindInt, i: i} }
+func Float(f float64) Value { return Value{k: kindFloat, f: f} }
+func String(s string) Value { return Value{k: kindString, s: s} }
+
+// Array builds an array value from elements.
+func Array(elems ...Value) Value {
+	return Value{k: kindArray, a: &arrayData{elems: elems}}
+}
+
+// Object builds an object value from a map (which it takes ownership of).
+func Object(m map[string]Value) Value {
+	if m == nil {
+		m = map[string]Value{}
+	}
+	return Value{k: kindObject, o: m}
+}
+
+// Predicates and accessors.
+
+func (v Value) IsNull() bool   { return v.k == kindNull }
+func (v Value) IsBool() bool   { return v.k == kindBool }
+func (v Value) IsNumber() bool { return v.k == kindInt || v.k == kindFloat }
+func (v Value) IsString() bool { return v.k == kindString }
+func (v Value) IsArray() bool  { return v.k == kindArray }
+func (v Value) IsObject() bool { return v.k == kindObject }
+
+// BoolVal returns the boolean, or false for non-bools.
+func (v Value) BoolVal() bool { return v.k == kindBool && v.b }
+
+// Len returns the number of elements for arrays/objects, the byte
+// length for strings, and 0 otherwise.
+func (v Value) Len() int {
+	switch v.k {
+	case kindArray:
+		return len(v.a.elems)
+	case kindObject:
+		return len(v.o)
+	case kindString:
+		return len(v.s)
+	}
+	return 0
+}
+
+// StringVal returns the string contents ("" for non-strings).
+func (v Value) StringVal() string {
+	if v.k == kindString {
+		return v.s
+	}
+	return ""
+}
+
+// Float64 returns the numeric value, coercing ints.
+func (v Value) Float64() float64 {
+	switch v.k {
+	case kindInt:
+		return float64(v.i)
+	case kindFloat:
+		return v.f
+	}
+	return 0
+}
+
+// Int64 returns the numeric value truncated to an integer.
+func (v Value) Int64() int64 {
+	switch v.k {
+	case kindInt:
+		return v.i
+	case kindFloat:
+		return int64(v.f)
+	}
+	return 0
+}
+
+// Elems returns the array's elements (nil for non-arrays). The slice
+// aliases the underlying array.
+func (v Value) Elems() []Value {
+	if v.k != kindArray {
+		return nil
+	}
+	return v.a.elems
+}
+
+// Keys returns an object's keys, sorted, or nil.
+func (v Value) Keys() []string {
+	if v.k != kindObject {
+		return nil
+	}
+	keys := make([]string, 0, len(v.o))
+	for k := range v.o {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Get returns the member value of an object (null if missing).
+func (v Value) Get(key string) Value {
+	if v.k != kindObject {
+		return Value{}
+	}
+	return v.o[key]
+}
+
+// Truthy implements Jx9/PHP-style truthiness.
+func (v Value) Truthy() bool {
+	switch v.k {
+	case kindNull:
+		return false
+	case kindBool:
+		return v.b
+	case kindInt:
+		return v.i != 0
+	case kindFloat:
+		return v.f != 0
+	case kindString:
+		return v.s != "" && v.s != "0"
+	case kindArray:
+		return len(v.a.elems) > 0
+	case kindObject:
+		return len(v.o) > 0
+	}
+	return false
+}
+
+// Equal implements loose equality (==): numbers compare numerically
+// across int/float; otherwise same-kind deep comparison.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumber() && o.IsNumber() {
+		return v.Float64() == o.Float64()
+	}
+	if v.k != o.k {
+		return false
+	}
+	switch v.k {
+	case kindNull:
+		return true
+	case kindBool:
+		return v.b == o.b
+	case kindString:
+		return v.s == o.s
+	case kindArray:
+		if len(v.a.elems) != len(o.a.elems) {
+			return false
+		}
+		for i := range v.a.elems {
+			if !v.a.elems[i].Equal(o.a.elems[i]) {
+				return false
+			}
+		}
+		return true
+	case kindObject:
+		if len(v.o) != len(o.o) {
+			return false
+		}
+		for k, x := range v.o {
+			y, ok := o.o[k]
+			if !ok || !x.Equal(y) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the value as JSON (objects with sorted keys).
+func (v Value) String() string {
+	var b strings.Builder
+	v.writeJSON(&b)
+	return b.String()
+}
+
+func (v Value) writeJSON(b *strings.Builder) {
+	switch v.k {
+	case kindNull:
+		b.WriteString("null")
+	case kindBool:
+		b.WriteString(strconv.FormatBool(v.b))
+	case kindInt:
+		b.WriteString(strconv.FormatInt(v.i, 10))
+	case kindFloat:
+		if math.IsInf(v.f, 0) || math.IsNaN(v.f) {
+			b.WriteString("null")
+			return
+		}
+		b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+	case kindString:
+		enc, _ := json.Marshal(v.s)
+		b.Write(enc)
+	case kindArray:
+		b.WriteByte('[')
+		for i, e := range v.a.elems {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			e.writeJSON(b)
+		}
+		b.WriteByte(']')
+	case kindObject:
+		b.WriteByte('{')
+		for i, k := range v.Keys() {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			enc, _ := json.Marshal(k)
+			b.Write(enc)
+			b.WriteByte(':')
+			v.o[k].writeJSON(b)
+		}
+		b.WriteByte('}')
+	}
+}
+
+// ToGo converts the value into the encoding/json representation
+// (nil, bool, float64/int64, string, []any, map[string]any).
+func (v Value) ToGo() any {
+	switch v.k {
+	case kindNull:
+		return nil
+	case kindBool:
+		return v.b
+	case kindInt:
+		return v.i
+	case kindFloat:
+		return v.f
+	case kindString:
+		return v.s
+	case kindArray:
+		out := make([]any, len(v.a.elems))
+		for i, e := range v.a.elems {
+			out[i] = e.ToGo()
+		}
+		return out
+	case kindObject:
+		out := make(map[string]any, len(v.o))
+		for k, e := range v.o {
+			out[k] = e.ToGo()
+		}
+		return out
+	}
+	return nil
+}
+
+// FromGo converts an encoding/json-style Go value into a Value.
+// Unknown types render via fmt as strings so scripts never see a panic.
+func FromGo(x any) Value {
+	switch t := x.(type) {
+	case nil:
+		return Value{}
+	case bool:
+		return Bool(t)
+	case int:
+		return Int(int64(t))
+	case int64:
+		return Int(t)
+	case uint64:
+		return Int(int64(t))
+	case float64:
+		if t == math.Trunc(t) && math.Abs(t) < 1e15 {
+			return Int(int64(t))
+		}
+		return Float(t)
+	case string:
+		return String(t)
+	case []any:
+		elems := make([]Value, len(t))
+		for i, e := range t {
+			elems[i] = FromGo(e)
+		}
+		return Array(elems...)
+	case map[string]any:
+		m := make(map[string]Value, len(t))
+		for k, e := range t {
+			m[k] = FromGo(e)
+		}
+		return Object(m)
+	case json.RawMessage:
+		v, err := ParseJSON([]byte(t))
+		if err != nil {
+			return String(string(t))
+		}
+		return v
+	default:
+		return String(fmt.Sprint(t))
+	}
+}
+
+// ParseJSON decodes a JSON document into a Value.
+func ParseJSON(data []byte) (Value, error) {
+	var x any
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(&x); err != nil {
+		return Value{}, fmt.Errorf("jx9: invalid JSON: %w", err)
+	}
+	return fromJSONAny(x), nil
+}
+
+func fromJSONAny(x any) Value {
+	switch t := x.(type) {
+	case json.Number:
+		if i, err := t.Int64(); err == nil {
+			return Int(i)
+		}
+		f, _ := t.Float64()
+		return Float(f)
+	case []any:
+		elems := make([]Value, len(t))
+		for i, e := range t {
+			elems[i] = fromJSONAny(e)
+		}
+		return Array(elems...)
+	case map[string]any:
+		m := make(map[string]Value, len(t))
+		for k, e := range t {
+			m[k] = fromJSONAny(e)
+		}
+		return Object(m)
+	default:
+		return FromGo(x)
+	}
+}

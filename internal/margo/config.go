@@ -1,0 +1,75 @@
+package margo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mochi/internal/argobots"
+)
+
+// Config is the margo section of a process configuration (paper
+// Listing 2). ProgressPool and RPCPool name pools from the argobots
+// section; empty values select defaults that are created on demand.
+type Config struct {
+	Argobots     argobots.Config `json:"argobots"`
+	ProgressPool string          `json:"progress_pool,omitempty"`
+	RPCPool      string          `json:"rpc_pool,omitempty"`
+	// EnableMonitoring turns on the default statistics monitor (§4).
+	EnableMonitoring bool `json:"enable_monitoring,omitempty"`
+	// MonitoringSampleMS is the period, in milliseconds, at which the
+	// monitor samples in-flight RPC counts and pool depths (default
+	// 100ms when monitoring is enabled).
+	MonitoringSampleMS int `json:"monitoring_sample_ms,omitempty"`
+	// MonitoringOutput, when set, makes Finalize write the Listing-1
+	// statistics JSON to this file (§4: "outputs them as JSON when
+	// shutting down the service").
+	MonitoringOutput string `json:"monitoring_output,omitempty"`
+}
+
+// defaultConfig is used when New is given empty JSON: one pool drained
+// by one xstream, used for both progress and RPC handling.
+func defaultConfig() Config {
+	return Config{
+		Argobots: argobots.Config{
+			Pools: []argobots.PoolConfig{
+				{Name: "__primary__", Kind: string(argobots.PoolFIFOWait), Access: string(argobots.AccessMPMC)},
+			},
+			Xstreams: []argobots.XstreamConfig{
+				{Name: "__primary_es__", Scheduler: argobots.SchedConfig{
+					Kind:  string(argobots.SchedBasicWait),
+					Pools: []string{"__primary__"},
+				}},
+			},
+		},
+		ProgressPool: "__primary__",
+		RPCPool:      "__primary__",
+	}
+}
+
+// ParseConfig decodes a JSON configuration string, filling defaults.
+func ParseConfig(raw []byte) (Config, error) {
+	if len(raw) == 0 {
+		return defaultConfig(), nil
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return Config{}, fmt.Errorf("margo: bad config: %w", err)
+	}
+	if len(cfg.Argobots.Pools) == 0 {
+		def := defaultConfig()
+		cfg.Argobots = def.Argobots
+		if cfg.ProgressPool == "" {
+			cfg.ProgressPool = def.ProgressPool
+		}
+		if cfg.RPCPool == "" {
+			cfg.RPCPool = def.RPCPool
+		}
+	}
+	if cfg.ProgressPool == "" {
+		cfg.ProgressPool = cfg.Argobots.Pools[0].Name
+	}
+	if cfg.RPCPool == "" {
+		cfg.RPCPool = cfg.Argobots.Pools[0].Name
+	}
+	return cfg, nil
+}

@@ -1,0 +1,354 @@
+// Package margo is the shared runtime that every Mochi component in a
+// process uses (paper §3.2): it weds the mercury RPC layer to the
+// argobots threading layer, dispatching each incoming RPC as a ULT on
+// the pool associated with its target provider (Figure 2).
+//
+// On top of that core it implements the two runtime-level requirements
+// of dynamic services:
+//
+//   - Performance introspection (§4): a customizable monitoring
+//     infrastructure with injection points across the lifetime of an
+//     RPC, plus a default statistics monitor whose JSON output follows
+//     the paper's Listing 1.
+//   - Online reconfiguration (§5): pools and execution streams can be
+//     added and removed while the process runs, with Margo enforcing
+//     validity (unique names, no removal of in-use pools).
+package margo
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mochi/internal/argobots"
+	"mochi/internal/clock"
+	"mochi/internal/mercury"
+)
+
+// Errors specific to the margo layer.
+var (
+	ErrProviderRegistered = errors.New("margo: provider id already registered for rpc")
+	ErrFinalized          = errors.New("margo: instance finalized")
+)
+
+// Handler is a provider-level RPC handler. It runs inside a ULT on the
+// provider's pool. The context carries RPC metadata (parent RPC
+// tracking for monitoring).
+type Handler func(ctx context.Context, h *mercury.Handle)
+
+type rpcReg struct {
+	name     string
+	provider uint16
+	pool     *argobots.Pool
+}
+
+// Instance is one process's margo runtime.
+type Instance struct {
+	class *mercury.Class
+	rt    *argobots.Runtime
+	clk   clock.Clock
+
+	mu           sync.RWMutex
+	cfg          Config
+	regs         map[string]rpcReg // "name/provider" -> registration
+	finalized    bool
+	progressPool *argobots.Pool
+	rpcPool      *argobots.Pool
+
+	monitor *Monitor
+	hooks   hookSet
+}
+
+// New creates an instance over an existing mercury class using a JSON
+// configuration (Listing 2 format). An empty rawConfig selects the
+// default one-pool/one-ES topology.
+func New(class *mercury.Class, rawConfig []byte) (*Instance, error) {
+	return NewWithClock(class, rawConfig, clock.New())
+}
+
+// NewWithClock is New with an explicit clock (tests use clock.Sim to
+// drive the monitoring sampler deterministically).
+func NewWithClock(class *mercury.Class, rawConfig []byte, clk clock.Clock) (*Instance, error) {
+	cfg, err := ParseConfig(rawConfig)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := argobots.NewRuntime(cfg.Argobots)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		class: class,
+		rt:    rt,
+		clk:   clk,
+		cfg:   cfg,
+		regs:  map[string]rpcReg{},
+	}
+	pp, ok := rt.FindPool(cfg.ProgressPool)
+	if !ok {
+		rt.Stop()
+		return nil, fmt.Errorf("margo: progress pool %q not defined", cfg.ProgressPool)
+	}
+	rp, ok := rt.FindPool(cfg.RPCPool)
+	if !ok {
+		rt.Stop()
+		return nil, fmt.Errorf("margo: rpc pool %q not defined", cfg.RPCPool)
+	}
+	inst.progressPool, inst.rpcPool = pp, rp
+	pp.Retain()
+	rp.Retain()
+
+	sample := time.Duration(cfg.MonitoringSampleMS) * time.Millisecond
+	if sample <= 0 {
+		sample = 100 * time.Millisecond
+	}
+	inst.monitor = newMonitor(inst, sample)
+	if cfg.EnableMonitoring {
+		inst.EnableMonitoring()
+	}
+	return inst, nil
+}
+
+// Class returns the underlying mercury class.
+func (m *Instance) Class() *mercury.Class { return m.class }
+
+// Addr returns the process's network address.
+func (m *Instance) Addr() string { return m.class.Addr() }
+
+// Runtime returns the argobots runtime, for introspection.
+func (m *Instance) Runtime() *argobots.Runtime { return m.rt }
+
+// Clock returns the instance's time source.
+func (m *Instance) Clock() clock.Clock { return m.clk }
+
+func regKey(name string, provider uint16) string {
+	return fmt.Sprintf("%s/%d", name, provider)
+}
+
+// RegisterProvider registers an RPC handler for (name, providerID),
+// executed on the given pool (nil selects the configured rpc pool).
+// It mirrors MARGO_REGISTER_PROVIDER: incoming requests are turned
+// into ULTs submitted to the pool, as in Figure 2.
+func (m *Instance) RegisterProvider(name string, providerID uint16, pool *argobots.Pool, h Handler) (mercury.RPCID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.finalized {
+		return 0, ErrFinalized
+	}
+	if pool == nil {
+		pool = m.rpcPool
+	}
+	key := regKey(name, providerID)
+	if _, ok := m.regs[key]; ok {
+		return 0, fmt.Errorf("%w: %s provider %d", ErrProviderRegistered, name, providerID)
+	}
+	pool.Retain()
+	m.regs[key] = rpcReg{name: name, provider: providerID, pool: pool}
+
+	id := m.class.RegisterProvider(name, providerID, func(hd *mercury.Handle) {
+		m.dispatch(pool, h, hd)
+	})
+	return id, nil
+}
+
+// Register registers an RPC handler matching any provider ID on the
+// configured rpc pool.
+func (m *Instance) Register(name string, h Handler) (mercury.RPCID, error) {
+	return m.RegisterProvider(name, mercury.AnyProvider, nil, h)
+}
+
+// DeregisterProvider removes the handler for (name, providerID).
+func (m *Instance) DeregisterProvider(name string, providerID uint16) {
+	key := regKey(name, providerID)
+	m.mu.Lock()
+	reg, ok := m.regs[key]
+	if ok {
+		delete(m.regs, key)
+	}
+	m.mu.Unlock()
+	if ok {
+		reg.pool.Release()
+		m.class.Deregister(name, providerID)
+	}
+}
+
+// dispatch submits the handler as a ULT, recording queueing and
+// execution timings through the hook points (§4).
+func (m *Instance) dispatch(pool *argobots.Pool, h Handler, hd *mercury.Handle) {
+	info := RPCInfo{
+		Name:     hd.Name(),
+		ID:       hd.ID(),
+		Provider: hd.Provider(),
+		Peer:     hd.Source(),
+		Bytes:    len(hd.Input()),
+	}
+	// Parent RPC propagation: the wire does not carry parent IDs in
+	// this reproduction, so the target side records the paper's 65535
+	// "no parent" sentinel unless set by nesting within this process.
+	queuedAt := m.clk.Now()
+	m.hooks.onHandlerQueued(info)
+	_, err := pool.Push(func() {
+		started := m.clk.Now()
+		m.hooks.onHandlerStart(info, started.Sub(queuedAt))
+		ctx := withCurrentRPC(context.Background(), info)
+		h(ctx, hd)
+		m.hooks.onHandlerEnd(info, m.clk.Since(started))
+	})
+	if err != nil {
+		// Pool was closed during reconfiguration: fail the RPC rather
+		// than dropping it silently.
+		_ = hd.RespondError(fmt.Errorf("margo: provider pool unavailable: %w", err))
+	}
+}
+
+// Forward sends an RPC (any provider) and waits for the reply.
+func (m *Instance) Forward(ctx context.Context, dst string, name string, input []byte) ([]byte, error) {
+	return m.ForwardProvider(ctx, dst, name, mercury.AnyProvider, input)
+}
+
+// ForwardProvider sends an RPC to a specific provider and waits for
+// the reply, recording origin-side statistics.
+func (m *Instance) ForwardProvider(ctx context.Context, dst string, name string, provider uint16, input []byte) ([]byte, error) {
+	info := RPCInfo{
+		Name:     name,
+		ID:       mercury.NameToID(name),
+		Provider: provider,
+		Peer:     dst,
+		Bytes:    len(input),
+	}
+	if parent, ok := currentRPC(ctx); ok {
+		info.ParentID = parent.ID
+		info.ParentProvider = parent.Provider
+	} else {
+		info.ParentID = mercury.RPCID(noParent32)
+		info.ParentProvider = noParent16
+	}
+	start := m.clk.Now()
+	m.hooks.onForwardStart(info)
+	out, err := m.class.ForwardProvider(ctx, dst, info.ID, provider, input)
+	m.hooks.onForwardEnd(info, m.clk.Since(start), err)
+	return out, err
+}
+
+// FindPoolByName exposes margo_find_pool_by_name.
+func (m *Instance) FindPoolByName(name string) (*argobots.Pool, bool) {
+	return m.rt.FindPool(name)
+}
+
+// AddPoolFromJSON adds a pool at run time (margo_add_pool_from_json).
+func (m *Instance) AddPoolFromJSON(raw []byte) (*argobots.Pool, error) {
+	var pc argobots.PoolConfig
+	if err := json.Unmarshal(raw, &pc); err != nil {
+		return nil, fmt.Errorf("margo: bad pool config: %w", err)
+	}
+	return m.rt.AddPool(pc)
+}
+
+// AddPool adds a pool from a parsed config.
+func (m *Instance) AddPool(pc argobots.PoolConfig) (*argobots.Pool, error) {
+	return m.rt.AddPool(pc)
+}
+
+// RemovePool removes a pool; it fails while the pool is used by an
+// xstream, a provider registration, or as the progress/rpc pool.
+func (m *Instance) RemovePool(name string) error {
+	return m.rt.RemovePool(name)
+}
+
+// AddXstreamFromJSON adds an execution stream at run time.
+func (m *Instance) AddXstreamFromJSON(raw []byte) (*argobots.Xstream, error) {
+	var xc argobots.XstreamConfig
+	if err := json.Unmarshal(raw, &xc); err != nil {
+		return nil, fmt.Errorf("margo: bad xstream config: %w", err)
+	}
+	return m.rt.AddXstream(xc)
+}
+
+// AddXstream adds an execution stream from a parsed config.
+func (m *Instance) AddXstream(xc argobots.XstreamConfig) (*argobots.Xstream, error) {
+	return m.rt.AddXstream(xc)
+}
+
+// RemoveXstream removes an execution stream.
+func (m *Instance) RemoveXstream(name string) error {
+	return m.rt.RemoveXstream(name)
+}
+
+// GetConfig returns the live configuration as JSON, reflecting any
+// online reconfiguration since startup.
+func (m *Instance) GetConfig() ([]byte, error) {
+	m.mu.RLock()
+	cfg := m.cfg
+	m.mu.RUnlock()
+	cfg.Argobots = m.rt.Snapshot()
+	return json.MarshalIndent(cfg, "", "  ")
+}
+
+// EnableMonitoring installs the default statistics monitor and starts
+// its periodic sampler.
+func (m *Instance) EnableMonitoring() {
+	m.monitor.enable()
+}
+
+// DisableMonitoring stops the default monitor (recorded statistics are
+// kept).
+func (m *Instance) DisableMonitoring() {
+	m.monitor.disable()
+}
+
+// Stats returns a snapshot of the default monitor's statistics.
+func (m *Instance) Stats() *StatsSnapshot {
+	return m.monitor.snapshot()
+}
+
+// AddHook injects user callbacks at the monitoring points (§4 "inject
+// callbacks to be invoked at various points in the lifetime of an
+// RPC"). Returns a removal function.
+func (m *Instance) AddHook(h *Hook) func() {
+	return m.hooks.add(h)
+}
+
+// Finalize shuts the runtime down: the monitor stops, xstreams join,
+// and the mercury class closes.
+func (m *Instance) Finalize() {
+	m.mu.Lock()
+	if m.finalized {
+		m.mu.Unlock()
+		return
+	}
+	m.finalized = true
+	out := m.cfg.MonitoringOutput
+	m.mu.Unlock()
+	if out != "" {
+		if raw, err := m.monitor.snapshot().JSON(); err == nil {
+			_ = os.WriteFile(out, raw, 0o644)
+		}
+	}
+	m.monitor.disable()
+	m.rt.Stop()
+	_ = m.class.Close()
+}
+
+// Finalized reports whether Finalize has run.
+func (m *Instance) Finalized() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.finalized
+}
+
+// rpcCtxKey carries the currently-executing RPC through contexts, so
+// nested Forwards record their parent (Listing 1's parent_rpc_id).
+type rpcCtxKey struct{}
+
+func withCurrentRPC(ctx context.Context, info RPCInfo) context.Context {
+	return context.WithValue(ctx, rpcCtxKey{}, info)
+}
+
+func currentRPC(ctx context.Context) (RPCInfo, bool) {
+	info, ok := ctx.Value(rpcCtxKey{}).(RPCInfo)
+	return info, ok
+}

@@ -1,0 +1,68 @@
+package margo
+
+import (
+	"testing"
+	"time"
+
+	"mochi/internal/clock"
+	"mochi/internal/mercury"
+)
+
+// TestMonitorSamplerWithSimClock drives the §4 periodic sampler with
+// a simulated clock: exactly one progress sample per period, no more,
+// no fewer — deterministically.
+func TestMonitorSamplerWithSimClock(t *testing.T) {
+	f := mercury.NewFabric()
+	cls, err := f.NewClass("sim-sampler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := clock.NewSim(time.Time{})
+	inst, err := NewWithClock(cls, []byte(`{"monitoring_sample_ms": 100}`), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	inst.EnableMonitoring()
+
+	// Wait until the sampler goroutine has armed its ticker.
+	deadline := time.Now().Add(5 * time.Second)
+	for sim.PendingTimers() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sim.PendingTimers() == 0 {
+		t.Fatal("sampler never armed its ticker")
+	}
+
+	samplesAfter := func(advance time.Duration, wait int) int {
+		sim.Advance(advance)
+		// The tick fires a goroutine-side sample; give it real time to
+		// land, polling the snapshot.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if n := len(inst.Stats().Samples); n >= wait {
+				return n
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return len(inst.Stats().Samples)
+	}
+
+	if n := samplesAfter(100*time.Millisecond, 1); n != 1 {
+		t.Fatalf("after 1 period: %d samples", n)
+	}
+	if n := samplesAfter(300*time.Millisecond, 2); n < 2 {
+		// Ticker channels buffer one tick; advancing three periods at
+		// once can coalesce, but at least one more sample must land.
+		t.Fatalf("after 3 more periods: %d samples", n)
+	}
+	// Timestamps come from the simulated clock.
+	s := inst.Stats().Samples
+	if s[0].TimestampMS >= s[len(s)-1].TimestampMS+1 {
+		t.Fatalf("timestamps not monotonic: %v", s)
+	}
+	wall := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	if s[0].TimestampMS < wall || s[0].TimestampMS > wall+1000 {
+		t.Fatalf("timestamp %d not from sim epoch", s[0].TimestampMS)
+	}
+}

@@ -1,0 +1,103 @@
+package mercury
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAuthAcceptsCorrectToken(t *testing.T) {
+	_, a, b := newPair(t)
+	b.Register("secure", func(h *Handle) { _ = h.Respond([]byte("ok")) })
+	b.SetAuthVerifier(TokenVerifier("s3cret"))
+	a.SetAuthToken("s3cret")
+	out, err := a.Forward(ctxShort(t), b.Addr(), NameToID("secure"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestAuthRejectsMissingToken(t *testing.T) {
+	_, a, b := newPair(t)
+	called := false
+	b.Register("secure", func(h *Handle) { called = true; _ = h.Respond(nil) })
+	b.SetAuthVerifier(TokenVerifier("s3cret"))
+	_, err := a.Forward(ctxShort(t), b.Addr(), NameToID("secure"), nil)
+	if !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("err = %v, want ErrUnauthorized", err)
+	}
+	if called {
+		t.Fatal("handler ran for unauthorized request")
+	}
+}
+
+func TestAuthRejectsWrongToken(t *testing.T) {
+	_, a, b := newPair(t)
+	b.Register("secure", func(h *Handle) { _ = h.Respond(nil) })
+	b.SetAuthVerifier(TokenVerifier("right"))
+	a.SetAuthToken("wrong")
+	if _, err := a.Forward(ctxShort(t), b.Addr(), NameToID("secure"), nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("err = %v", err)
+	}
+	// Correcting the token recovers.
+	a.SetAuthToken("right")
+	if _, err := a.Forward(ctxShort(t), b.Addr(), NameToID("secure"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthVerifierCanScopeByRPC(t *testing.T) {
+	_, a, b := newPair(t)
+	b.Register("open", func(h *Handle) { _ = h.Respond(nil) })
+	b.Register("admin", func(h *Handle) { _ = h.Respond(nil) })
+	adminID := NameToID("admin")
+	// Only the admin RPC needs a credential.
+	b.SetAuthVerifier(func(token string, id RPCID, _ uint16) bool {
+		if id != adminID {
+			return true
+		}
+		return token == "root"
+	})
+	if _, err := a.Forward(ctxShort(t), b.Addr(), NameToID("open"), nil); err != nil {
+		t.Fatalf("open rpc: %v", err)
+	}
+	if _, err := a.Forward(ctxShort(t), b.Addr(), adminID, nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("admin without token: %v", err)
+	}
+	a.SetAuthToken("root")
+	if _, err := a.Forward(ctxShort(t), b.Addr(), adminID, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthDisabledByDefault(t *testing.T) {
+	_, a, b := newPair(t)
+	b.Register("plain", func(h *Handle) { _ = h.Respond(nil) })
+	if _, err := a.Forward(ctxShort(t), b.Addr(), NameToID("plain"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthUninstall(t *testing.T) {
+	_, a, b := newPair(t)
+	b.Register("x", func(h *Handle) { _ = h.Respond(nil) })
+	b.SetAuthVerifier(TokenVerifier("s"))
+	if _, err := a.Forward(ctxShort(t), b.Addr(), NameToID("x"), nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("err = %v", err)
+	}
+	b.SetAuthVerifier(nil)
+	if _, err := a.Forward(ctxShort(t), b.Addr(), NameToID("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashTokenStable(t *testing.T) {
+	if HashToken("a") != HashToken("a") || HashToken("a") == HashToken("b") {
+		t.Fatal("HashToken broken")
+	}
+	if len(HashToken("x")) != 64 {
+		t.Fatalf("len = %d", len(HashToken("x")))
+	}
+}

@@ -1,0 +1,428 @@
+// Package mercury implements the RPC and bulk-transfer substrate that
+// the rest of the framework builds on, mirroring the role of the
+// Mercury library in Mochi (paper §3.2): named RPCs with
+// provider-multiplexing, request/response forwarding, and an RDMA-like
+// bulk-transfer API for large payloads.
+//
+// Two transports are provided:
+//
+//   - "sm": an in-process fabric (Fabric) hosting many named endpoints.
+//     It applies a configurable network cost model (latency, bandwidth,
+//     per-message overhead) and supports fault injection (crash,
+//     partition, message drop), which makes it the substrate for the
+//     simulated multi-node deployments used by tests and benchmarks.
+//   - "tcp": a real TCP transport for multi-OS-process deployments.
+//
+// Components never talk to a transport directly; they are given a
+// *Class (one per process) and use Register / Forward / BulkTransfer.
+package mercury
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"mochi/internal/codec"
+)
+
+// Errors returned by the RPC layer.
+var (
+	ErrUnreachable   = errors.New("mercury: address unreachable")
+	ErrNoHandler     = errors.New("mercury: no handler registered")
+	ErrClassClosed   = errors.New("mercury: class closed")
+	ErrTimeout       = errors.New("mercury: operation timed out")
+	ErrBadBulk       = errors.New("mercury: invalid bulk descriptor")
+	ErrBulkBounds    = errors.New("mercury: bulk transfer out of bounds")
+	ErrRemoteFailure = errors.New("mercury: remote handler failed")
+)
+
+// AnyProvider matches any provider ID (Mercury's 65535 convention).
+const AnyProvider uint16 = 0xFFFF
+
+// RPCID identifies a registered RPC; derived from the RPC name by
+// hashing, like Mercury's hg_id_t.
+type RPCID uint32
+
+// NameToID derives the stable RPC ID for a name.
+func NameToID(name string) RPCID {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return RPCID(h.Sum32())
+}
+
+// Handler processes an incoming RPC. Implementations must eventually
+// call h.Respond or h.RespondError exactly once. Each inbound request
+// is dispatched on its own goroutine; the margo layer narrows this to
+// the paper's model by immediately submitting a ULT to an argobots
+// pool and returning.
+type Handler func(h *Handle)
+
+type rpcKey struct {
+	id       RPCID
+	provider uint16
+}
+
+type rpcEntry struct {
+	name    string
+	handler Handler
+}
+
+// Transport is the wire beneath a Class.
+type transport interface {
+	addr() string
+	// send delivers m to dst, returning ErrUnreachable for crashed
+	// destinations. Dropped messages return nil (they time out at the
+	// caller).
+	send(ctx context.Context, dst string, m *message) error
+	close() error
+}
+
+type msgKind uint8
+
+const (
+	msgRequest msgKind = iota
+	msgResponse
+	msgBulkRead
+	msgBulkWrite
+	msgBulkAck
+)
+
+type message struct {
+	kind     msgKind
+	seq      uint64
+	id       RPCID
+	provider uint16
+	src      string
+	status   uint8 // response: 0 ok, 1 no handler, 2 handler error, 3 unauthorized
+	errmsg   string
+	auth     string
+	payload  []byte
+	// bulk fields
+	bulkID  uint64
+	bulkOff uint64
+	bulkLen uint64
+}
+
+func (m *message) MarshalMochi(e *codec.Encoder) {
+	e.Uint8(uint8(m.kind))
+	e.Uint64(m.seq)
+	e.Uint32(uint32(m.id))
+	e.Uint16(m.provider)
+	e.String(m.src)
+	e.Uint8(m.status)
+	e.String(m.errmsg)
+	e.String(m.auth)
+	e.BytesField(m.payload)
+	e.Uint64(m.bulkID)
+	e.Uint64(m.bulkOff)
+	e.Uint64(m.bulkLen)
+}
+
+func (m *message) UnmarshalMochi(d *codec.Decoder) {
+	m.kind = msgKind(d.Uint8())
+	m.seq = d.Uint64()
+	m.id = RPCID(d.Uint32())
+	m.provider = d.Uint16()
+	m.src = d.String()
+	m.status = d.Uint8()
+	m.errmsg = d.String()
+	m.auth = d.String()
+	if b := d.BytesField(); b != nil {
+		m.payload = append([]byte(nil), b...)
+	}
+	m.bulkID = d.Uint64()
+	m.bulkOff = d.Uint64()
+	m.bulkLen = d.Uint64()
+}
+
+// Class is one process's attachment to the network: it owns an
+// address, a table of registered RPC handlers, and registered bulk
+// memory regions. It corresponds to an initialized Mercury class.
+type Class struct {
+	tr transport
+
+	mu       sync.RWMutex
+	handlers map[rpcKey]*rpcEntry
+	closed   bool
+
+	pending sync.Map // seq -> chan *message
+	seq     atomic.Uint64
+
+	bulkMu  sync.RWMutex
+	bulks   map[uint64]*Bulk
+	bulkSeq atomic.Uint64
+
+	monitor atomic.Pointer[monitorHolder]
+
+	authMu      sync.RWMutex
+	auth        authState
+	authEnabled atomic.Bool
+}
+
+// monitorHolder wraps the monitor so an atomic.Pointer can hold an
+// interface value.
+type monitorHolder struct{ m Monitor }
+
+// Monitor observes wire-level events; the margo layer installs one to
+// implement the paper's §4 performance-introspection infrastructure.
+type Monitor interface {
+	// SentRequest fires when a request leaves this class.
+	SentRequest(id RPCID, provider uint16, dst string, bytes int)
+	// ReceivedRequest fires when a request arrives, before the handler.
+	ReceivedRequest(id RPCID, provider uint16, src string, bytes int)
+	// SentResponse fires when a handler responds.
+	SentResponse(id RPCID, provider uint16, dst string, bytes int)
+	// ReceivedResponse fires when a response arrives back at the caller.
+	ReceivedResponse(id RPCID, provider uint16, src string, bytes int)
+	// BulkTransferred fires on completion of a bulk operation.
+	BulkTransferred(op BulkOp, peer string, bytes int)
+}
+
+// SetMonitor installs m (nil uninstalls).
+func (c *Class) SetMonitor(m Monitor) {
+	if m == nil {
+		c.monitor.Store(nil)
+		return
+	}
+	c.monitor.Store(&monitorHolder{m})
+}
+
+func (c *Class) mon() Monitor {
+	h := c.monitor.Load()
+	if h == nil {
+		return nil
+	}
+	return h.m
+}
+
+func newClass(tr transport) *Class {
+	return &Class{
+		tr:       tr,
+		handlers: map[rpcKey]*rpcEntry{},
+		bulks:    map[uint64]*Bulk{},
+	}
+}
+
+// Addr returns this class's network address.
+func (c *Class) Addr() string { return c.tr.addr() }
+
+// Register installs a handler for the RPC name, matching any provider
+// ID, and returns the RPC's ID.
+func (c *Class) Register(name string, h Handler) RPCID {
+	return c.RegisterProvider(name, AnyProvider, h)
+}
+
+// RegisterProvider installs a handler for (name, provider).
+// Re-registering replaces the previous handler.
+func (c *Class) RegisterProvider(name string, provider uint16, h Handler) RPCID {
+	id := NameToID(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers[rpcKey{id, provider}] = &rpcEntry{name: name, handler: h}
+	return id
+}
+
+// Deregister removes the handler for (name, provider).
+func (c *Class) Deregister(name string, provider uint16) {
+	id := NameToID(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.handlers, rpcKey{id, provider})
+}
+
+// Registered reports whether (name, provider) has a handler.
+func (c *Class) Registered(name string, provider uint16) bool {
+	id := NameToID(name)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.handlers[rpcKey{id, provider}]
+	return ok
+}
+
+func (c *Class) lookup(id RPCID, provider uint16) *rpcEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e, ok := c.handlers[rpcKey{id, provider}]; ok {
+		return e
+	}
+	if e, ok := c.handlers[rpcKey{id, AnyProvider}]; ok {
+		return e
+	}
+	return nil
+}
+
+// Forward sends an RPC to provider AnyProvider at dst and waits for
+// the response.
+func (c *Class) Forward(ctx context.Context, dst string, id RPCID, input []byte) ([]byte, error) {
+	return c.ForwardProvider(ctx, dst, id, AnyProvider, input)
+}
+
+// ForwardProvider sends an RPC to a specific provider at dst and waits
+// for the response. It is the equivalent of margo_provider_forward.
+func (c *Class) ForwardProvider(ctx context.Context, dst string, id RPCID, provider uint16, input []byte) ([]byte, error) {
+	c.mu.RLock()
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return nil, ErrClassClosed
+	}
+	seq := c.seq.Add(1)
+	ch := make(chan *message, 1)
+	c.pending.Store(seq, ch)
+	defer c.pending.Delete(seq)
+
+	req := &message{
+		kind:     msgRequest,
+		seq:      seq,
+		id:       id,
+		provider: provider,
+		src:      c.Addr(),
+		auth:     c.outgoingToken(),
+		payload:  input,
+	}
+	if m := c.mon(); m != nil {
+		m.SentRequest(id, provider, dst, len(input))
+	}
+	if err := c.tr.send(ctx, dst, req); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if m := c.mon(); m != nil {
+			m.ReceivedResponse(id, provider, dst, len(resp.payload))
+		}
+		switch resp.status {
+		case 0:
+			return resp.payload, nil
+		case 1:
+			return nil, fmt.Errorf("%w: rpc %#x at %s", ErrNoHandler, id, dst)
+		case 3:
+			return nil, fmt.Errorf("%w: rpc %#x at %s", ErrUnauthorized, id, dst)
+		default:
+			return nil, fmt.Errorf("%w: %s", ErrRemoteFailure, resp.errmsg)
+		}
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	}
+}
+
+// dispatch is called by transports for every inbound message.
+// Requests and bulk operations run on their own goroutine so that a
+// handler performing nested RPCs can never starve the progress loop
+// that must deliver its responses; responses are routed inline.
+func (c *Class) dispatch(m *message) {
+	switch m.kind {
+	case msgRequest:
+		go c.handleRequest(m)
+	case msgResponse, msgBulkAck:
+		if ch, ok := c.pending.Load(m.seq); ok {
+			select {
+			case ch.(chan *message) <- m:
+			default:
+			}
+		}
+	case msgBulkRead:
+		go c.handleBulkRead(m)
+	case msgBulkWrite:
+		go c.handleBulkWrite(m)
+	}
+}
+
+func (c *Class) handleRequest(m *message) {
+	if !c.verifyInbound(m) {
+		resp := &message{kind: msgResponse, seq: m.seq, id: m.id, provider: m.provider, src: c.Addr(), status: 3}
+		_ = c.tr.send(context.Background(), m.src, resp)
+		return
+	}
+	entry := c.lookup(m.id, m.provider)
+	if mon := c.mon(); mon != nil {
+		mon.ReceivedRequest(m.id, m.provider, m.src, len(m.payload))
+	}
+	if entry == nil {
+		resp := &message{kind: msgResponse, seq: m.seq, id: m.id, provider: m.provider, src: c.Addr(), status: 1}
+		_ = c.tr.send(context.Background(), m.src, resp)
+		return
+	}
+	h := &Handle{
+		class:    c,
+		name:     entry.name,
+		id:       m.id,
+		provider: m.provider,
+		src:      m.src,
+		seq:      m.seq,
+		input:    m.payload,
+	}
+	entry.handler(h)
+}
+
+// Handle represents one in-flight inbound RPC.
+type Handle struct {
+	class     *Class
+	name      string
+	id        RPCID
+	provider  uint16
+	src       string
+	seq       uint64
+	input     []byte
+	responded atomic.Bool
+}
+
+// Name returns the RPC's registered name.
+func (h *Handle) Name() string { return h.name }
+
+// ID returns the RPC ID.
+func (h *Handle) ID() RPCID { return h.id }
+
+// Provider returns the provider ID the RPC targets.
+func (h *Handle) Provider() uint16 { return h.provider }
+
+// Source returns the caller's address.
+func (h *Handle) Source() string { return h.src }
+
+// Input returns the request payload.
+func (h *Handle) Input() []byte { return h.input }
+
+// Class returns the local class, so handlers can issue further RPCs or
+// bulk transfers.
+func (h *Handle) Class() *Class { return h.class }
+
+// Respond sends the RPC's output back to the caller.
+func (h *Handle) Respond(output []byte) error {
+	if !h.responded.CompareAndSwap(false, true) {
+		return errors.New("mercury: handle already responded")
+	}
+	if m := h.class.mon(); m != nil {
+		m.SentResponse(h.id, h.provider, h.src, len(output))
+	}
+	resp := &message{kind: msgResponse, seq: h.seq, id: h.id, provider: h.provider, src: h.class.Addr(), payload: output}
+	return h.class.tr.send(context.Background(), h.src, resp)
+}
+
+// RespondError reports a handler failure to the caller.
+func (h *Handle) RespondError(err error) error {
+	if !h.responded.CompareAndSwap(false, true) {
+		return errors.New("mercury: handle already responded")
+	}
+	if m := h.class.mon(); m != nil {
+		m.SentResponse(h.id, h.provider, h.src, 0)
+	}
+	resp := &message{kind: msgResponse, seq: h.seq, id: h.id, provider: h.provider, src: h.class.Addr(), status: 2, errmsg: err.Error()}
+	return h.class.tr.send(context.Background(), h.src, resp)
+}
+
+// Close shuts the class down: the address becomes unreachable and all
+// registered state is dropped.
+func (c *Class) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.handlers = map[rpcKey]*rpcEntry{}
+	c.mu.Unlock()
+	return c.tr.close()
+}

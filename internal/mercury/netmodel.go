@@ -1,0 +1,73 @@
+package mercury
+
+import "time"
+
+// OpClass distinguishes message categories for the cost model.
+type OpClass uint8
+
+const (
+	// OpRPC covers request and response messages (eager path).
+	OpRPC OpClass = iota
+	// OpBulk covers bulk-transfer data movement (RDMA path).
+	OpBulk
+)
+
+// NetModel computes the simulated delivery delay for a message of the
+// given size between two endpoints. Implementations must be safe for
+// concurrent use.
+type NetModel interface {
+	Delay(src, dst string, class OpClass, bytes int) time.Duration
+}
+
+// ZeroModel delivers instantly; the default for unit tests.
+type ZeroModel struct{}
+
+// Delay implements NetModel.
+func (ZeroModel) Delay(_, _ string, _ OpClass, _ int) time.Duration { return 0 }
+
+// HPCModel approximates an HPC interconnect: a fixed per-message
+// overhead (higher for the eager RPC path than for a one-sided bulk
+// handshake once established) plus a bandwidth term. Intra-node
+// traffic (src == dst) is free of the network terms.
+type HPCModel struct {
+	// RPCOverhead is charged per RPC-class message (default 2µs).
+	RPCOverhead time.Duration
+	// BulkOverhead is charged per bulk operation (default 1µs).
+	BulkOverhead time.Duration
+	// BytesPerSec is the link bandwidth (default 10 GB/s).
+	BytesPerSec float64
+	// EagerLimit is the size up to which RPC payloads ride the eager
+	// path with no bandwidth charge (default 4 KiB), mimicking
+	// Mercury's eager/rendezvous split.
+	EagerLimit int
+}
+
+// DefaultHPCModel returns an HPCModel with typical values.
+func DefaultHPCModel() *HPCModel {
+	return &HPCModel{
+		RPCOverhead:  2 * time.Microsecond,
+		BulkOverhead: time.Microsecond,
+		BytesPerSec:  10e9,
+		EagerLimit:   4096,
+	}
+}
+
+// Delay implements NetModel.
+func (m *HPCModel) Delay(src, dst string, class OpClass, bytes int) time.Duration {
+	if src == dst {
+		return 0
+	}
+	over := m.RPCOverhead
+	if class == OpBulk {
+		over = m.BulkOverhead
+	}
+	bw := m.BytesPerSec
+	if bw <= 0 {
+		bw = 10e9
+	}
+	charged := bytes
+	if class == OpRPC && bytes <= m.EagerLimit {
+		charged = 0
+	}
+	return over + time.Duration(float64(charged)/bw*float64(time.Second))
+}

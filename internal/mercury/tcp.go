@@ -1,0 +1,192 @@
+package mercury
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mochi/internal/codec"
+)
+
+// maxFrame bounds a single TCP frame (64 MiB) to protect against
+// corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// NewTCPClass starts a real TCP endpoint listening on listenAddr
+// (e.g. "127.0.0.1:0"). Its address is "tcp://<host:port>". It is
+// wire-compatible with other TCP classes of this package and is used
+// by cmd/bedrock for multi-OS-process deployments.
+func NewTCPClass(listenAddr string) (*Class, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("mercury: listen: %w", err)
+	}
+	tr := &tcpTransport{
+		listener: ln,
+		address:  "tcp://" + ln.Addr().String(),
+		conns:    map[string]*tcpConn{},
+		done:     make(chan struct{}),
+	}
+	cls := newClass(tr)
+	tr.class = cls
+	go tr.acceptLoop()
+	return cls, nil
+}
+
+type tcpTransport struct {
+	listener net.Listener
+	address  string
+	class    *Class
+
+	mu       sync.Mutex
+	conns    map[string]*tcpConn
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+type tcpConn struct {
+	c  net.Conn
+	wm sync.Mutex // serializes frame writes
+}
+
+func (t *tcpTransport) addr() string { return t.address }
+
+func (t *tcpTransport) acceptLoop() {
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		go t.readLoop(conn)
+	}
+}
+
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.class.dispatch(m)
+	}
+}
+
+func (t *tcpTransport) getConn(dst string) (*tcpConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[dst]; ok {
+		return c, nil
+	}
+	host := dst
+	if len(dst) > 6 && dst[:6] == "tcp://" {
+		host = dst[6:]
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, dst, err)
+	}
+	tc := &tcpConn{c: conn}
+	t.conns[dst] = tc
+	// Responses to our outbound requests come back on this same
+	// connection; read them.
+	go func() {
+		defer func() {
+			t.mu.Lock()
+			if t.conns[dst] == tc {
+				delete(t.conns, dst)
+			}
+			t.mu.Unlock()
+			conn.Close()
+		}()
+		for {
+			m, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			t.class.dispatch(m)
+		}
+	}()
+	return tc, nil
+}
+
+func (t *tcpTransport) send(ctx context.Context, dst string, m *message) error {
+	select {
+	case <-t.done:
+		return ErrClassClosed
+	default:
+	}
+	tc, err := t.getConn(dst)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(tc, m); err != nil {
+		// Connection broke: forget it so the next send redials.
+		t.mu.Lock()
+		if t.conns[dst] == tc {
+			delete(t.conns, dst)
+		}
+		t.mu.Unlock()
+		tc.c.Close()
+		return fmt.Errorf("%w: %s (%v)", ErrUnreachable, dst, err)
+	}
+	_ = ctx
+	return nil
+}
+
+func (t *tcpTransport) close() error {
+	t.stopOnce.Do(func() {
+		close(t.done)
+		t.listener.Close()
+		t.mu.Lock()
+		for _, c := range t.conns {
+			c.c.Close()
+		}
+		t.conns = map[string]*tcpConn{}
+		t.mu.Unlock()
+	})
+	return nil
+}
+
+func writeFrame(tc *tcpConn, m *message) error {
+	enc := codec.NewEncoder(nil)
+	m.MarshalMochi(enc)
+	body := enc.Bytes()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	tc.wm.Lock()
+	defer tc.wm.Unlock()
+	if _, err := tc.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := tc.c.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (*message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("mercury: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m message
+	if err := codec.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

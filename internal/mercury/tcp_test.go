@@ -1,0 +1,126 @@
+package mercury
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTCPPair(t *testing.T) (*Class, *Class) {
+	t.Helper()
+	a, err := NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPEcho(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.Register("echo", func(h *Handle) { _ = h.Respond(h.Input()) })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := a.Forward(ctx, b.Addr(), NameToID("echo"), []byte("over tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "over tcp" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.Register("len", func(h *Handle) { _ = h.Respond(h.Input()) })
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := a.Forward(ctx, b.Addr(), NameToID("len"), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(payload) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range out {
+		if out[i] != payload[i] {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+}
+
+func TestTCPBulkTransfer(t *testing.T) {
+	a, b := newTCPPair(t)
+	data := []byte("tcp bulk data!")
+	remote := b.CreateBulk(data, BulkReadOnly)
+	local := a.CreateBulk(make([]byte, len(data)), BulkReadWrite)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.BulkTransfer(ctx, BulkPull, remote.Descriptor(), 0, local, 0, uint64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if string(local.mem) != string(data) {
+		t.Fatalf("got %q", local.mem)
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	a, _ := newTCPPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := a.Forward(ctx, "tcp://127.0.0.1:1", NameToID("echo"), nil)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPConcurrent(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.Register("echo", func(h *Handle) { _ = h.Respond(h.Input()) })
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := a.Forward(ctx, b.Addr(), NameToID("echo"), []byte("x")); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPPeerShutdownThenError(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.Register("echo", func(h *Handle) { _ = h.Respond(h.Input()) })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := a.Forward(ctx, b.Addr(), NameToID("echo"), nil); err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	b.Close()
+	time.Sleep(50 * time.Millisecond)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if _, err := a.Forward(ctx2, addr, NameToID("echo"), nil); err == nil {
+		t.Fatal("forward to closed peer succeeded")
+	}
+}

@@ -1,0 +1,151 @@
+// Package modules provides the Bedrock module adapters for the
+// built-in components (yokan, warabi, poesie), the Go analogue of the
+// .so files a C Bedrock deployment lists in its "libraries" section.
+// Importing this package (or calling RegisterBuiltins) makes the
+// types instantiable from Bedrock configurations.
+package modules
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/remi"
+	"mochi/internal/warabi"
+	"mochi/internal/yokan"
+)
+
+var registerOnce sync.Once
+
+// RegisterBuiltins registers the yokan, warabi and poesie modules.
+// It is idempotent.
+func RegisterBuiltins() {
+	registerOnce.Do(func() {
+		bedrock.RegisterModule(&YokanModule{})
+		bedrock.RegisterModule(&WarabiModule{})
+		bedrock.RegisterModule(&PoesieModule{})
+	})
+}
+
+// YokanModule instantiates key-value providers.
+type YokanModule struct{}
+
+// Type implements bedrock.Module.
+func (*YokanModule) Type() string { return "yokan" }
+
+// yokanInstance adapts yokan.Provider to the bedrock instance
+// interfaces, including migration and checkpointing.
+type yokanInstance struct {
+	prov *yokan.Provider
+	dir  string // checkpoint/restore dir override (unused: dir comes per call)
+}
+
+func (y *yokanInstance) Config() (json.RawMessage, error) { return y.prov.Config() }
+func (y *yokanInstance) Close() error                     { return y.prov.Close() }
+func (y *yokanInstance) Files() []string                  { return y.prov.Files() }
+func (y *yokanInstance) Flush() error                     { return y.prov.Flush() }
+func (y *yokanInstance) Checkpoint(dir string) error      { return y.prov.Checkpoint(dir) }
+func (y *yokanInstance) Restore(dir string) error         { return y.prov.Restore(dir) }
+
+// Provider exposes the wrapped yokan provider for local composition.
+func (y *yokanInstance) Provider() *yokan.Provider { return y.prov }
+
+var (
+	_ bedrock.Migratable     = (*yokanInstance)(nil)
+	_ bedrock.Checkpointable = (*yokanInstance)(nil)
+)
+
+// StartProvider implements bedrock.Module.
+func (*YokanModule) StartProvider(args bedrock.ProviderArgs) (bedrock.ProviderInstance, error) {
+	prov, err := yokan.NewProviderJSON(args.Instance, args.ProviderID, args.Pool, args.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &yokanInstance{prov: prov}, nil
+}
+
+// ReceiveProvider implements bedrock.MigrationReceiver: it points the
+// database config at the migrated file under the destination root.
+func (m *YokanModule) ReceiveProvider(args bedrock.ProviderArgs, fs *remi.FileSet) (bedrock.ProviderInstance, error) {
+	var cfg yokan.Config
+	if len(args.Config) > 0 {
+		if err := json.Unmarshal(args.Config, &cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Type == "log" {
+		if len(fs.Files) != 1 {
+			return nil, fmt.Errorf("modules: yokan log migration expects 1 file, got %d", len(fs.Files))
+		}
+		cfg.Path = filepath.Join(fs.Root, fs.Files[0].RelPath)
+	}
+	prov, err := yokan.NewProvider(args.Instance, args.ProviderID, args.Pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &yokanInstance{prov: prov}, nil
+}
+
+var _ bedrock.MigrationReceiver = (*YokanModule)(nil)
+
+// WarabiModule instantiates blob-storage providers.
+type WarabiModule struct{}
+
+// Type implements bedrock.Module.
+func (*WarabiModule) Type() string { return "warabi" }
+
+type warabiInstance struct {
+	prov *warabi.Provider
+}
+
+func (w *warabiInstance) Config() (json.RawMessage, error) { return w.prov.Config() }
+func (w *warabiInstance) Close() error                     { return w.prov.Close() }
+func (w *warabiInstance) Files() []string                  { return w.prov.Files() }
+func (w *warabiInstance) Flush() error                     { return nil }
+
+// Provider exposes the wrapped warabi provider.
+func (w *warabiInstance) Provider() *warabi.Provider { return w.prov }
+
+var _ bedrock.Migratable = (*warabiInstance)(nil)
+
+// StartProvider implements bedrock.Module.
+func (*WarabiModule) StartProvider(args bedrock.ProviderArgs) (bedrock.ProviderInstance, error) {
+	var cfg warabi.Config
+	if len(args.Config) > 0 {
+		if err := json.Unmarshal(args.Config, &cfg); err != nil {
+			return nil, err
+		}
+	}
+	prov, err := warabi.NewProvider(args.Instance, args.ProviderID, args.Pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &warabiInstance{prov: prov}, nil
+}
+
+// ReceiveProvider implements bedrock.MigrationReceiver for the file
+// backend: the received region files live under the destination root.
+func (m *WarabiModule) ReceiveProvider(args bedrock.ProviderArgs, fs *remi.FileSet) (bedrock.ProviderInstance, error) {
+	var cfg warabi.Config
+	if len(args.Config) > 0 {
+		if err := json.Unmarshal(args.Config, &cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Type == "file" {
+		// Region files arrive flat under the fileset root.
+		cfg.Dir = fs.Root
+		if len(fs.Files) > 0 {
+			cfg.Dir = filepath.Join(fs.Root, filepath.Dir(fs.Files[0].RelPath))
+		}
+	}
+	prov, err := warabi.NewProvider(args.Instance, args.ProviderID, args.Pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &warabiInstance{prov: prov}, nil
+}
+
+var _ bedrock.MigrationReceiver = (*WarabiModule)(nil)

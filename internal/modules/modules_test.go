@@ -1,0 +1,103 @@
+package modules
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+func TestRegisterBuiltinsIdempotent(t *testing.T) {
+	RegisterBuiltins()
+	RegisterBuiltins()
+	for _, typ := range []string{"yokan", "warabi", "poesie"} {
+		if _, ok := bedrock.LookupModule(typ); !ok {
+			t.Fatalf("module %q not registered", typ)
+		}
+	}
+	if _, ok := bedrock.LookupModule("nope"); ok {
+		t.Fatal("phantom module")
+	}
+}
+
+func TestModulesInstantiateAndReport(t *testing.T) {
+	RegisterBuiltins()
+	f := mercury.NewFabric()
+	cls, err := f.NewClass("mods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := margo.New(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+
+	cases := []struct {
+		typ  string
+		cfg  string
+		want string // substring of the reported config
+	}{
+		{"yokan", `{"type":"skiplist"}`, "skiplist"},
+		{"warabi", `{"type":"memory"}`, "memory"},
+		{"poesie", `{"max_steps": 500}`, "500"},
+	}
+	for i, c := range cases {
+		mod, _ := bedrock.LookupModule(c.typ)
+		pi, err := mod.StartProvider(bedrock.ProviderArgs{
+			Instance:   inst,
+			Name:       c.typ + "-test",
+			ProviderID: uint16(10 + i),
+			Config:     json.RawMessage(c.cfg),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.typ, err)
+		}
+		raw, err := pi.Config()
+		if err != nil {
+			t.Fatalf("%s config: %v", c.typ, err)
+		}
+		if !json.Valid(raw) {
+			t.Fatalf("%s config not JSON: %s", c.typ, raw)
+		}
+		if want := c.want; want != "" && !containsStr(string(raw), want) {
+			t.Fatalf("%s config %s missing %q", c.typ, raw, want)
+		}
+		if err := pi.Close(); err != nil {
+			t.Fatalf("%s close: %v", c.typ, err)
+		}
+	}
+}
+
+func TestModuleBadConfigRejected(t *testing.T) {
+	RegisterBuiltins()
+	f := mercury.NewFabric()
+	cls, _ := f.NewClass("mods-bad")
+	inst, err := margo.New(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Finalize()
+	for _, typ := range []string{"yokan", "warabi", "poesie"} {
+		mod, _ := bedrock.LookupModule(typ)
+		if _, err := mod.StartProvider(bedrock.ProviderArgs{
+			Instance:   inst,
+			Name:       "bad",
+			ProviderID: 1,
+			Config:     json.RawMessage(`{broken`),
+		}); err == nil {
+			t.Fatalf("%s accepted broken config", typ)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

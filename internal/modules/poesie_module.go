@@ -1,0 +1,39 @@
+package modules
+
+import (
+	"encoding/json"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/poesie"
+)
+
+// PoesieModule instantiates script-interpreter providers.
+type PoesieModule struct{}
+
+// Type implements bedrock.Module.
+func (*PoesieModule) Type() string { return "poesie" }
+
+type poesieInstance struct {
+	prov *poesie.Provider
+}
+
+func (p *poesieInstance) Config() (json.RawMessage, error) { return p.prov.Config() }
+func (p *poesieInstance) Close() error                     { return p.prov.Close() }
+
+// Provider exposes the wrapped poesie provider.
+func (p *poesieInstance) Provider() *poesie.Provider { return p.prov }
+
+// StartProvider implements bedrock.Module.
+func (*PoesieModule) StartProvider(args bedrock.ProviderArgs) (bedrock.ProviderInstance, error) {
+	var cfg poesie.Config
+	if len(args.Config) > 0 {
+		if err := json.Unmarshal(args.Config, &cfg); err != nil {
+			return nil, err
+		}
+	}
+	prov, err := poesie.NewProvider(args.Instance, args.ProviderID, args.Pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &poesieInstance{prov: prov}, nil
+}

@@ -1,0 +1,193 @@
+// Package poesie is the embedded-interpreter component (paper §3.2:
+// "Mochi's embedded language interpreter component (Poesie), to
+// execute scripts"). A provider hosts a scripting engine (the jx9
+// interpreter) with a persistent per-provider variable environment;
+// clients submit scripts for remote execution.
+package poesie
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mochi/internal/argobots"
+	"mochi/internal/codec"
+	"mochi/internal/jx9"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// RPC names.
+const (
+	RPCExecute = "poesie_execute"
+	RPCReset   = "poesie_reset"
+)
+
+// ErrScript wraps remote script failures.
+var ErrScript = errors.New("poesie: script error")
+
+// Config parameterizes a provider.
+type Config struct {
+	// Language is kept for fidelity with Poesie's multi-language
+	// design; only "jx9" is supported.
+	Language string `json:"language,omitempty"`
+	// MaxSteps bounds script execution (default 1e6).
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// Provider executes scripts in a persistent environment.
+type Provider struct {
+	inst *margo.Instance
+	id   uint16
+	cfg  Config
+
+	mu  sync.Mutex
+	env map[string]jx9.Value
+}
+
+// NewProvider creates a poesie provider.
+func NewProvider(inst *margo.Instance, id uint16, pool *argobots.Pool, cfg Config) (*Provider, error) {
+	if cfg.Language != "" && cfg.Language != "jx9" {
+		return nil, fmt.Errorf("poesie: unsupported language %q", cfg.Language)
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1e6
+	}
+	p := &Provider{inst: inst, id: id, cfg: cfg, env: map[string]jx9.Value{}}
+	if _, err := inst.RegisterProvider(RPCExecute, id, pool, p.handleExecute); err != nil {
+		return nil, err
+	}
+	if _, err := inst.RegisterProvider(RPCReset, id, pool, p.handleReset); err != nil {
+		inst.DeregisterProvider(RPCExecute, id)
+		return nil, err
+	}
+	return p, nil
+}
+
+// ID returns the provider ID.
+func (p *Provider) ID() uint16 { return p.id }
+
+// Config returns the provider configuration as JSON.
+func (p *Provider) Config() ([]byte, error) { return json.Marshal(p.cfg) }
+
+// Close deregisters the provider.
+func (p *Provider) Close() error {
+	p.inst.DeregisterProvider(RPCExecute, p.id)
+	p.inst.DeregisterProvider(RPCReset, p.id)
+	return nil
+}
+
+type execArgs struct {
+	Script string
+}
+
+func (a *execArgs) MarshalMochi(e *codec.Encoder)   { e.String(a.Script) }
+func (a *execArgs) UnmarshalMochi(d *codec.Decoder) { a.Script = d.String() }
+
+type execReply struct {
+	OK     bool
+	Err    string
+	Result string // JSON of the return value
+	Output string // print() output
+}
+
+func (r *execReply) MarshalMochi(e *codec.Encoder) {
+	e.Bool(r.OK)
+	e.String(r.Err)
+	e.String(r.Result)
+	e.String(r.Output)
+}
+
+func (r *execReply) UnmarshalMochi(d *codec.Decoder) {
+	r.OK = d.Bool()
+	r.Err = d.String()
+	r.Result = d.String()
+	r.Output = d.String()
+}
+
+func (p *Provider) handleExecute(_ context.Context, h *mercury.Handle) {
+	var args execArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	engine := jx9.Engine{MaxSteps: p.cfg.MaxSteps}
+	p.mu.Lock()
+	globals := make(map[string]jx9.Value, len(p.env))
+	for k, v := range p.env {
+		globals[k] = v
+	}
+	res, err := engine.Run(args.Script, globals)
+	// Persist the final environment so scripts can leave state behind
+	// for later invocations.
+	if res.Globals != nil {
+		p.env = res.Globals
+	}
+	p.mu.Unlock()
+	var reply execReply
+	if err != nil {
+		reply.Err = err.Error()
+	} else {
+		reply.OK = true
+		reply.Result = res.Return.String()
+		reply.Output = res.Output
+	}
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (p *Provider) handleReset(_ context.Context, h *mercury.Handle) {
+	p.mu.Lock()
+	p.env = map[string]jx9.Value{}
+	p.mu.Unlock()
+	_ = h.Respond(codec.Marshal(&execReply{OK: true}))
+}
+
+// Client executes scripts on remote poesie providers.
+type Client struct {
+	inst *margo.Instance
+}
+
+// NewClient creates a poesie client.
+func NewClient(inst *margo.Instance) *Client {
+	return &Client{inst: inst}
+}
+
+// Handle addresses one remote interpreter.
+type Handle struct {
+	client   *Client
+	addr     string
+	provider uint16
+}
+
+// Handle returns a handle to the interpreter at (addr, providerID).
+func (c *Client) Handle(addr string, providerID uint16) *Handle {
+	return &Handle{client: c, addr: addr, provider: providerID}
+}
+
+// Execute runs a script remotely and returns (result JSON, output).
+func (h *Handle) Execute(ctx context.Context, script string) (string, string, error) {
+	out, err := h.client.inst.ForwardProvider(ctx, h.addr, RPCExecute, h.provider, codec.Marshal(&execArgs{Script: script}))
+	if err != nil {
+		return "", "", err
+	}
+	var reply execReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return "", "", err
+	}
+	if !reply.OK {
+		return "", "", fmt.Errorf("%w: %s", ErrScript, reply.Err)
+	}
+	return reply.Result, reply.Output, nil
+}
+
+// Reset clears the remote interpreter's environment.
+func (h *Handle) Reset(ctx context.Context) error {
+	out, err := h.client.inst.ForwardProvider(ctx, h.addr, RPCReset, h.provider, nil)
+	if err != nil {
+		return err
+	}
+	var reply execReply
+	return codec.Unmarshal(out, &reply)
+}

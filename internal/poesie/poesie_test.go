@@ -1,0 +1,128 @@
+package poesie
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+func newEnv(t *testing.T) (*Provider, *Handle) {
+	t.Helper()
+	f := mercury.NewFabric()
+	scls, _ := f.NewClass("po-srv")
+	ccls, _ := f.NewClass("po-cli")
+	server, err := margo.New(scls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := margo.New(ccls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := NewProvider(server, 9, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		prov.Close()
+		server.Finalize()
+		client.Finalize()
+	})
+	return prov, NewClient(client).Handle(server.Addr(), 9)
+}
+
+func pctx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRemoteExecute(t *testing.T) {
+	_, h := newEnv(t)
+	result, output, err := h.Execute(pctx(t), `print("hi"); return 6 * 7;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != "42" || output != "hi" {
+		t.Fatalf("result=%q output=%q", result, output)
+	}
+}
+
+func TestEnvironmentPersistsAcrossCalls(t *testing.T) {
+	_, h := newEnv(t)
+	ctx := pctx(t)
+	if _, _, err := h.Execute(ctx, `$counter = 10;`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Execute(ctx, `$counter = $counter + 5;`); err != nil {
+		t.Fatal(err)
+	}
+	result, _, err := h.Execute(ctx, `return $counter;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != "15" {
+		t.Fatalf("counter = %s", result)
+	}
+}
+
+func TestResetClearsEnvironment(t *testing.T) {
+	_, h := newEnv(t)
+	ctx := pctx(t)
+	if _, _, err := h.Execute(ctx, `$x = 1;`); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Reset(ctx); err != nil {
+		t.Fatal(err)
+	}
+	result, _, err := h.Execute(ctx, `return is_null($x);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != "true" {
+		t.Fatalf("x survived reset: %s", result)
+	}
+}
+
+func TestScriptErrorPropagates(t *testing.T) {
+	_, h := newEnv(t)
+	_, _, err := h.Execute(pctx(t), `return 1 / 0;`)
+	if !errors.Is(err, ErrScript) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunawayScriptBounded(t *testing.T) {
+	f := mercury.NewFabric()
+	scls, _ := f.NewClass("po-bound")
+	ccls, _ := f.NewClass("po-bound-cli")
+	server, _ := margo.New(scls, nil)
+	defer server.Finalize()
+	client, _ := margo.New(ccls, nil)
+	defer client.Finalize()
+	prov, err := NewProvider(server, 1, nil, Config{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+	h := NewClient(client).Handle(server.Addr(), 1)
+	_, _, err = h.Execute(pctx(t), `while (true) { $x = 1; }`)
+	if !errors.Is(err, ErrScript) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnsupportedLanguageRejected(t *testing.T) {
+	f := mercury.NewFabric()
+	cls, _ := f.NewClass("po-lang")
+	inst, _ := margo.New(cls, nil)
+	defer inst.Finalize()
+	if _, err := NewProvider(inst, 1, nil, Config{Language: "python"}); err == nil {
+		t.Fatal("python accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package pufferscale_test
+
+import (
+	"fmt"
+
+	"mochi/internal/pufferscale"
+)
+
+// Scale a service from one node to three: the plan spreads the
+// databases by size while reporting how many bytes must move.
+func ExampleRebalance() {
+	resources := []pufferscale.Resource{
+		{ID: "db-a", Node: "n0", Load: 10, Size: 300},
+		{ID: "db-b", Node: "n0", Load: 10, Size: 300},
+		{ID: "db-c", Node: "n0", Load: 10, Size: 300},
+	}
+	plan, _ := pufferscale.Rebalance(resources, []string{"n0", "n1", "n2"},
+		pufferscale.Objectives{WData: 1})
+	fmt.Printf("moves=%d bytes=%.0f imbalance=%.2f\n",
+		len(plan.Moves), plan.BytesMoved, plan.DataImbalance())
+	for _, m := range plan.Moves {
+		fmt.Printf("%s: %s -> %s\n", m.ResourceID, m.From, m.To)
+	}
+	// Output:
+	// moves=2 bytes=600 imbalance=1.00
+	// db-b: n0 -> n1
+	// db-c: n0 -> n2
+}

@@ -1,0 +1,136 @@
+package raft
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+)
+
+// Client submits commands to a Raft group from any process, following
+// leader hints and retrying across elections.
+type Client struct {
+	inst  *margo.Instance
+	group string
+	// seeds are addresses of known members.
+	seeds []string
+	// RetryInterval between attempts (default 50ms).
+	RetryInterval time.Duration
+}
+
+// NewClient creates a client for the group reachable via seeds.
+func NewClient(inst *margo.Instance, group string, seeds []string) *Client {
+	return &Client{inst: inst, group: group, seeds: seeds, RetryInterval: 50 * time.Millisecond}
+}
+
+// Apply submits a command, retrying until ctx expires.
+func (c *Client) Apply(ctx context.Context, cmd []byte) ([]byte, error) {
+	args := applyArgs{Group: c.group, Cmd: cmd}
+	payload := codec.Marshal(&args)
+	target := ""
+	var lastErr error
+	for {
+		candidates := c.seeds
+		if target != "" {
+			candidates = append([]string{target}, c.seeds...)
+		}
+		for _, addr := range candidates {
+			out, err := c.inst.Forward(ctx, addr, rpcApply, payload)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			var reply applyReply
+			if err := codec.Unmarshal(out, &reply); err != nil {
+				lastErr = err
+				continue
+			}
+			if reply.OK {
+				return reply.Result, nil
+			}
+			lastErr = fmt.Errorf("raft: %s", reply.Err)
+			if reply.LeaderHint != "" && reply.LeaderHint != addr {
+				target = reply.LeaderHint
+				break // try the hinted leader next round, immediately
+			}
+		}
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last: %v)", ErrTimeout, lastErr)
+			}
+			return nil, ErrTimeout
+		case <-time.After(c.RetryInterval):
+		}
+	}
+}
+
+// AddServer asks the group to add a member.
+func (c *Client) AddServer(ctx context.Context, addr string) error {
+	return c.configChange(ctx, addr, false)
+}
+
+// RemoveServer asks the group to remove a member.
+func (c *Client) RemoveServer(ctx context.Context, addr string) error {
+	return c.configChange(ctx, addr, true)
+}
+
+func (c *Client) configChange(ctx context.Context, addr string, remove bool) error {
+	args := configChangeArgs{Group: c.group, Addr: addr, Remove: remove}
+	payload := codec.Marshal(&args)
+	var lastErr error
+	for {
+		for _, seed := range c.seeds {
+			out, err := c.inst.Forward(ctx, seed, rpcConfigChange, payload)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			var reply applyReply
+			if err := codec.Unmarshal(out, &reply); err != nil {
+				lastErr = err
+				continue
+			}
+			if reply.OK {
+				return nil
+			}
+			lastErr = fmt.Errorf("raft: %s", reply.Err)
+			// Config errors other than leadership are terminal.
+			if !strings.Contains(reply.Err, "not the leader") && !strings.Contains(reply.Err, "no known leader") {
+				return lastErr
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w (last: %v)", ErrTimeout, lastErr)
+		case <-time.After(c.RetryInterval):
+		}
+	}
+}
+
+// Status fetches the protocol status of the member at addr.
+func (c *Client) Status(ctx context.Context, addr string) (Status, error) {
+	out, err := c.inst.Forward(ctx, addr, rpcStatus, codec.Marshal(&statusArgs{Group: c.group}))
+	if err != nil {
+		return Status{}, err
+	}
+	var reply statusReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return Status{}, err
+	}
+	if !reply.OK {
+		return Status{}, fmt.Errorf("raft: no group %q at %s", c.group, addr)
+	}
+	return Status{
+		ID:          addr,
+		Role:        Role(reply.Role),
+		Term:        reply.Term,
+		Leader:      reply.Leader,
+		CommitIndex: reply.CommitIndex,
+		LastApplied: reply.LastApplied,
+		Peers:       reply.Peers,
+	}, nil
+}

@@ -1,0 +1,1270 @@
+package raft
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mochi/internal/clock"
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// Config tunes protocol timing.
+type Config struct {
+	// ElectionTimeoutMin/Max bound the randomized election timeout
+	// (defaults 150ms/300ms).
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// HeartbeatInterval is the leader's idle append cadence (default
+	// ElectionTimeoutMin/3).
+	HeartbeatInterval time.Duration
+	// SnapshotThreshold triggers automatic compaction after this many
+	// applied entries since the last snapshot (0 disables).
+	SnapshotThreshold uint64
+	// MaxEntriesPerAppend caps entries per AppendEntries RPC
+	// (default 64).
+	MaxEntriesPerAppend int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ElectionTimeoutMin <= 0 {
+		c.ElectionTimeoutMin = 150 * time.Millisecond
+	}
+	if c.ElectionTimeoutMax <= c.ElectionTimeoutMin {
+		c.ElectionTimeoutMax = 2 * c.ElectionTimeoutMin
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.ElectionTimeoutMin / 3
+	}
+	if c.MaxEntriesPerAppend <= 0 {
+		c.MaxEntriesPerAppend = 64
+	}
+	return c
+}
+
+// Status is a snapshot of a node's protocol state.
+type Status struct {
+	ID          string
+	Role        Role
+	Term        uint64
+	Leader      string
+	CommitIndex uint64
+	LastApplied uint64
+	Peers       []string
+}
+
+type applyResult struct {
+	result []byte
+	term   uint64
+}
+
+type raftRegistry struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+var raftRegistries sync.Map // *margo.Instance -> *raftRegistry
+
+func raftRegistryFor(inst *margo.Instance) (*raftRegistry, error) {
+	if r, ok := raftRegistries.Load(inst); ok {
+		return r.(*raftRegistry), nil
+	}
+	r := &raftRegistry{nodes: map[string]*Node{}}
+	actual, loaded := raftRegistries.LoadOrStore(inst, r)
+	reg := actual.(*raftRegistry)
+	if !loaded {
+		handlers := map[string]margo.Handler{
+			rpcRequestVote:     reg.handleRequestVote,
+			rpcAppendEntries:   reg.handleAppendEntries,
+			rpcInstallSnapshot: reg.handleInstallSnapshot,
+			rpcApply:           reg.handleApply,
+			rpcConfigChange:    reg.handleConfigChange,
+			rpcStatus:          reg.handleStatus,
+		}
+		for name, h := range handlers {
+			if _, err := inst.Register(name, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return reg, nil
+}
+
+func (r *raftRegistry) lookup(group string) *Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nodes[group]
+}
+
+// Node is one member of a Raft group.
+type Node struct {
+	inst  *margo.Instance
+	clk   clock.Clock
+	group string
+	id    string
+	store Store
+	fsm   FSM
+	cfg   Config
+
+	mu               sync.Mutex
+	role             Role
+	term             uint64
+	votedFor         string
+	leader           string
+	peers            []string
+	commitIndex      uint64
+	lastApplied      uint64
+	nextIndex        map[string]uint64
+	matchIndex       map[string]uint64
+	waiters          map[uint64]chan applyResult
+	pendingConfig    uint64 // index of uncommitted config entry, 0 if none
+	appliedSinceSnap uint64
+	stopped          bool
+	leaderGen        uint64 // increments on every leadership change
+
+	electionReset chan struct{}
+	applyNotify   chan struct{}
+	replNotify    map[string]chan struct{}
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	rng   *rand.Rand
+	rngMu sync.Mutex
+}
+
+// NewNode creates and starts a Raft member. peers is the initial
+// configuration (must be identical on every member and include this
+// node's address). A store with existing state resumes from it.
+func NewNode(inst *margo.Instance, group string, peers []string, store Store, fsm FSM, cfg Config) (*Node, error) {
+	reg, err := raftRegistryFor(inst)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		inst:          inst,
+		clk:           inst.Clock(),
+		group:         group,
+		id:            inst.Addr(),
+		store:         store,
+		fsm:           fsm,
+		cfg:           cfg.withDefaults(),
+		role:          Follower,
+		peers:         append([]string(nil), peers...),
+		waiters:       map[uint64]chan applyResult{},
+		nextIndex:     map[string]uint64{},
+		matchIndex:    map[string]uint64{},
+		electionReset: make(chan struct{}, 1),
+		applyNotify:   make(chan struct{}, 1),
+		replNotify:    map[string]chan struct{}{},
+		stopCh:        make(chan struct{}),
+		rng:           rand.New(rand.NewSource(int64(mercury.NameToID(inst.Addr() + "/" + group)))),
+	}
+	// Recover persistent state.
+	term, voted, err := store.State()
+	if err != nil {
+		return nil, err
+	}
+	n.term, n.votedFor = term, voted
+	if data, idx, _, err := store.Snapshot(); err == nil && idx > 0 {
+		var env snapshotEnvelope
+		if err := codec.Unmarshal(data, &env); err != nil {
+			return nil, fmt.Errorf("raft: corrupt snapshot: %w", err)
+		}
+		if err := fsm.Restore(env.FSM); err != nil {
+			return nil, err
+		}
+		n.peers = env.Peers
+		n.commitIndex, n.lastApplied = idx, idx
+	}
+	// Replay configuration entries from the log.
+	first, last := store.FirstIndex(), store.LastIndex()
+	for i := first; i <= last && i >= first; i++ {
+		e, err := store.Entry(i)
+		if err != nil {
+			break
+		}
+		if e.Type == EntryConfig {
+			var ps []string
+			if json.Unmarshal(e.Data, &ps) == nil {
+				n.peers = ps
+			}
+		}
+	}
+
+	reg.mu.Lock()
+	if _, dup := reg.nodes[group]; dup {
+		reg.mu.Unlock()
+		return nil, fmt.Errorf("raft: group %q already exists on %s", group, n.id)
+	}
+	reg.nodes[group] = n
+	reg.mu.Unlock()
+
+	n.wg.Add(2)
+	go n.electionLoop()
+	go n.applier()
+	return n, nil
+}
+
+// ID returns this node's address.
+func (n *Node) ID() string { return n.id }
+
+// Group returns the group name.
+func (n *Node) Group() string { return n.group }
+
+// Status returns a snapshot of protocol state.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Status{
+		ID:          n.id,
+		Role:        n.role,
+		Term:        n.term,
+		Leader:      n.leader,
+		CommitIndex: n.commitIndex,
+		LastApplied: n.lastApplied,
+		Peers:       append([]string(nil), n.peers...),
+	}
+}
+
+// Leader returns the current leader hint ("" if unknown).
+func (n *Node) Leader() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leader
+}
+
+// IsLeader reports whether this node currently leads.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == Leader
+}
+
+// Stop halts the node. The store is not closed.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		n.mu.Lock()
+		n.stopped = true
+		n.leaderGen++ // terminates replicators
+		for idx, ch := range n.waiters {
+			close(ch)
+			delete(n.waiters, idx)
+		}
+		n.mu.Unlock()
+		close(n.stopCh)
+	})
+	n.wg.Wait()
+	if r, ok := raftRegistries.Load(n.inst); ok {
+		reg := r.(*raftRegistry)
+		reg.mu.Lock()
+		if reg.nodes[n.group] == n {
+			delete(reg.nodes, n.group)
+		}
+		reg.mu.Unlock()
+	}
+}
+
+// --- election ---
+
+func (n *Node) electionTimeout() time.Duration {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	return n.cfg.ElectionTimeoutMin + time.Duration(n.rng.Int63n(int64(span)+1))
+}
+
+func (n *Node) electionLoop() {
+	defer n.wg.Done()
+	for {
+		timer := n.clk.NewTimer(n.electionTimeout())
+		select {
+		case <-n.stopCh:
+			timer.Stop()
+			return
+		case <-n.electionReset:
+			timer.Stop()
+			continue
+		case <-timer.C():
+			n.maybeStartElection()
+		}
+	}
+}
+
+func (n *Node) resetElectionTimer() {
+	select {
+	case n.electionReset <- struct{}{}:
+	default:
+	}
+}
+
+func (n *Node) inConfigLocked() bool {
+	for _, p := range n.peers {
+		if p == n.id {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) maybeStartElection() {
+	n.mu.Lock()
+	if n.stopped || n.role == Leader || !n.inConfigLocked() {
+		n.mu.Unlock()
+		return
+	}
+	n.role = Candidate
+	n.term++
+	n.votedFor = n.id
+	n.leader = ""
+	term := n.term
+	if err := n.store.SetState(n.term, n.votedFor); err != nil {
+		n.mu.Unlock()
+		return
+	}
+	lastIdx := n.store.LastIndex()
+	lastTerm, _ := n.store.Term(lastIdx)
+	peers := append([]string(nil), n.peers...)
+	n.mu.Unlock()
+
+	votes := 1 // self
+	needed := len(peers)/2 + 1
+	var voteMu sync.Mutex
+	won := make(chan struct{}, 1)
+	if votes >= needed {
+		n.becomeLeader(term)
+		return
+	}
+	args := requestVoteArgs{
+		Group:        n.group,
+		Term:         term,
+		Candidate:    n.id,
+		LastLogIndex: lastIdx,
+		LastLogTerm:  lastTerm,
+	}
+	payload := codec.Marshal(&args)
+	for _, p := range peers {
+		if p == n.id {
+			continue
+		}
+		go func(p string) {
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeoutMin)
+			defer cancel()
+			out, err := n.inst.Forward(ctx, p, rpcRequestVote, payload)
+			if err != nil {
+				return
+			}
+			var reply requestVoteReply
+			if err := codec.Unmarshal(out, &reply); err != nil {
+				return
+			}
+			if reply.Term > term {
+				n.stepDown(reply.Term, "")
+				return
+			}
+			if reply.Granted {
+				voteMu.Lock()
+				votes++
+				reached := votes == needed
+				voteMu.Unlock()
+				if reached {
+					select {
+					case won <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}(p)
+	}
+	// Wait for a majority within the election timeout; otherwise a
+	// new election fires from the loop.
+	timer := n.clk.NewTimer(n.cfg.ElectionTimeoutMin)
+	defer timer.Stop()
+	select {
+	case <-won:
+		n.becomeLeader(term)
+	case <-timer.C():
+	case <-n.stopCh:
+	}
+}
+
+func (n *Node) becomeLeader(term uint64) {
+	n.mu.Lock()
+	if n.stopped || n.term != term || n.role != Candidate {
+		n.mu.Unlock()
+		return
+	}
+	n.role = Leader
+	n.leader = n.id
+	n.leaderGen++
+	gen := n.leaderGen
+	last := n.store.LastIndex()
+	for _, p := range n.peers {
+		n.nextIndex[p] = last + 1
+		n.matchIndex[p] = 0
+	}
+	peers := append([]string(nil), n.peers...)
+	n.mu.Unlock()
+
+	// Commit entries from previous terms by appending a no-op at the
+	// current term (§5.4.2 of the Raft paper).
+	n.appendLocal(LogEntry{Type: EntryNoop})
+
+	for _, p := range peers {
+		if p != n.id {
+			n.startReplicator(p, term, gen)
+		}
+	}
+	// Single-node groups commit immediately.
+	n.advanceCommit()
+}
+
+// stepDown transitions to follower at the given (higher) term.
+func (n *Node) stepDown(term uint64, leader string) {
+	n.mu.Lock()
+	if term > n.term {
+		n.term = term
+		n.votedFor = ""
+		_ = n.store.SetState(n.term, n.votedFor)
+	}
+	if n.role == Leader {
+		n.leaderGen++
+	}
+	n.role = Follower
+	if leader != "" {
+		n.leader = leader
+	}
+	n.mu.Unlock()
+	n.resetElectionTimer()
+}
+
+// --- log append / replication ---
+
+// appendLocal appends an entry at the leader and returns its index.
+func (n *Node) appendLocal(e LogEntry) uint64 {
+	n.mu.Lock()
+	e.Index = n.store.LastIndex() + 1
+	e.Term = n.term
+	if err := n.store.Append([]LogEntry{e}); err != nil {
+		n.mu.Unlock()
+		return 0
+	}
+	n.matchIndex[n.id] = e.Index
+	if e.Type == EntryConfig {
+		var ps []string
+		if json.Unmarshal(e.Data, &ps) == nil {
+			n.applyConfigLocked(ps, e.Index)
+		}
+	}
+	n.mu.Unlock()
+	n.notifyReplicators()
+	return e.Index
+}
+
+// applyConfigLocked switches to a new peer set immediately (Raft uses
+// the latest config in the log, committed or not).
+func (n *Node) applyConfigLocked(ps []string, index uint64) {
+	old := n.peers
+	n.peers = append([]string(nil), ps...)
+	n.pendingConfig = index
+	if n.role == Leader {
+		last := n.store.LastIndex()
+		for _, p := range ps {
+			if _, ok := n.nextIndex[p]; !ok {
+				n.nextIndex[p] = last + 1
+				n.matchIndex[p] = 0
+			}
+		}
+		gen := n.leaderGen
+		term := n.term
+		for _, p := range ps {
+			if p == n.id {
+				continue
+			}
+			found := false
+			for _, o := range old {
+				if o == p {
+					found = true
+				}
+			}
+			if !found {
+				go n.startReplicator(p, term, gen)
+			}
+		}
+	}
+}
+
+func (n *Node) notifyReplicators() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ch := range n.replNotify {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (n *Node) startReplicator(peer string, term uint64, gen uint64) {
+	n.mu.Lock()
+	if _, ok := n.replNotify[peer]; ok {
+		n.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{}, 1)
+	n.replNotify[peer] = ch
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.mu.Lock()
+			if n.replNotify[peer] == ch {
+				delete(n.replNotify, peer)
+			}
+			n.mu.Unlock()
+		}()
+		tick := n.clk.NewTicker(n.cfg.HeartbeatInterval)
+		defer tick.Stop()
+		for {
+			n.mu.Lock()
+			live := !n.stopped && n.role == Leader && n.term == term && n.leaderGen == gen
+			inCfg := false
+			for _, p := range n.peers {
+				if p == peer {
+					inCfg = true
+				}
+			}
+			n.mu.Unlock()
+			if !live || !inCfg {
+				return
+			}
+			n.replicateOnce(peer, term)
+			select {
+			case <-tick.C():
+			case <-ch:
+			case <-n.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// replicateOnce sends one AppendEntries (or InstallSnapshot) to peer.
+func (n *Node) replicateOnce(peer string, term uint64) {
+	n.mu.Lock()
+	if n.role != Leader || n.term != term {
+		n.mu.Unlock()
+		return
+	}
+	next := n.nextIndex[peer]
+	if next == 0 {
+		next = n.store.LastIndex() + 1
+		n.nextIndex[peer] = next
+	}
+	first := n.store.FirstIndex()
+	if next < first {
+		// Peer is too far behind: ship the snapshot.
+		data, sidx, sterm, err := n.store.Snapshot()
+		if err != nil || sidx == 0 {
+			n.mu.Unlock()
+			return
+		}
+		var env snapshotEnvelope
+		if codec.Unmarshal(data, &env) != nil {
+			n.mu.Unlock()
+			return
+		}
+		args := installSnapshotArgs{
+			Group:     n.group,
+			Term:      term,
+			Leader:    n.id,
+			LastIndex: sidx,
+			LastTerm:  sterm,
+			Peers:     env.Peers,
+			Data:      data,
+		}
+		n.mu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), 4*n.cfg.HeartbeatInterval)
+		defer cancel()
+		out, err := n.inst.Forward(ctx, peer, rpcInstallSnapshot, codec.Marshal(&args))
+		if err != nil {
+			return
+		}
+		var reply appendEntriesReply
+		if codec.Unmarshal(out, &reply) != nil {
+			return
+		}
+		if reply.Term > term {
+			n.stepDown(reply.Term, "")
+			return
+		}
+		n.mu.Lock()
+		if n.role == Leader && n.term == term {
+			n.nextIndex[peer] = sidx + 1
+			if sidx > n.matchIndex[peer] {
+				n.matchIndex[peer] = sidx
+			}
+		}
+		n.mu.Unlock()
+		return
+	}
+	prev := next - 1
+	prevTerm, err := n.store.Term(prev)
+	if err != nil {
+		n.mu.Unlock()
+		return
+	}
+	last := n.store.LastIndex()
+	hi := last
+	if hi >= next+uint64(n.cfg.MaxEntriesPerAppend) {
+		hi = next + uint64(n.cfg.MaxEntriesPerAppend) - 1
+	}
+	var entries []LogEntry
+	if hi >= next {
+		entries, err = n.store.Entries(next, hi)
+		if err != nil {
+			n.mu.Unlock()
+			return
+		}
+	}
+	args := appendEntriesArgs{
+		Group:        n.group,
+		Term:         term,
+		Leader:       n.id,
+		PrevLogIndex: prev,
+		PrevLogTerm:  prevTerm,
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	}
+	n.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*n.cfg.HeartbeatInterval)
+	defer cancel()
+	out, err := n.inst.Forward(ctx, peer, rpcAppendEntries, codec.Marshal(&args))
+	if err != nil {
+		return
+	}
+	var reply appendEntriesReply
+	if codec.Unmarshal(out, &reply) != nil {
+		return
+	}
+	if reply.Term > term {
+		n.stepDown(reply.Term, "")
+		return
+	}
+	n.mu.Lock()
+	if n.role != Leader || n.term != term {
+		n.mu.Unlock()
+		return
+	}
+	if reply.Success {
+		newMatch := prev + uint64(len(entries))
+		if newMatch > n.matchIndex[peer] {
+			n.matchIndex[peer] = newMatch
+		}
+		n.nextIndex[peer] = newMatch + 1
+		more := n.store.LastIndex() > newMatch
+		n.mu.Unlock()
+		n.advanceCommit()
+		if more {
+			n.mu.Lock()
+			if ch, ok := n.replNotify[peer]; ok {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			}
+			n.mu.Unlock()
+		}
+		return
+	}
+	// Conflict: back off using the follower's hint.
+	ni := reply.ConflictIndex
+	if ni == 0 {
+		ni = 1
+	}
+	if ni < n.nextIndex[peer] {
+		n.nextIndex[peer] = ni
+	} else if n.nextIndex[peer] > 1 {
+		n.nextIndex[peer]--
+	}
+	if ch, ok := n.replNotify[peer]; ok {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	n.mu.Unlock()
+}
+
+// advanceCommit moves commitIndex to the highest majority-replicated
+// index of the current term.
+func (n *Node) advanceCommit() {
+	n.mu.Lock()
+	if n.role != Leader {
+		n.mu.Unlock()
+		return
+	}
+	matches := make([]uint64, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p == n.id {
+			matches = append(matches, n.store.LastIndex())
+		} else {
+			matches = append(matches, n.matchIndex[p])
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	if len(matches) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	candidate := matches[len(matches)/2]
+	changed := false
+	if candidate > n.commitIndex {
+		t, err := n.store.Term(candidate)
+		if err == nil && t == n.term {
+			n.commitIndex = candidate
+			changed = true
+		}
+	}
+	if changed && n.pendingConfig > 0 && n.commitIndex >= n.pendingConfig {
+		n.pendingConfig = 0
+		// If we were removed by the committed config, step down.
+		if !n.inConfigLocked() {
+			n.role = Follower
+			n.leaderGen++
+		}
+	}
+	n.mu.Unlock()
+	if changed {
+		select {
+		case n.applyNotify <- struct{}{}:
+		default:
+		}
+		n.notifyReplicators() // propagate the new commit index promptly
+	}
+}
+
+// --- apply path ---
+
+func (n *Node) applier() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.applyNotify:
+			n.applyCommitted()
+		}
+	}
+}
+
+func (n *Node) applyCommitted() {
+	for {
+		n.mu.Lock()
+		if n.lastApplied >= n.commitIndex {
+			n.mu.Unlock()
+			return
+		}
+		idx := n.lastApplied + 1
+		e, err := n.store.Entry(idx)
+		if err != nil {
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+
+		var result []byte
+		if e.Type == EntryCommand {
+			result = n.fsm.Apply(e.Index, e.Data)
+		}
+
+		n.mu.Lock()
+		n.lastApplied = idx
+		n.appliedSinceSnap++
+		ch, ok := n.waiters[idx]
+		if ok {
+			delete(n.waiters, idx)
+		}
+		needSnap := n.cfg.SnapshotThreshold > 0 && n.appliedSinceSnap >= n.cfg.SnapshotThreshold
+		term := e.Term
+		n.mu.Unlock()
+		if ok {
+			ch <- applyResult{result: result, term: term}
+		}
+		if needSnap {
+			_ = n.TakeSnapshot()
+		}
+	}
+}
+
+// Apply submits a command locally; the caller must be talking to the
+// leader (use Client.Apply for automatic forwarding).
+func (n *Node) Apply(ctx context.Context, cmd []byte) ([]byte, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if n.role != Leader {
+		leader := n.leader
+		n.mu.Unlock()
+		return nil, leaderError(leader)
+	}
+	term := n.term
+	n.mu.Unlock()
+
+	idx := n.appendLocal(LogEntry{Type: EntryCommand, Data: cmd})
+	if idx == 0 {
+		return nil, fmt.Errorf("raft: append failed")
+	}
+	ch := make(chan applyResult, 1)
+	n.mu.Lock()
+	n.waiters[idx] = ch
+	n.mu.Unlock()
+	n.advanceCommit() // single-node fast path
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return nil, ErrStopped
+		}
+		if res.term != term {
+			return nil, ErrNotLeader // overwritten by a newer leader
+		}
+		return res.result, nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.waiters, idx)
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	case <-n.stopCh:
+		return nil, ErrStopped
+	}
+}
+
+func leaderError(hint string) error {
+	if hint == "" {
+		return ErrNoLeader
+	}
+	return fmt.Errorf("%w (leader: %s)", ErrNotLeader, hint)
+}
+
+// AddServer adds a member via a single-server configuration change.
+func (n *Node) AddServer(ctx context.Context, addr string) error {
+	return n.changeConfig(ctx, addr, false)
+}
+
+// RemoveServer removes a member.
+func (n *Node) RemoveServer(ctx context.Context, addr string) error {
+	return n.changeConfig(ctx, addr, true)
+}
+
+func (n *Node) changeConfig(ctx context.Context, addr string, remove bool) error {
+	n.mu.Lock()
+	if n.role != Leader {
+		leader := n.leader
+		n.mu.Unlock()
+		return leaderError(leader)
+	}
+	if n.pendingConfig > 0 {
+		n.mu.Unlock()
+		return ErrInProgress
+	}
+	var newPeers []string
+	found := false
+	for _, p := range n.peers {
+		if p == addr {
+			found = true
+			if remove {
+				continue
+			}
+		}
+		newPeers = append(newPeers, p)
+	}
+	if remove && !found {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s not a member", ErrBadConfig, addr)
+	}
+	if !remove {
+		if found {
+			n.mu.Unlock()
+			return fmt.Errorf("%w: %s already a member", ErrBadConfig, addr)
+		}
+		newPeers = append(newPeers, addr)
+	}
+	data, err := json.Marshal(newPeers)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	term := n.term
+	n.mu.Unlock()
+
+	idx := n.appendLocal(LogEntry{Type: EntryConfig, Data: data})
+	if idx == 0 {
+		return fmt.Errorf("raft: config append failed")
+	}
+	n.advanceCommit()
+	// Wait for commitment.
+	tick := n.clk.NewTicker(n.cfg.HeartbeatInterval / 2)
+	defer tick.Stop()
+	for {
+		n.mu.Lock()
+		committed := n.commitIndex >= idx
+		stillLeader := n.role == Leader && n.term == term
+		n.mu.Unlock()
+		if committed {
+			return nil
+		}
+		if !stillLeader {
+			return ErrNotLeader
+		}
+		select {
+		case <-tick.C():
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+		case <-n.stopCh:
+			return ErrStopped
+		}
+	}
+}
+
+// TakeSnapshot compacts the log through the last applied entry.
+func (n *Node) TakeSnapshot() error {
+	n.mu.Lock()
+	idx := n.lastApplied
+	if idx == 0 || idx < n.store.FirstIndex() {
+		n.mu.Unlock()
+		return nil
+	}
+	term, err := n.store.Term(idx)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	peers := append([]string(nil), n.peers...)
+	n.mu.Unlock()
+
+	fsmData, err := n.fsm.Snapshot()
+	if err != nil {
+		return err
+	}
+	env := snapshotEnvelope{Peers: peers, FSM: fsmData}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.lastApplied != idx {
+		// State moved on while snapshotting; snapshot at idx is still
+		// valid only if the FSM didn't change. Be conservative.
+		return nil
+	}
+	if err := n.store.SaveSnapshot(idx, term, codec.Marshal(&env)); err != nil {
+		return err
+	}
+	n.appliedSinceSnap = 0
+	return nil
+}
+
+// --- RPC handlers ---
+
+func (r *raftRegistry) handleRequestVote(_ context.Context, h *mercury.Handle) {
+	var args requestVoteArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	n := r.lookup(args.Group)
+	if n == nil {
+		_ = h.RespondError(fmt.Errorf("raft: unknown group %q", args.Group))
+		return
+	}
+	_ = h.Respond(codec.Marshal(n.onRequestVote(&args)))
+}
+
+func (n *Node) onRequestVote(args *requestVoteArgs) *requestVoteReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	reply := &requestVoteReply{Term: n.term}
+	if args.Term < n.term {
+		return reply
+	}
+	if args.Term > n.term {
+		n.term = args.Term
+		n.votedFor = ""
+		if n.role == Leader {
+			n.leaderGen++
+		}
+		n.role = Follower
+		_ = n.store.SetState(n.term, n.votedFor)
+		reply.Term = n.term
+	}
+	lastIdx := n.store.LastIndex()
+	lastTerm, _ := n.store.Term(lastIdx)
+	upToDate := args.LastLogTerm > lastTerm ||
+		(args.LastLogTerm == lastTerm && args.LastLogIndex >= lastIdx)
+	if (n.votedFor == "" || n.votedFor == args.Candidate) && upToDate {
+		n.votedFor = args.Candidate
+		_ = n.store.SetState(n.term, n.votedFor)
+		reply.Granted = true
+		n.resetElectionTimer()
+	}
+	return reply
+}
+
+func (r *raftRegistry) handleAppendEntries(_ context.Context, h *mercury.Handle) {
+	var args appendEntriesArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	n := r.lookup(args.Group)
+	if n == nil {
+		_ = h.RespondError(fmt.Errorf("raft: unknown group %q", args.Group))
+		return
+	}
+	_ = h.Respond(codec.Marshal(n.onAppendEntries(&args)))
+}
+
+func (n *Node) onAppendEntries(args *appendEntriesArgs) *appendEntriesReply {
+	n.mu.Lock()
+	reply := &appendEntriesReply{Term: n.term}
+	if args.Term < n.term {
+		n.mu.Unlock()
+		return reply
+	}
+	if args.Term > n.term {
+		n.term = args.Term
+		n.votedFor = ""
+		_ = n.store.SetState(n.term, n.votedFor)
+	}
+	if n.role == Leader {
+		n.leaderGen++
+	}
+	n.role = Follower
+	n.leader = args.Leader
+	reply.Term = n.term
+	n.resetElectionTimer()
+
+	// Log consistency check.
+	first := n.store.FirstIndex()
+	last := n.store.LastIndex()
+	if args.PrevLogIndex > last {
+		reply.ConflictIndex = last + 1
+		n.mu.Unlock()
+		return reply
+	}
+	if args.PrevLogIndex >= first || args.PrevLogIndex == first-1 {
+		pt, err := n.store.Term(args.PrevLogIndex)
+		if err == nil && pt != args.PrevLogTerm {
+			// Find the first index of the conflicting term.
+			ci := args.PrevLogIndex
+			for ci > first {
+				t, err := n.store.Term(ci - 1)
+				if err != nil || t != pt {
+					break
+				}
+				ci--
+			}
+			reply.ConflictIndex = ci
+			n.mu.Unlock()
+			return reply
+		}
+		if err != nil {
+			reply.ConflictIndex = first
+			n.mu.Unlock()
+			return reply
+		}
+	} else {
+		// PrevLogIndex is inside our snapshot: it is committed, so it
+		// matches by definition.
+		if args.PrevLogIndex < first-1 {
+			reply.ConflictIndex = n.store.LastIndex() + 1
+			n.mu.Unlock()
+			return reply
+		}
+	}
+
+	// Append, resolving conflicts.
+	for _, e := range args.Entries {
+		if e.Index < first {
+			continue // covered by snapshot
+		}
+		if e.Index <= n.store.LastIndex() {
+			t, err := n.store.Term(e.Index)
+			if err == nil && t == e.Term {
+				continue // already have it
+			}
+			if err := n.store.TruncateFrom(e.Index); err != nil {
+				n.mu.Unlock()
+				return reply
+			}
+		}
+		if err := n.store.Append([]LogEntry{e}); err != nil {
+			n.mu.Unlock()
+			return reply
+		}
+		if e.Type == EntryConfig {
+			var ps []string
+			if json.Unmarshal(e.Data, &ps) == nil {
+				n.peers = append([]string(nil), ps...)
+				n.pendingConfig = e.Index
+			}
+		}
+	}
+	reply.Success = true
+	// Advance commit.
+	lastNew := args.PrevLogIndex + uint64(len(args.Entries))
+	if args.LeaderCommit > n.commitIndex {
+		nc := args.LeaderCommit
+		if lastNew < nc && lastNew >= args.PrevLogIndex {
+			nc = lastNew
+		}
+		if nc > n.commitIndex {
+			n.commitIndex = nc
+		}
+		if n.pendingConfig > 0 && n.commitIndex >= n.pendingConfig {
+			n.pendingConfig = 0
+		}
+	}
+	n.mu.Unlock()
+	select {
+	case n.applyNotify <- struct{}{}:
+	default:
+	}
+	return reply
+}
+
+func (r *raftRegistry) handleInstallSnapshot(_ context.Context, h *mercury.Handle) {
+	var args installSnapshotArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	n := r.lookup(args.Group)
+	if n == nil {
+		_ = h.RespondError(fmt.Errorf("raft: unknown group %q", args.Group))
+		return
+	}
+	_ = h.Respond(codec.Marshal(n.onInstallSnapshot(&args)))
+}
+
+func (n *Node) onInstallSnapshot(args *installSnapshotArgs) *appendEntriesReply {
+	n.mu.Lock()
+	reply := &appendEntriesReply{Term: n.term}
+	if args.Term < n.term {
+		n.mu.Unlock()
+		return reply
+	}
+	if args.Term > n.term {
+		n.term = args.Term
+		n.votedFor = ""
+		_ = n.store.SetState(n.term, n.votedFor)
+		reply.Term = n.term
+	}
+	n.role = Follower
+	n.leader = args.Leader
+	n.resetElectionTimer()
+	if args.LastIndex <= n.commitIndex {
+		reply.Success = true
+		n.mu.Unlock()
+		return reply
+	}
+	var env snapshotEnvelope
+	if err := codec.Unmarshal(args.Data, &env); err != nil {
+		n.mu.Unlock()
+		return reply
+	}
+	if err := n.fsm.Restore(env.FSM); err != nil {
+		n.mu.Unlock()
+		return reply
+	}
+	if err := n.store.SaveSnapshot(args.LastIndex, args.LastTerm, args.Data); err != nil {
+		n.mu.Unlock()
+		return reply
+	}
+	n.peers = append([]string(nil), env.Peers...)
+	n.commitIndex = args.LastIndex
+	n.lastApplied = args.LastIndex
+	reply.Success = true
+	n.mu.Unlock()
+	return reply
+}
+
+func (r *raftRegistry) handleApply(_ context.Context, h *mercury.Handle) {
+	var args applyArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	n := r.lookup(args.Group)
+	if n == nil {
+		_ = h.Respond(codec.Marshal(&applyReply{Err: "unknown group"}))
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*n.cfg.ElectionTimeoutMax)
+	defer cancel()
+	result, err := n.Apply(ctx, args.Cmd)
+	reply := applyReply{}
+	if err != nil {
+		reply.Err = err.Error()
+		reply.LeaderHint = n.Leader()
+	} else {
+		reply.OK = true
+		reply.Result = result
+	}
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (r *raftRegistry) handleConfigChange(_ context.Context, h *mercury.Handle) {
+	var args configChangeArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	n := r.lookup(args.Group)
+	if n == nil {
+		_ = h.Respond(codec.Marshal(&applyReply{Err: "unknown group"}))
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*n.cfg.ElectionTimeoutMax)
+	defer cancel()
+	err := n.changeConfig(ctx, args.Addr, args.Remove)
+	reply := applyReply{}
+	if err != nil {
+		reply.Err = err.Error()
+		reply.LeaderHint = n.Leader()
+	} else {
+		reply.OK = true
+	}
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (r *raftRegistry) handleStatus(_ context.Context, h *mercury.Handle) {
+	var args statusArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	n := r.lookup(args.Group)
+	if n == nil {
+		_ = h.Respond(codec.Marshal(&statusReply{}))
+		return
+	}
+	st := n.Status()
+	_ = h.Respond(codec.Marshal(&statusReply{
+		OK:          true,
+		Role:        uint8(st.Role),
+		Term:        st.Term,
+		Leader:      st.Leader,
+		CommitIndex: st.CommitIndex,
+		LastApplied: st.LastApplied,
+		Peers:       st.Peers,
+	}))
+}

@@ -1,0 +1,184 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// loneNode builds a node with huge election timeouts so the protocol
+// never interferes while we drive the RPC handlers directly.
+func loneNode(t *testing.T, entries []LogEntry, term uint64) *Node {
+	t.Helper()
+	f := mercury.NewFabric()
+	cls, err := f.NewClass("rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := margo.New(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemoryStore()
+	if err := store.SetState(term, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(entries); err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(inst, "rules", []string{inst.Addr(), "sm://peer-a", "sm://peer-b"}, store, newKVFSM(), Config{
+		ElectionTimeoutMin: time.Hour,
+		ElectionTimeoutMax: 2 * time.Hour,
+		HeartbeatInterval:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Stop()
+		inst.Finalize()
+	})
+	return n
+}
+
+func entriesUpTo(n int, term uint64) []LogEntry {
+	out := make([]LogEntry, n)
+	for i := range out {
+		out[i] = LogEntry{Index: uint64(i + 1), Term: term, Type: EntryCommand, Data: []byte{byte(i)}}
+	}
+	return out
+}
+
+// TestVoteRules drives onRequestVote through the Raft §5.2/§5.4.1
+// rule table.
+func TestVoteRules(t *testing.T) {
+	base := entriesUpTo(3, 2) // log: 3 entries at term 2; current term 2
+	cases := []struct {
+		name    string
+		args    requestVoteArgs
+		granted bool
+	}{
+		{"stale term rejected",
+			requestVoteArgs{Term: 1, Candidate: "sm://c", LastLogIndex: 10, LastLogTerm: 10}, false},
+		{"up-to-date candidate granted",
+			requestVoteArgs{Term: 3, Candidate: "sm://c", LastLogIndex: 3, LastLogTerm: 2}, true},
+		{"longer log granted",
+			requestVoteArgs{Term: 3, Candidate: "sm://c", LastLogIndex: 9, LastLogTerm: 2}, true},
+		{"higher last term granted even if shorter",
+			requestVoteArgs{Term: 3, Candidate: "sm://c", LastLogIndex: 1, LastLogTerm: 5}, true},
+		{"shorter log same term rejected",
+			requestVoteArgs{Term: 3, Candidate: "sm://c", LastLogIndex: 2, LastLogTerm: 2}, false},
+		{"older last term rejected",
+			requestVoteArgs{Term: 3, Candidate: "sm://c", LastLogIndex: 99, LastLogTerm: 1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := loneNode(t, base, 2)
+			reply := n.onRequestVote(&c.args)
+			if reply.Granted != c.granted {
+				t.Fatalf("granted = %v, want %v (reply term %d)", reply.Granted, c.granted, reply.Term)
+			}
+		})
+	}
+}
+
+// TestVoteOncePerTerm: a node grants at most one vote per term, but
+// re-grants to the same candidate (needed for retried requests).
+func TestVoteOncePerTerm(t *testing.T) {
+	n := loneNode(t, nil, 0)
+	a := requestVoteArgs{Term: 5, Candidate: "sm://alice", LastLogIndex: 0, LastLogTerm: 0}
+	if !n.onRequestVote(&a).Granted {
+		t.Fatal("first vote denied")
+	}
+	bArgs := requestVoteArgs{Term: 5, Candidate: "sm://bob", LastLogIndex: 9, LastLogTerm: 9}
+	if n.onRequestVote(&bArgs).Granted {
+		t.Fatal("second candidate granted in same term")
+	}
+	if !n.onRequestVote(&a).Granted {
+		t.Fatal("retry by the voted-for candidate denied")
+	}
+	// A new term resets the vote.
+	cArgs := requestVoteArgs{Term: 6, Candidate: "sm://bob", LastLogIndex: 9, LastLogTerm: 9}
+	if !n.onRequestVote(&cArgs).Granted {
+		t.Fatal("vote in new term denied")
+	}
+}
+
+// TestAppendEntriesRules drives onAppendEntries through the log
+// consistency table (§5.3).
+func TestAppendEntriesRules(t *testing.T) {
+	mk := func() *Node { return loneNode(t, entriesUpTo(3, 2), 2) }
+
+	t.Run("stale term rejected", func(t *testing.T) {
+		n := mk()
+		r := n.onAppendEntries(&appendEntriesArgs{Term: 1, Leader: "sm://l", PrevLogIndex: 3, PrevLogTerm: 2})
+		if r.Success {
+			t.Fatal("accepted stale leader")
+		}
+	})
+	t.Run("matching prev accepts", func(t *testing.T) {
+		n := mk()
+		r := n.onAppendEntries(&appendEntriesArgs{
+			Term: 2, Leader: "sm://l", PrevLogIndex: 3, PrevLogTerm: 2,
+			Entries:      []LogEntry{{Index: 4, Term: 2, Type: EntryCommand, Data: []byte("x")}},
+			LeaderCommit: 4,
+		})
+		if !r.Success {
+			t.Fatal("rejected valid append")
+		}
+		if n.Status().CommitIndex != 4 {
+			t.Fatalf("commit = %d", n.Status().CommitIndex)
+		}
+	})
+	t.Run("gap returns conflict hint", func(t *testing.T) {
+		n := mk()
+		r := n.onAppendEntries(&appendEntriesArgs{Term: 2, Leader: "sm://l", PrevLogIndex: 9, PrevLogTerm: 2})
+		if r.Success {
+			t.Fatal("accepted gapped append")
+		}
+		if r.ConflictIndex != 4 {
+			t.Fatalf("conflict hint = %d, want 4 (last+1)", r.ConflictIndex)
+		}
+	})
+	t.Run("term mismatch truncates on overwrite", func(t *testing.T) {
+		n := mk()
+		// Leader overwrites index 2 and 3 with a newer term.
+		r := n.onAppendEntries(&appendEntriesArgs{
+			Term: 3, Leader: "sm://l", PrevLogIndex: 1, PrevLogTerm: 2,
+			Entries: []LogEntry{
+				{Index: 2, Term: 3, Type: EntryCommand, Data: []byte("new2")},
+				{Index: 3, Term: 3, Type: EntryCommand, Data: []byte("new3")},
+			},
+		})
+		if !r.Success {
+			t.Fatal("overwrite rejected")
+		}
+		e, err := n.store.Entry(3)
+		if err != nil || e.Term != 3 || string(e.Data) != "new3" {
+			t.Fatalf("entry 3 = %+v, %v", e, err)
+		}
+	})
+	t.Run("duplicate append is idempotent", func(t *testing.T) {
+		n := mk()
+		args := &appendEntriesArgs{
+			Term: 2, Leader: "sm://l", PrevLogIndex: 2, PrevLogTerm: 2,
+			Entries: []LogEntry{{Index: 3, Term: 2, Type: EntryCommand, Data: []byte{2}}},
+		}
+		if !n.onAppendEntries(args).Success || !n.onAppendEntries(args).Success {
+			t.Fatal("idempotent append failed")
+		}
+		if n.store.LastIndex() != 3 {
+			t.Fatalf("last = %d", n.store.LastIndex())
+		}
+	})
+	t.Run("append makes follower adopt leader", func(t *testing.T) {
+		n := mk()
+		n.onAppendEntries(&appendEntriesArgs{Term: 4, Leader: "sm://new-leader", PrevLogIndex: 3, PrevLogTerm: 2})
+		st := n.Status()
+		if st.Leader != "sm://new-leader" || st.Term != 4 || st.Role != Follower {
+			t.Fatalf("status = %+v", st)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// storeOp drives the property test below.
+type storeOp struct {
+	Kind     uint8 // 0 append, 1 truncate, 2 snapshot
+	Arg      uint8
+	TermBump bool
+}
+
+// applyOps replays a random op sequence against a Store and an
+// in-test reference model, checking agreement after every step.
+func applyOps(t *testing.T, mk func() Store, ops []storeOp) bool {
+	t.Helper()
+	s := mk()
+	defer s.Close()
+	type ref struct {
+		term uint64
+	}
+	model := map[uint64]ref{} // index -> term of live entries
+	var snapIdx uint64
+	term := uint64(1)
+	for _, op := range ops {
+		if op.TermBump {
+			term++
+		}
+		switch op.Kind % 3 {
+		case 0: // append 1..4 entries
+			n := int(op.Arg%4) + 1
+			for i := 0; i < n; i++ {
+				idx := s.LastIndex() + 1
+				if err := s.Append([]LogEntry{{Index: idx, Term: term, Type: EntryCommand, Data: []byte{byte(idx)}}}); err != nil {
+					t.Logf("append: %v", err)
+					return false
+				}
+				model[idx] = ref{term: term}
+			}
+		case 1: // truncate from a live index
+			if s.LastIndex() < s.FirstIndex() {
+				continue
+			}
+			span := s.LastIndex() - s.FirstIndex() + 1
+			idx := s.FirstIndex() + uint64(op.Arg)%span
+			if err := s.TruncateFrom(idx); err != nil {
+				t.Logf("truncate: %v", err)
+				return false
+			}
+			for i := idx; i <= idx+span; i++ {
+				delete(model, i)
+			}
+		case 2: // snapshot up to a live index
+			if s.LastIndex() == 0 || s.LastIndex() < s.FirstIndex() {
+				continue
+			}
+			span := s.LastIndex() - s.FirstIndex() + 1
+			idx := s.FirstIndex() + uint64(op.Arg)%span
+			tm, err := s.Term(idx)
+			if err != nil {
+				t.Logf("term: %v", err)
+				return false
+			}
+			if err := s.SaveSnapshot(idx, tm, []byte("snap")); err != nil {
+				t.Logf("snapshot: %v", err)
+				return false
+			}
+			if idx > snapIdx {
+				snapIdx = idx
+			}
+			for i := range model {
+				if i <= snapIdx {
+					delete(model, i)
+				}
+			}
+		}
+		// Invariants after every operation.
+		if s.FirstIndex() != snapIdx+1 {
+			t.Logf("first=%d snap=%d", s.FirstIndex(), snapIdx)
+			return false
+		}
+		for i := s.FirstIndex(); i <= s.LastIndex(); i++ {
+			e, err := s.Entry(i)
+			if err != nil {
+				t.Logf("entry(%d): %v", i, err)
+				return false
+			}
+			m, ok := model[i]
+			if !ok || e.Term != m.term || e.Index != i {
+				t.Logf("mismatch at %d: %+v vs %+v (ok=%v)", i, e, m, ok)
+				return false
+			}
+		}
+		// Model has nothing beyond the store.
+		for i := range model {
+			if i > s.LastIndex() || i < s.FirstIndex() {
+				t.Logf("model leak at %d (range %d..%d)", i, s.FirstIndex(), s.LastIndex())
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQuickMemoryStoreModel(t *testing.T) {
+	f := func(ops []storeOp) bool {
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		return applyOps(t, func() Store { return NewMemoryStore() }, ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFileStoreModel(t *testing.T) {
+	count := 0
+	f := func(ops []storeOp) bool {
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		count++
+		dir := t.TempDir() + fmt.Sprintf("/s%d", count)
+		return applyOps(t, func() Store {
+			s, err := NewFileStore(dir, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStoreReopenAfterRandomOps: the durable store reloads to the
+// same state it had before closing.
+func TestFileStoreReopenAfterRandomOps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		if err := s.Append([]LogEntry{{Index: i, Term: 1 + i/7, Type: EntryCommand, Data: []byte{byte(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveSnapshot(8, 2, []byte("mid")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TruncateFrom(17); err != nil {
+		t.Fatal(err)
+	}
+	wantFirst, wantLast := s.FirstIndex(), s.LastIndex()
+	s.Close()
+
+	s2, err := NewFileStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.FirstIndex() != wantFirst || s2.LastIndex() != wantLast {
+		t.Fatalf("range [%d,%d], want [%d,%d]", s2.FirstIndex(), s2.LastIndex(), wantFirst, wantLast)
+	}
+	for i := s2.FirstIndex(); i <= s2.LastIndex(); i++ {
+		e, err := s2.Entry(i)
+		if err != nil || e.Data[0] != byte(i) {
+			t.Fatalf("entry %d: %+v %v", i, e, err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package remi
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// Options tune a migration.
+type Options struct {
+	// Method selects the transfer path; MethodAuto decides per fileset.
+	Method Method
+	// ChunkSize is the chunk RPC payload size (default 64 KiB).
+	ChunkSize int
+	// Pipeline is the number of chunk RPCs kept in flight (default 8).
+	Pipeline int
+	// RemoveSource deletes source files after a successful migration
+	// (the "move" semantic used when draining a node).
+	RemoveSource bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 64 * 1024
+	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 8
+	}
+	return o
+}
+
+// Stats reports what a migration did.
+type Stats struct {
+	Method   Method
+	Files    int
+	Bytes    int64
+	Chunks   int
+	Duration time.Duration
+}
+
+// Client is the source side of migrations.
+type Client struct {
+	inst *margo.Instance
+}
+
+// NewClient creates a migration client.
+func NewClient(inst *margo.Instance) *Client {
+	return &Client{inst: inst}
+}
+
+// Migrate transfers fs to the REMI provider at (addr, providerID).
+func (c *Client) Migrate(ctx context.Context, addr string, providerID uint16, fs *FileSet, opts Options) (Stats, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	method := opts.Method
+	if method == MethodAuto {
+		if len(fs.Files) == 0 || fs.TotalBytes()/int64(max(len(fs.Files), 1)) >= AutoThreshold {
+			method = MethodBulk
+		} else {
+			method = MethodChunked
+		}
+	}
+	var (
+		stats Stats
+		err   error
+	)
+	switch method {
+	case MethodBulk:
+		stats, err = c.migrateBulk(ctx, addr, providerID, fs)
+	case MethodChunked:
+		stats, err = c.migrateChunked(ctx, addr, providerID, fs, opts)
+	default:
+		return Stats{}, fmt.Errorf("remi: unknown method %v", method)
+	}
+	if err != nil {
+		return stats, err
+	}
+	stats.Duration = time.Since(start)
+	if opts.RemoveSource {
+		for _, fi := range fs.Files {
+			if rerr := os.Remove(filepath.Join(fs.Root, fi.RelPath)); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+	}
+	return stats, err
+}
+
+// migrateBulk loads each file into a registered bulk region and lets
+// the destination pull them ("memory mapping the files and using RDMA
+// to transfer the data").
+func (c *Client) migrateBulk(ctx context.Context, addr string, providerID uint16, fs *FileSet) (Stats, error) {
+	args := beginArgs{Method: uint8(MethodBulk), Class: fs.Class, Meta: fs.Metadata}
+	var bulks []*mercury.Bulk
+	defer func() {
+		for _, b := range bulks {
+			b.Free()
+		}
+	}()
+	var total int64
+	for _, fi := range fs.Files {
+		data, err := os.ReadFile(filepath.Join(fs.Root, fi.RelPath))
+		if err != nil {
+			return Stats{}, fmt.Errorf("remi: read %s: %w", fi.RelPath, err)
+		}
+		b := c.inst.Class().CreateBulk(data, mercury.BulkReadOnly)
+		bulks = append(bulks, b)
+		args.Files = append(args.Files, wireFile{
+			RelPath: fi.RelPath,
+			Size:    int64(len(data)),
+			CRC:     fi.CRC,
+			Bulk:    b.Descriptor(),
+		})
+		total += int64(len(data))
+	}
+	out, err := c.inst.ForwardProvider(ctx, addr, rpcBegin, providerID, codec.Marshal(&args))
+	if err != nil {
+		return Stats{}, err
+	}
+	var reply beginReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return Stats{}, err
+	}
+	if reply.Status != 0 {
+		return Stats{}, fmt.Errorf("remi: destination error: %s", reply.Err)
+	}
+	return Stats{Method: MethodBulk, Files: len(fs.Files), Bytes: total}, nil
+}
+
+// migrateChunked streams the files as pipelined chunk RPCs.
+func (c *Client) migrateChunked(ctx context.Context, addr string, providerID uint16, fs *FileSet, opts Options) (Stats, error) {
+	args := beginArgs{Method: uint8(MethodChunked), Class: fs.Class, Meta: fs.Metadata}
+	for _, fi := range fs.Files {
+		args.Files = append(args.Files, wireFile{RelPath: fi.RelPath, Size: fi.Size, CRC: fi.CRC})
+	}
+	out, err := c.inst.ForwardProvider(ctx, addr, rpcBegin, providerID, codec.Marshal(&args))
+	if err != nil {
+		return Stats{}, err
+	}
+	var reply beginReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return Stats{}, err
+	}
+	if reply.Status != 0 {
+		return Stats{}, fmt.Errorf("remi: destination error: %s", reply.Err)
+	}
+	xfer := reply.XferID
+
+	sem := make(chan struct{}, opts.Pipeline)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var total int64
+	chunks := 0
+
+	send := func(segs []segment) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		cargs := chunkArgs{XferID: xfer, Segments: segs}
+		out, err := c.inst.ForwardProvider(ctx, addr, rpcChunk, providerID, codec.Marshal(&cargs))
+		if err == nil {
+			var r statusReply
+			if uerr := codec.Unmarshal(out, &r); uerr != nil {
+				err = uerr
+			} else if r.Status != 0 {
+				err = fmt.Errorf("remi: chunk rejected: %s", r.Err)
+			}
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	}
+
+	// Pack segments into chunks of up to ChunkSize bytes — small files
+	// share chunks ("packed together into larger chunks"), large files
+	// are split — and pipeline the chunk RPCs.
+	var pending []segment
+	pendingBytes := 0
+	flush := func() bool {
+		if len(pending) == 0 {
+			return true
+		}
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			return false
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		chunks++
+		go send(pending)
+		pending = nil
+		pendingBytes = 0
+		return true
+	}
+loop:
+	for idx, fi := range fs.Files {
+		data, err := os.ReadFile(filepath.Join(fs.Root, fi.RelPath))
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			break
+		}
+		total += int64(len(data))
+		for off := 0; off < len(data); {
+			room := opts.ChunkSize - pendingBytes
+			if room <= 0 {
+				if !flush() {
+					break loop
+				}
+				continue
+			}
+			end := off + room
+			if end > len(data) {
+				end = len(data)
+			}
+			pending = append(pending, segment{FileIdx: uint32(idx), Offset: int64(off), Data: data[off:end]})
+			pendingBytes += end - off
+			off = end
+		}
+		// Zero-length files still need their (empty) content created;
+		// the destination already truncated them in begin.
+	}
+	flush()
+	wg.Wait()
+	if firstErr != nil {
+		return Stats{Method: MethodChunked}, firstErr
+	}
+
+	eout, err := c.inst.ForwardProvider(ctx, addr, rpcEnd, providerID, codec.Marshal(&endArgs{XferID: xfer}))
+	if err != nil {
+		return Stats{}, err
+	}
+	var er statusReply
+	if err := codec.Unmarshal(eout, &er); err != nil {
+		return Stats{}, err
+	}
+	if er.Status != 0 {
+		return Stats{}, fmt.Errorf("remi: finalize failed: %s", er.Err)
+	}
+	return Stats{Method: MethodChunked, Files: len(fs.Files), Bytes: total, Chunks: chunks}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

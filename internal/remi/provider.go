@@ -1,0 +1,285 @@
+package remi
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mochi/internal/argobots"
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// MigratedCallback is invoked on the destination once a fileset has
+// fully arrived and verified. Bedrock uses it to instantiate a new
+// provider over the received files (§6 Observation 5).
+type MigratedCallback func(fs *FileSet)
+
+// Provider is the destination side of migrations: it owns a root
+// directory where incoming filesets are written.
+type Provider struct {
+	inst *margo.Instance
+	id   uint16
+	root string
+
+	mu       sync.Mutex
+	xferSeq  uint64
+	inflight map[uint64]*incoming
+	callback MigratedCallback
+	closed   bool
+}
+
+type incoming struct {
+	fs    *FileSet
+	files []*os.File
+}
+
+// NewProvider creates a REMI provider writing incoming filesets under
+// root.
+func NewProvider(inst *margo.Instance, id uint16, pool *argobots.Pool, root string) (*Provider, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	p := &Provider{inst: inst, id: id, root: root, inflight: map[uint64]*incoming{}}
+	handlers := map[string]margo.Handler{
+		rpcBegin: p.handleBegin,
+		rpcChunk: p.handleChunk,
+		rpcEnd:   p.handleEnd,
+	}
+	var done []string
+	for name, h := range handlers {
+		if _, err := inst.RegisterProvider(name, id, pool, h); err != nil {
+			for _, n := range done {
+				inst.DeregisterProvider(n, id)
+			}
+			return nil, err
+		}
+		done = append(done, name)
+	}
+	return p, nil
+}
+
+// ID returns the provider ID.
+func (p *Provider) ID() uint16 { return p.id }
+
+// Root returns the directory receiving migrated files.
+func (p *Provider) Root() string { return p.root }
+
+// OnMigrated installs the completion callback.
+func (p *Provider) OnMigrated(cb MigratedCallback) {
+	p.mu.Lock()
+	p.callback = cb
+	p.mu.Unlock()
+}
+
+// Close deregisters the provider and abandons in-flight transfers.
+func (p *Provider) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for _, in := range p.inflight {
+		for _, f := range in.files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}
+	p.inflight = map[uint64]*incoming{}
+	p.mu.Unlock()
+	for _, name := range []string{rpcBegin, rpcChunk, rpcEnd} {
+		p.inst.DeregisterProvider(name, p.id)
+	}
+	return nil
+}
+
+func respondStatus(h *mercury.Handle, err error) {
+	var r statusReply
+	if err != nil {
+		r.Status = 1
+		r.Err = err.Error()
+	}
+	_ = h.Respond(codec.Marshal(&r))
+}
+
+func (p *Provider) makeFileSet(args *beginArgs) (*FileSet, error) {
+	fs := &FileSet{Class: args.Class, Root: p.root, Metadata: args.Meta}
+	for _, wf := range args.Files {
+		if err := validateRelPath(wf.RelPath); err != nil {
+			return nil, err
+		}
+		fs.Files = append(fs.Files, FileInfo{RelPath: wf.RelPath, Size: wf.Size, CRC: wf.CRC})
+	}
+	return fs, nil
+}
+
+// handleBegin starts a transfer. For MethodBulk the whole migration
+// completes inside this handler: the destination pulls each exposed
+// file in one bulk operation, verifies it, and writes it out.
+func (p *Provider) handleBegin(_ context.Context, h *mercury.Handle) {
+	var args beginArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	fs, err := p.makeFileSet(&args)
+	if err != nil {
+		_ = h.Respond(codec.Marshal(&beginReply{Status: 1, Err: err.Error()}))
+		return
+	}
+	switch Method(args.Method) {
+	case MethodBulk:
+		err := p.pullAll(h, &args, fs)
+		reply := beginReply{}
+		if err != nil {
+			reply.Status = 1
+			reply.Err = err.Error()
+		} else {
+			p.notify(fs)
+		}
+		_ = h.Respond(codec.Marshal(&reply))
+	case MethodChunked:
+		id, err := p.beginChunked(fs)
+		reply := beginReply{XferID: id}
+		if err != nil {
+			reply.Status = 1
+			reply.Err = err.Error()
+		}
+		_ = h.Respond(codec.Marshal(&reply))
+	default:
+		_ = h.Respond(codec.Marshal(&beginReply{Status: 1, Err: "remi: begin with unresolved method"}))
+	}
+}
+
+func (p *Provider) pullAll(h *mercury.Handle, args *beginArgs, fs *FileSet) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	for i, wf := range args.Files {
+		buf := make([]byte, wf.Size)
+		local := h.Class().CreateBulk(buf, mercury.BulkReadWrite)
+		err := h.Class().BulkTransfer(context.Background(), mercury.BulkPull, wf.Bulk, 0, local, 0, uint64(wf.Size))
+		local.Free()
+		if err != nil {
+			return fmt.Errorf("remi: bulk pull of %s: %w", wf.RelPath, err)
+		}
+		if crc32.ChecksumIEEE(buf) != wf.CRC {
+			return fmt.Errorf("%w: %s", ErrChecksum, wf.RelPath)
+		}
+		dst := filepath.Join(p.root, wf.RelPath)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, buf, 0o644); err != nil {
+			return err
+		}
+		_ = i
+	}
+	return nil
+}
+
+func (p *Provider) beginChunked(fs *FileSet) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	in := &incoming{fs: fs, files: make([]*os.File, len(fs.Files))}
+	for i, fi := range fs.Files {
+		dst := filepath.Join(p.root, fi.RelPath)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return 0, err
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			return 0, err
+		}
+		if err := f.Truncate(fi.Size); err != nil {
+			f.Close()
+			return 0, err
+		}
+		in.files[i] = f
+	}
+	p.xferSeq++
+	p.inflight[p.xferSeq] = in
+	return p.xferSeq, nil
+}
+
+func (p *Provider) handleChunk(_ context.Context, h *mercury.Handle) {
+	var args chunkArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	p.mu.Lock()
+	in, ok := p.inflight[args.XferID]
+	p.mu.Unlock()
+	if !ok {
+		respondStatus(h, ErrNoTransfer)
+		return
+	}
+	for _, seg := range args.Segments {
+		if int(seg.FileIdx) >= len(in.files) {
+			respondStatus(h, fmt.Errorf("%w: file index %d", ErrBadFileSet, seg.FileIdx))
+			return
+		}
+		if _, err := in.files[seg.FileIdx].WriteAt(seg.Data, seg.Offset); err != nil {
+			respondStatus(h, err)
+			return
+		}
+	}
+	respondStatus(h, nil)
+}
+
+func (p *Provider) handleEnd(_ context.Context, h *mercury.Handle) {
+	var args endArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	p.mu.Lock()
+	in, ok := p.inflight[args.XferID]
+	delete(p.inflight, args.XferID)
+	p.mu.Unlock()
+	if !ok {
+		respondStatus(h, ErrNoTransfer)
+		return
+	}
+	// Verify checksums. Durability policy is the receiving provider's
+	// concern (it flushes when it adopts the files), so no per-file
+	// fsync here — the bulk path behaves the same way.
+	var err error
+	for i, fi := range in.fs.Files {
+		f := in.files[i]
+		f.Close()
+		data, rerr := os.ReadFile(filepath.Join(p.root, fi.RelPath))
+		if rerr != nil && err == nil {
+			err = rerr
+		}
+		if rerr == nil && crc32.ChecksumIEEE(data) != fi.CRC && err == nil {
+			err = fmt.Errorf("%w: %s", ErrChecksum, fi.RelPath)
+		}
+	}
+	if err == nil {
+		p.notify(in.fs)
+	}
+	respondStatus(h, err)
+}
+
+func (p *Provider) notify(fs *FileSet) {
+	p.mu.Lock()
+	cb := p.callback
+	p.mu.Unlock()
+	if cb != nil {
+		cb(fs)
+	}
+}

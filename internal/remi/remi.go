@@ -1,0 +1,286 @@
+// Package remi is the REsource MIgration component (paper §6,
+// Observations 4–5): it transfers the files backing a resource from
+// one process to another, so that "the migration of a component can
+// be reduced to the migration of its files to a new location".
+//
+// Two transfer methods are provided, matching the paper's design
+// discussion:
+//
+//   - MethodBulk ("RDMA"): the source memory-maps each file (here:
+//     reads it into a registered bulk region) and the destination
+//     pulls it in a single bulk operation per file — efficient for
+//     large files.
+//   - MethodChunked: the source streams fixed-size chunks over
+//     pipelined RPCs, packing small files together — efficient for
+//     many small files since chunks are pipelined and the per-file
+//     handshake is amortized.
+package remi
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mochi/internal/codec"
+	"mochi/internal/mercury"
+)
+
+// Errors returned by the migration component.
+var (
+	ErrChecksum   = errors.New("remi: checksum mismatch after transfer")
+	ErrBadFileSet = errors.New("remi: invalid fileset")
+	ErrNoTransfer = errors.New("remi: unknown transfer id")
+	ErrClosed     = errors.New("remi: provider closed")
+)
+
+// Method selects the transfer mechanism.
+type Method uint8
+
+const (
+	// MethodBulk uses one RDMA-like bulk pull per file.
+	MethodBulk Method = iota
+	// MethodChunked streams pipelined chunk RPCs.
+	MethodChunked
+	// MethodAuto picks per fileset: bulk when the mean file size
+	// exceeds AutoThreshold, chunked otherwise.
+	MethodAuto
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodBulk:
+		return "bulk"
+	case MethodChunked:
+		return "chunked"
+	default:
+		return "auto"
+	}
+}
+
+// AutoThreshold is the mean-file-size crossover used by MethodAuto.
+const AutoThreshold = 256 * 1024
+
+// FileInfo describes one file inside a FileSet.
+type FileInfo struct {
+	// RelPath is the path relative to the fileset root. It must not
+	// escape the root.
+	RelPath string
+	Size    int64
+	CRC     uint32
+}
+
+// FileSet names a set of files rooted at a directory, plus free-form
+// metadata (REMI filesets carry the provider type and configuration
+// needed to re-instantiate the resource at the destination).
+type FileSet struct {
+	// Class tags what kind of resource these files back (e.g. "yokan").
+	Class    string
+	Root     string
+	Files    []FileInfo
+	Metadata map[string]string
+}
+
+// BuildFileSet scans the given absolute paths (all under root) into a
+// FileSet, computing sizes and checksums.
+func BuildFileSet(class, root string, paths []string, metadata map[string]string) (*FileSet, error) {
+	fs := &FileSet{Class: class, Root: root, Metadata: metadata}
+	for _, p := range paths {
+		rel, err := filepath.Rel(root, p)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%w: %q not under root %q", ErrBadFileSet, p, root)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("remi: read %s: %w", p, err)
+		}
+		fs.Files = append(fs.Files, FileInfo{
+			RelPath: rel,
+			Size:    int64(len(data)),
+			CRC:     crc32.ChecksumIEEE(data),
+		})
+	}
+	return fs, nil
+}
+
+// TotalBytes returns the sum of file sizes.
+func (fs *FileSet) TotalBytes() int64 {
+	var n int64
+	for _, f := range fs.Files {
+		n += f.Size
+	}
+	return n
+}
+
+// validateRelPath rejects paths escaping the destination root.
+func validateRelPath(rel string) error {
+	if rel == "" || filepath.IsAbs(rel) {
+		return fmt.Errorf("%w: bad path %q", ErrBadFileSet, rel)
+	}
+	clean := filepath.Clean(rel)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return fmt.Errorf("%w: path %q escapes root", ErrBadFileSet, rel)
+	}
+	return nil
+}
+
+// Wire messages.
+
+const (
+	rpcBegin = "remi_begin"
+	rpcChunk = "remi_chunk"
+	rpcEnd   = "remi_end"
+)
+
+type wireFile struct {
+	RelPath string
+	Size    int64
+	CRC     uint32
+	Bulk    mercury.BulkDescriptor // only for MethodBulk
+}
+
+type beginArgs struct {
+	Method uint8
+	Class  string
+	Meta   map[string]string
+	Files  []wireFile
+}
+
+func (a *beginArgs) MarshalMochi(e *codec.Encoder) {
+	e.Uint8(a.Method)
+	e.String(a.Class)
+	e.Uvarint(uint64(len(a.Meta)))
+	for k, v := range a.Meta {
+		e.String(k)
+		e.String(v)
+	}
+	e.Uvarint(uint64(len(a.Files)))
+	for i := range a.Files {
+		f := &a.Files[i]
+		e.String(f.RelPath)
+		e.Int64(f.Size)
+		e.Uint32(f.CRC)
+		f.Bulk.MarshalMochi(e)
+	}
+}
+
+func (a *beginArgs) UnmarshalMochi(d *codec.Decoder) {
+	a.Method = d.Uint8()
+	a.Class = d.String()
+	nm := d.Uvarint()
+	if nm > uint64(d.Remaining()) {
+		return
+	}
+	a.Meta = make(map[string]string, nm)
+	for i := uint64(0); i < nm; i++ {
+		k := d.String()
+		v := d.String()
+		if d.Err() != nil {
+			return
+		}
+		a.Meta[k] = v
+	}
+	nf := d.Uvarint()
+	if nf > uint64(d.Remaining()) {
+		return
+	}
+	a.Files = make([]wireFile, 0, nf)
+	for i := uint64(0); i < nf; i++ {
+		var f wireFile
+		f.RelPath = d.String()
+		f.Size = d.Int64()
+		f.CRC = d.Uint32()
+		f.Bulk.UnmarshalMochi(d)
+		if d.Err() != nil {
+			return
+		}
+		a.Files = append(a.Files, f)
+	}
+}
+
+type beginReply struct {
+	Status uint8
+	Err    string
+	XferID uint64
+}
+
+func (r *beginReply) MarshalMochi(e *codec.Encoder) {
+	e.Uint8(r.Status)
+	e.String(r.Err)
+	e.Uint64(r.XferID)
+}
+
+func (r *beginReply) UnmarshalMochi(d *codec.Decoder) {
+	r.Status = d.Uint8()
+	r.Err = d.String()
+	r.XferID = d.Uint64()
+}
+
+// segment is one piece of one file; a chunk RPC carries several
+// segments so that many small files can be "packed together into
+// larger chunks" (§6, Observation 4).
+type segment struct {
+	FileIdx uint32
+	Offset  int64
+	Data    []byte
+}
+
+type chunkArgs struct {
+	XferID   uint64
+	Segments []segment
+}
+
+func (a *chunkArgs) MarshalMochi(e *codec.Encoder) {
+	e.Uint64(a.XferID)
+	e.Uvarint(uint64(len(a.Segments)))
+	for i := range a.Segments {
+		s := &a.Segments[i]
+		e.Uint32(s.FileIdx)
+		e.Int64(s.Offset)
+		e.BytesField(s.Data)
+	}
+}
+
+func (a *chunkArgs) UnmarshalMochi(d *codec.Decoder) {
+	a.XferID = d.Uint64()
+	n := d.Uvarint()
+	if n > uint64(d.Remaining())+1 {
+		return
+	}
+	a.Segments = make([]segment, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s segment
+		s.FileIdx = d.Uint32()
+		s.Offset = d.Int64()
+		s.Data = append([]byte(nil), d.BytesField()...)
+		if d.Err() != nil {
+			return
+		}
+		a.Segments = append(a.Segments, s)
+	}
+}
+
+type endArgs struct {
+	XferID uint64
+}
+
+func (a *endArgs) MarshalMochi(e *codec.Encoder) { e.Uint64(a.XferID) }
+
+func (a *endArgs) UnmarshalMochi(d *codec.Decoder) { a.XferID = d.Uint64() }
+
+type statusReply struct {
+	Status uint8
+	Err    string
+}
+
+func (r *statusReply) MarshalMochi(e *codec.Encoder) {
+	e.Uint8(r.Status)
+	e.String(r.Err)
+}
+
+func (r *statusReply) UnmarshalMochi(d *codec.Decoder) {
+	r.Status = d.Uint8()
+	r.Err = d.String()
+}

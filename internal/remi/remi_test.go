@@ -1,0 +1,348 @@
+package remi
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+type migEnv struct {
+	fabric *mercury.Fabric
+	src    *margo.Instance
+	dst    *margo.Instance
+	prov   *Provider
+	client *Client
+	root   string // destination root
+}
+
+func newMigEnv(t *testing.T) *migEnv {
+	t.Helper()
+	f := mercury.NewFabric()
+	scls, _ := f.NewClass("remi-src")
+	dcls, _ := f.NewClass("remi-dst")
+	src, err := margo.New(scls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := margo.New(dcls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	prov, err := NewProvider(dst, 4, nil, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		prov.Close()
+		src.Finalize()
+		dst.Finalize()
+	})
+	return &migEnv{fabric: f, src: src, dst: dst, prov: prov, client: NewClient(src), root: root}
+}
+
+// writeSourceFiles creates files under a fresh source root and builds
+// the fileset.
+func writeSourceFiles(t *testing.T, class string, files map[string][]byte) *FileSet {
+	t.Helper()
+	root := t.TempDir()
+	var paths []string
+	for rel, data := range files {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	fs, err := BuildFileSet(class, root, paths, map[string]string{"origin": "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func mctx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func verifyArrived(t *testing.T, root string, files map[string][]byte) {
+	t.Helper()
+	for rel, want := range files {
+		got, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			t.Fatalf("missing %s: %v", rel, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s corrupted: %d vs %d bytes", rel, len(got), len(want))
+		}
+	}
+}
+
+func testFiles(big bool) map[string][]byte {
+	files := map[string][]byte{}
+	if big {
+		data := make([]byte, 1<<20)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		files["db/large.log"] = data
+		return files
+	}
+	for i := 0; i < 16; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, 1000+i)
+		files[fmt.Sprintf("db/small-%02d.dat", i)] = data
+	}
+	return files
+}
+
+func TestMigrateBulkLargeFile(t *testing.T) {
+	env := newMigEnv(t)
+	files := testFiles(true)
+	fs := writeSourceFiles(t, "yokan", files)
+	stats, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, fs, Options{Method: MethodBulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Method != MethodBulk || stats.Files != 1 || stats.Bytes != 1<<20 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	verifyArrived(t, env.root, files)
+}
+
+func TestMigrateChunkedManySmallFiles(t *testing.T) {
+	env := newMigEnv(t)
+	files := testFiles(false)
+	fs := writeSourceFiles(t, "yokan", files)
+	stats, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, fs, Options{Method: MethodChunked, ChunkSize: 512, Pipeline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Method != MethodChunked || stats.Files != 16 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Chunks < 16 {
+		t.Fatalf("chunks = %d", stats.Chunks)
+	}
+	verifyArrived(t, env.root, files)
+}
+
+func TestMigrateAutoSelectsByMeanSize(t *testing.T) {
+	env := newMigEnv(t)
+	small := writeSourceFiles(t, "a", testFiles(false))
+	stats, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, small, Options{Method: MethodAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Method != MethodChunked {
+		t.Fatalf("small files migrated via %v", stats.Method)
+	}
+	big := writeSourceFiles(t, "b", testFiles(true))
+	stats, err = env.client.Migrate(mctx(t), env.dst.Addr(), 4, big, Options{Method: MethodAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Method != MethodBulk {
+		t.Fatalf("large file migrated via %v", stats.Method)
+	}
+}
+
+func TestMigrateEmptyFileSet(t *testing.T) {
+	env := newMigEnv(t)
+	fs := &FileSet{Class: "none", Root: t.TempDir()}
+	for _, m := range []Method{MethodBulk, MethodChunked} {
+		if _, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, fs, Options{Method: m}); err != nil {
+			t.Fatalf("method %v: %v", m, err)
+		}
+	}
+}
+
+func TestMigrateZeroLengthFile(t *testing.T) {
+	env := newMigEnv(t)
+	files := map[string][]byte{"empty.dat": {}}
+	fs := writeSourceFiles(t, "x", files)
+	if _, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, fs, Options{Method: MethodChunked}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(env.root, "empty.dat"))
+	if err != nil || fi.Size() != 0 {
+		t.Fatalf("empty file: %v %v", fi, err)
+	}
+}
+
+func TestMigratedCallbackFires(t *testing.T) {
+	env := newMigEnv(t)
+	got := make(chan *FileSet, 1)
+	env.prov.OnMigrated(func(fs *FileSet) { got <- fs })
+	files := testFiles(false)
+	fs := writeSourceFiles(t, "yokan", files)
+	if _, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, fs, Options{Method: MethodChunked}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case arrived := <-got:
+		if arrived.Class != "yokan" || arrived.Metadata["origin"] != "test" {
+			t.Fatalf("callback fileset = %+v", arrived)
+		}
+		if arrived.Root != env.root {
+			t.Fatalf("root = %s", arrived.Root)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("callback never fired")
+	}
+}
+
+func TestRemoveSourceAfterMigration(t *testing.T) {
+	env := newMigEnv(t)
+	files := map[string][]byte{"move-me.dat": []byte("payload")}
+	fs := writeSourceFiles(t, "x", files)
+	if _, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, fs, Options{Method: MethodBulk, RemoveSource: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(fs.Root, "move-me.dat")); !os.IsNotExist(err) {
+		t.Fatal("source file survived move")
+	}
+	verifyArrived(t, env.root, files)
+}
+
+func TestPathEscapeRejected(t *testing.T) {
+	env := newMigEnv(t)
+	fs := &FileSet{
+		Class: "evil",
+		Root:  t.TempDir(),
+		Files: []FileInfo{{RelPath: "../../etc/owned", Size: 1}},
+	}
+	// Craft the escape directly at the wire level via chunked begin.
+	_, err := env.client.migrateChunked(mctx(t), env.dst.Addr(), 4, fs, Options{}.withDefaults())
+	if err == nil {
+		t.Fatal("path escape accepted")
+	}
+}
+
+func TestBuildFileSetRejectsOutsideRoot(t *testing.T) {
+	root := t.TempDir()
+	other := t.TempDir()
+	p := filepath.Join(other, "outside.dat")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFileSet("c", root, []string{p}, nil); err == nil {
+		t.Fatal("file outside root accepted")
+	}
+}
+
+func TestMigrateToUnknownProviderFails(t *testing.T) {
+	env := newMigEnv(t)
+	fs := writeSourceFiles(t, "x", map[string][]byte{"f": []byte("1")})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := env.client.Migrate(ctx, env.dst.Addr(), 99, fs, Options{Method: MethodBulk}); err == nil {
+		t.Fatal("migration to missing provider succeeded")
+	}
+}
+
+func TestChunkForUnknownTransferRejected(t *testing.T) {
+	env := newMigEnv(t)
+	out, err := env.src.ForwardProvider(mctx(t), env.dst.Addr(), rpcChunk, 4,
+		mustMarshal(&chunkArgs{XferID: 12345, Segments: []segment{{Data: []byte("x")}}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r statusReply
+	if err := unmarshal(out, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Status == 0 {
+		t.Fatal("chunk for unknown transfer accepted")
+	}
+}
+
+func TestSubdirectoriesPreserved(t *testing.T) {
+	env := newMigEnv(t)
+	files := map[string][]byte{
+		"a/b/c/deep.dat": []byte("deep"),
+		"top.dat":        []byte("top"),
+	}
+	fs := writeSourceFiles(t, "x", files)
+	if _, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, fs, Options{Method: MethodBulk}); err != nil {
+		t.Fatal(err)
+	}
+	verifyArrived(t, env.root, files)
+}
+
+func TestMigrationStatsBytes(t *testing.T) {
+	env := newMigEnv(t)
+	files := testFiles(false)
+	var want int64
+	for _, d := range files {
+		want += int64(len(d))
+	}
+	fs := writeSourceFiles(t, "x", files)
+	stats, err := env.client.Migrate(mctx(t), env.dst.Addr(), 4, fs, Options{Method: MethodChunked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", stats.Bytes, want)
+	}
+}
+
+// Under an HPC cost model, bulk must beat chunked for one large file
+// and chunked must beat bulk for many small files when the chunk
+// pipeline can amortize; this is the paper's Observation 4 rationale
+// and the E3 experiment's expected shape (full sweep in the bench).
+func TestMethodTradeoffShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	run := func(files map[string][]byte, m Method) time.Duration {
+		f := mercury.NewFabric()
+		f.SetModel(&mercury.HPCModel{
+			RPCOverhead:  200 * time.Microsecond,
+			BulkOverhead: 20 * time.Microsecond,
+			BytesPerSec:  2e9,
+			EagerLimit:   4096,
+		})
+		scls, _ := f.NewClass("shape-src")
+		dcls, _ := f.NewClass("shape-dst")
+		src, _ := margo.New(scls, nil)
+		defer src.Finalize()
+		dst, _ := margo.New(dcls, nil)
+		defer dst.Finalize()
+		root := t.TempDir()
+		prov, err := NewProvider(dst, 4, nil, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer prov.Close()
+		fs := writeSourceFiles(t, "x", files)
+		stats, err := NewClient(src).Migrate(mctx(t), dst.Addr(), 4, fs, Options{Method: m, ChunkSize: 64 * 1024, Pipeline: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Duration
+	}
+	big := testFiles(true) // one 1MB file
+	bulkBig := run(big, MethodBulk)
+	chunkBig := run(big, MethodChunked)
+	if bulkBig >= chunkBig {
+		t.Errorf("large file: bulk (%v) not faster than chunked (%v)", bulkBig, chunkBig)
+	}
+}
+
+func mustMarshal(m codec.Marshaler) []byte { return codec.Marshal(m) }
+
+func unmarshal(b []byte, m codec.Unmarshaler) error { return codec.Unmarshal(b, m) }

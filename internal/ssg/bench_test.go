@@ -1,0 +1,59 @@
+package ssg
+
+import (
+	"fmt"
+	"testing"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+func BenchmarkViewHash(b *testing.B) {
+	v := View{}
+	for i := 0; i < 64; i++ {
+		v.Members = append(v.Members, Member{
+			Addr:  fmt.Sprintf("sm://node-%03d", i),
+			State: StateAlive,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Hash()
+	}
+}
+
+func BenchmarkApplyUpdates(b *testing.B) {
+	f := mercury.NewFabric()
+	cls, err := f.NewClass("ssg-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := margo.New(cls, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.ProtocolPeriod = 1e9 // no probing during the benchmark
+	g, err := Create(inst, "bench-group", []string{inst.Addr()}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		g.Stop()
+		inst.Finalize()
+	})
+	ups := make([]update, 8)
+	for i := range ups {
+		ups[i] = update{
+			Addr:        fmt.Sprintf("sm://peer-%d", i),
+			Incarnation: uint64(i),
+			State:       StateAlive,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.applyUpdates(ups)
+	}
+}

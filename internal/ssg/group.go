@@ -1,0 +1,689 @@
+package ssg
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mochi/internal/clock"
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// registry maps group names to groups within one margo instance, so
+// all groups share one set of RPC handlers.
+type registry struct {
+	mu     sync.Mutex
+	groups map[string]*Group
+}
+
+var registries sync.Map // *margo.Instance -> *registry
+
+func registryFor(inst *margo.Instance) (*registry, error) {
+	if r, ok := registries.Load(inst); ok {
+		return r.(*registry), nil
+	}
+	r := &registry{groups: map[string]*Group{}}
+	actual, loaded := registries.LoadOrStore(inst, r)
+	reg := actual.(*registry)
+	if !loaded {
+		// First group on this instance: install the handlers.
+		handlers := map[string]margo.Handler{
+			rpcPing:    reg.handlePing,
+			rpcPingReq: reg.handlePingReq,
+			rpcJoin:    reg.handleJoin,
+			rpcLeave:   reg.handleLeave,
+			rpcGetView: reg.handleGetView,
+		}
+		for name, h := range handlers {
+			if _, err := inst.Register(name, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return reg, nil
+}
+
+func (r *registry) lookup(name string) *Group {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.groups[name]
+}
+
+// Stats counts protocol messages, for the E4 experiment.
+type Stats struct {
+	PingsSent       atomic.Int64
+	PingReqsSent    atomic.Int64
+	AcksReceived    atomic.Int64
+	UpdatesGossiped atomic.Int64
+	SuspectsRaised  atomic.Int64
+	DeathsDeclared  atomic.Int64
+	RefutationsSent atomic.Int64
+}
+
+type memberInfo struct {
+	member          Member
+	suspectDeadline time.Time
+}
+
+// Group is one process's membership in a named SSG group.
+type Group struct {
+	inst *margo.Instance
+	clk  clock.Clock
+	name string
+	cfg  Config
+	self string
+
+	mu        sync.Mutex
+	members   map[string]*memberInfo
+	selfInc   uint64
+	version   uint64
+	gossip    map[string]*update
+	probeList []string
+	probeIdx  int
+	callbacks []MembershipCallback
+	left      bool
+
+	rng   *rand.Rand
+	rngMu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	stats Stats
+}
+
+// Create bootstraps membership from a static list of addresses (the
+// paper's "bootstrapped from PMIx, MPI, or simply a list of initial
+// addresses"): every process calls Create with the same list. The
+// local address is added if absent.
+func Create(inst *margo.Instance, name string, bootstrap []string, cfg Config) (*Group, error) {
+	return create(inst, name, bootstrap, cfg, inst.Clock())
+}
+
+func create(inst *margo.Instance, name string, bootstrap []string, cfg Config, clk clock.Clock) (*Group, error) {
+	reg, err := registryFor(inst)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{
+		inst:    inst,
+		clk:     clk,
+		name:    name,
+		cfg:     cfg.withDefaults(),
+		self:    inst.Addr(),
+		members: map[string]*memberInfo{},
+		gossip:  map[string]*update{},
+		stop:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(int64(mercury.NameToID(inst.Addr() + "/" + name)))),
+	}
+	found := false
+	for _, a := range bootstrap {
+		if a == g.self {
+			found = true
+		}
+		g.members[a] = &memberInfo{member: Member{Addr: a, State: StateAlive}}
+	}
+	if !found {
+		g.members[g.self] = &memberInfo{member: Member{Addr: g.self, State: StateAlive}}
+	}
+	reg.mu.Lock()
+	if _, dup := reg.groups[name]; dup {
+		reg.mu.Unlock()
+		return nil, fmt.Errorf("ssg: group %q already exists on %s", name, g.self)
+	}
+	reg.groups[name] = g
+	reg.mu.Unlock()
+
+	g.wg.Add(1)
+	go g.protocolLoop()
+	return g, nil
+}
+
+// Join contacts seedAddr, obtains the current view, and joins the
+// group (§6: "when adding ... a node, the view will be updated in all
+// the service's processes").
+func Join(ctx context.Context, inst *margo.Instance, name, seedAddr string, cfg Config) (*Group, error) {
+	args := joinArgs{Group: name, Addr: inst.Addr()}
+	out, err := inst.Forward(ctx, seedAddr, rpcJoin, codec.Marshal(&args))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrJoinFailed, err)
+	}
+	var reply viewReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return nil, err
+	}
+	if !reply.OK {
+		return nil, fmt.Errorf("%w: %s", ErrJoinFailed, reply.Err)
+	}
+	var addrs []string
+	for _, m := range reply.Members {
+		if State(m.State) == StateAlive || State(m.State) == StateSuspect {
+			addrs = append(addrs, m.Addr)
+		}
+	}
+	g, err := create(inst, name, addrs, cfg, inst.Clock())
+	if err != nil {
+		return nil, err
+	}
+	// Announce ourselves so the join propagates even if the seed's
+	// gossip is slow.
+	g.mu.Lock()
+	g.enqueueGossipLocked(update{Addr: g.self, Incarnation: g.selfInc, State: StateAlive})
+	g.mu.Unlock()
+	return g, nil
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Self returns this process's address.
+func (g *Group) Self() string { return g.self }
+
+// Stats returns the protocol counters.
+func (g *Group) Stats() *Stats { return &g.stats }
+
+// OnChange registers a membership callback. Callbacks run on protocol
+// goroutines and must not block.
+func (g *Group) OnChange(cb MembershipCallback) {
+	g.mu.Lock()
+	g.callbacks = append(g.callbacks, cb)
+	g.mu.Unlock()
+}
+
+// View returns a snapshot of the membership.
+func (g *Group) View() View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := View{Version: g.version}
+	for _, mi := range g.members {
+		v.Members = append(v.Members, mi.member)
+	}
+	sortMembers(v.Members)
+	return v
+}
+
+// Leave departs gracefully: the leave is pushed to a few peers and
+// the protocol stops.
+func (g *Group) Leave(ctx context.Context) error {
+	g.mu.Lock()
+	if g.left {
+		g.mu.Unlock()
+		return ErrLeft
+	}
+	g.left = true
+	inc := g.selfInc
+	peers := g.alivePeersLocked()
+	g.mu.Unlock()
+	args := pingArgs{
+		Group:   g.name,
+		From:    g.self,
+		Updates: []update{{Addr: g.self, Incarnation: inc, State: StateLeft}},
+	}
+	payload := codec.Marshal(&args)
+	n := 0
+	for _, p := range peers {
+		if n >= 3 {
+			break
+		}
+		if _, err := g.inst.Forward(ctx, p, rpcLeave, payload); err == nil {
+			n++
+		}
+	}
+	g.Stop()
+	return nil
+}
+
+// Stop halts the protocol without announcing departure (a crash, from
+// the group's perspective).
+func (g *Group) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+	if r, ok := registries.Load(g.inst); ok {
+		reg := r.(*registry)
+		reg.mu.Lock()
+		if reg.groups[g.name] == g {
+			delete(reg.groups, g.name)
+		}
+		reg.mu.Unlock()
+	}
+}
+
+// FetchView retrieves the group view as seen by the member at addr —
+// the "explicit function that the application needs to call" strategy
+// for clients tracking an elastic service.
+func FetchView(ctx context.Context, inst *margo.Instance, addr, name string) (View, error) {
+	args := joinArgs{Group: name} // Addr empty: just a view request
+	out, err := inst.Forward(ctx, addr, rpcGetView, codec.Marshal(&args))
+	if err != nil {
+		return View{}, err
+	}
+	var reply viewReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return View{}, err
+	}
+	if !reply.OK {
+		return View{}, fmt.Errorf("%w: %s", ErrNoSuchGroup, reply.Err)
+	}
+	v := View{Version: reply.Version}
+	for _, m := range reply.Members {
+		v.Members = append(v.Members, Member{Addr: m.Addr, Incarnation: m.Incarnation, State: State(m.State)})
+	}
+	sortMembers(v.Members)
+	return v, nil
+}
+
+// --- protocol internals ---
+
+func (g *Group) protocolLoop() {
+	defer g.wg.Done()
+	tick := g.clk.NewTicker(g.cfg.ProtocolPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-tick.C():
+			g.expireSuspicions()
+			target := g.nextProbeTarget()
+			if target != "" {
+				g.wg.Add(1)
+				go func() {
+					defer g.wg.Done()
+					g.probe(target)
+				}()
+			}
+		}
+	}
+}
+
+func (g *Group) alivePeersLocked() []string {
+	var out []string
+	for a, mi := range g.members {
+		if a == g.self {
+			continue
+		}
+		if mi.member.State == StateAlive || mi.member.State == StateSuspect {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// nextProbeTarget implements SWIM's randomized round-robin.
+func (g *Group) nextProbeTarget() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.probeIdx >= len(g.probeList) {
+		g.probeList = g.alivePeersLocked()
+		g.rngMu.Lock()
+		g.rng.Shuffle(len(g.probeList), func(i, j int) {
+			g.probeList[i], g.probeList[j] = g.probeList[j], g.probeList[i]
+		})
+		g.rngMu.Unlock()
+		g.probeIdx = 0
+	}
+	for g.probeIdx < len(g.probeList) {
+		t := g.probeList[g.probeIdx]
+		g.probeIdx++
+		mi, ok := g.members[t]
+		if ok && (mi.member.State == StateAlive || mi.member.State == StateSuspect) {
+			return t
+		}
+	}
+	// No alive peers: a fully partitioned member would otherwise never
+	// re-contact the group. Probe a random dead member so that healing
+	// a partition lets both sides rediscover each other.
+	var dead []string
+	for a, mi := range g.members {
+		if a != g.self && mi.member.State == StateDead {
+			dead = append(dead, a)
+		}
+	}
+	if len(dead) == 0 {
+		return ""
+	}
+	g.rngMu.Lock()
+	pick := dead[g.rng.Intn(len(dead))]
+	g.rngMu.Unlock()
+	return pick
+}
+
+// probe runs one SWIM probe sequence against target.
+func (g *Group) probe(target string) {
+	if g.pingDirect(target) {
+		return
+	}
+	// Indirect probes through k random peers.
+	g.mu.Lock()
+	peers := g.alivePeersLocked()
+	g.mu.Unlock()
+	g.rngMu.Lock()
+	g.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	g.rngMu.Unlock()
+	acked := make(chan bool, g.cfg.IndirectPings)
+	sent := 0
+	for _, p := range peers {
+		if p == target {
+			continue
+		}
+		if sent >= g.cfg.IndirectPings {
+			break
+		}
+		sent++
+		go func(p string) { acked <- g.pingIndirect(p, target) }(p)
+	}
+	deadline := g.clk.NewTimer(g.cfg.ProtocolPeriod - g.cfg.PingTimeout)
+	defer deadline.Stop()
+	for i := 0; i < sent; i++ {
+		select {
+		case ok := <-acked:
+			if ok {
+				return
+			}
+		case <-deadline.C():
+			g.suspect(target)
+			return
+		case <-g.stop:
+			return
+		}
+	}
+	g.suspect(target)
+}
+
+func (g *Group) pingDirect(target string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.PingTimeout)
+	defer cancel()
+	args := pingArgs{Group: g.name, From: g.self, Updates: g.takeGossip()}
+	g.stats.PingsSent.Add(1)
+	out, err := g.inst.Forward(ctx, target, rpcPing, codec.Marshal(&args))
+	if err != nil {
+		return false
+	}
+	var reply ackReply
+	if err := codec.Unmarshal(out, &reply); err != nil || !reply.OK {
+		return false
+	}
+	g.stats.AcksReceived.Add(1)
+	// A direct ack is first-hand evidence of life: resurrect a member
+	// we believed dead (its refutation gossip will follow with a
+	// higher incarnation).
+	g.mu.Lock()
+	if mi, ok := g.members[target]; ok && mi.member.State == StateDead {
+		g.transitionLocked(mi, StateAlive, mi.member.Incarnation)
+	}
+	g.mu.Unlock()
+	g.applyUpdates(reply.Updates)
+	return true
+}
+
+func (g *Group) pingIndirect(via, target string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProtocolPeriod-g.cfg.PingTimeout)
+	defer cancel()
+	args := pingReqArgs{Group: g.name, From: g.self, Target: target, Updates: g.takeGossip()}
+	g.stats.PingReqsSent.Add(1)
+	out, err := g.inst.Forward(ctx, via, rpcPingReq, codec.Marshal(&args))
+	if err != nil {
+		return false
+	}
+	var reply ackReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return false
+	}
+	g.applyUpdates(reply.Updates)
+	return reply.OK
+}
+
+// suspect marks target as suspected and gossips it.
+func (g *Group) suspect(target string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	mi, ok := g.members[target]
+	if !ok || mi.member.State != StateAlive {
+		return
+	}
+	g.stats.SuspectsRaised.Add(1)
+	g.transitionLocked(mi, StateSuspect, mi.member.Incarnation)
+	mi.suspectDeadline = g.clk.Now().Add(time.Duration(g.cfg.SuspicionPeriods) * g.cfg.ProtocolPeriod)
+	g.enqueueGossipLocked(update{Addr: target, Incarnation: mi.member.Incarnation, State: StateSuspect})
+}
+
+func (g *Group) expireSuspicions() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.clk.Now()
+	for _, mi := range g.members {
+		if mi.member.State == StateSuspect && now.After(mi.suspectDeadline) {
+			g.stats.DeathsDeclared.Add(1)
+			g.transitionLocked(mi, StateDead, mi.member.Incarnation)
+			g.enqueueGossipLocked(update{Addr: mi.member.Addr, Incarnation: mi.member.Incarnation, State: StateDead})
+		}
+	}
+}
+
+// transitionLocked applies a state change, bumping the view version
+// and firing callbacks.
+func (g *Group) transitionLocked(mi *memberInfo, s State, inc uint64) {
+	old := mi.member.State
+	mi.member.State = s
+	mi.member.Incarnation = inc
+	g.version++
+	member := mi.member
+	cbs := append([]MembershipCallback(nil), g.callbacks...)
+	// Fire callbacks without the lock.
+	go func() {
+		for _, cb := range cbs {
+			cb(member, old, s)
+		}
+	}()
+}
+
+// enqueueGossipLocked queues an update for piggybacking, with a
+// retransmission budget of RetransmitMult*log2(N+1).
+func (g *Group) enqueueGossipLocked(u update) {
+	n := len(g.members)
+	u.transmit = g.cfg.RetransmitMult * int(math.Ceil(math.Log2(float64(n+1))))
+	if u.transmit < 1 {
+		u.transmit = 1
+	}
+	g.gossip[u.key()] = &u
+}
+
+// takeGossip selects up to PiggybackLimit updates to send.
+func (g *Group) takeGossip() []update {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []update
+	for k, u := range g.gossip {
+		if len(out) >= g.cfg.PiggybackLimit {
+			break
+		}
+		out = append(out, *u)
+		u.transmit--
+		if u.transmit <= 0 {
+			delete(g.gossip, k)
+		}
+		g.stats.UpdatesGossiped.Add(1)
+	}
+	return out
+}
+
+// applyUpdates folds received membership assertions into local state
+// (the SWIM update rules with incarnation numbers).
+func (g *Group) applyUpdates(ups []update) {
+	if len(ups) == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, u := range ups {
+		g.applyOneLocked(u)
+	}
+}
+
+func (g *Group) applyOneLocked(u update) {
+	if u.Addr == g.self {
+		// Refute rumors of our demise with a higher incarnation.
+		if (u.State == StateSuspect || u.State == StateDead) && u.Incarnation >= g.selfInc {
+			g.selfInc = u.Incarnation + 1
+			g.stats.RefutationsSent.Add(1)
+			if mi, ok := g.members[g.self]; ok {
+				mi.member.Incarnation = g.selfInc
+			}
+			g.enqueueGossipLocked(update{Addr: g.self, Incarnation: g.selfInc, State: StateAlive})
+		}
+		return
+	}
+	mi, ok := g.members[u.Addr]
+	if !ok {
+		// Newly discovered member.
+		mi = &memberInfo{member: Member{Addr: u.Addr, Incarnation: u.Incarnation, State: u.State}}
+		g.members[u.Addr] = mi
+		g.version++
+		if u.State == StateSuspect {
+			mi.suspectDeadline = g.clk.Now().Add(time.Duration(g.cfg.SuspicionPeriods) * g.cfg.ProtocolPeriod)
+		}
+		member := mi.member
+		cbs := append([]MembershipCallback(nil), g.callbacks...)
+		go func() {
+			for _, cb := range cbs {
+				cb(member, StateDead, member.State)
+			}
+		}()
+		g.enqueueGossipLocked(u)
+		return
+	}
+	cur := mi.member
+	switch u.State {
+	case StateAlive:
+		// Strictly newer incarnations only: an alive assertion at the
+		// same incarnation as a death rumor must not resurrect the
+		// member (refutation always bumps the incarnation first).
+		if u.Incarnation > cur.Incarnation {
+			g.transitionLocked(mi, StateAlive, u.Incarnation)
+			g.enqueueGossipLocked(u)
+		}
+	case StateSuspect:
+		if (cur.State == StateAlive && u.Incarnation >= cur.Incarnation) ||
+			(cur.State == StateSuspect && u.Incarnation > cur.Incarnation) {
+			g.transitionLocked(mi, StateSuspect, u.Incarnation)
+			mi.suspectDeadline = g.clk.Now().Add(time.Duration(g.cfg.SuspicionPeriods) * g.cfg.ProtocolPeriod)
+			g.enqueueGossipLocked(u)
+		}
+	case StateDead, StateLeft:
+		if cur.State != StateDead && cur.State != StateLeft && u.Incarnation >= cur.Incarnation {
+			g.transitionLocked(mi, u.State, u.Incarnation)
+			g.enqueueGossipLocked(u)
+		}
+	}
+}
+
+// --- RPC handlers (registry level) ---
+
+func (r *registry) handlePing(_ context.Context, h *mercury.Handle) {
+	var args pingArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	g := r.lookup(args.Group)
+	if g == nil {
+		_ = h.Respond(codec.Marshal(&ackReply{OK: false}))
+		return
+	}
+	g.applyUpdates(args.Updates)
+	ups := g.takeGossip()
+	// If we believe the pinger is dead (e.g. it was partitioned away
+	// and declared failed), tell it so: it will refute with a higher
+	// incarnation and be resurrected across the group, the SWIM
+	// mechanism for recovering from false positives.
+	g.mu.Lock()
+	if mi, ok := g.members[args.From]; ok && (mi.member.State == StateDead || mi.member.State == StateSuspect) {
+		ups = append(ups, update{Addr: args.From, Incarnation: mi.member.Incarnation, State: mi.member.State})
+	}
+	g.mu.Unlock()
+	_ = h.Respond(codec.Marshal(&ackReply{OK: true, Updates: ups}))
+}
+
+func (r *registry) handlePingReq(_ context.Context, h *mercury.Handle) {
+	var args pingReqArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	g := r.lookup(args.Group)
+	if g == nil {
+		_ = h.Respond(codec.Marshal(&ackReply{OK: false}))
+		return
+	}
+	g.applyUpdates(args.Updates)
+	ok := g.pingDirect(args.Target)
+	_ = h.Respond(codec.Marshal(&ackReply{OK: ok, Updates: g.takeGossip()}))
+}
+
+func (r *registry) handleJoin(_ context.Context, h *mercury.Handle) {
+	var args joinArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	g := r.lookup(args.Group)
+	if g == nil {
+		_ = h.Respond(codec.Marshal(&viewReply{OK: false, Err: "no such group"}))
+		return
+	}
+	if args.Addr != "" {
+		g.mu.Lock()
+		inc := uint64(0)
+		if old, ok := g.members[args.Addr]; ok {
+			inc = old.member.Incarnation + 1
+		}
+		g.applyOneLocked(update{Addr: args.Addr, Incarnation: inc, State: StateAlive})
+		g.mu.Unlock()
+	}
+	_ = h.Respond(codec.Marshal(g.viewReplyNow()))
+}
+
+func (r *registry) handleLeave(_ context.Context, h *mercury.Handle) {
+	var args pingArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	g := r.lookup(args.Group)
+	if g == nil {
+		_ = h.Respond(codec.Marshal(&ackReply{OK: false}))
+		return
+	}
+	g.applyUpdates(args.Updates)
+	_ = h.Respond(codec.Marshal(&ackReply{OK: true}))
+}
+
+func (r *registry) handleGetView(_ context.Context, h *mercury.Handle) {
+	var args joinArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	g := r.lookup(args.Group)
+	if g == nil {
+		_ = h.Respond(codec.Marshal(&viewReply{OK: false, Err: "no such group"}))
+		return
+	}
+	_ = h.Respond(codec.Marshal(g.viewReplyNow()))
+}
+
+func (g *Group) viewReplyNow() *viewReply {
+	v := g.View()
+	reply := &viewReply{OK: true, Version: v.Version}
+	for _, m := range v.Members {
+		reply.Members = append(reply.Members, wireUpdate{Addr: m.Addr, Incarnation: m.Incarnation, State: uint8(m.State)})
+	}
+	return reply
+}

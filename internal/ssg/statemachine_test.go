@@ -1,0 +1,220 @@
+package ssg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// newLoneGroup returns a group with only itself, for driving the SWIM
+// update state machine directly (no probing interference: protocol
+// periods are long).
+func newLoneGroup(t *testing.T) *Group {
+	t.Helper()
+	cfg := fastCfg()
+	cfg.ProtocolPeriod = 1e9 // effectively never probes during the test
+	c := newClusterN(t, 1, cfg)
+	return c.groups[0]
+}
+
+func memberState(g *Group, addr string) (State, uint64, bool) {
+	for _, m := range g.View().Members {
+		if m.Addr == addr {
+			return m.State, m.Incarnation, true
+		}
+	}
+	return 0, 0, false
+}
+
+// TestSwimUpdateRules drives applyUpdates through the SWIM rule table:
+// which (current state, incoming assertion, incarnation relation)
+// combinations change state.
+func TestSwimUpdateRules(t *testing.T) {
+	const peer = "sm://peer"
+	cases := []struct {
+		name      string
+		setup     []update // applied first
+		incoming  update
+		wantState State
+		wantInc   uint64
+	}{
+		{
+			name:      "alive discovers new member",
+			incoming:  update{Addr: peer, Incarnation: 0, State: StateAlive},
+			wantState: StateAlive,
+			wantInc:   0,
+		},
+		{
+			name:      "suspect with equal incarnation suspects an alive member",
+			setup:     []update{{Addr: peer, Incarnation: 1, State: StateAlive}},
+			incoming:  update{Addr: peer, Incarnation: 1, State: StateSuspect},
+			wantState: StateSuspect,
+			wantInc:   1,
+		},
+		{
+			name:      "stale suspect does not override newer alive",
+			setup:     []update{{Addr: peer, Incarnation: 5, State: StateAlive}},
+			incoming:  update{Addr: peer, Incarnation: 3, State: StateSuspect},
+			wantState: StateAlive,
+			wantInc:   5,
+		},
+		{
+			name: "alive with higher incarnation refutes suspicion",
+			setup: []update{
+				{Addr: peer, Incarnation: 1, State: StateAlive},
+				{Addr: peer, Incarnation: 1, State: StateSuspect},
+			},
+			incoming:  update{Addr: peer, Incarnation: 2, State: StateAlive},
+			wantState: StateAlive,
+			wantInc:   2,
+		},
+		{
+			name: "alive with equal incarnation does not refute suspicion",
+			setup: []update{
+				{Addr: peer, Incarnation: 1, State: StateAlive},
+				{Addr: peer, Incarnation: 1, State: StateSuspect},
+			},
+			incoming:  update{Addr: peer, Incarnation: 1, State: StateAlive},
+			wantState: StateSuspect,
+			wantInc:   1,
+		},
+		{
+			name:      "dead overrides alive at same incarnation",
+			setup:     []update{{Addr: peer, Incarnation: 2, State: StateAlive}},
+			incoming:  update{Addr: peer, Incarnation: 2, State: StateDead},
+			wantState: StateDead,
+			wantInc:   2,
+		},
+		{
+			name:      "stale dead does not kill newer alive",
+			setup:     []update{{Addr: peer, Incarnation: 4, State: StateAlive}},
+			incoming:  update{Addr: peer, Incarnation: 2, State: StateDead},
+			wantState: StateAlive,
+			wantInc:   4,
+		},
+		{
+			name:      "alive with higher incarnation resurrects the dead",
+			setup:     []update{{Addr: peer, Incarnation: 1, State: StateDead}},
+			incoming:  update{Addr: peer, Incarnation: 2, State: StateAlive},
+			wantState: StateAlive,
+			wantInc:   2,
+		},
+		{
+			name:      "left is terminal like dead",
+			setup:     []update{{Addr: peer, Incarnation: 1, State: StateAlive}},
+			incoming:  update{Addr: peer, Incarnation: 1, State: StateLeft},
+			wantState: StateLeft,
+			wantInc:   1,
+		},
+		{
+			name:      "suspect does not downgrade dead",
+			setup:     []update{{Addr: peer, Incarnation: 3, State: StateDead}},
+			incoming:  update{Addr: peer, Incarnation: 3, State: StateSuspect},
+			wantState: StateDead,
+			wantInc:   3,
+		},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := newLoneGroup(t)
+			_ = i
+			g.applyUpdates(c.setup)
+			g.applyUpdates([]update{c.incoming})
+			st, inc, ok := memberState(g, peer)
+			if !ok {
+				t.Fatal("peer unknown after updates")
+			}
+			if st != c.wantState || inc != c.wantInc {
+				t.Fatalf("state=%v inc=%d, want %v/%d", st, inc, c.wantState, c.wantInc)
+			}
+		})
+	}
+}
+
+// TestSwimSelfRefutation: rumors about oneself raise the incarnation
+// and enqueue an alive assertion; rumors that are already stale do
+// nothing.
+func TestSwimSelfRefutation(t *testing.T) {
+	g := newLoneGroup(t)
+	self := g.Self()
+
+	g.applyUpdates([]update{{Addr: self, Incarnation: 0, State: StateSuspect}})
+	_, inc, _ := memberState(g, self)
+	if inc != 1 {
+		t.Fatalf("incarnation after refutation = %d, want 1", inc)
+	}
+	if g.Stats().RefutationsSent.Load() != 1 {
+		t.Fatal("no refutation recorded")
+	}
+	// The refutation is queued for gossip.
+	found := false
+	for _, u := range g.takeGossip() {
+		if u.Addr == self && u.State == StateAlive && u.Incarnation == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("refutation not in gossip queue")
+	}
+	// A stale rumor (incarnation 0 < current 1) is ignored.
+	g.applyUpdates([]update{{Addr: self, Incarnation: 0, State: StateDead}})
+	if _, inc, _ := memberState(g, self); inc != 1 {
+		t.Fatalf("stale rumor bumped incarnation to %d", inc)
+	}
+	// A current rumor of death triggers another refutation.
+	g.applyUpdates([]update{{Addr: self, Incarnation: 1, State: StateDead}})
+	if _, inc, _ := memberState(g, self); inc != 2 {
+		t.Fatalf("incarnation after second refutation = %d, want 2", inc)
+	}
+}
+
+// TestSwimUpdatesAreRegossiped: accepted updates re-enter the gossip
+// queue so information disseminates epidemically.
+func TestSwimUpdatesAreRegossiped(t *testing.T) {
+	g := newLoneGroup(t)
+	g.applyUpdates([]update{{Addr: "sm://x", Incarnation: 0, State: StateAlive}})
+	g.applyUpdates([]update{{Addr: "sm://x", Incarnation: 0, State: StateDead}})
+	var states []State
+	for i := 0; i < 10; i++ {
+		for _, u := range g.takeGossip() {
+			if u.Addr == "sm://x" {
+				states = append(states, u.State)
+			}
+		}
+	}
+	sawDead := false
+	for _, s := range states {
+		if s == StateDead {
+			sawDead = true
+		}
+	}
+	if !sawDead {
+		t.Fatalf("dead update never re-gossiped (saw %v)", states)
+	}
+}
+
+// Exhaustive sweep: no (state, state, incarnation delta) combination
+// panics or produces an impossible transition (e.g. dead → suspect).
+func TestSwimNoIllegalTransitions(t *testing.T) {
+	states := []State{StateAlive, StateSuspect, StateDead, StateLeft}
+	for _, s1 := range states {
+		for _, s2 := range states {
+			for _, d := range []int{-1, 0, 1} {
+				g := newLoneGroup(t)
+				peer := fmt.Sprintf("sm://p-%d-%d-%d", s1, s2, d)
+				g.applyUpdates([]update{{Addr: peer, Incarnation: 5, State: s1}})
+				g.applyUpdates([]update{{Addr: peer, Incarnation: uint64(5 + d), State: s2}})
+				st, _, ok := memberState(g, peer)
+				if !ok {
+					t.Fatalf("%v->%v(%+d): peer vanished", s1, s2, d)
+				}
+				// Terminal states only leave via a strictly newer alive.
+				if (s1 == StateDead || s1 == StateLeft) && st == StateSuspect {
+					t.Fatalf("%v->%v(%+d): illegal transition to suspect", s1, s2, d)
+				}
+				if (s1 == StateDead || s1 == StateLeft) && st == StateAlive && d <= 0 {
+					t.Fatalf("%v->%v(%+d): resurrected without newer incarnation", s1, s2, d)
+				}
+			}
+		}
+	}
+}

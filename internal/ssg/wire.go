@@ -1,0 +1,156 @@
+package ssg
+
+import "mochi/internal/codec"
+
+// RPC names. Groups are multiplexed by name inside the payload so any
+// number of groups can share one margo instance.
+const (
+	rpcPing    = "ssg_ping"
+	rpcPingReq = "ssg_ping_req"
+	rpcJoin    = "ssg_join"
+	rpcLeave   = "ssg_leave"
+	rpcGetView = "ssg_get_view"
+)
+
+type wireUpdate struct {
+	Addr        string
+	Incarnation uint64
+	State       uint8
+}
+
+func encodeUpdates(e *codec.Encoder, ups []update) {
+	e.Uvarint(uint64(len(ups)))
+	for _, u := range ups {
+		e.String(u.Addr)
+		e.Uint64(u.Incarnation)
+		e.Uint8(uint8(u.State))
+	}
+}
+
+func decodeUpdates(d *codec.Decoder) []update {
+	n := d.Uvarint()
+	if n > uint64(d.Remaining()) {
+		return nil
+	}
+	ups := make([]update, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var u update
+		u.Addr = d.String()
+		u.Incarnation = d.Uint64()
+		u.State = State(d.Uint8())
+		if d.Err() != nil {
+			return nil
+		}
+		ups = append(ups, u)
+	}
+	return ups
+}
+
+type pingArgs struct {
+	Group   string
+	From    string
+	Updates []update
+}
+
+func (a *pingArgs) MarshalMochi(e *codec.Encoder) {
+	e.String(a.Group)
+	e.String(a.From)
+	encodeUpdates(e, a.Updates)
+}
+
+func (a *pingArgs) UnmarshalMochi(d *codec.Decoder) {
+	a.Group = d.String()
+	a.From = d.String()
+	a.Updates = decodeUpdates(d)
+}
+
+type ackReply struct {
+	OK      bool
+	Updates []update
+}
+
+func (r *ackReply) MarshalMochi(e *codec.Encoder) {
+	e.Bool(r.OK)
+	encodeUpdates(e, r.Updates)
+}
+
+func (r *ackReply) UnmarshalMochi(d *codec.Decoder) {
+	r.OK = d.Bool()
+	r.Updates = decodeUpdates(d)
+}
+
+type pingReqArgs struct {
+	Group   string
+	From    string
+	Target  string
+	Updates []update
+}
+
+func (a *pingReqArgs) MarshalMochi(e *codec.Encoder) {
+	e.String(a.Group)
+	e.String(a.From)
+	e.String(a.Target)
+	encodeUpdates(e, a.Updates)
+}
+
+func (a *pingReqArgs) UnmarshalMochi(d *codec.Decoder) {
+	a.Group = d.String()
+	a.From = d.String()
+	a.Target = d.String()
+	a.Updates = decodeUpdates(d)
+}
+
+type joinArgs struct {
+	Group string
+	Addr  string
+}
+
+func (a *joinArgs) MarshalMochi(e *codec.Encoder) {
+	e.String(a.Group)
+	e.String(a.Addr)
+}
+
+func (a *joinArgs) UnmarshalMochi(d *codec.Decoder) {
+	a.Group = d.String()
+	a.Addr = d.String()
+}
+
+type viewReply struct {
+	OK      bool
+	Err     string
+	Version uint64
+	Members []wireUpdate
+}
+
+func (r *viewReply) MarshalMochi(e *codec.Encoder) {
+	e.Bool(r.OK)
+	e.String(r.Err)
+	e.Uint64(r.Version)
+	e.Uvarint(uint64(len(r.Members)))
+	for _, m := range r.Members {
+		e.String(m.Addr)
+		e.Uint64(m.Incarnation)
+		e.Uint8(m.State)
+	}
+}
+
+func (r *viewReply) UnmarshalMochi(d *codec.Decoder) {
+	r.OK = d.Bool()
+	r.Err = d.String()
+	r.Version = d.Uint64()
+	n := d.Uvarint()
+	if n > uint64(d.Remaining())+1 {
+		return
+	}
+	r.Members = make([]wireUpdate, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var m wireUpdate
+		m.Addr = d.String()
+		m.Incarnation = d.Uint64()
+		m.State = d.Uint8()
+		if d.Err() != nil {
+			return
+		}
+		r.Members = append(r.Members, m)
+	}
+}

@@ -1,0 +1,368 @@
+package warabi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"mochi/internal/argobots"
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// RPC names served by warabi providers.
+const (
+	RPCCreate    = "warabi_create"
+	RPCWrite     = "warabi_write"      // inline data (eager)
+	RPCWriteBulk = "warabi_write_bulk" // provider pulls from client bulk
+	RPCRead      = "warabi_read"       // inline data (eager)
+	RPCReadBulk  = "warabi_read_bulk"  // provider pushes into client bulk
+	RPCSize      = "warabi_size"
+	RPCPersist   = "warabi_persist"
+	RPCErase     = "warabi_erase"
+	RPCList      = "warabi_list"
+	RPCGetConfig = "warabi_get_config"
+)
+
+// EagerThreshold is the size above which clients switch from inline
+// RPC payloads to bulk transfers, mirroring Mercury's eager limit.
+const EagerThreshold = 4096
+
+type ioArgs struct {
+	Region  RegionID
+	Offset  int64
+	Size    int64
+	Data    []byte
+	Bulk    mercury.BulkDescriptor
+	HasBulk bool
+}
+
+func (a *ioArgs) MarshalMochi(e *codec.Encoder) {
+	e.Uint64(uint64(a.Region))
+	e.Int64(a.Offset)
+	e.Int64(a.Size)
+	e.BytesField(a.Data)
+	e.Bool(a.HasBulk)
+	a.Bulk.MarshalMochi(e)
+}
+
+func (a *ioArgs) UnmarshalMochi(d *codec.Decoder) {
+	a.Region = RegionID(d.Uint64())
+	a.Offset = d.Int64()
+	a.Size = d.Int64()
+	a.Data = append([]byte(nil), d.BytesField()...)
+	a.HasBulk = d.Bool()
+	a.Bulk.UnmarshalMochi(d)
+}
+
+type ioReply struct {
+	Status uint8
+	Err    string
+	Region RegionID
+	Size   int64
+	Data   []byte
+	IDs    []RegionID
+}
+
+func (r *ioReply) MarshalMochi(e *codec.Encoder) {
+	e.Uint8(r.Status)
+	e.String(r.Err)
+	e.Uint64(uint64(r.Region))
+	e.Int64(r.Size)
+	e.BytesField(r.Data)
+	e.Uvarint(uint64(len(r.IDs)))
+	for _, id := range r.IDs {
+		e.Uint64(uint64(id))
+	}
+}
+
+func (r *ioReply) UnmarshalMochi(d *codec.Decoder) {
+	r.Status = d.Uint8()
+	r.Err = d.String()
+	r.Region = RegionID(d.Uint64())
+	r.Size = d.Int64()
+	r.Data = append([]byte(nil), d.BytesField()...)
+	n := d.Uvarint()
+	if n > uint64(d.Remaining())/8+1 {
+		return
+	}
+	r.IDs = make([]RegionID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r.IDs = append(r.IDs, RegionID(d.Uint64()))
+	}
+}
+
+func errStatus(err error) (uint8, string) {
+	switch err {
+	case nil:
+		return 0, ""
+	case ErrRegionNotFound:
+		return 1, err.Error()
+	case ErrOutOfBounds:
+		return 3, err.Error()
+	default:
+		return 2, err.Error()
+	}
+}
+
+func statusErr(status uint8, msg string) error {
+	switch status {
+	case 0:
+		return nil
+	case 1:
+		return ErrRegionNotFound
+	case 3:
+		return ErrOutOfBounds
+	default:
+		return fmt.Errorf("warabi: remote error: %s", msg)
+	}
+}
+
+// Provider serves a Target over RPC.
+type Provider struct {
+	inst *margo.Instance
+	id   uint16
+	pool *argobots.Pool
+
+	mu     sync.RWMutex
+	target Target
+	cfg    Config
+	closed bool
+}
+
+// NewProvider creates a provider serving a target built from cfg.
+func NewProvider(inst *margo.Instance, id uint16, pool *argobots.Pool, cfg Config) (*Provider, error) {
+	target, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Provider{inst: inst, id: id, pool: pool, target: target, cfg: cfg}
+	names := map[string]margo.Handler{
+		RPCCreate:    p.handleCreate,
+		RPCWrite:     p.handleWrite,
+		RPCWriteBulk: p.handleWriteBulk,
+		RPCRead:      p.handleRead,
+		RPCReadBulk:  p.handleReadBulk,
+		RPCSize:      p.handleSize,
+		RPCPersist:   p.handlePersist,
+		RPCErase:     p.handleErase,
+		RPCList:      p.handleList,
+		RPCGetConfig: p.handleGetConfig,
+	}
+	var registered []string
+	for name, h := range names {
+		if _, err := inst.RegisterProvider(name, id, pool, h); err != nil {
+			for _, r := range registered {
+				inst.DeregisterProvider(r, id)
+			}
+			target.Close()
+			return nil, err
+		}
+		registered = append(registered, name)
+	}
+	return p, nil
+}
+
+// ID returns the provider ID.
+func (p *Provider) ID() uint16 { return p.id }
+
+// Target returns the underlying resource.
+func (p *Provider) Target() Target {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.target
+}
+
+// Files exposes the backing files for migration.
+func (p *Provider) Files() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil
+	}
+	return p.target.Files()
+}
+
+// Config returns the provider configuration as JSON.
+func (p *Provider) Config() ([]byte, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return json.Marshal(p.cfg)
+}
+
+// Close deregisters and closes the target.
+func (p *Provider) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	t := p.target
+	p.mu.Unlock()
+	for _, name := range []string{RPCCreate, RPCWrite, RPCWriteBulk, RPCRead, RPCReadBulk, RPCSize, RPCPersist, RPCErase, RPCList, RPCGetConfig} {
+		p.inst.DeregisterProvider(name, p.id)
+	}
+	return t.Close()
+}
+
+func (p *Provider) tgt() (Target, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	return p.target, nil
+}
+
+func (p *Provider) respond(h *mercury.Handle, reply *ioReply, err error) {
+	reply.Status, reply.Err = errStatus(err)
+	_ = h.Respond(codec.Marshal(reply))
+}
+
+func (p *Provider) handleCreate(_ context.Context, h *mercury.Handle) {
+	var args ioArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply ioReply
+	t, err := p.tgt()
+	if err == nil {
+		reply.Region, err = t.Create(args.Size)
+	}
+	p.respond(h, &reply, err)
+}
+
+func (p *Provider) handleWrite(_ context.Context, h *mercury.Handle) {
+	var args ioArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply ioReply
+	t, err := p.tgt()
+	if err == nil {
+		err = t.Write(args.Region, args.Offset, args.Data)
+	}
+	p.respond(h, &reply, err)
+}
+
+// handleWriteBulk pulls the client's exposed buffer, then writes it.
+func (p *Provider) handleWriteBulk(_ context.Context, h *mercury.Handle) {
+	var args ioArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply ioReply
+	t, err := p.tgt()
+	if err == nil {
+		buf := make([]byte, args.Size)
+		local := h.Class().CreateBulk(buf, mercury.BulkReadWrite)
+		err = h.Class().BulkTransfer(context.Background(), mercury.BulkPull, args.Bulk, 0, local, 0, uint64(args.Size))
+		local.Free()
+		if err == nil {
+			err = t.Write(args.Region, args.Offset, buf)
+		}
+	}
+	p.respond(h, &reply, err)
+}
+
+func (p *Provider) handleRead(_ context.Context, h *mercury.Handle) {
+	var args ioArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply ioReply
+	t, err := p.tgt()
+	if err == nil {
+		reply.Data, err = t.Read(args.Region, args.Offset, args.Size)
+	}
+	p.respond(h, &reply, err)
+}
+
+// handleReadBulk reads the region and pushes it into the client's
+// exposed buffer.
+func (p *Provider) handleReadBulk(_ context.Context, h *mercury.Handle) {
+	var args ioArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply ioReply
+	t, err := p.tgt()
+	var data []byte
+	if err == nil {
+		data, err = t.Read(args.Region, args.Offset, args.Size)
+	}
+	if err == nil {
+		local := h.Class().CreateBulk(data, mercury.BulkReadOnly)
+		err = h.Class().BulkTransfer(context.Background(), mercury.BulkPush, args.Bulk, 0, local, 0, uint64(len(data)))
+		local.Free()
+	}
+	p.respond(h, &reply, err)
+}
+
+func (p *Provider) handleSize(_ context.Context, h *mercury.Handle) {
+	var args ioArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply ioReply
+	t, err := p.tgt()
+	if err == nil {
+		reply.Size, err = t.Size(args.Region)
+	}
+	p.respond(h, &reply, err)
+}
+
+func (p *Provider) handlePersist(_ context.Context, h *mercury.Handle) {
+	var args ioArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply ioReply
+	t, err := p.tgt()
+	if err == nil {
+		err = t.Persist(args.Region)
+	}
+	p.respond(h, &reply, err)
+}
+
+func (p *Provider) handleErase(_ context.Context, h *mercury.Handle) {
+	var args ioArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply ioReply
+	t, err := p.tgt()
+	if err == nil {
+		err = t.Erase(args.Region)
+	}
+	p.respond(h, &reply, err)
+}
+
+func (p *Provider) handleList(_ context.Context, h *mercury.Handle) {
+	var reply ioReply
+	t, err := p.tgt()
+	if err == nil {
+		reply.IDs, err = t.List()
+	}
+	p.respond(h, &reply, err)
+}
+
+func (p *Provider) handleGetConfig(_ context.Context, h *mercury.Handle) {
+	raw, err := p.Config()
+	if err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	_ = h.Respond(raw)
+}

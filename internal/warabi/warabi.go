@@ -1,0 +1,392 @@
+// Package warabi is the blob-storage component (paper §3.2: datasets'
+// "data in a blob storage target (managed by the Warabi component)").
+// A provider manages a Target — a collection of fixed-size regions —
+// behind an abstract interface with in-memory and file backends.
+//
+// Small reads and writes travel inline in RPCs (Mercury's eager path);
+// large ones use the bulk-transfer API: the client exposes its buffer
+// and the provider pulls or pushes it in one RDMA-like operation.
+package warabi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Errors returned by targets and clients.
+var (
+	ErrRegionNotFound = errors.New("warabi: region not found")
+	ErrOutOfBounds    = errors.New("warabi: access out of region bounds")
+	ErrClosed         = errors.New("warabi: target closed")
+	ErrBadConfig      = errors.New("warabi: invalid configuration")
+)
+
+// RegionID names one region within a target.
+type RegionID uint64
+
+// Target is the abstract blob resource.
+type Target interface {
+	// Create allocates a zero-filled region of the given size.
+	Create(size int64) (RegionID, error)
+	// Write stores data at offset within the region.
+	Write(id RegionID, offset int64, data []byte) error
+	// Read returns size bytes at offset within the region.
+	Read(id RegionID, offset int64, size int64) ([]byte, error)
+	// Size returns the region's length.
+	Size(id RegionID) (int64, error)
+	// Persist flushes the region to durable storage (no-op in memory).
+	Persist(id RegionID) error
+	// Erase removes the region.
+	Erase(id RegionID) error
+	// List returns all region IDs, ascending.
+	List() ([]RegionID, error)
+	// Files returns backing file paths (for REMI migration).
+	Files() []string
+	Close() error
+	Destroy() error
+}
+
+// Config selects a backend.
+type Config struct {
+	Type string `json:"type"`
+	// Dir is the directory holding region files for the "file" backend.
+	Dir string `json:"dir,omitempty"`
+}
+
+// Open creates a target from a config.
+func Open(cfg Config) (Target, error) {
+	switch cfg.Type {
+	case "", "memory":
+		return newMemTarget(), nil
+	case "file":
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("%w: file backend needs a dir", ErrBadConfig)
+		}
+		return openFileTarget(cfg.Dir)
+	default:
+		return nil, fmt.Errorf("%w: unknown backend %q", ErrBadConfig, cfg.Type)
+	}
+}
+
+// OpenJSON creates a target from JSON configuration.
+func OpenJSON(raw []byte) (Target, error) {
+	var cfg Config
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
+	return Open(cfg)
+}
+
+// memTarget keeps regions in RAM.
+type memTarget struct {
+	mu      sync.RWMutex
+	regions map[RegionID][]byte
+	next    RegionID
+	closed  bool
+}
+
+func newMemTarget() *memTarget {
+	return &memTarget{regions: map[RegionID][]byte{}}
+}
+
+func (t *memTarget) Create(size int64) (RegionID, error) {
+	if size < 0 {
+		return 0, ErrOutOfBounds
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, ErrClosed
+	}
+	t.next++
+	t.regions[t.next] = make([]byte, size)
+	return t.next, nil
+}
+
+func (t *memTarget) Write(id RegionID, offset int64, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	r, ok := t.regions[id]
+	if !ok {
+		return ErrRegionNotFound
+	}
+	if offset < 0 || offset+int64(len(data)) > int64(len(r)) {
+		return ErrOutOfBounds
+	}
+	copy(r[offset:], data)
+	return nil
+}
+
+func (t *memTarget) Read(id RegionID, offset, size int64) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	r, ok := t.regions[id]
+	if !ok {
+		return nil, ErrRegionNotFound
+	}
+	if offset < 0 || size < 0 || offset+size > int64(len(r)) {
+		return nil, ErrOutOfBounds
+	}
+	return append([]byte(nil), r[offset:offset+size]...), nil
+}
+
+func (t *memTarget) Size(id RegionID) (int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return 0, ErrClosed
+	}
+	r, ok := t.regions[id]
+	if !ok {
+		return 0, ErrRegionNotFound
+	}
+	return int64(len(r)), nil
+}
+
+func (t *memTarget) Persist(RegionID) error { return nil }
+
+func (t *memTarget) Erase(id RegionID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.regions[id]; !ok {
+		return ErrRegionNotFound
+	}
+	delete(t.regions, id)
+	return nil
+}
+
+func (t *memTarget) List() ([]RegionID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	ids := make([]RegionID, 0, len(t.regions))
+	for id := range t.regions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+func (t *memTarget) Files() []string { return nil }
+
+func (t *memTarget) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	t.regions = nil
+	return nil
+}
+
+func (t *memTarget) Destroy() error { return t.Close() }
+
+// fileTarget keeps one file per region inside a directory.
+type fileTarget struct {
+	mu     sync.Mutex
+	dir    string
+	next   RegionID
+	closed bool
+}
+
+func openFileTarget(dir string) (*fileTarget, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	t := &fileTarget{dir: dir}
+	// Resume the ID counter past existing regions.
+	ids, err := t.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if id > t.next {
+			t.next = id
+		}
+	}
+	return t, nil
+}
+
+func (t *fileTarget) path(id RegionID) string {
+	return filepath.Join(t.dir, fmt.Sprintf("region-%016x.blob", uint64(id)))
+}
+
+func (t *fileTarget) Create(size int64) (RegionID, error) {
+	if size < 0 {
+		return 0, ErrOutOfBounds
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, ErrClosed
+	}
+	t.next++
+	id := t.next
+	f, err := os.Create(t.path(id))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (t *fileTarget) open(id RegionID) (*os.File, error) {
+	f, err := os.OpenFile(t.path(id), os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		return nil, ErrRegionNotFound
+	}
+	return f, err
+}
+
+func (t *fileTarget) Write(id RegionID, offset int64, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	f, err := t.open(id)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset+int64(len(data)) > fi.Size() {
+		return ErrOutOfBounds
+	}
+	_, err = f.WriteAt(data, offset)
+	return err
+}
+
+func (t *fileTarget) Read(id RegionID, offset, size int64) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	f, err := t.open(id)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || size < 0 || offset+size > fi.Size() {
+		return nil, ErrOutOfBounds
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, offset); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (t *fileTarget) Size(id RegionID) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, ErrClosed
+	}
+	fi, err := os.Stat(t.path(id))
+	if os.IsNotExist(err) {
+		return 0, ErrRegionNotFound
+	}
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (t *fileTarget) Persist(id RegionID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	f, err := t.open(id)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+func (t *fileTarget) Erase(id RegionID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	err := os.Remove(t.path(id))
+	if os.IsNotExist(err) {
+		return ErrRegionNotFound
+	}
+	return err
+}
+
+func (t *fileTarget) List() ([]RegionID, error) {
+	entries, err := os.ReadDir(t.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []RegionID
+	for _, e := range entries {
+		var raw uint64
+		if n, _ := fmt.Sscanf(e.Name(), "region-%x.blob", &raw); n == 1 {
+			ids = append(ids, RegionID(raw))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+func (t *fileTarget) Files() []string {
+	ids, err := t.List()
+	if err != nil {
+		return nil
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = t.path(id)
+	}
+	return out
+}
+
+func (t *fileTarget) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	return nil
+}
+
+func (t *fileTarget) Destroy() error {
+	t.mu.Lock()
+	t.closed = true
+	dir := t.dir
+	t.mu.Unlock()
+	return os.RemoveAll(dir)
+}

@@ -1,0 +1,313 @@
+package warabi
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+func openTargets(t *testing.T) map[string]Target {
+	t.Helper()
+	out := map[string]Target{}
+	for _, typ := range []string{"memory", "file"} {
+		cfg := Config{Type: typ}
+		if typ == "file" {
+			cfg.Dir = t.TempDir()
+		}
+		tg, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tg.Close() })
+		out[typ] = tg
+	}
+	return out
+}
+
+func TestCreateWriteReadAllBackends(t *testing.T) {
+	for typ, tg := range openTargets(t) {
+		t.Run(typ, func(t *testing.T) {
+			id, err := tg.Create(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tg.Write(id, 8, []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			data, err := tg.Read(id, 8, 5)
+			if err != nil || string(data) != "hello" {
+				t.Fatalf("read = %q, %v", data, err)
+			}
+			// Unwritten bytes are zero.
+			data, _ = tg.Read(id, 0, 8)
+			if !bytes.Equal(data, make([]byte, 8)) {
+				t.Fatalf("zero-fill violated: %v", data)
+			}
+			if sz, _ := tg.Size(id); sz != 64 {
+				t.Fatalf("size = %d", sz)
+			}
+			if err := tg.Persist(id); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	for typ, tg := range openTargets(t) {
+		t.Run(typ, func(t *testing.T) {
+			id, _ := tg.Create(16)
+			if err := tg.Write(id, 12, []byte("too long")); err != ErrOutOfBounds {
+				t.Fatalf("write: %v", err)
+			}
+			if _, err := tg.Read(id, 10, 10); err != ErrOutOfBounds {
+				t.Fatalf("read: %v", err)
+			}
+			if err := tg.Write(id, -1, []byte("x")); err != ErrOutOfBounds {
+				t.Fatalf("negative offset: %v", err)
+			}
+		})
+	}
+}
+
+func TestEraseAndList(t *testing.T) {
+	for typ, tg := range openTargets(t) {
+		t.Run(typ, func(t *testing.T) {
+			a, _ := tg.Create(8)
+			b, _ := tg.Create(8)
+			ids, err := tg.List()
+			if err != nil || len(ids) != 2 {
+				t.Fatalf("list = %v, %v", ids, err)
+			}
+			if err := tg.Erase(a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tg.Read(a, 0, 1); err != ErrRegionNotFound {
+				t.Fatalf("read erased: %v", err)
+			}
+			ids, _ = tg.List()
+			if len(ids) != 1 || ids[0] != b {
+				t.Fatalf("list after erase = %v", ids)
+			}
+			if err := tg.Erase(a); err != ErrRegionNotFound {
+				t.Fatalf("double erase: %v", err)
+			}
+		})
+	}
+}
+
+func TestFileTargetPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	tg, err := Open(Config{Type: "file", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := tg.Create(32)
+	if err := tg.Write(id, 0, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	tg.Close()
+
+	tg2, err := Open(Config{Type: "file", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tg2.Close()
+	data, err := tg2.Read(id, 0, 7)
+	if err != nil || string(data) != "durable" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	// New regions must not collide with recovered IDs.
+	id2, _ := tg2.Create(8)
+	if id2 == id {
+		t.Fatal("region id reused after reopen")
+	}
+}
+
+func TestFileTargetFilesAndDestroy(t *testing.T) {
+	dir := t.TempDir()
+	tg, _ := Open(Config{Type: "file", Dir: dir})
+	tg.Create(8)
+	tg.Create(8)
+	if files := tg.Files(); len(files) != 2 {
+		t.Fatalf("files = %v", files)
+	}
+	if err := tg.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatal("dir survived Destroy")
+	}
+}
+
+func TestOpenBadConfig(t *testing.T) {
+	if _, err := Open(Config{Type: "s3"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := Open(Config{Type: "file"}); err == nil {
+		t.Fatal("file without dir accepted")
+	}
+	if _, err := OpenJSON([]byte("{bad")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+// Property: write-then-read returns the written bytes for arbitrary
+// offsets/lengths within bounds.
+func TestQuickWriteRead(t *testing.T) {
+	tg := newMemTarget()
+	id, _ := tg.Create(4096)
+	f := func(off uint16, data []byte) bool {
+		o := int64(off) % 2048
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		if err := tg.Write(id, o, data); err != nil {
+			return false
+		}
+		got, err := tg.Read(id, o, int64(len(data)))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Remote tests.
+
+type remoteEnv struct {
+	server *margo.Instance
+	client *margo.Instance
+	prov   *Provider
+	h      *TargetHandle
+}
+
+func newRemoteEnv(t *testing.T, cfg Config) *remoteEnv {
+	t.Helper()
+	f := mercury.NewFabric()
+	scls, _ := f.NewClass("wb-srv")
+	ccls, _ := f.NewClass("wb-cli")
+	server, err := margo.New(scls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := margo.New(ccls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := NewProvider(server, 3, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		prov.Close()
+		server.Finalize()
+		client.Finalize()
+	})
+	return &remoteEnv{
+		server: server,
+		client: client,
+		prov:   prov,
+		h:      NewClient(client).Handle(server.Addr(), 3),
+	}
+}
+
+func rctx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRemoteSmallIO(t *testing.T) {
+	env := newRemoteEnv(t, Config{Type: "memory"})
+	ctx := rctx(t)
+	id, err := env.h.Create(ctx, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.h.Write(ctx, id, 4, []byte("inline")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.h.Read(ctx, id, 4, 6)
+	if err != nil || string(data) != "inline" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if sz, _ := env.h.Size(ctx, id); sz != 128 {
+		t.Fatalf("size = %d", sz)
+	}
+	ids, _ := env.h.List(ctx)
+	if len(ids) != 1 {
+		t.Fatalf("list = %v", ids)
+	}
+	if err := env.h.Persist(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.h.Erase(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.h.Read(ctx, id, 0, 1); err != ErrRegionNotFound {
+		t.Fatalf("read erased: %v", err)
+	}
+}
+
+func TestRemoteBulkIO(t *testing.T) {
+	env := newRemoteEnv(t, Config{Type: "memory"})
+	ctx := rctx(t)
+	const size = 256 * 1024 // forces the bulk path
+	id, err := env.h.Create(ctx, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := env.h.Write(ctx, id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := env.h.Read(ctx, id, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("bulk round trip corrupted data")
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	env := newRemoteEnv(t, Config{Type: "memory"})
+	ctx := rctx(t)
+	if _, err := env.h.Read(ctx, 999, 0, 1); err != ErrRegionNotFound {
+		t.Fatalf("err = %v", err)
+	}
+	id, _ := env.h.Create(ctx, 8)
+	if err := env.h.Write(ctx, id, 6, []byte("long")); err != ErrOutOfBounds {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteFileBackend(t *testing.T) {
+	env := newRemoteEnv(t, Config{Type: "file", Dir: t.TempDir()})
+	ctx := rctx(t)
+	id, err := env.h.Create(ctx, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.h.Write(ctx, id, 0, []byte("on disk")); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.prov.Files()) != 1 {
+		t.Fatalf("files = %v", env.prov.Files())
+	}
+	data, err := env.h.Read(ctx, id, 0, 7)
+	if err != nil || string(data) != "on disk" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,398 @@
+package yokan
+
+import (
+	"bytes"
+	"sync"
+)
+
+// btreeDB is an ordered in-memory backend implemented as a B-tree of
+// order btreeDegree (max 2*degree-1 keys per node), the classic
+// structure behind Berkeley DB — one of the backends the paper lists
+// for Yokan. Compared with the skip list it trades pointer chasing
+// for cache-friendly node scans.
+type btreeDB struct {
+	mu     sync.RWMutex
+	root   *btreeNode
+	count  int
+	closed bool
+}
+
+const btreeDegree = 16 // t: nodes hold t-1..2t-1 keys (root may hold fewer)
+
+type btreeItem struct {
+	key   []byte
+	value []byte
+}
+
+type btreeNode struct {
+	items    []btreeItem
+	children []*btreeNode // nil for leaves
+}
+
+func newBTreeDB() *btreeDB {
+	return &btreeDB{root: &btreeNode{}}
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of key in items, or the child index to
+// descend into, with found reporting an exact match.
+func (n *btreeNode) find(key []byte) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.items[mid].key, key) {
+		case 0:
+			return mid, true
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+func (d *btreeDB) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	// Split a full root first (the standard pre-emptive split insert).
+	if len(d.root.items) == 2*btreeDegree-1 {
+		old := d.root
+		d.root = &btreeNode{children: []*btreeNode{old}}
+		d.root.splitChild(0)
+	}
+	if d.root.insertNonFull(k, v) {
+		d.count++
+	}
+	return nil
+}
+
+// splitChild splits the full child at index i of n.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	t := btreeDegree
+	mid := child.items[t-1]
+	right := &btreeNode{
+		items: append([]btreeItem(nil), child.items[t:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[t:]...)
+		child.children = child.children[:t]
+	}
+	child.items = child.items[:t-1]
+
+	n.items = append(n.items, btreeItem{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = mid
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// insertNonFull inserts into a node known not to be full; reports
+// whether a new key was added (false for overwrite).
+func (n *btreeNode) insertNonFull(key, value []byte) bool {
+	i, found := n.find(key)
+	if found {
+		n.items[i].value = value
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, btreeItem{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = btreeItem{key: key, value: value}
+		return true
+	}
+	if len(n.children[i].items) == 2*btreeDegree-1 {
+		n.splitChild(i)
+		switch bytes.Compare(key, n.items[i].key) {
+		case 0:
+			n.items[i].value = value
+			return false
+		case 1:
+			i++
+		}
+	}
+	return n.children[i].insertNonFull(key, value)
+}
+
+func (d *btreeDB) Get(key []byte) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	n := d.root
+	for {
+		i, found := n.find(key)
+		if found {
+			return append([]byte(nil), n.items[i].value...), nil
+		}
+		if n.leaf() {
+			return nil, ErrKeyNotFound
+		}
+		n = n.children[i]
+	}
+}
+
+func (d *btreeDB) Exists(key []byte) (bool, error) {
+	_, err := d.Get(key)
+	switch err {
+	case nil:
+		return true, nil
+	case ErrKeyNotFound:
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+func (d *btreeDB) Erase(key []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if !d.root.delete(key) {
+		return ErrKeyNotFound
+	}
+	// Shrink the tree when the root empties.
+	if len(d.root.items) == 0 && !d.root.leaf() {
+		d.root = d.root.children[0]
+	}
+	d.count--
+	return nil
+}
+
+// delete removes key from the subtree, maintaining the B-tree
+// invariant that every visited child has ≥ t keys before descending.
+func (n *btreeNode) delete(key []byte) bool {
+	t := btreeDegree
+	i, found := n.find(key)
+	if found {
+		if n.leaf() {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return true
+		}
+		// Replace with predecessor or successor, or merge.
+		if len(n.children[i].items) >= t {
+			pred := n.children[i].max()
+			n.items[i] = pred
+			return n.children[i].delete(pred.key)
+		}
+		if len(n.children[i+1].items) >= t {
+			succ := n.children[i+1].min()
+			n.items[i] = succ
+			return n.children[i+1].delete(succ.key)
+		}
+		n.mergeChildren(i)
+		return n.children[i].delete(key)
+	}
+	if n.leaf() {
+		return false
+	}
+	// Ensure the child we descend into has at least t keys.
+	if len(n.children[i].items) < t {
+		i = n.fill(i)
+	}
+	return n.children[i].delete(key)
+}
+
+func (n *btreeNode) max() btreeItem {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (n *btreeNode) min() btreeItem {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// fill guarantees child i has ≥ t keys by borrowing or merging;
+// returns the (possibly shifted) child index to descend into.
+func (n *btreeNode) fill(i int) int {
+	t := btreeDegree
+	if i > 0 && len(n.children[i-1].items) >= t {
+		// Borrow from the left sibling through the separator.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, btreeItem{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !child.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) >= t {
+		// Borrow from the right sibling.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !child.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	}
+	// Merge with a sibling.
+	if i == len(n.children)-1 {
+		i--
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// mergeChildren merges child i, the separator, and child i+1.
+func (n *btreeNode) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (d *btreeDB) Count() (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	return d.count, nil
+}
+
+// ascend walks items > fromKey in order, calling fn until it returns
+// false.
+func (n *btreeNode) ascend(fromKey []byte, fn func(it btreeItem) bool) bool {
+	i := 0
+	if fromKey != nil {
+		var found bool
+		i, found = n.find(fromKey)
+		if found {
+			// Strictly-greater semantics: skip the match itself, but
+			// descend right of it.
+			if !n.leaf() {
+				if !n.children[i+1].ascend(fromKey, fn) {
+					return false
+				}
+			}
+			for j := i + 1; j < len(n.items); j++ {
+				if !fn(n.items[j]) {
+					return false
+				}
+				if !n.leaf() && !n.children[j+1].ascend(nil, fn) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	for j := i; j < len(n.items); j++ {
+		if !n.leaf() {
+			var from []byte
+			if j == i {
+				from = fromKey
+			}
+			if !n.children[j].ascend(from, fn) {
+				return false
+			}
+		}
+		if !fn(n.items[j]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		var from []byte
+		if len(n.items) == i {
+			from = fromKey
+		}
+		return n.children[len(n.children)-1].ascend(from, fn)
+	}
+	return true
+}
+
+func (d *btreeDB) scan(fromKey, prefix []byte, max int, withValues bool) ([][]byte, []KeyValue) {
+	var keys [][]byte
+	var kvs []KeyValue
+	d.root.ascend(fromKey, func(it btreeItem) bool {
+		if fromKey != nil && bytes.Compare(it.key, fromKey) <= 0 {
+			return true
+		}
+		if len(prefix) > 0 {
+			if !bytes.HasPrefix(it.key, prefix) {
+				// Ordered walk: once beyond the prefix, stop.
+				return bytes.Compare(it.key, prefix) <= 0
+			}
+		}
+		if withValues {
+			if max > 0 && len(kvs) >= max {
+				return false
+			}
+			kvs = append(kvs, KeyValue{
+				Key:   append([]byte(nil), it.key...),
+				Value: append([]byte(nil), it.value...),
+			})
+		} else {
+			if max > 0 && len(keys) >= max {
+				return false
+			}
+			keys = append(keys, append([]byte(nil), it.key...))
+		}
+		return true
+	})
+	return keys, kvs
+}
+
+func (d *btreeDB) ListKeys(fromKey, prefix []byte, max int) ([][]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	keys, _ := d.scan(fromKey, prefix, max, false)
+	return keys, nil
+}
+
+func (d *btreeDB) ListKeyValues(fromKey, prefix []byte, max int) ([]KeyValue, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	_, kvs := d.scan(fromKey, prefix, max, true)
+	return kvs, nil
+}
+
+func (d *btreeDB) Flush() error { return nil }
+
+func (d *btreeDB) Files() []string { return nil }
+
+func (d *btreeDB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.root = &btreeNode{}
+	d.count = 0
+	return nil
+}
+
+func (d *btreeDB) Destroy() error { return d.Close() }

@@ -1,0 +1,185 @@
+package yokan
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestBTreeSplitsAndMerges drives the tree through enough inserts and
+// deletes to force node splits, borrows and merges at every level,
+// checking against a reference map throughout.
+func TestBTreeSplitsAndMerges(t *testing.T) {
+	db := newBTreeDB()
+	rng := rand.New(rand.NewSource(7))
+	ref := map[string]string{}
+	const n = 5000
+	// Insert in random order.
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		k := fmt.Sprintf("key-%06d", i)
+		v := fmt.Sprintf("val-%d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		ref[k] = v
+	}
+	if c, _ := db.Count(); c != n {
+		t.Fatalf("count = %d", c)
+	}
+	// Delete a random two-thirds, verifying as we go.
+	for _, i := range perm {
+		if i%3 == 0 {
+			continue
+		}
+		k := fmt.Sprintf("key-%06d", i)
+		if err := db.Erase([]byte(k)); err != nil {
+			t.Fatalf("erase %s: %v", k, err)
+		}
+		delete(ref, k)
+	}
+	if c, _ := db.Count(); c != len(ref) {
+		t.Fatalf("count = %d, want %d", c, len(ref))
+	}
+	// Everything left is retrievable; everything deleted is gone.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		v, err := db.Get([]byte(k))
+		if want, ok := ref[k]; ok {
+			if err != nil || string(v) != want {
+				t.Fatalf("get %s = %q, %v", k, v, err)
+			}
+		} else if err != ErrKeyNotFound {
+			t.Fatalf("deleted key %s: %v", k, err)
+		}
+	}
+	// The full scan is sorted and complete.
+	keys, err := db.ListKeys(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(ref) {
+		t.Fatalf("scan = %d keys, want %d", len(keys), len(ref))
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatalf("unsorted at %d: %s >= %s", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+// TestBTreePaginationDeepTree: strictly-greater pagination across a
+// multi-level tree visits every key exactly once.
+func TestBTreePaginationDeepTree(t *testing.T) {
+	db := newBTreeDB()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("%08d", i*2)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var from []byte
+	seen := 0
+	for {
+		page, err := db.ListKeys(from, nil, 97)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		for _, k := range page {
+			if from != nil && bytes.Compare(k, from) <= 0 {
+				t.Fatalf("page returned %s ≤ from %s", k, from)
+			}
+		}
+		seen += len(page)
+		from = page[len(page)-1]
+	}
+	if seen != n {
+		t.Fatalf("paginated over %d keys, want %d", seen, n)
+	}
+	// Pagination from a key that is absent (between entries).
+	page, err := db.ListKeys([]byte("00000001"), nil, 3)
+	if err != nil || len(page) != 3 || string(page[0]) != "00000002" {
+		t.Fatalf("between-keys page = %q, %v", page, err)
+	}
+}
+
+// Property: after any operation sequence the B-tree agrees with both
+// the reference map AND the skip list on content and iteration order.
+func TestQuickBTreeMatchesSkiplist(t *testing.T) {
+	type op struct {
+		Erase bool
+		Key   uint16
+	}
+	f := func(ops []op) bool {
+		bt := newBTreeDB()
+		sl := newSkipDB()
+		for _, o := range ops {
+			k := []byte(fmt.Sprintf("k%05d", o.Key%512))
+			if o.Erase {
+				e1 := bt.Erase(k)
+				e2 := sl.Erase(k)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			} else {
+				if bt.Put(k, k) != nil || sl.Put(k, k) != nil {
+					return false
+				}
+			}
+		}
+		c1, _ := bt.Count()
+		c2, _ := sl.Count()
+		if c1 != c2 {
+			return false
+		}
+		k1, _ := bt.ListKeys(nil, nil, 0)
+		k2, _ := sl.ListKeys(nil, nil, 0)
+		if len(k1) != len(k2) {
+			return false
+		}
+		for i := range k1 {
+			if !bytes.Equal(k1[i], k2[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The tree height stays logarithmic (sanity check on balancing).
+func TestBTreeHeightBounded(t *testing.T) {
+	db := newBTreeDB()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("%08d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := 0
+	for node := db.root; ; h++ {
+		if node.leaf() {
+			break
+		}
+		node = node.children[0]
+	}
+	// With degree 16, 20k keys fit comfortably within height 4.
+	if h > 4 {
+		t.Fatalf("height = %d for %d keys", h, n)
+	}
+	sortCheck, _ := db.ListKeys(nil, nil, 0)
+	if !sort.SliceIsSorted(sortCheck, func(i, j int) bool { return bytes.Compare(sortCheck[i], sortCheck[j]) < 0 }) {
+		t.Fatal("scan unsorted")
+	}
+	if len(sortCheck) != n {
+		t.Fatalf("scan lost keys: %d", len(sortCheck))
+	}
+}

@@ -1,0 +1,229 @@
+package yokan
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+)
+
+// Client is the component's client library (Figure 1): it creates
+// DatabaseHandles mapping to remote resources.
+type Client struct {
+	inst *margo.Instance
+}
+
+// NewClient creates a client over a margo instance.
+func NewClient(inst *margo.Instance) *Client {
+	return &Client{inst: inst}
+}
+
+// DatabaseHandle maps to a remote database by encapsulating the
+// address and provider ID of the provider holding it (Figure 1:
+// "Resource Handle ... maps to a remote resource").
+type DatabaseHandle struct {
+	client   *Client
+	addr     string
+	provider uint16
+}
+
+// Handle returns a handle to the database served by (addr, providerID).
+func (c *Client) Handle(addr string, providerID uint16) *DatabaseHandle {
+	return &DatabaseHandle{client: c, addr: addr, provider: providerID}
+}
+
+// Addr returns the provider's address.
+func (h *DatabaseHandle) Addr() string { return h.addr }
+
+// ProviderID returns the provider ID.
+func (h *DatabaseHandle) ProviderID() uint16 { return h.provider }
+
+func replyErr(status uint8, msg string) error {
+	switch status {
+	case 0:
+		return nil
+	case 1:
+		return ErrKeyNotFound
+	default:
+		return fmt.Errorf("yokan: remote error: %s", msg)
+	}
+}
+
+func (h *DatabaseHandle) forward(ctx context.Context, rpc string, m codec.Marshaler) ([]byte, error) {
+	var in []byte
+	if m != nil {
+		in = codec.Marshal(m)
+	}
+	return h.client.inst.ForwardProvider(ctx, h.addr, rpc, h.provider, in)
+}
+
+// Put stores one pair.
+func (h *DatabaseHandle) Put(ctx context.Context, key, value []byte) error {
+	return h.putRPC(ctx, RPCPut, []KeyValue{{Key: key, Value: value}})
+}
+
+// PutMulti stores several pairs in one RPC.
+func (h *DatabaseHandle) PutMulti(ctx context.Context, pairs []KeyValue) error {
+	return h.putRPC(ctx, RPCPutMulti, pairs)
+}
+
+func (h *DatabaseHandle) putRPC(ctx context.Context, rpc string, pairs []KeyValue) error {
+	out, err := h.forward(ctx, rpc, &putArgs{Pairs: pairs})
+	if err != nil {
+		return err
+	}
+	var reply statusReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return err
+	}
+	return replyErr(reply.Status, reply.Err)
+}
+
+// Get fetches the value for one key.
+func (h *DatabaseHandle) Get(ctx context.Context, key []byte) ([]byte, error) {
+	out, err := h.forward(ctx, RPCGet, &keysArgs{Keys: [][]byte{key}})
+	if err != nil {
+		return nil, err
+	}
+	var reply valueReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return nil, err
+	}
+	if err := replyErr(reply.Status, reply.Err); err != nil {
+		return nil, err
+	}
+	return reply.Value, nil
+}
+
+// GetMulti fetches several keys; missing keys yield nil values and
+// found[i]=false.
+func (h *DatabaseHandle) GetMulti(ctx context.Context, keys [][]byte) (values [][]byte, found []bool, err error) {
+	out, err := h.forward(ctx, RPCGetMulti, &keysArgs{Keys: keys})
+	if err != nil {
+		return nil, nil, err
+	}
+	var reply valuesReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return nil, nil, err
+	}
+	if err := replyErr(reply.Status, reply.Err); err != nil {
+		return nil, nil, err
+	}
+	return reply.Values, reply.Found, nil
+}
+
+// Erase removes one key.
+func (h *DatabaseHandle) Erase(ctx context.Context, key []byte) error {
+	out, err := h.forward(ctx, RPCErase, &keysArgs{Keys: [][]byte{key}})
+	if err != nil {
+		return err
+	}
+	var reply statusReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return err
+	}
+	return replyErr(reply.Status, reply.Err)
+}
+
+// Exists reports whether key is present.
+func (h *DatabaseHandle) Exists(ctx context.Context, key []byte) (bool, error) {
+	out, err := h.forward(ctx, RPCExists, &keysArgs{Keys: [][]byte{key}})
+	if err != nil {
+		return false, err
+	}
+	var reply boolReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return false, err
+	}
+	if err := replyErr(reply.Status, reply.Err); err != nil {
+		return false, err
+	}
+	return reply.Value, nil
+}
+
+// Count returns the number of pairs.
+func (h *DatabaseHandle) Count(ctx context.Context) (int, error) {
+	out, err := h.forward(ctx, RPCCount, nil)
+	if err != nil {
+		return 0, err
+	}
+	var reply countReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return 0, err
+	}
+	if err := replyErr(reply.Status, reply.Err); err != nil {
+		return 0, err
+	}
+	return int(reply.Count), nil
+}
+
+// ListKeys lists up to max keys greater than fromKey with the prefix.
+func (h *DatabaseHandle) ListKeys(ctx context.Context, fromKey, prefix []byte, max int) ([][]byte, error) {
+	args := &listArgs{Prefix: prefix, Max: uint32(max)}
+	if fromKey != nil {
+		args.HasFrom = true
+		args.FromKey = fromKey
+	}
+	out, err := h.forward(ctx, RPCListKeys, args)
+	if err != nil {
+		return nil, err
+	}
+	var reply kvListReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return nil, err
+	}
+	if err := replyErr(reply.Status, reply.Err); err != nil {
+		return nil, err
+	}
+	keys := make([][]byte, len(reply.Pairs))
+	for i, kv := range reply.Pairs {
+		keys[i] = kv.Key
+	}
+	return keys, nil
+}
+
+// ListKeyValues lists up to max pairs greater than fromKey with the
+// prefix.
+func (h *DatabaseHandle) ListKeyValues(ctx context.Context, fromKey, prefix []byte, max int) ([]KeyValue, error) {
+	args := &listArgs{Prefix: prefix, Max: uint32(max)}
+	if fromKey != nil {
+		args.HasFrom = true
+		args.FromKey = fromKey
+	}
+	out, err := h.forward(ctx, RPCListKeyValues, args)
+	if err != nil {
+		return nil, err
+	}
+	var reply kvListReply
+	if err := codec.Unmarshal(out, &reply); err != nil {
+		return nil, err
+	}
+	if err := replyErr(reply.Status, reply.Err); err != nil {
+		return nil, err
+	}
+	return reply.Pairs, nil
+}
+
+// RemoteConfig fetches the provider's database configuration.
+func (h *DatabaseHandle) RemoteConfig(ctx context.Context) (Config, error) {
+	out, err := h.forward(ctx, RPCGetConfig, nil)
+	if err != nil {
+		return Config{}, err
+	}
+	var cfg Config
+	if err := jsonUnmarshal(out, &cfg); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// IsNotFound reports whether err is the key-not-found condition,
+// across RPC boundaries.
+func IsNotFound(err error) bool {
+	return errors.Is(err, ErrKeyNotFound)
+}
+
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }

@@ -1,0 +1,109 @@
+// Package yokan is the key-value-store component, the running example
+// of the paper's component anatomy (Figure 1): a server library whose
+// providers manage a resource (a database) behind an abstract
+// interface with interchangeable backends, and a client library whose
+// database handles map to remote resources via (address, provider ID).
+//
+// Backends:
+//
+//   - "map":      unordered in-memory hash map (fastest point ops)
+//   - "skiplist": ordered in-memory skip list (range scans), the
+//     moral equivalent of an LSM memtable
+//   - "btree":    ordered in-memory B-tree (Berkeley-DB-style node
+//     structure, cache-friendlier scans)
+//   - "log":      persistent append-only log + in-memory skip-list
+//     index, with compaction; its files make providers
+//     migratable via REMI and checkpointable to a PFS
+package yokan
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by databases and clients.
+var (
+	ErrKeyNotFound = errors.New("yokan: key not found")
+	ErrClosed      = errors.New("yokan: database closed")
+	ErrBadConfig   = errors.New("yokan: invalid configuration")
+	ErrEmptyKey    = errors.New("yokan: empty key")
+)
+
+// KeyValue pairs a key with its value in bulk operations.
+type KeyValue struct {
+	Key   []byte
+	Value []byte
+}
+
+// Database is the abstract resource interface of the component
+// (Figure 1: "Follows an abstract interface ... implemented in
+// various ways"). Implementations must be safe for concurrent use.
+type Database interface {
+	// Put stores value under key, replacing any existing value.
+	Put(key, value []byte) error
+	// Get returns the value stored under key, or ErrKeyNotFound.
+	Get(key []byte) ([]byte, error)
+	// Erase removes key; removing a missing key is ErrKeyNotFound.
+	Erase(key []byte) error
+	// Exists reports whether key is present.
+	Exists(key []byte) (bool, error)
+	// Count returns the number of stored pairs.
+	Count() (int, error)
+	// ListKeys returns up to max keys strictly greater than fromKey
+	// (nil means from the start) that carry the given prefix, in
+	// ascending order. Unordered backends sort on demand.
+	ListKeys(fromKey, prefix []byte, max int) ([][]byte, error)
+	// ListKeyValues is ListKeys but also returns values.
+	ListKeyValues(fromKey, prefix []byte, max int) ([]KeyValue, error)
+	// Flush persists pending state for durable backends (no-op for
+	// in-memory ones).
+	Flush() error
+	// Files returns the paths backing this database (empty for
+	// in-memory backends); these are what REMI migrates.
+	Files() []string
+	// Close releases resources; the database becomes unusable.
+	Close() error
+	// Destroy closes and removes any backing files.
+	Destroy() error
+}
+
+// Config selects and parameterizes a backend.
+type Config struct {
+	Type string `json:"type"`
+	// Path is the backing file for the "log" backend.
+	Path string `json:"path,omitempty"`
+	// NoSync disables fsync on the log backend (tests/benchmarks).
+	NoSync bool `json:"no_sync,omitempty"`
+}
+
+// Open creates a database from a config.
+func Open(cfg Config) (Database, error) {
+	switch cfg.Type {
+	case "", "map":
+		return newMapDB(), nil
+	case "skiplist":
+		return newSkipDB(), nil
+	case "btree":
+		return newBTreeDB(), nil
+	case "log":
+		if cfg.Path == "" {
+			return nil, fmt.Errorf("%w: log backend needs a path", ErrBadConfig)
+		}
+		return openLogDB(cfg.Path, cfg.NoSync)
+	default:
+		return nil, fmt.Errorf("%w: unknown backend %q", ErrBadConfig, cfg.Type)
+	}
+}
+
+// OpenJSON creates a database from a JSON configuration string, as a
+// Bedrock module would receive it.
+func OpenJSON(raw []byte) (Database, error) {
+	var cfg Config
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
+	return Open(cfg)
+}

@@ -1,0 +1,287 @@
+package yokan
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"mochi/internal/codec"
+)
+
+// logDB is the persistent backend: an append-only log of put/erase
+// records indexed by an in-memory skip list. Opening replays the log;
+// Compact rewrites it to only live records. This is the backend whose
+// files REMI migrates and whose checkpoints land on the "parallel
+// file system" (§7, Observation 9).
+type logDB struct {
+	mu     sync.Mutex
+	path   string
+	file   *os.File
+	index  *skipDB
+	noSync bool
+	// garbage counts dead records; Compact resets it.
+	garbage int
+	closed  bool
+}
+
+type logRecord struct {
+	op    uint8 // 0 put, 1 erase
+	key   []byte
+	value []byte
+}
+
+func (r *logRecord) MarshalMochi(e *codec.Encoder) {
+	e.Uint8(r.op)
+	e.BytesField(r.key)
+	e.BytesField(r.value)
+}
+
+func (r *logRecord) UnmarshalMochi(d *codec.Decoder) {
+	r.op = d.Uint8()
+	r.key = append([]byte(nil), d.BytesField()...)
+	r.value = append([]byte(nil), d.BytesField()...)
+}
+
+func openLogDB(path string, noSync bool) (*logDB, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("yokan: open log: %w", err)
+	}
+	d := &logDB{path: path, file: f, index: newSkipDB(), noSync: noSync}
+	if err := d.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// replay rebuilds the index from the log. A truncated final record
+// (torn write at crash) is tolerated and the file truncated to the
+// last complete record.
+func (d *logDB) replay() error {
+	if _, err := d.file.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var lastGood int64
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(d.file, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			// torn length prefix
+			break
+		}
+		n := int(uint32(lenBuf[0]) | uint32(lenBuf[1])<<8 | uint32(lenBuf[2])<<16 | uint32(lenBuf[3])<<24)
+		body := make([]byte, n)
+		if _, err := io.ReadFull(d.file, body); err != nil {
+			break // torn record
+		}
+		var rec logRecord
+		if err := codec.Unmarshal(body, &rec); err != nil {
+			break // corrupt tail
+		}
+		switch rec.op {
+		case 0:
+			if err := d.index.Put(rec.key, rec.value); err != nil {
+				return err
+			}
+		case 1:
+			if err := d.index.Erase(rec.key); err != nil && err != ErrKeyNotFound {
+				return err
+			}
+			d.garbage++
+		}
+		pos, err := d.file.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return err
+		}
+		lastGood = pos
+	}
+	return d.file.Truncate(lastGood)
+}
+
+func (d *logDB) appendRecord(rec *logRecord) error {
+	body := codec.Marshal(rec)
+	n := len(body)
+	frame := make([]byte, 4+n)
+	frame[0] = byte(n)
+	frame[1] = byte(n >> 8)
+	frame[2] = byte(n >> 16)
+	frame[3] = byte(n >> 24)
+	copy(frame[4:], body)
+	if _, err := d.file.Write(frame); err != nil {
+		return fmt.Errorf("yokan: log append: %w", err)
+	}
+	if !d.noSync {
+		return d.file.Sync()
+	}
+	return nil
+}
+
+func (d *logDB) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if ok, _ := d.index.Exists(key); ok {
+		d.garbage++ // overwritten record becomes dead
+	}
+	if err := d.appendRecord(&logRecord{op: 0, key: key, value: value}); err != nil {
+		return err
+	}
+	return d.index.Put(key, value)
+}
+
+func (d *logDB) Get(key []byte) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return d.index.Get(key)
+}
+
+func (d *logDB) Erase(key []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if ok, _ := d.index.Exists(key); !ok {
+		return ErrKeyNotFound
+	}
+	if err := d.appendRecord(&logRecord{op: 1, key: key}); err != nil {
+		return err
+	}
+	d.garbage += 2 // the put and the tombstone
+	return d.index.Erase(key)
+}
+
+func (d *logDB) Exists(key []byte) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	return d.index.Exists(key)
+}
+
+func (d *logDB) Count() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	return d.index.Count()
+}
+
+func (d *logDB) ListKeys(fromKey, prefix []byte, max int) ([][]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return d.index.ListKeys(fromKey, prefix, max)
+}
+
+func (d *logDB) ListKeyValues(fromKey, prefix []byte, max int) ([]KeyValue, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return d.index.ListKeyValues(fromKey, prefix, max)
+}
+
+func (d *logDB) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.file.Sync()
+}
+
+// Garbage reports the number of dead records in the log.
+func (d *logDB) Garbage() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.garbage
+}
+
+// Compact rewrites the log keeping only live pairs.
+func (d *logDB) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	tmpPath := d.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	kvs, err := d.index.ListKeyValues(nil, nil, 0)
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, kv := range kvs {
+		body := codec.Marshal(&logRecord{op: 0, key: kv.Key, value: kv.Value})
+		n := len(body)
+		frame := []byte{byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24)}
+		if _, err := tmp.Write(append(frame, body...)); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	tmp.Close()
+	d.file.Close()
+	if err := os.Rename(tmpPath, d.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(d.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	d.file = f
+	d.garbage = 0
+	return nil
+}
+
+func (d *logDB) Files() []string {
+	return []string{d.path}
+}
+
+func (d *logDB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.file.Close()
+}
+
+func (d *logDB) Destroy() error {
+	if err := d.Close(); err != nil {
+		return err
+	}
+	return os.Remove(d.path)
+}

@@ -1,0 +1,137 @@
+package yokan
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+)
+
+// mapDB is the unordered in-memory backend.
+type mapDB struct {
+	mu     sync.RWMutex
+	m      map[string][]byte
+	closed bool
+}
+
+func newMapDB() *mapDB {
+	return &mapDB{m: map[string][]byte{}}
+}
+
+func (d *mapDB) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.m[string(key)] = append([]byte(nil), value...)
+	return nil
+}
+
+func (d *mapDB) Get(key []byte) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	v, ok := d.m[string(key)]
+	if !ok {
+		return nil, ErrKeyNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+func (d *mapDB) Erase(key []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, ok := d.m[string(key)]; !ok {
+		return ErrKeyNotFound
+	}
+	delete(d.m, string(key))
+	return nil
+}
+
+func (d *mapDB) Exists(key []byte) (bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	_, ok := d.m[string(key)]
+	return ok, nil
+}
+
+func (d *mapDB) Count() (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	return len(d.m), nil
+}
+
+func (d *mapDB) sortedKeys(fromKey, prefix []byte) []string {
+	keys := make([]string, 0, len(d.m))
+	for k := range d.m {
+		if len(prefix) > 0 && !bytes.HasPrefix([]byte(k), prefix) {
+			continue
+		}
+		if fromKey != nil && k <= string(fromKey) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (d *mapDB) ListKeys(fromKey, prefix []byte, max int) ([][]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	var out [][]byte
+	for _, k := range d.sortedKeys(fromKey, prefix) {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		out = append(out, []byte(k))
+	}
+	return out, nil
+}
+
+func (d *mapDB) ListKeyValues(fromKey, prefix []byte, max int) ([]KeyValue, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	var out []KeyValue
+	for _, k := range d.sortedKeys(fromKey, prefix) {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		out = append(out, KeyValue{Key: []byte(k), Value: append([]byte(nil), d.m[k]...)})
+	}
+	return out, nil
+}
+
+func (d *mapDB) Flush() error { return nil }
+
+func (d *mapDB) Files() []string { return nil }
+
+func (d *mapDB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.m = nil
+	return nil
+}
+
+func (d *mapDB) Destroy() error { return d.Close() }

@@ -1,0 +1,412 @@
+package yokan
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mochi/internal/argobots"
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// Provider manages one Database and serves it over RPC (Figure 1's
+// server-library side: "Registers RPCs and their callbacks, forwards
+// them to the Resource").
+type Provider struct {
+	inst *margo.Instance
+	id   uint16
+	pool *argobots.Pool
+
+	mu  sync.RWMutex
+	db  Database
+	cfg Config
+
+	closed bool
+}
+
+// NewProvider creates a provider with the given ID serving a database
+// built from cfg, handling RPCs on pool (nil = default pool).
+func NewProvider(inst *margo.Instance, id uint16, pool *argobots.Pool, cfg Config) (*Provider, error) {
+	db, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Provider{inst: inst, id: id, pool: pool, db: db, cfg: cfg}
+	if err := p.register(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewProviderWithDatabase creates a provider serving a caller-supplied
+// Database implementation. This is how virtual resources (paper §7,
+// Observation 10) are built: the injected database can forward
+// operations to replicas on other nodes while clients see an ordinary
+// yokan provider.
+func NewProviderWithDatabase(inst *margo.Instance, id uint16, pool *argobots.Pool, db Database, cfg Config) (*Provider, error) {
+	p := &Provider{inst: inst, id: id, pool: pool, db: db, cfg: cfg}
+	if err := p.register(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewProviderJSON is NewProvider taking the database config as JSON,
+// the form Bedrock uses.
+func NewProviderJSON(inst *margo.Instance, id uint16, pool *argobots.Pool, raw []byte) (*Provider, error) {
+	var cfg Config
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
+	return NewProvider(inst, id, pool, cfg)
+}
+
+// ID returns the provider ID.
+func (p *Provider) ID() uint16 { return p.id }
+
+// Database returns the underlying resource (for local composition).
+func (p *Provider) Database() Database {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.db
+}
+
+// Config returns the provider's configuration as JSON.
+func (p *Provider) Config() ([]byte, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return json.Marshal(p.cfg)
+}
+
+func (p *Provider) register() error {
+	type h struct {
+		name string
+		fn   margo.Handler
+	}
+	handlers := []h{
+		{RPCPut, p.handlePut},
+		{RPCPutMulti, p.handlePut},
+		{RPCGet, p.handleGet},
+		{RPCGetMulti, p.handleGetMulti},
+		{RPCErase, p.handleErase},
+		{RPCExists, p.handleExists},
+		{RPCCount, p.handleCount},
+		{RPCListKeys, p.handleListKeys},
+		{RPCListKeyValues, p.handleListKeyValues},
+		{RPCGetConfig, p.handleGetConfig},
+	}
+	for i, hh := range handlers {
+		if _, err := p.inst.RegisterProvider(hh.name, p.id, p.pool, hh.fn); err != nil {
+			// Roll back earlier registrations.
+			for j := 0; j < i; j++ {
+				p.inst.DeregisterProvider(handlers[j].name, p.id)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Provider) deregister() {
+	for _, name := range []string{
+		RPCPut, RPCPutMulti, RPCGet, RPCGetMulti, RPCErase, RPCExists,
+		RPCCount, RPCListKeys, RPCListKeyValues, RPCGetConfig,
+	} {
+		p.inst.DeregisterProvider(name, p.id)
+	}
+}
+
+// Close deregisters the provider and closes its database.
+func (p *Provider) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	db := p.db
+	p.mu.Unlock()
+	p.deregister()
+	return db.Close()
+}
+
+// Destroy closes the provider and removes the database's files.
+func (p *Provider) Destroy() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	db := p.db
+	p.mu.Unlock()
+	p.deregister()
+	return db.Destroy()
+}
+
+func statusFromErr(err error) (uint8, string) {
+	switch err {
+	case nil:
+		return 0, ""
+	case ErrKeyNotFound:
+		return 1, err.Error()
+	default:
+		return 2, err.Error()
+	}
+}
+
+func (p *Provider) database() (Database, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	return p.db, nil
+}
+
+func (p *Provider) handlePut(_ context.Context, h *mercury.Handle) {
+	var args putArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	db, err := p.database()
+	if err == nil {
+		for _, kv := range args.Pairs {
+			if err = db.Put(kv.Key, kv.Value); err != nil {
+				break
+			}
+		}
+	}
+	st, msg := statusFromErr(err)
+	_ = h.Respond(codec.Marshal(&statusReply{Status: st, Err: msg}))
+}
+
+func (p *Provider) handleGet(_ context.Context, h *mercury.Handle) {
+	var args keysArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply valueReply
+	db, err := p.database()
+	if err == nil {
+		if len(args.Keys) != 1 {
+			err = fmt.Errorf("yokan: get expects one key, got %d", len(args.Keys))
+		} else {
+			reply.Value, err = db.Get(args.Keys[0])
+		}
+	}
+	reply.Status, reply.Err = statusFromErr(err)
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (p *Provider) handleGetMulti(_ context.Context, h *mercury.Handle) {
+	var args keysArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply valuesReply
+	db, err := p.database()
+	if err == nil {
+		for _, k := range args.Keys {
+			v, gerr := db.Get(k)
+			switch gerr {
+			case nil:
+				reply.Found = append(reply.Found, true)
+				reply.Values = append(reply.Values, v)
+			case ErrKeyNotFound:
+				reply.Found = append(reply.Found, false)
+				reply.Values = append(reply.Values, nil)
+			default:
+				err = gerr
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+	reply.Status, reply.Err = statusFromErr(err)
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (p *Provider) handleErase(_ context.Context, h *mercury.Handle) {
+	var args keysArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	db, err := p.database()
+	if err == nil {
+		for _, k := range args.Keys {
+			if err = db.Erase(k); err != nil {
+				break
+			}
+		}
+	}
+	st, msg := statusFromErr(err)
+	_ = h.Respond(codec.Marshal(&statusReply{Status: st, Err: msg}))
+}
+
+func (p *Provider) handleExists(_ context.Context, h *mercury.Handle) {
+	var args keysArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply boolReply
+	db, err := p.database()
+	if err == nil {
+		if len(args.Keys) != 1 {
+			err = fmt.Errorf("yokan: exists expects one key")
+		} else {
+			reply.Value, err = db.Exists(args.Keys[0])
+		}
+	}
+	reply.Status, reply.Err = statusFromErr(err)
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (p *Provider) handleCount(_ context.Context, h *mercury.Handle) {
+	var reply countReply
+	db, err := p.database()
+	if err == nil {
+		var n int
+		n, err = db.Count()
+		reply.Count = uint64(n)
+	}
+	reply.Status, reply.Err = statusFromErr(err)
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (p *Provider) handleListKeys(_ context.Context, h *mercury.Handle) {
+	var args listArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply kvListReply
+	db, err := p.database()
+	if err == nil {
+		var from []byte
+		if args.HasFrom {
+			from = args.FromKey
+		}
+		var keys [][]byte
+		keys, err = db.ListKeys(from, args.Prefix, int(args.Max))
+		for _, k := range keys {
+			reply.Pairs = append(reply.Pairs, KeyValue{Key: k})
+		}
+	}
+	reply.Status, reply.Err = statusFromErr(err)
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (p *Provider) handleListKeyValues(_ context.Context, h *mercury.Handle) {
+	var args listArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	var reply kvListReply
+	db, err := p.database()
+	if err == nil {
+		var from []byte
+		if args.HasFrom {
+			from = args.FromKey
+		}
+		reply.Pairs, err = db.ListKeyValues(from, args.Prefix, int(args.Max))
+	}
+	reply.Status, reply.Err = statusFromErr(err)
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (p *Provider) handleGetConfig(_ context.Context, h *mercury.Handle) {
+	raw, err := p.Config()
+	if err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	_ = h.Respond(raw)
+}
+
+// Checkpoint writes a consistent snapshot of the database into dir
+// (one file named after the provider ID), the §7 Observation 9
+// "leveraging parallel file systems" path. It is exposed through the
+// provider's Bedrock module.
+func (p *Provider) Checkpoint(dir string) error {
+	db, err := p.database()
+	if err != nil {
+		return err
+	}
+	kvs, err := db.ListKeyValues(nil, nil, 0)
+	if err != nil {
+		return err
+	}
+	enc := codec.NewEncoder(nil)
+	enc.Uvarint(uint64(len(kvs)))
+	for _, kv := range kvs {
+		enc.BytesField(kv.Key)
+		enc.BytesField(kv.Value)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("yokan-%d.ckpt", p.id))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, enc.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Restore replaces the database contents with the checkpoint found in
+// dir for this provider ID.
+func (p *Provider) Restore(dir string) error {
+	path := filepath.Join(dir, fmt.Sprintf("yokan-%d.ckpt", p.id))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	db, err := p.database()
+	if err != nil {
+		return err
+	}
+	d := codec.NewDecoder(raw)
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		k := append([]byte(nil), d.BytesField()...)
+		v := append([]byte(nil), d.BytesField()...)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if err := db.Put(k, v); err != nil {
+			return err
+		}
+	}
+	return d.Finish()
+}
+
+// Files returns the database's backing files, for REMI migration.
+func (p *Provider) Files() []string {
+	db, err := p.database()
+	if err != nil {
+		return nil
+	}
+	return db.Files()
+}
+
+// Flush persists pending writes.
+func (p *Provider) Flush() error {
+	db, err := p.database()
+	if err != nil {
+		return err
+	}
+	return db.Flush()
+}

@@ -1,0 +1,314 @@
+package yokan
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+type testService struct {
+	fabric   *mercury.Fabric
+	server   *margo.Instance
+	client   *margo.Instance
+	provider *Provider
+	handle   *DatabaseHandle
+}
+
+func newTestService(t *testing.T, cfg Config) *testService {
+	t.Helper()
+	f := mercury.NewFabric()
+	scls, err := f.NewClass("yk-srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccls, err := f.NewClass("yk-cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := margo.New(scls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := margo.New(ccls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := NewProvider(server, 7, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewClient(client).Handle(server.Addr(), 7)
+	t.Cleanup(func() {
+		prov.Close()
+		server.Finalize()
+		client.Finalize()
+	})
+	return &testService{fabric: f, server: server, client: client, provider: prov, handle: h}
+}
+
+func tctx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRemotePutGetErase(t *testing.T) {
+	s := newTestService(t, Config{Type: "skiplist"})
+	ctx := tctx(t)
+	if err := s.handle.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.handle.Get(ctx, []byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	ok, err := s.handle.Exists(ctx, []byte("k"))
+	if err != nil || !ok {
+		t.Fatalf("exists = %v, %v", ok, err)
+	}
+	if n, _ := s.handle.Count(ctx); n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+	if err := s.handle.Erase(ctx, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.handle.Get(ctx, []byte("k")); !IsNotFound(err) {
+		t.Fatalf("err = %v, want not-found", err)
+	}
+	if err := s.handle.Erase(ctx, []byte("k")); !IsNotFound(err) {
+		t.Fatalf("double erase err = %v", err)
+	}
+}
+
+func TestRemoteMultiOps(t *testing.T) {
+	s := newTestService(t, Config{Type: "map"})
+	ctx := tctx(t)
+	var pairs []KeyValue
+	for i := 0; i < 20; i++ {
+		pairs = append(pairs, KeyValue{
+			Key:   []byte(fmt.Sprintf("k%02d", i)),
+			Value: []byte(fmt.Sprintf("v%d", i)),
+		})
+	}
+	if err := s.handle.PutMulti(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+	keys := [][]byte{[]byte("k05"), []byte("missing"), []byte("k19")}
+	values, found, err := s.handle.GetMulti(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || found[1] || !found[2] {
+		t.Fatalf("found = %v", found)
+	}
+	if string(values[0]) != "v5" || string(values[2]) != "v19" {
+		t.Fatalf("values = %q", values)
+	}
+}
+
+func TestRemoteListOps(t *testing.T) {
+	s := newTestService(t, Config{Type: "skiplist"})
+	ctx := tctx(t)
+	for _, k := range []string{"a1", "a2", "b1"} {
+		if err := s.handle.Put(ctx, []byte(k), []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.handle.ListKeys(ctx, nil, []byte("a"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || string(keys[0]) != "a1" {
+		t.Fatalf("keys = %q", keys)
+	}
+	kvs, err := s.handle.ListKeyValues(ctx, []byte("a1"), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || string(kvs[0].Key) != "a2" || string(kvs[0].Value) != "v-a2" {
+		t.Fatalf("kvs = %v", kvs)
+	}
+}
+
+func TestRemoteConfig(t *testing.T) {
+	s := newTestService(t, Config{Type: "skiplist"})
+	cfg, err := s.handle.RemoteConfig(tctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Type != "skiplist" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestProviderMultiplexingTwoDatabases(t *testing.T) {
+	// Figure 1: multiple providers in one process, distinguished by ID.
+	s := newTestService(t, Config{Type: "map"})
+	prov2, err := NewProvider(s.server, 8, nil, Config{Type: "skiplist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov2.Close()
+	h2 := NewClient(s.client).Handle(s.server.Addr(), 8)
+	ctx := tctx(t)
+	if err := s.handle.Put(ctx, []byte("k"), []byte("db7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Put(ctx, []byte("k"), []byte("db8")); err != nil {
+		t.Fatal(err)
+	}
+	v7, _ := s.handle.Get(ctx, []byte("k"))
+	v8, _ := h2.Get(ctx, []byte("k"))
+	if string(v7) != "db7" || string(v8) != "db8" {
+		t.Fatalf("isolation broken: %q %q", v7, v8)
+	}
+}
+
+func TestDuplicateProviderIDRejected(t *testing.T) {
+	s := newTestService(t, Config{Type: "map"})
+	if _, err := NewProvider(s.server, 7, nil, Config{Type: "map"}); err == nil {
+		t.Fatal("duplicate provider id accepted")
+	}
+}
+
+func TestProviderCloseStopsService(t *testing.T) {
+	s := newTestService(t, Config{Type: "map"})
+	ctx := tctx(t)
+	if err := s.handle.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.provider.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.handle.Put(ctx, []byte("k2"), []byte("v")); err == nil {
+		t.Fatal("put succeeded after provider close")
+	}
+	// A new provider with the same ID can take over (restart).
+	prov, err := NewProvider(s.server, 7, nil, Config{Type: "map"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+	if err := s.handle.Put(ctx, []byte("k3"), []byte("v")); err != nil {
+		t.Fatalf("put after provider restart: %v", err)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	// §7 Observation 9: checkpoint to a shared dir, restore in a fresh
+	// provider (as if restarted on another node).
+	dir := t.TempDir()
+	s := newTestService(t, Config{Type: "map"})
+	ctx := tctx(t)
+	for i := 0; i < 25; i++ {
+		if err := s.handle.Put(ctx, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.provider.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "yokan-7.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Another node": a second margo instance on the same fabric.
+	cls2, err := s.fabric.NewClass("yk-srv2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server2, err := margo.New(cls2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server2.Finalize()
+	prov2, err := NewProvider(server2, 7, nil, Config{Type: "map"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov2.Close()
+	if err := prov2.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewClient(s.client).Handle(server2.Addr(), 7)
+	if n, _ := h2.Count(ctx); n != 25 {
+		t.Fatalf("restored count = %d", n)
+	}
+	v, err := h2.Get(ctx, []byte("k13"))
+	if err != nil || string(v) != "v13" {
+		t.Fatalf("restored get = %q, %v", v, err)
+	}
+}
+
+func TestCheckpointOverwriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestService(t, Config{Type: "map"})
+	ctx := tctx(t)
+	if err := s.handle.Put(ctx, []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.provider.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.handle.Put(ctx, []byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.provider.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	// No stale tmp files, and the checkpoint holds the latest value.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("leftover tmp file %s", e.Name())
+		}
+	}
+}
+
+func TestProviderFilesExposedForMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mig.log")
+	s := newTestService(t, Config{Type: "log", Path: path, NoSync: true})
+	if err := s.handle.Put(tctx(t), []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	files := s.provider.Files()
+	if len(files) != 1 || files[0] != path {
+		t.Fatalf("files = %v", files)
+	}
+	if err := s.provider.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRemotePut(b *testing.B) {
+	f := mercury.NewFabric()
+	scls, _ := f.NewClass("bp-srv")
+	ccls, _ := f.NewClass("bp-cli")
+	server, _ := margo.New(scls, nil)
+	defer server.Finalize()
+	client, _ := margo.New(ccls, nil)
+	defer client.Finalize()
+	prov, err := NewProvider(server, 1, nil, Config{Type: "map"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer prov.Close()
+	h := NewClient(client).Handle(server.Addr(), 1)
+	ctx := context.Background()
+	key := []byte("benchmark-key")
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Put(ctx, key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

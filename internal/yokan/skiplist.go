@@ -1,0 +1,230 @@
+package yokan
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+// skipDB is the ordered in-memory backend: a classic skip list, the
+// same structure LevelDB uses for its memtable.
+type skipDB struct {
+	mu     sync.RWMutex
+	head   *skipNode
+	level  int
+	count  int
+	rng    *rand.Rand
+	closed bool
+}
+
+const skipMaxLevel = 24
+
+type skipNode struct {
+	key   []byte
+	value []byte
+	next  []*skipNode
+}
+
+func newSkipDB() *skipDB {
+	return &skipDB{
+		head: &skipNode{next: make([]*skipNode, skipMaxLevel)},
+		// Deterministic seed: behaviour is reproducible in tests, and
+		// level choice does not need cryptographic randomness.
+		rng:   rand.New(rand.NewSource(0x59AC)),
+		level: 1,
+	}
+}
+
+func (d *skipDB) randomLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel && d.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills prev[i] with the rightmost node at level i
+// whose key is < key.
+func (d *skipDB) findPredecessors(key []byte, prev []*skipNode) *skipNode {
+	x := d.head
+	for i := d.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		if prev != nil {
+			prev[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+func (d *skipDB) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	prev := make([]*skipNode, skipMaxLevel)
+	for i := range prev {
+		prev[i] = d.head
+	}
+	cand := d.findPredecessors(key, prev)
+	if cand != nil && bytes.Equal(cand.key, key) {
+		cand.value = append([]byte(nil), value...)
+		return nil
+	}
+	lvl := d.randomLevel()
+	if lvl > d.level {
+		d.level = lvl
+	}
+	n := &skipNode{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+		next:  make([]*skipNode, lvl),
+	}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	d.count++
+	return nil
+}
+
+func (d *skipDB) Get(key []byte) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	n := d.findPredecessors(key, nil)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return nil, ErrKeyNotFound
+	}
+	return append([]byte(nil), n.value...), nil
+}
+
+func (d *skipDB) Erase(key []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	prev := make([]*skipNode, skipMaxLevel)
+	for i := range prev {
+		prev[i] = d.head
+	}
+	n := d.findPredecessors(key, prev)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return ErrKeyNotFound
+	}
+	for i := 0; i < len(n.next); i++ {
+		if prev[i].next[i] == n {
+			prev[i].next[i] = n.next[i]
+		}
+	}
+	for d.level > 1 && d.head.next[d.level-1] == nil {
+		d.level--
+	}
+	d.count--
+	return nil
+}
+
+func (d *skipDB) Exists(key []byte) (bool, error) {
+	_, err := d.Get(key)
+	if err == ErrKeyNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (d *skipDB) Count() (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	return d.count, nil
+}
+
+func (d *skipDB) scan(fromKey, prefix []byte, max int, withValues bool) ([][]byte, []KeyValue) {
+	var start *skipNode
+	if fromKey == nil {
+		start = d.head.next[0]
+	} else {
+		// First key strictly greater than fromKey.
+		n := d.findPredecessors(fromKey, nil)
+		for n != nil && bytes.Compare(n.key, fromKey) <= 0 {
+			n = n.next[0]
+		}
+		start = n
+	}
+	var keys [][]byte
+	var kvs []KeyValue
+	for n := start; n != nil; n = n.next[0] {
+		if len(prefix) > 0 {
+			if !bytes.HasPrefix(n.key, prefix) {
+				// Ordered scan: once past the prefix range, stop.
+				if bytes.Compare(n.key, prefix) > 0 {
+					break
+				}
+				continue
+			}
+		}
+		if withValues {
+			if max > 0 && len(kvs) >= max {
+				break
+			}
+			kvs = append(kvs, KeyValue{
+				Key:   append([]byte(nil), n.key...),
+				Value: append([]byte(nil), n.value...),
+			})
+		} else {
+			if max > 0 && len(keys) >= max {
+				break
+			}
+			keys = append(keys, append([]byte(nil), n.key...))
+		}
+	}
+	return keys, kvs
+}
+
+func (d *skipDB) ListKeys(fromKey, prefix []byte, max int) ([][]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	keys, _ := d.scan(fromKey, prefix, max, false)
+	return keys, nil
+}
+
+func (d *skipDB) ListKeyValues(fromKey, prefix []byte, max int) ([]KeyValue, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	_, kvs := d.scan(fromKey, prefix, max, true)
+	return kvs, nil
+}
+
+func (d *skipDB) Flush() error { return nil }
+
+func (d *skipDB) Files() []string { return nil }
+
+func (d *skipDB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.head = &skipNode{next: make([]*skipNode, skipMaxLevel)}
+	d.count = 0
+	return nil
+}
+
+func (d *skipDB) Destroy() error { return d.Close() }
