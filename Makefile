@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-full examples vet clean
+.PHONY: all build test race bench bench-full examples vet fmt-check ci clean
 
 all: build test
 
@@ -10,11 +10,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail when any file is not gofmt-clean (CI runs this; it never rewrites).
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race -timeout 1200s ./internal/...
+
+# Everything the CI workflow runs, in the same order. Run before pushing.
+ci: build vet fmt-check test race
 
 # One testing.B benchmark per experiment (quick sweeps).
 bench:

@@ -7,6 +7,8 @@
 //	bedrock-query -addr tcp://127.0.0.1:4242                        # full config
 //	bedrock-query -addr tcp://... -script 'return count($__config__.providers);'
 //	echo '<script>' | bedrock-query -addr tcp://... -script -
+//	bedrock-query -addr tcp://... -stats                            # Listing-1 JSON
+//	bedrock-query -addr tcp://... -metrics                          # Prometheus text
 //	bedrock-query -addr tcp://... -shutdown
 package main
 
@@ -28,12 +30,23 @@ func main() {
 	addr := flag.String("addr", "", "address of the bedrock process (tcp://host:port)")
 	script := flag.String("script", "", "Jx9 query to run ('-' reads stdin); empty prints the full config")
 	stats := flag.Bool("stats", false, "print the process's monitoring statistics (Listing 1 JSON)")
+	metricsFlag := flag.Bool("metrics", false, "print the process's metrics in Prometheus text format")
 	shutdown := flag.Bool("shutdown", false, "ask the process to shut down")
 	token := flag.String("token", "", "authentication token, for processes configured with auth_secret")
 	timeout := flag.Duration("timeout", 10*time.Second, "RPC timeout")
 	flag.Parse()
 	if *addr == "" {
 		log.Fatal("bedrock-query: -addr is required")
+	}
+	// -shutdown would race the read: the process may be gone before the
+	// stats/metrics RPC lands. Refuse the ambiguous combination.
+	if *shutdown && (*stats || *metricsFlag) {
+		fmt.Fprintln(os.Stderr, "bedrock-query: -shutdown cannot be combined with -stats or -metrics; read first, then shut down")
+		os.Exit(2)
+	}
+	if *stats && *metricsFlag {
+		fmt.Fprintln(os.Stderr, "bedrock-query: -stats and -metrics are mutually exclusive")
+		os.Exit(2)
 	}
 
 	class, err := mercury.NewTCPClass("127.0.0.1:0")
@@ -60,6 +73,14 @@ func main() {
 			log.Fatalf("bedrock-query: %v", err)
 		}
 		fmt.Println(string(raw))
+	case *metricsFlag:
+		// ctx carries -timeout, so the metrics RPC honors it like every
+		// other path.
+		text, err := sh.GetMetrics(ctx)
+		if err != nil {
+			log.Fatalf("bedrock-query: %v", err)
+		}
+		fmt.Print(text)
 	case *shutdown:
 		if err := sh.Shutdown(ctx); err != nil {
 			log.Fatalf("bedrock-query: %v", err)

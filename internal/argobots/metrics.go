@@ -1,0 +1,55 @@
+package argobots
+
+import "mochi/internal/metrics"
+
+// RegisterMetrics exposes the runtime's live topology as callback
+// gauges on reg: per-pool queue depth and ULT throughput, per-xstream
+// throughput, and the current pool/xstream counts. Callback collectors
+// are evaluated at scrape time, so pools and xstreams added or removed
+// by online reconfiguration (§5) appear and disappear from the next
+// scrape on — no re-registration needed.
+func (r *Runtime) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("mochi_pool_depth",
+		"ULTs queued (not yet running) per argobots pool.",
+		[]string{"pool"}, func() []metrics.Sample {
+			out := make([]metrics.Sample, 0, 4)
+			for _, name := range r.PoolNames() {
+				if p, ok := r.FindPool(name); ok {
+					out = append(out, metrics.Sample{LabelValues: []string{name}, Value: float64(p.Len())})
+				}
+			}
+			return out
+		})
+	reg.CounterFunc("mochi_pool_ults_executed_total",
+		"ULTs handed to xstreams per argobots pool.",
+		[]string{"pool"}, func() []metrics.Sample {
+			out := make([]metrics.Sample, 0, 4)
+			for _, name := range r.PoolNames() {
+				if p, ok := r.FindPool(name); ok {
+					out = append(out, metrics.Sample{LabelValues: []string{name}, Value: float64(p.Executed())})
+				}
+			}
+			return out
+		})
+	reg.CounterFunc("mochi_xstream_ults_executed_total",
+		"ULTs completed per execution stream.",
+		[]string{"xstream"}, func() []metrics.Sample {
+			out := make([]metrics.Sample, 0, 4)
+			for _, name := range r.XstreamNames() {
+				if x, ok := r.FindXstream(name); ok {
+					out = append(out, metrics.Sample{LabelValues: []string{name}, Value: float64(x.Executed())})
+				}
+			}
+			return out
+		})
+	reg.GaugeFunc("mochi_pools",
+		"Number of argobots pools in the runtime.",
+		nil, func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(len(r.PoolNames()))}}
+		})
+	reg.GaugeFunc("mochi_xstreams",
+		"Number of execution streams in the runtime.",
+		nil, func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(len(r.XstreamNames()))}}
+		})
+}

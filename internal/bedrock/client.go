@@ -177,6 +177,20 @@ func (sh *ServiceHandle) GetStats(ctx context.Context) (*margo.StatsSnapshot, []
 	return &snap, raw, nil
 }
 
+// GetMetrics fetches the remote process's metrics registry rendered
+// in Prometheus text format (the RPC twin of its /metrics endpoint).
+func (sh *ServiceHandle) GetMetrics(ctx context.Context) (string, error) {
+	raw, err := sh.call(ctx, rpcGetMetrics, nil)
+	if err != nil {
+		return "", err
+	}
+	var text string
+	if err := json.Unmarshal(raw, &text); err != nil {
+		return "", fmt.Errorf("bedrock: bad metrics reply: %w", err)
+	}
+	return text, nil
+}
+
 // Shutdown asks the remote process to shut down.
 func (sh *ServiceHandle) Shutdown(ctx context.Context) error {
 	_, err := sh.call(ctx, rpcShutdown, nil)

@@ -37,6 +37,18 @@ type Config struct {
 	// this process must carry the secret, and every outbound RPC
 	// carries it. Components are unaware.
 	AuthSecret string `json:"auth_secret,omitempty"`
+	// Monitoring configures the pull-based metrics exposition
+	// (extending Listing 2's shape with a "monitoring" block).
+	Monitoring *MonitoringConfig `json:"monitoring,omitempty"`
+}
+
+// MonitoringConfig is the "monitoring" block of a process config.
+type MonitoringConfig struct {
+	// HTTPAddress, when set (host:port; port 0 picks a free one),
+	// starts an embedded HTTP listener serving GET /metrics (Prometheus
+	// text format) and GET /healthz, so operators and rebalancers can
+	// scrape the process continuously.
+	HTTPAddress string `json:"http_address,omitempty"`
 }
 
 // ParseConfig decodes a process description. The input is either a

@@ -1,0 +1,63 @@
+package bedrock
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"mochi/internal/metrics"
+)
+
+// startMonitoringHTTP binds the embedded metrics listener. The mercury
+// control plane stays the only reconfiguration surface; this endpoint
+// is read-only (scrapes and health probes), which is why plain HTTP
+// next to the RPC fabric is acceptable.
+func (s *Server) startMonitoringHTTP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("bedrock: monitoring listener on %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		_ = s.inst.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":    "ok",
+			"address":   s.Addr(),
+			"providers": s.Providers(),
+		})
+	})
+	s.httpLn = ln
+	s.httpSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		// Serve returns http.ErrServerClosed on Shutdown; any other
+		// error means the listener died underneath a live server, which
+		// scrapers will notice — the process itself keeps serving RPCs.
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return nil
+}
+
+// MetricsAddr returns the bound address of the monitoring HTTP
+// listener ("" when monitoring HTTP is not configured). With a
+// ":0"-style configured address this reports the actual port.
+func (s *Server) MetricsAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+func (s *Server) stopMonitoringHTTP() {
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Close()
+	}
+}

@@ -94,6 +94,7 @@ func (s *Server) registerRPCs() error {
 		{rpcUnpin, s.rpcUnpin},
 		{rpcShutdown, s.rpcShutdown},
 		{rpcGetStats, s.rpcGetStats},
+		{rpcGetMetrics, s.rpcGetMetrics},
 	}
 	for _, e := range entries {
 		if _, err := s.inst.Register(e.name, e.fn); err != nil {
@@ -314,6 +315,14 @@ func (s *Server) rpcGetStats(_ context.Context, h *mercury.Handle) {
 		return
 	}
 	respondOK(h, raw)
+}
+
+// rpcGetMetrics returns the process's metrics registry in Prometheus
+// text format — the RPC twin of the /metrics HTTP endpoint, so
+// `bedrock-query -metrics` works over the fabric without an HTTP
+// listener configured.
+func (s *Server) rpcGetMetrics(_ context.Context, h *mercury.Handle) {
+	respondOK(h, mustJSON(string(s.inst.Metrics().PrometheusText())))
 }
 
 // Ensure argobots types stay referenced (pool configs travel as raw

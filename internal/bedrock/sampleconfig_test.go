@@ -1,6 +1,8 @@
 package bedrock_test
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,9 +24,15 @@ func TestShippedExampleConfigs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Point the file-backed paths into a temp dir.
+		// Point the file-backed paths into a temp dir, and let the OS
+		// pick the monitoring port so CI can't collide on the shipped
+		// fixed one.
 		dir := t.TempDir()
 		cfg := strings.ReplaceAll(string(raw), "/tmp/mochi", dir+"/mochi")
+		cfg = strings.ReplaceAll(cfg, "127.0.0.1:9464", "127.0.0.1:0")
+		if !strings.Contains(string(raw), `"monitoring"`) {
+			t.Fatal("service.json should carry the monitoring block")
+		}
 		f := mercury.NewFabric()
 		cls, _ := f.NewClass("sample-json")
 		srv, err := bedrock.NewServer(cls, []byte(cfg))
@@ -37,6 +45,35 @@ func TestShippedExampleConfigs(t *testing.T) {
 		}
 		if srv.RemiProviderID() == 0 {
 			t.Fatal("remi provider not started")
+		}
+
+		// The acceptance path: GET /metrics on a process started from
+		// the shipped config returns Prometheus text with the RPC
+		// latency histogram and one pool-depth gauge per pool.
+		addr := srv.MetricsAddr()
+		if addr == "" {
+			t.Fatal("monitoring HTTP listener not started")
+		}
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Errorf("content type = %q", ct)
+		}
+		for _, want := range []string{
+			`mochi_rpc_forward_latency_seconds_bucket{rpc="_all",provider="_all",le="+Inf"}`,
+			`mochi_pool_depth{pool="MyPoolX"}`,
+			`mochi_pool_depth{pool="MyPoolZ"}`,
+		} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("/metrics missing %q:\n%s", want, body)
+			}
 		}
 	})
 	t.Run("service.jx9", func(t *testing.T) {

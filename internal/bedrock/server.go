@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,6 +39,7 @@ const (
 	rpcUnpin         = "bedrock_unpin_provider"
 	rpcShutdown      = "bedrock_shutdown"
 	rpcGetStats      = "bedrock_get_stats"
+	rpcGetMetrics    = "bedrock_get_metrics"
 )
 
 type providerRecord struct {
@@ -65,6 +68,11 @@ type Server struct {
 
 	shutdownCh chan struct{}
 	once       sync.Once
+
+	// Embedded monitoring HTTP listener (/metrics, /healthz), present
+	// when the config's "monitoring" block sets http_address.
+	httpLn  net.Listener
+	httpSrv *http.Server
 }
 
 // NewServer bootstraps a process from a Listing-3 configuration: it
@@ -120,6 +128,12 @@ func NewServer(class *mercury.Class, raw []byte) (*Server, error) {
 	if err := s.bootstrapProviders(cfg.Providers); err != nil {
 		s.Shutdown()
 		return nil, err
+	}
+	if cfg.Monitoring != nil && cfg.Monitoring.HTTPAddress != "" {
+		if err := s.startMonitoringHTTP(cfg.Monitoring.HTTPAddress); err != nil {
+			s.Shutdown()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -537,6 +551,7 @@ func (s *Server) GetConfig() ([]byte, error) {
 		Libraries:      s.cfg.Libraries,
 		RemiRoot:       s.cfg.RemiRoot,
 		RemiProviderID: s.cfg.RemiProviderID,
+		Monitoring:     s.cfg.Monitoring,
 	}
 	for _, rec := range s.providers {
 		pc := rec.cfg
@@ -662,6 +677,7 @@ func (s *Server) Shutdown() {
 		s.providers = map[string]*providerRecord{}
 		remiProv := s.remiProv
 		s.mu.Unlock()
+		s.stopMonitoringHTTP()
 		for _, r := range recs {
 			_ = r.instance.Close()
 		}

@@ -27,6 +27,7 @@ import (
 	"mochi/internal/argobots"
 	"mochi/internal/clock"
 	"mochi/internal/mercury"
+	"mochi/internal/metrics"
 )
 
 // Errors specific to the margo layer.
@@ -60,6 +61,7 @@ type Instance struct {
 	rpcPool      *argobots.Pool
 
 	monitor *Monitor
+	metrics *instMetrics
 	hooks   hookSet
 }
 
@@ -101,6 +103,15 @@ func NewWithClock(class *mercury.Class, rawConfig []byte, clk clock.Clock) (*Ins
 	inst.progressPool, inst.rpcPool = pp, rp
 	pp.Retain()
 	rp.Retain()
+
+	// The pull-based metrics layer is always on: atomic histograms are
+	// cheap enough for the hot path, and a scrape that starts after the
+	// service has been running must still see full distributions.
+	reg := metrics.NewRegistry()
+	inst.metrics = newInstMetrics(reg)
+	inst.hooks.add(inst.metrics.hook())
+	rt.RegisterMetrics(reg)
+	class.SetMetrics(reg)
 
 	sample := time.Duration(cfg.MonitoringSampleMS) * time.Millisecond
 	if sample <= 0 {

@@ -1,0 +1,96 @@
+package margo
+
+import (
+	"strconv"
+	"time"
+
+	"mochi/internal/metrics"
+)
+
+// aggLabel is the catch-all series of the per-RPC histogram vectors:
+// it aggregates every RPC regardless of name/provider, exists from
+// instance startup (so the first scrape already shows the families),
+// and gives operators a total-traffic distribution without summing
+// per-RPC series client-side.
+const aggLabel = "_all"
+
+// instMetrics is the always-on metrics surface of one margo instance.
+// Unlike the Listing-1 stats monitor (enable/disable, mutex-guarded
+// maps), these are plain atomic histogram/counter updates and stay hot
+// regardless of EnableMonitoring — the low-overhead pull-based layer
+// that rebalancers and operators scrape continuously.
+type instMetrics struct {
+	reg *metrics.Registry
+
+	fwdLatency *metrics.HistogramVec // mochi_rpc_forward_latency_seconds{rpc,provider}
+	queueDelay *metrics.HistogramVec // mochi_rpc_handler_queue_seconds{rpc,provider}
+	handlerRun *metrics.HistogramVec // mochi_rpc_handler_runtime_seconds{rpc,provider}
+	fwdErrors  *metrics.CounterVec   // mochi_rpc_forward_errors_total{rpc}
+	inflight   *metrics.Gauge        // mochi_rpc_inflight
+}
+
+func newInstMetrics(reg *metrics.Registry) *instMetrics {
+	im := &instMetrics{
+		reg: reg,
+		fwdLatency: reg.Histogram("mochi_rpc_forward_latency_seconds",
+			"Round-trip latency of forwarded RPCs (origin side), by RPC name and target provider.",
+			metrics.LatencyBuckets, "rpc", "provider"),
+		queueDelay: reg.Histogram("mochi_rpc_handler_queue_seconds",
+			"Time an incoming RPC waited in its pool before the handler ULT started (target side).",
+			metrics.LatencyBuckets, "rpc", "provider"),
+		handlerRun: reg.Histogram("mochi_rpc_handler_runtime_seconds",
+			"Execution time of RPC handler ULTs (target side).",
+			metrics.LatencyBuckets, "rpc", "provider"),
+		fwdErrors: reg.Counter("mochi_rpc_forward_errors_total",
+			"Forwarded RPCs that returned an error, by RPC name.", "rpc"),
+		inflight: reg.Gauge("mochi_rpc_inflight",
+			"RPCs forwarded by this process still awaiting a response.").With(),
+	}
+	// Pre-create the aggregate series so every family has concrete
+	// (zero-valued) histogram series from the first scrape.
+	im.fwdLatency.With(aggLabel, aggLabel)
+	im.queueDelay.With(aggLabel, aggLabel)
+	im.handlerRun.With(aggLabel, aggLabel)
+	return im
+}
+
+func providerLabel(p uint16) string {
+	if p == noParent16 {
+		return "any"
+	}
+	return strconv.Itoa(int(p))
+}
+
+// hook returns the monitoring hook that feeds the histograms; it is
+// installed permanently at instance creation.
+func (im *instMetrics) hook() *Hook {
+	observe := func(vec *metrics.HistogramVec, info RPCInfo, d time.Duration) {
+		s := d.Seconds()
+		vec.With(info.Name, providerLabel(info.Provider)).Observe(s)
+		vec.With(aggLabel, aggLabel).Observe(s)
+	}
+	return &Hook{
+		OnForwardStart: func(RPCInfo) { im.inflight.Inc() },
+		OnForwardEnd: func(info RPCInfo, d time.Duration, err error) {
+			im.inflight.Dec()
+			observe(im.fwdLatency, info, d)
+			if err != nil {
+				im.fwdErrors.With(info.Name).Inc()
+			}
+		},
+		OnHandlerStart: func(info RPCInfo, queued time.Duration) {
+			observe(im.queueDelay, info, queued)
+		},
+		OnHandlerEnd: func(info RPCInfo, d time.Duration) {
+			observe(im.handlerRun, info, d)
+		},
+	}
+}
+
+// Metrics returns the instance's metrics registry: RPC latency/queue/
+// runtime histograms, in-flight gauge, pool and xstream gauges, and
+// bulk-transfer sizes. Callers may register their own families on it;
+// bedrock serves it over the GetMetrics RPC and the /metrics endpoint.
+func (m *Instance) Metrics() *metrics.Registry {
+	return m.metrics.reg
+}

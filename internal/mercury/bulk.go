@@ -143,6 +143,7 @@ func (c *Class) BulkTransfer(ctx context.Context, op BulkOp, desc BulkDescriptor
 		if m := c.mon(); m != nil {
 			m.BulkTransferred(op, desc.Addr, int(size))
 		}
+		c.recordBulk(op, int(size))
 		return nil
 	}
 
@@ -181,6 +182,7 @@ func (c *Class) BulkTransfer(ctx context.Context, op BulkOp, desc BulkDescriptor
 		if m := c.mon(); m != nil {
 			m.BulkTransferred(op, desc.Addr, int(size))
 		}
+		c.recordBulk(op, int(size))
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())

@@ -155,7 +155,8 @@ type Class struct {
 	bulks   map[uint64]*Bulk
 	bulkSeq atomic.Uint64
 
-	monitor atomic.Pointer[monitorHolder]
+	monitor   atomic.Pointer[monitorHolder]
+	bulkBytes atomic.Pointer[bulkMetrics]
 
 	authMu      sync.RWMutex
 	auth        authState

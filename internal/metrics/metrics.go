@@ -1,0 +1,357 @@
+// Package metrics is a dependency-free metrics registry for the
+// runtime layer: counters, gauges, and low-overhead latency/size
+// histograms with log-spaced buckets, plus a Prometheus text-format
+// encoder (prometheus.go).
+//
+// It extends the paper's §4 performance-introspection story from
+// "sums and counts dumped as JSON at shutdown" (Listing 1) to live
+// distributions a rebalancer or operator can pull continuously: every
+// series is safe for concurrent recording via atomics, and snapshots
+// are mergeable across processes.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the metric family type.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (must be >= 0; negative deltas are ignored to keep
+// the counter monotonic).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	atomicAddFloat(&c.v, delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return floatBits(&c.v) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { storeFloat(&g.v, v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta float64) { atomicAddFloat(&g.v, delta) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatBits(&g.v) }
+
+// Sample is one series produced by a callback collector.
+type Sample struct {
+	LabelValues []string
+	Value       float64
+}
+
+// family is one named metric with a label schema and a set of series.
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+	buckets    []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]any // label key -> *Counter | *Gauge | *Histogram
+	order  []string       // insertion order of label keys
+
+	// collect, when set, produces the series at snapshot time instead
+	// (pool depths and similar values owned by other subsystems).
+	collect func() []Sample
+}
+
+const labelSep = "\x1f"
+
+func labelKey(values []string) string { return strings.Join(values, labelSep) }
+
+func (f *family) get(labelValues []string, make func() any) any {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := labelKey(labelValues)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = make()
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.get(labelValues, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.get(labelValues, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	buckets := v.f.buckets
+	return v.f.get(labelValues, func() any { return NewHistogram(buckets) }).(*Histogram)
+}
+
+// Registry holds metric families. All methods are safe for concurrent
+// use; registration is idempotent (asking again for the same name with
+// the same shape returns the existing family).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help string, kind Kind, labelNames []string, buckets []float64, collect func() []Sample) *family {
+	if name == "" {
+		panic("metrics: metric needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s with different shape", name, kind))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		kind:       kind,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    buckets,
+		series:     map[string]any{},
+		collect:    collect,
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, labelNames, nil, nil)}
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, labelNames, nil, nil)}
+}
+
+// Histogram registers (or returns) a histogram family over the given
+// bucket bounds (nil selects LatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	return &HistogramVec{r.register(name, help, KindHistogram, labelNames, buckets, nil)}
+}
+
+// GaugeFunc registers a gauge family whose series are produced by fn
+// at snapshot time — for values owned elsewhere (pool depths, queue
+// lengths) and for label sets that change at run time (pools can be
+// added and removed).
+func (r *Registry) GaugeFunc(name, help string, labelNames []string, fn func() []Sample) {
+	r.register(name, help, KindGauge, labelNames, nil, fn)
+}
+
+// CounterFunc is GaugeFunc for monotonic values (ULTs executed).
+func (r *Registry) CounterFunc(name, help string, labelNames []string, fn func() []Sample) {
+	r.register(name, help, KindCounter, labelNames, nil, fn)
+}
+
+// SeriesSnapshot is one series in a family snapshot.
+type SeriesSnapshot struct {
+	LabelValues []string           `json:"label_values,omitempty"`
+	Value       float64            `json:"value,omitempty"`
+	Hist        *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// FamilySnapshot is an immutable, JSON-serializable view of one metric
+// family; a slice of them is the whole registry's state.
+type FamilySnapshot struct {
+	Name       string           `json:"name"`
+	Help       string           `json:"help,omitempty"`
+	Kind       Kind             `json:"kind"`
+	LabelNames []string         `json:"label_names,omitempty"`
+	Series     []SeriesSnapshot `json:"series,omitempty"`
+}
+
+// Snapshot captures every family in registration order, with series in
+// creation order (callback collectors in callback order). The result
+// is detached from the registry and safe to serialize or merge.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:       f.name,
+			Help:       f.help,
+			Kind:       f.kind,
+			LabelNames: f.labelNames,
+		}
+		if f.collect != nil {
+			for _, s := range f.collect() {
+				fs.Series = append(fs.Series, SeriesSnapshot{LabelValues: s.LabelValues, Value: s.Value})
+			}
+		} else {
+			f.mu.RLock()
+			keys := append([]string(nil), f.order...)
+			series := make([]any, 0, len(keys))
+			values := make([][]string, 0, len(keys))
+			for _, k := range keys {
+				series = append(series, f.series[k])
+				if k == "" {
+					values = append(values, nil)
+				} else {
+					values = append(values, strings.Split(k, labelSep))
+				}
+			}
+			f.mu.RUnlock()
+			for i, s := range series {
+				ss := SeriesSnapshot{LabelValues: values[i]}
+				switch m := s.(type) {
+				case *Counter:
+					ss.Value = m.Value()
+				case *Gauge:
+					ss.Value = m.Value()
+				case *Histogram:
+					ss.Hist = m.Snapshot()
+				}
+				fs.Series = append(fs.Series, ss)
+			}
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// MergeSnapshots folds src into dst (matching families by name, series
+// by label values), returning the merged set. Unknown families and
+// series are appended; histogram layouts must agree. This is how a
+// service-wide view is aggregated from per-process snapshots.
+func MergeSnapshots(dst, src []FamilySnapshot) ([]FamilySnapshot, error) {
+	byName := map[string]int{}
+	for i, f := range dst {
+		byName[f.Name] = i
+	}
+	for _, sf := range src {
+		i, ok := byName[sf.Name]
+		if !ok {
+			byName[sf.Name] = len(dst)
+			dst = append(dst, sf)
+			continue
+		}
+		df := &dst[i]
+		if df.Kind != sf.Kind {
+			return nil, fmt.Errorf("metrics: merge of %s: kind %s vs %s", sf.Name, df.Kind, sf.Kind)
+		}
+		byKey := map[string]int{}
+		for j, s := range df.Series {
+			byKey[labelKey(s.LabelValues)] = j
+		}
+		for _, s := range sf.Series {
+			j, ok := byKey[labelKey(s.LabelValues)]
+			if !ok {
+				df.Series = append(df.Series, s)
+				continue
+			}
+			d := &df.Series[j]
+			if s.Hist != nil {
+				if d.Hist == nil {
+					d.Hist = s.Hist
+				} else if err := d.Hist.Merge(s.Hist); err != nil {
+					return nil, fmt.Errorf("%s: %w", sf.Name, err)
+				}
+			} else {
+				d.Value += s.Value
+			}
+		}
+	}
+	return dst, nil
+}
+
+// SortedSnapshot returns Snapshot() with families and series sorted
+// lexicographically, for deterministic output (the text encoder uses
+// it so scrapes and golden files are stable).
+func (r *Registry) SortedSnapshot() []FamilySnapshot {
+	fams := r.Snapshot()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	for i := range fams {
+		s := fams[i].Series
+		sort.Slice(s, func(a, b int) bool {
+			return labelKey(s[a].LabelValues) < labelKey(s[b].LabelValues)
+		})
+	}
+	return fams
+}
+
+func floatBits(bits *atomic.Uint64) float64 {
+	return math.Float64frombits(bits.Load())
+}
+
+func storeFloat(bits *atomic.Uint64, v float64) {
+	bits.Store(math.Float64bits(v))
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "Requests.").With()
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter: got %g, want 3.5", got)
+	}
+	g := reg.Gauge("depth", "Depth.").With()
+	g.Set(10)
+	g.Add(-3)
+	g.Dec()
+	g.Inc()
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge: got %g, want 7", got)
+	}
+}
+
+func TestVecLabelsAndIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.Counter("rpc_total", "RPCs.", "rpc", "provider")
+	v.With("put", "1").Inc()
+	v.With("put", "1").Inc()
+	v.With("get", "1").Inc()
+	// Re-registering with the same shape returns the same family.
+	v2 := reg.Counter("rpc_total", "RPCs.", "rpc", "provider")
+	v2.With("put", "1").Inc()
+	if got := v.With("put", "1").Value(); got != 3 {
+		t.Errorf("put counter: got %g, want 3", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched re-registration should panic")
+		}
+	}()
+	reg.Gauge("rpc_total", "oops")
+}
+
+func TestWithWrongArityPanics(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.Counter("x_total", "", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity should panic")
+		}
+	}()
+	v.With("1", "2")
+}
+
+func TestGaugeFuncCollectsAtSnapshotTime(t *testing.T) {
+	reg := NewRegistry()
+	depth := map[string]float64{"p0": 3, "p1": 7}
+	var mu sync.Mutex
+	reg.GaugeFunc("pool_depth", "Queued ULTs.", []string{"pool"}, func() []Sample {
+		mu.Lock()
+		defer mu.Unlock()
+		var out []Sample
+		for _, name := range []string{"p0", "p1", "p2"} {
+			if v, ok := depth[name]; ok {
+				out = append(out, Sample{LabelValues: []string{name}, Value: v})
+			}
+		}
+		return out
+	})
+	snap := reg.SortedSnapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 2 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	mu.Lock()
+	depth["p2"] = 1 // a pool added at run time appears on the next scrape
+	mu.Unlock()
+	snap = reg.SortedSnapshot()
+	if len(snap[0].Series) != 3 {
+		t.Fatalf("dynamic series should appear: %+v", snap[0].Series)
+	}
+}
+
+func TestRegistrySnapshotAndMerge(t *testing.T) {
+	mk := func(reqs float64, lat ...float64) []FamilySnapshot {
+		reg := NewRegistry()
+		reg.Counter("reqs_total", "Requests.", "rpc").With("put").Add(reqs)
+		h := reg.Histogram("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1}, "rpc")
+		for _, v := range lat {
+			h.With("put").Observe(v)
+		}
+		return reg.Snapshot()
+	}
+	a := mk(5, 0.002, 0.02)
+	b := mk(7, 0.0005, 0.2)
+	merged, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found int
+	for _, f := range merged {
+		switch f.Name {
+		case "reqs_total":
+			found++
+			if f.Series[0].Value != 12 {
+				t.Errorf("merged counter: got %g, want 12", f.Series[0].Value)
+			}
+		case "lat_seconds":
+			found++
+			if f.Series[0].Hist.Count != 4 {
+				t.Errorf("merged histogram count: got %d, want 4", f.Series[0].Hist.Count)
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("families missing from merge: %+v", merged)
+	}
+}
+
+func TestConcurrentRegistryUse(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			v := reg.Counter("c_total", "C.", "w")
+			h := reg.Histogram("h_seconds", "H.", nil, "w")
+			label := string(rune('a' + n))
+			for i := 0; i < 500; i++ {
+				v.With(label).Inc()
+				h.With(label).Observe(float64(i) * 1e-6)
+				if i%100 == 0 {
+					_ = reg.PrometheusText()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	text := string(reg.PrometheusText())
+	if !strings.Contains(text, `c_total{w="a"} 500`) {
+		t.Errorf("missing series in:\n%s", text)
+	}
+}

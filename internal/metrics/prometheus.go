@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the exposition format
+// this package emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus encodes the registry in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteText(w, r.SortedSnapshot())
+}
+
+// PrometheusText is WritePrometheus into a byte slice.
+func (r *Registry) PrometheusText() []byte {
+	var b strings.Builder
+	_ = WriteText(&b, r.SortedSnapshot())
+	return []byte(b.String())
+}
+
+// WriteText encodes family snapshots in the Prometheus text format.
+// Families with no series still emit their # HELP/# TYPE headers, so
+// a scraper sees every registered metric from the first scrape.
+func WriteText(w io.Writer, fams []FamilySnapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.Kind))
+		bw.WriteByte('\n')
+		for _, s := range f.Series {
+			if f.Kind == KindHistogram && s.Hist != nil {
+				writeHistogram(bw, f, s)
+				continue
+			}
+			bw.WriteString(f.Name)
+			writeLabels(bw, f.LabelNames, s.LabelValues, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, f FamilySnapshot, s SeriesSnapshot) {
+	h := s.Hist
+	var cum uint64
+	for i, upper := range h.Upper {
+		cum += h.Counts[i]
+		bw.WriteString(f.Name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, f.LabelNames, s.LabelValues, "le", formatValue(upper))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	cum += h.Counts[len(h.Counts)-1]
+	bw.WriteString(f.Name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, f.LabelNames, s.LabelValues, "le", "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(cum, 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(f.Name)
+	bw.WriteString("_sum")
+	writeLabels(bw, f.LabelNames, s.LabelValues, "", "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(h.Sum))
+	bw.WriteByte('\n')
+
+	bw.WriteString(f.Name)
+	bw.WriteString("_count")
+	writeLabels(bw, f.LabelNames, s.LabelValues, "", "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(h.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels emits {a="x",b="y"[,extraName="extraValue"]}, or nothing
+// when there are no labels at all.
+func writeLabels(bw *bufio.Writer, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(n)
+		bw.WriteString(`="`)
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		bw.WriteString(escapeLabel(v))
+		bw.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extraName)
+		bw.WriteString(`="`)
+		bw.WriteString(extraValue)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reqs := reg.Counter("mochi_rpc_forward_errors_total", "Failed RPC forwards.", "rpc")
+	reqs.With("yokan_put").Add(3)
+	reqs.With(`weird"rpc\name`).Inc() // exercises label escaping
+
+	inflight := reg.Gauge("mochi_rpc_inflight", "In-flight forwarded RPCs.\nSecond help line.")
+	inflight.With().Set(2)
+
+	lat := reg.Histogram("mochi_rpc_forward_latency_seconds",
+		"Round-trip latency of forwarded RPCs.", []float64{0.001, 0.01, 0.1}, "rpc", "provider")
+	h := lat.With("yokan_put", "1")
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	reg.GaugeFunc("mochi_pool_depth", "ULTs queued per pool.", []string{"pool"}, func() []Sample {
+		return []Sample{
+			{LabelValues: []string{"MyPoolX"}, Value: 0},
+			{LabelValues: []string{"MyPoolZ"}, Value: 4},
+		}
+	})
+
+	// Registered but never observed: must still expose headers and,
+	// for concrete series, zero-valued buckets.
+	empty := reg.Histogram("mochi_bulk_transfer_bytes", "Bulk transfer sizes by direction.",
+		[]float64{64, 4096}, "op")
+	empty.With("pull")
+	empty.With("push")
+	reg.Counter("mochi_never_used_total", "Registered, never incremented.")
+
+	g := reg.Gauge("mochi_special_values", "Special float rendering.", "kind")
+	g.With("inf").Set(math.Inf(1))
+	return reg
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	got := goldenRegistry().PrometheusText()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./internal/metrics -run Golden -update` to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("exposition text drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusFormatInvariants(t *testing.T) {
+	text := string(goldenRegistry().PrometheusText())
+
+	for _, want := range []string{
+		`# TYPE mochi_rpc_forward_latency_seconds histogram`,
+		`mochi_rpc_forward_latency_seconds_bucket{rpc="yokan_put",provider="1",le="0.001"} 1`,
+		`mochi_rpc_forward_latency_seconds_bucket{rpc="yokan_put",provider="1",le="+Inf"} 4`,
+		`mochi_rpc_forward_latency_seconds_count{rpc="yokan_put",provider="1"} 4`,
+		`mochi_pool_depth{pool="MyPoolZ"} 4`,
+		`mochi_rpc_forward_errors_total{rpc="weird\"rpc\\name"} 1`,
+		`mochi_special_values{kind="inf"} +Inf`,
+		`# TYPE mochi_never_used_total counter`,
+		`mochi_bulk_transfer_bytes_bucket{op="pull",le="+Inf"} 0`,
+		"# HELP mochi_rpc_inflight In-flight forwarded RPCs.\\nSecond help line.",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+
+	// Every non-comment line is "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i <= 0 || i == len(line)-1 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
