@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-full examples vet fmt-check ci clean
+.PHONY: all build test race bench bench-alloc bench-full examples vet fmt-check ci clean
 
 all: build test
 
@@ -29,6 +29,13 @@ ci: build vet fmt-check test race
 # One testing.B benchmark per experiment (quick sweeps).
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Allocation regression gate for the RPC hot path: fails if the pinned
+# AllocsPerRun budgets (codec round trip == 0, sm forward <= 2) regress.
+# Also prints the -benchmem numbers for the same paths for context.
+bench-alloc:
+	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/
+	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkForward' -benchtime=1000x -benchmem ./internal/codec/ ./internal/mercury/
 
 # Full experiment sweeps with pretty tables (minutes).
 bench-full:

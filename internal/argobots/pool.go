@@ -84,7 +84,9 @@ type Pool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []poolItem
+	head   int // index of the next item in queue
 	prioQ  []poolItem
+	prioHd int // index of the next item in prioQ
 	closed bool
 
 	executed atomic.Uint64
@@ -148,7 +150,7 @@ func (p *Pool) Access() Access { return p.access }
 func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.queue) + len(p.prioQ)
+	return (len(p.queue) - p.head) + (len(p.prioQ) - p.prioHd)
 }
 
 // Executed reports how many ULTs this pool has handed to xstreams.
@@ -176,13 +178,27 @@ func (p *Pool) PushPrio(fn ULT) (*Thread, error) {
 
 func (p *Pool) push(fn ULT, prio bool) (*Thread, error) {
 	th := &Thread{done: make(chan struct{})}
-	item := poolItem{fn: fn, th: th, prio: prio}
+	if err := p.enqueue(poolItem{fn: fn, th: th, prio: prio}); err != nil {
+		return nil, err
+	}
+	return th, nil
+}
+
+// Submit enqueues a fire-and-forget ULT with no Thread handle. This is
+// the allocation-free submission path: margo's RPC dispatch uses it so
+// the per-RPC cost is one queue slot, not a handle plus a done channel
+// that nobody joins.
+func (p *Pool) Submit(fn ULT) error {
+	return p.enqueue(poolItem{fn: fn})
+}
+
+func (p *Pool) enqueue(item poolItem) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return nil, ErrPoolClosed
+		return ErrPoolClosed
 	}
-	if prio && p.kind == PoolPrio {
+	if item.prio && p.kind == PoolPrio {
 		p.prioQ = append(p.prioQ, item)
 	} else {
 		p.queue = append(p.queue, item)
@@ -190,7 +206,7 @@ func (p *Pool) push(fn ULT, prio bool) (*Thread, error) {
 	p.mu.Unlock()
 	p.cond.Signal()
 	p.notifyWaiters()
-	return th, nil
+	return nil
 }
 
 // tryPop removes the next ULT without blocking.
@@ -200,16 +216,29 @@ func (p *Pool) tryPop() (poolItem, bool) {
 	return p.popLocked()
 }
 
+// popLocked pops via a head index rather than re-slicing so that once a
+// queue fully drains, its backing array is reused: the steady-state
+// push/pop cycle stops allocating after the first few requests.
 func (p *Pool) popLocked() (poolItem, bool) {
-	if len(p.prioQ) > 0 {
-		it := p.prioQ[0]
-		p.prioQ = p.prioQ[1:]
+	if p.prioHd < len(p.prioQ) {
+		it := p.prioQ[p.prioHd]
+		p.prioQ[p.prioHd] = poolItem{}
+		p.prioHd++
+		if p.prioHd == len(p.prioQ) {
+			p.prioQ = p.prioQ[:0]
+			p.prioHd = 0
+		}
 		p.executed.Add(1)
 		return it, true
 	}
-	if len(p.queue) > 0 {
-		it := p.queue[0]
-		p.queue = p.queue[1:]
+	if p.head < len(p.queue) {
+		it := p.queue[p.head]
+		p.queue[p.head] = poolItem{}
+		p.head++
+		if p.head == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.head = 0
+		}
 		p.executed.Add(1)
 		return it, true
 	}

@@ -121,13 +121,15 @@ func (x *Xstream) run(it poolItem) {
 	defer func() {
 		// A panicking ULT must not take down the whole xstream; this
 		// mirrors how a segfaulting ULT would be isolated in tests.
-		if r := recover(); r != nil {
+		if r := recover(); r != nil && it.th != nil {
 			close(it.th.done)
 		}
 	}()
 	it.fn()
 	x.executed.Add(1)
-	close(it.th.done)
+	if it.th != nil { // Submit-ed ULTs have no join handle
+		close(it.th.done)
+	}
 }
 
 // Stop terminates the scheduler loop and waits for the in-flight ULT

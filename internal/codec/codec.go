@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // ErrShortBuffer is returned when a Decoder runs out of input.
@@ -45,7 +46,14 @@ func (e *Encoder) Len() int { return len(e.buf) }
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
-func (e *Encoder) Bool(v bool)   { e.Uint8(map[bool]uint8{false: 0, true: 1}[v]) }
+
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+}
 func (e *Encoder) Uint16(v uint16) {
 	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
 }
@@ -186,8 +194,11 @@ func (d *Decoder) Varint() int64 {
 	return v
 }
 
-// BytesField decodes a length-prefixed byte string. The returned slice
-// aliases the decoder's buffer; callers that retain it must copy.
+// BytesField decodes a length-prefixed byte string. This is the
+// zero-copy variant: the returned slice aliases the decoder's buffer,
+// so it is valid exactly as long as the input buffer is — callers that
+// retain it past the buffer's lifetime (see DESIGN.md "Hot-path memory
+// discipline") must copy, e.g. with BytesFieldCopy.
 func (d *Decoder) BytesField() []byte {
 	n := d.Uvarint()
 	if d.err != nil {
@@ -200,8 +211,34 @@ func (d *Decoder) BytesField() []byte {
 	return d.take(int(n))
 }
 
-// String decodes a length-prefixed string.
+// BytesFieldCopy decodes a length-prefixed byte string into freshly
+// owned memory, safe to retain indefinitely.
+func (d *Decoder) BytesFieldCopy() []byte {
+	b := d.BytesField()
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// String decodes a length-prefixed string. Strings are immutable, so
+// this always copies; use StringRef on hot paths where the result
+// provably does not outlive the input buffer.
 func (d *Decoder) String() string { return string(d.BytesField()) }
+
+// StringRef decodes a length-prefixed string without copying: the
+// returned string's bytes alias the decoder's buffer. The caller must
+// guarantee the buffer is neither mutated nor recycled while the
+// string is live — violating this breaks Go's string immutability
+// invariant. Reserve it for transient lookups (map keys checked and
+// dropped, comparisons) inside a single decode scope.
+func (d *Decoder) StringRef() string {
+	b := d.BytesField()
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
 
 // StringSlice decodes a count-prefixed slice of strings.
 func (d *Decoder) StringSlice() []string {
@@ -251,9 +288,19 @@ func Marshal(m Marshaler) []byte {
 	return e.Bytes()
 }
 
+// MarshalAppend encodes m appended to dst (which may be nil or a
+// recycled scratch buffer) and returns the extended slice. It is the
+// allocation-free Marshal: steady-state callers pass the previous
+// result truncated with dst[:0].
+func MarshalAppend(dst []byte, m Marshaler) []byte {
+	e := Encoder{buf: dst}
+	m.MarshalMochi(&e)
+	return e.buf
+}
+
 // Unmarshal decodes buf into m, requiring full consumption.
 func Unmarshal(buf []byte, m Unmarshaler) error {
-	d := NewDecoder(buf)
-	m.UnmarshalMochi(d)
+	d := Decoder{buf: buf}
+	m.UnmarshalMochi(&d)
 	return d.Finish()
 }

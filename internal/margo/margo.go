@@ -55,7 +55,7 @@ type Instance struct {
 
 	mu           sync.RWMutex
 	cfg          Config
-	regs         map[string]rpcReg // "name/provider" -> registration
+	regs         map[regKey]rpcReg
 	finalized    bool
 	progressPool *argobots.Pool
 	rpcPool      *argobots.Pool
@@ -88,7 +88,7 @@ func NewWithClock(class *mercury.Class, rawConfig []byte, clk clock.Clock) (*Ins
 		rt:    rt,
 		clk:   clk,
 		cfg:   cfg,
-		regs:  map[string]rpcReg{},
+		regs:  map[regKey]rpcReg{},
 	}
 	pp, ok := rt.FindPool(cfg.ProgressPool)
 	if !ok {
@@ -136,8 +136,12 @@ func (m *Instance) Runtime() *argobots.Runtime { return m.rt }
 // Clock returns the instance's time source.
 func (m *Instance) Clock() clock.Clock { return m.clk }
 
-func regKey(name string, provider uint16) string {
-	return fmt.Sprintf("%s/%d", name, provider)
+// regKey identifies a provider registration. A struct key keeps map
+// operations free of the per-call formatting and allocation a
+// fmt.Sprintf-built string key would cost.
+type regKey struct {
+	name     string
+	provider uint16
 }
 
 // RegisterProvider registers an RPC handler for (name, providerID),
@@ -153,7 +157,7 @@ func (m *Instance) RegisterProvider(name string, providerID uint16, pool *argobo
 	if pool == nil {
 		pool = m.rpcPool
 	}
-	key := regKey(name, providerID)
+	key := regKey{name, providerID}
 	if _, ok := m.regs[key]; ok {
 		return 0, fmt.Errorf("%w: %s provider %d", ErrProviderRegistered, name, providerID)
 	}
@@ -174,7 +178,7 @@ func (m *Instance) Register(name string, h Handler) (mercury.RPCID, error) {
 
 // DeregisterProvider removes the handler for (name, providerID).
 func (m *Instance) DeregisterProvider(name string, providerID uint16) {
-	key := regKey(name, providerID)
+	key := regKey{name, providerID}
 	m.mu.Lock()
 	reg, ok := m.regs[key]
 	if ok {
@@ -187,10 +191,48 @@ func (m *Instance) DeregisterProvider(name string, providerID uint16) {
 	}
 }
 
+// dispatchTask carries one inbound RPC from mercury dispatch to its
+// handler ULT. Tasks are pooled, and run is bound to exec once when the
+// task is first allocated, so submitting a ULT allocates neither a task
+// nor a fresh closure.
+type dispatchTask struct {
+	m        *Instance
+	h        Handler
+	hd       *mercury.Handle
+	info     RPCInfo
+	queuedAt time.Time
+	run      argobots.ULT
+}
+
+var dispatchTaskPool sync.Pool
+
+func init() {
+	// Assigned in init, not in the var declaration: exec references the
+	// pool, which would otherwise be an initialization cycle.
+	dispatchTaskPool.New = func() any {
+		t := new(dispatchTask)
+		t.run = t.exec
+		return t
+	}
+}
+
+func (t *dispatchTask) exec() {
+	m, h, hd, info, queuedAt := t.m, t.h, t.hd, t.info, t.queuedAt
+	*t = dispatchTask{run: t.run}
+	dispatchTaskPool.Put(t)
+	started := m.clk.Now()
+	m.hooks.onHandlerStart(info, started.Sub(queuedAt))
+	ctx := withCurrentRPC(context.Background(), info)
+	h(ctx, hd)
+	m.hooks.onHandlerEnd(info, m.clk.Since(started))
+}
+
 // dispatch submits the handler as a ULT, recording queueing and
 // execution timings through the hook points (§4).
 func (m *Instance) dispatch(pool *argobots.Pool, h Handler, hd *mercury.Handle) {
-	info := RPCInfo{
+	t := dispatchTaskPool.Get().(*dispatchTask)
+	t.m, t.h, t.hd = m, h, hd
+	t.info = RPCInfo{
 		Name:     hd.Name(),
 		ID:       hd.ID(),
 		Provider: hd.Provider(),
@@ -200,16 +242,11 @@ func (m *Instance) dispatch(pool *argobots.Pool, h Handler, hd *mercury.Handle) 
 	// Parent RPC propagation: the wire does not carry parent IDs in
 	// this reproduction, so the target side records the paper's 65535
 	// "no parent" sentinel unless set by nesting within this process.
-	queuedAt := m.clk.Now()
-	m.hooks.onHandlerQueued(info)
-	_, err := pool.Push(func() {
-		started := m.clk.Now()
-		m.hooks.onHandlerStart(info, started.Sub(queuedAt))
-		ctx := withCurrentRPC(context.Background(), info)
-		h(ctx, hd)
-		m.hooks.onHandlerEnd(info, m.clk.Since(started))
-	})
-	if err != nil {
+	t.queuedAt = m.clk.Now()
+	m.hooks.onHandlerQueued(t.info)
+	if err := pool.Submit(t.run); err != nil {
+		*t = dispatchTask{run: t.run}
+		dispatchTaskPool.Put(t)
 		// Pool was closed during reconfiguration: fail the RPC rather
 		// than dropping it silently.
 		_ = hd.RespondError(fmt.Errorf("margo: provider pool unavailable: %w", err))

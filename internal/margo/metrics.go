@@ -2,6 +2,7 @@ package margo
 
 import (
 	"strconv"
+	"sync"
 	"time"
 
 	"mochi/internal/metrics"
@@ -27,6 +28,33 @@ type instMetrics struct {
 	handlerRun *metrics.HistogramVec // mochi_rpc_handler_runtime_seconds{rpc,provider}
 	fwdErrors  *metrics.CounterVec   // mochi_rpc_forward_errors_total{rpc}
 	inflight   *metrics.Gauge        // mochi_rpc_inflight
+
+	// The hook below runs on every RPC, so it must not pay
+	// HistogramVec.With — a variadic slice plus a joined label-key
+	// string per call — each time. The _all aggregate series are
+	// resolved once (lazily, aggOnce) into direct histogram pointers,
+	// and per-(name,provider) series are cached under a struct key.
+	aggOnce  sync.Once
+	aggFwd   *metrics.Histogram
+	aggQueue *metrics.Histogram
+	aggRun   *metrics.Histogram
+
+	seriesMu sync.RWMutex
+	series   map[seriesKey]*rpcSeries
+}
+
+// seriesKey identifies one (rpc, provider) label pair without string
+// concatenation.
+type seriesKey struct {
+	name     string
+	provider uint16
+}
+
+// rpcSeries holds the resolved histogram series for one label pair.
+type rpcSeries struct {
+	fwd   *metrics.Histogram
+	queue *metrics.Histogram
+	run   *metrics.Histogram
 }
 
 func newInstMetrics(reg *metrics.Registry) *instMetrics {
@@ -45,13 +73,46 @@ func newInstMetrics(reg *metrics.Registry) *instMetrics {
 			"Forwarded RPCs that returned an error, by RPC name.", "rpc"),
 		inflight: reg.Gauge("mochi_rpc_inflight",
 			"RPCs forwarded by this process still awaiting a response.").With(),
+		series: map[seriesKey]*rpcSeries{},
 	}
 	// Pre-create the aggregate series so every family has concrete
 	// (zero-valued) histogram series from the first scrape.
-	im.fwdLatency.With(aggLabel, aggLabel)
-	im.queueDelay.With(aggLabel, aggLabel)
-	im.handlerRun.With(aggLabel, aggLabel)
+	im.ensureAgg()
 	return im
+}
+
+// ensureAgg resolves the _all aggregate series exactly once.
+func (im *instMetrics) ensureAgg() {
+	im.aggOnce.Do(func() {
+		im.aggFwd = im.fwdLatency.With(aggLabel, aggLabel)
+		im.aggQueue = im.queueDelay.With(aggLabel, aggLabel)
+		im.aggRun = im.handlerRun.With(aggLabel, aggLabel)
+	})
+}
+
+// seriesFor returns the cached histogram series for (name, provider),
+// resolving and caching them on first sight of the pair. The fast path
+// is a read-locked struct-keyed map hit: no allocation, no label join.
+func (im *instMetrics) seriesFor(info RPCInfo) *rpcSeries {
+	k := seriesKey{info.Name, info.Provider}
+	im.seriesMu.RLock()
+	s := im.series[k]
+	im.seriesMu.RUnlock()
+	if s != nil {
+		return s
+	}
+	im.seriesMu.Lock()
+	if s = im.series[k]; s == nil {
+		pl := providerLabel(info.Provider)
+		s = &rpcSeries{
+			fwd:   im.fwdLatency.With(info.Name, pl),
+			queue: im.queueDelay.With(info.Name, pl),
+			run:   im.handlerRun.With(info.Name, pl),
+		}
+		im.series[k] = s
+	}
+	im.seriesMu.Unlock()
+	return s
 }
 
 func providerLabel(p uint16) string {
@@ -64,25 +125,27 @@ func providerLabel(p uint16) string {
 // hook returns the monitoring hook that feeds the histograms; it is
 // installed permanently at instance creation.
 func (im *instMetrics) hook() *Hook {
-	observe := func(vec *metrics.HistogramVec, info RPCInfo, d time.Duration) {
-		s := d.Seconds()
-		vec.With(info.Name, providerLabel(info.Provider)).Observe(s)
-		vec.With(aggLabel, aggLabel).Observe(s)
-	}
+	im.ensureAgg()
 	return &Hook{
 		OnForwardStart: func(RPCInfo) { im.inflight.Inc() },
 		OnForwardEnd: func(info RPCInfo, d time.Duration, err error) {
 			im.inflight.Dec()
-			observe(im.fwdLatency, info, d)
+			s := d.Seconds()
+			im.seriesFor(info).fwd.Observe(s)
+			im.aggFwd.Observe(s)
 			if err != nil {
 				im.fwdErrors.With(info.Name).Inc()
 			}
 		},
 		OnHandlerStart: func(info RPCInfo, queued time.Duration) {
-			observe(im.queueDelay, info, queued)
+			s := queued.Seconds()
+			im.seriesFor(info).queue.Observe(s)
+			im.aggQueue.Observe(s)
 		},
 		OnHandlerEnd: func(info RPCInfo, d time.Duration) {
-			observe(im.handlerRun, info, d)
+			s := d.Seconds()
+			im.seriesFor(info).run.Observe(s)
+			im.aggRun.Observe(s)
 		},
 	}
 }

@@ -1,0 +1,112 @@
+package mercury
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestForwardAllocsPinned is the regression gate for the zero-allocation
+// forward path: a small RPC over the sm fabric must cost at most 2
+// heap allocations end to end in steady state (currently 1: the
+// caller-owned copy of the response payload). `make bench-alloc` runs
+// this; treat a failure as a hot-path regression, not a flaky test.
+func TestForwardAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc pinning is meaningless under the race detector")
+	}
+	fabric := NewFabric()
+	a, err := fabric.NewClass("alloc-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fabric.NewClass("alloc-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	reply := []byte("pong-payload-323232")
+	id := b.Register("ping", func(h *Handle) {
+		_ = h.Respond(reply)
+	})
+	payload := []byte("ping-payload-161616")
+	ctx := context.Background()
+
+	// Warm the pools (messages, handles, reply channels, buffers) and
+	// the resident dispatch workers before measuring.
+	for i := 0; i < 50; i++ {
+		if _, err := a.Forward(ctx, b.Addr(), id, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(300, func() {
+		out, err := a.Forward(ctx, b.Addr(), id, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(reply) {
+			t.Fatalf("bad reply: %q", out)
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("sm-fabric forward allocates %.2f times per op, pinned at <= 2", avg)
+	}
+}
+
+// TestPayloadRecycleNoAliasing drives the pooled request-buffer cycle
+// hard: the caller reuses (and rewrites) one input buffer across many
+// RPCs, and every handler invocation must still observe exactly the
+// bytes that were current when its request was forwarded — proving
+// recycled pool buffers never leak between in-flight payloads.
+func TestPayloadRecycleNoAliasing(t *testing.T) {
+	_, a, b := newPair(t)
+	id := b.Register("echo", func(h *Handle) {
+		_ = h.Respond(h.Input())
+	})
+	input := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		for j := range input {
+			input[j] = byte(i)
+		}
+		out, err := a.Forward(ctxShort(t), b.Addr(), id, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mutate the caller's buffer immediately; the returned payload
+		// must be an independent copy.
+		for j := range input {
+			input[j] = 0xFF
+		}
+		for j := range out {
+			if out[j] != byte(i) {
+				t.Fatalf("iteration %d: response byte %d is %#x, want %#x (pooled buffer aliased)", i, j, out[j], byte(i))
+			}
+		}
+	}
+}
+
+// TestResponseSurvivesHandleRelease pins the response-ownership rule:
+// the payload returned by Forward is caller-owned and must stay intact
+// after the handler's pooled input buffer and handle are recycled by
+// subsequent traffic.
+func TestResponseSurvivesHandleRelease(t *testing.T) {
+	_, a, b := newPair(t)
+	id := b.Register("echo", func(h *Handle) {
+		_ = h.Respond(h.Input())
+	})
+	first, err := a.Forward(ctxShort(t), b.Addr(), id, []byte("keep-me-around"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn the pools with different payloads.
+	for i := 0; i < 100; i++ {
+		if _, err := a.Forward(ctxShort(t), b.Addr(), id, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(first) != "keep-me-around" {
+		t.Fatalf("earlier response corrupted by pool churn: %q", first)
+	}
+}

@@ -1,0 +1,111 @@
+package mercury
+
+import (
+	"context"
+	"testing"
+)
+
+// benchPayload is a representative small-RPC argument blob (a key plus
+// a short value, roughly what yokan_put carries).
+var benchPayload = []byte("bench-key-0123456789/bench-value-abcdefghijklmnopqrstuvwxyz")
+
+// benchReply is the handler's canned response, prepared outside the
+// handler so the benchmark measures the transport, not response
+// construction.
+var benchReply = []byte("ok-0123456789abcdef")
+
+func benchEchoFabric(b *testing.B) (*Class, *Class) {
+	b.Helper()
+	f := NewFabric()
+	ca, err := f.NewClass("bench-a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cb, err := f.NewClass("bench-b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ca.Close(); cb.Close() })
+	cb.Register("bench_echo", func(h *Handle) { _ = h.Respond(benchReply) })
+	return ca, cb
+}
+
+// BenchmarkForwardSmallRPC measures one small request/response round
+// trip over the in-process sm fabric: the path every simulated
+// deployment (and E1/E3) sits on. The alloc count is pinned by
+// TestForwardAllocsPinned.
+func BenchmarkForwardSmallRPC(b *testing.B) {
+	ca, cb := benchEchoFabric(b)
+	ctx := context.Background()
+	id := NameToID("bench_echo")
+	dst := cb.Addr()
+	// Warm the transport (connection state, pools).
+	if _, err := ca.Forward(ctx, dst, id, benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Forward(ctx, dst, id, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEchoTCP(b *testing.B) (*Class, *Class) {
+	b.Helper()
+	ca, err := NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cb, err := NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ca.Close(); cb.Close() })
+	cb.Register("bench_echo", func(h *Handle) { _ = h.Respond(benchReply) })
+	return ca, cb
+}
+
+// BenchmarkForwardTCP measures the same round trip over the real TCP
+// transport (loopback): framing, write path, and read path included.
+func BenchmarkForwardTCP(b *testing.B) {
+	ca, cb := benchEchoTCP(b)
+	ctx := context.Background()
+	id := NameToID("bench_echo")
+	dst := cb.Addr()
+	if _, err := ca.Forward(ctx, dst, id, benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Forward(ctx, dst, id, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardTCPParallel drives many concurrent forwards through
+// one connection pair, the case the TCP write-coalescing path exists
+// for: back-to-back frames from different goroutines should share
+// flush syscalls.
+func BenchmarkForwardTCPParallel(b *testing.B) {
+	ca, cb := benchEchoTCP(b)
+	ctx := context.Background()
+	id := NameToID("bench_echo")
+	dst := cb.Addr()
+	if _, err := ca.Forward(ctx, dst, id, benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := ca.Forward(ctx, dst, id, benchPayload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

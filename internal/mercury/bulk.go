@@ -148,36 +148,51 @@ func (c *Class) BulkTransfer(ctx context.Context, op BulkOp, desc BulkDescriptor
 	}
 
 	seq := c.seq.Add(1)
-	ch := make(chan *message, 1)
-	c.pending.Store(seq, ch)
-	defer c.pending.Delete(seq)
+	ch := getReplyChan()
+	c.pending.add(seq, ch)
 
-	msg := &message{
-		seq:     seq,
-		src:     c.Addr(),
-		bulkID:  desc.ID,
-		bulkOff: remoteOff,
-		bulkLen: size,
-	}
+	msg := getMessage()
+	msg.seq = seq
+	msg.src = c.Addr()
+	msg.bulkID = desc.ID
+	msg.bulkOff = remoteOff
+	msg.bulkLen = size
 	if op == BulkPull {
 		msg.kind = msgBulkRead
 	} else {
 		msg.kind = msgBulkWrite
 		msg.payload = local.mem[localOff : localOff+size]
 	}
-	if err := c.tr.send(ctx, desc.Addr, msg); err != nil {
+	err := c.tr.send(ctx, desc.Addr, msg)
+	msg.payload = nil // borrowed from the local region
+	putMessage(msg)
+	if err != nil {
+		c.pending.remove(seq)
+		putReplyChan(ch)
 		return err
 	}
 	select {
 	case resp := <-ch:
-		if resp.status != 0 {
-			return fmt.Errorf("%w: %s", ErrBadBulk, resp.errmsg)
+		c.pending.remove(seq)
+		putReplyChan(ch)
+		status, errmsg := resp.status, resp.errmsg
+		if status != 0 {
+			resp.releasePayload()
+			putMessage(resp)
+			return fmt.Errorf("%w: %s", ErrBadBulk, errmsg)
 		}
+		var copyErr error
 		if op == BulkPull {
 			if uint64(len(resp.payload)) != size {
-				return fmt.Errorf("%w: short bulk read", ErrBulkBounds)
+				copyErr = fmt.Errorf("%w: short bulk read", ErrBulkBounds)
+			} else {
+				copy(local.mem[localOff:localOff+size], resp.payload)
 			}
-			copy(local.mem[localOff:localOff+size], resp.payload)
+		}
+		resp.releasePayload()
+		putMessage(resp)
+		if copyErr != nil {
+			return copyErr
 		}
 		if m := c.mon(); m != nil {
 			m.BulkTransferred(op, desc.Addr, int(size))
@@ -185,13 +200,18 @@ func (c *Class) BulkTransfer(ctx context.Context, op BulkOp, desc BulkDescriptor
 		c.recordBulk(op, int(size))
 		return nil
 	case <-ctx.Done():
+		c.pending.remove(seq)
+		putReplyChan(ch)
 		return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
 	}
 }
 
 func (c *Class) handleBulkRead(m *message) {
 	b := c.bulkByID(m.bulkID)
-	resp := &message{kind: msgBulkAck, seq: m.seq, src: c.Addr()}
+	resp := getMessage()
+	resp.kind = msgBulkAck
+	resp.seq = m.seq
+	resp.src = c.Addr()
 	switch {
 	case b == nil:
 		resp.status = 1
@@ -206,11 +226,18 @@ func (c *Class) handleBulkRead(m *message) {
 		resp.payload = b.mem[m.bulkOff : m.bulkOff+m.bulkLen]
 	}
 	_ = c.tr.send(context.Background(), m.src, resp)
+	resp.payload = nil // borrowed from the registered region
+	putMessage(resp)
+	m.releasePayload()
+	putMessage(m)
 }
 
 func (c *Class) handleBulkWrite(m *message) {
 	b := c.bulkByID(m.bulkID)
-	resp := &message{kind: msgBulkAck, seq: m.seq, src: c.Addr()}
+	resp := getMessage()
+	resp.kind = msgBulkAck
+	resp.seq = m.seq
+	resp.src = c.Addr()
 	switch {
 	case b == nil:
 		resp.status = 1
@@ -225,4 +252,7 @@ func (c *Class) handleBulkWrite(m *message) {
 		copy(b.mem[m.bulkOff:], m.payload)
 	}
 	_ = c.tr.send(context.Background(), m.src, resp)
+	putMessage(resp)
+	m.releasePayload()
+	putMessage(m)
 }

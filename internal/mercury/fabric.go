@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"mochi/internal/codec"
 )
 
 // Fabric is the in-process "sm" network: a set of named endpoints that
@@ -59,14 +61,12 @@ func (f *Fabric) NewClass(name string) (*Class, error) {
 	tr := &smTransport{
 		fabric:  f,
 		address: addr,
-		inbox:   make(chan *message, 1024),
 		done:    make(chan struct{}),
 	}
 	cls := newClass(tr)
 	tr.class = cls
 	f.endpoints[addr] = tr
 	delete(f.killed, addr)
-	go tr.progress()
 	return cls, nil
 }
 
@@ -209,12 +209,17 @@ func preciseDelay(ctx context.Context, d time.Duration) error {
 	return nil
 }
 
-// smTransport is one endpoint's attachment to a Fabric.
+// smTransport is one endpoint's attachment to a Fabric. Delivery is
+// direct: send hands the duplicated message straight to the receiving
+// class's dispatch (which never blocks — responses are posted
+// non-blockingly and request handling goes to a worker or a fresh
+// goroutine), exactly as the TCP transport's read loop does. The
+// earlier inbox-plus-progress-goroutine design cost two extra
+// park/wake handoffs per RPC for no added semantics.
 type smTransport struct {
 	fabric   *Fabric
 	address  string
 	class    *Class
-	inbox    chan *message
 	done     chan struct{}
 	stopOnce sync.Once
 }
@@ -239,32 +244,32 @@ func (t *smTransport) send(ctx context.Context, dst string, m *message) error {
 		}
 	}
 	// Payloads are copied at the delivery boundary so sender and
-	// receiver never alias memory, as on a real network.
-	dup := *m
+	// receiver never alias memory, as on a real network. The copy goes
+	// into pooled scratch whenever the receive path has a recycle
+	// point (requests: Handle.release; bulk writes and acks: the bulk
+	// handlers); response payloads become caller-owned memory on the
+	// forwarding side, so they get a plain allocation.
+	dup := getMessage()
+	*dup = *m
+	dup.payloadPooled = false
 	if m.payload != nil {
-		dup.payload = append([]byte(nil), m.payload...)
-	}
-	select {
-	case target.inbox <- &dup:
-		return nil
-	case <-target.done:
-		return fmt.Errorf("%w: %s", ErrUnreachable, dst)
-	case <-ctx.Done():
-		return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
-	}
-}
-
-// progress is the endpoint's network progress loop, the analogue of
-// Mercury's progress thread (paper Fig. 2's "network progress loop").
-func (t *smTransport) progress() {
-	for {
-		select {
-		case m := <-t.inbox:
-			t.class.dispatch(m)
-		case <-t.done:
-			return
+		if m.kind == msgResponse {
+			dup.payload = append([]byte(nil), m.payload...)
+		} else {
+			dup.payload = codec.AppendBuffer(m.payload)
+			dup.payloadPooled = true
 		}
 	}
+	select {
+	case <-target.done:
+		// Lost the race with Kill/Close: the endpoint is gone.
+		dup.releasePayload()
+		putMessage(dup)
+		return fmt.Errorf("%w: %s", ErrUnreachable, dst)
+	default:
+	}
+	target.class.dispatch(dup)
+	return nil
 }
 
 func (t *smTransport) stop() {

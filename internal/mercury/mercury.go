@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -100,10 +101,38 @@ type message struct {
 	errmsg   string
 	auth     string
 	payload  []byte
+	// payloadPooled marks payload as backed by the codec buffer pool,
+	// recyclable by whoever consumes the message. It never travels on
+	// the wire.
+	payloadPooled bool
 	// bulk fields
 	bulkID  uint64
 	bulkOff uint64
 	bulkLen uint64
+}
+
+// msgPool recycles message structs across the send and receive paths.
+// Ownership rule: a message may be Put exactly once, by the last
+// consumer; putMessage never recycles the payload (see releasePayload)
+// because payload ownership is tracked separately.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+func getMessage() *message { return msgPool.Get().(*message) }
+
+func putMessage(m *message) {
+	*m = message{}
+	msgPool.Put(m)
+}
+
+// releasePayload returns a pool-backed payload to the buffer pool and
+// drops the reference. Payloads borrowed from callers (payloadPooled
+// false) are only detached.
+func (m *message) releasePayload() {
+	if m.payloadPooled {
+		codec.PutBuffer(m.payload)
+	}
+	m.payload = nil
+	m.payloadPooled = false
 }
 
 func (m *message) MarshalMochi(e *codec.Encoder) {
@@ -130,12 +159,98 @@ func (m *message) UnmarshalMochi(d *codec.Decoder) {
 	m.status = d.Uint8()
 	m.errmsg = d.String()
 	m.auth = d.String()
-	if b := d.BytesField(); b != nil {
-		m.payload = append([]byte(nil), b...)
+	// The frame buffer is transport-owned and reused for the next
+	// frame, so the payload is copied out — into pooled scratch that
+	// the message's consumer recycles (Handle.release, bulk handlers).
+	if b := d.BytesField(); len(b) > 0 {
+		m.payload = codec.AppendBuffer(b)
+		m.payloadPooled = true
+	} else {
+		m.payload = nil
+		m.payloadPooled = false
 	}
 	m.bulkID = d.Uint64()
 	m.bulkOff = d.Uint64()
 	m.bulkLen = d.Uint64()
+}
+
+// pendingTable maps in-flight sequence numbers to reply channels. It
+// replaces a sync.Map: uint64-keyed mutex shards neither box keys nor
+// allocate entry cells per Store, so the steady-state forward path
+// does no map-related allocation. Channel sends happen under the
+// shard lock, which gives remove() a hard guarantee: after it returns,
+// no delivery to the removed channel can be in flight, so the channel
+// can be drained and recycled.
+type pendingTable struct {
+	shards [pendingShards]pendingShard
+}
+
+const pendingShards = 16
+
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]chan *message
+	_  [24]byte // pad to limit false sharing between shards
+}
+
+func (t *pendingTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]chan *message)
+	}
+}
+
+func (t *pendingTable) shard(seq uint64) *pendingShard {
+	return &t.shards[seq%pendingShards]
+}
+
+func (t *pendingTable) add(seq uint64, ch chan *message) {
+	s := t.shard(seq)
+	s.mu.Lock()
+	s.m[seq] = ch
+	s.mu.Unlock()
+}
+
+// deliver hands m to the forwarder waiting on seq. It reports false if
+// no one is waiting (timed out and removed, or duplicate response).
+func (t *pendingTable) deliver(seq uint64, m *message) bool {
+	s := t.shard(seq)
+	s.mu.Lock()
+	ch, ok := s.m[seq]
+	if ok {
+		select {
+		case ch <- m:
+		default:
+			ok = false
+		}
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+func (t *pendingTable) remove(seq uint64) {
+	s := t.shard(seq)
+	s.mu.Lock()
+	delete(s.m, seq)
+	s.mu.Unlock()
+}
+
+// replyChanPool recycles the one-shot response channels of Forward and
+// BulkTransfer. Channels are pointer-shaped, so Get/Put do not box.
+var replyChanPool = sync.Pool{New: func() any { return make(chan *message, 1) }}
+
+func getReplyChan() chan *message { return replyChanPool.Get().(chan *message) }
+
+// putReplyChan recycles ch. Callers must have removed the pending
+// entry first; any response that squeaked in before remove() is
+// reclaimed here.
+func putReplyChan(ch chan *message) {
+	select {
+	case m := <-ch:
+		m.releasePayload()
+		putMessage(m)
+	default:
+	}
+	replyChanPool.Put(ch)
 }
 
 // Class is one process's attachment to the network: it owns an
@@ -148,7 +263,7 @@ type Class struct {
 	handlers map[rpcKey]*rpcEntry
 	closed   bool
 
-	pending sync.Map // seq -> chan *message
+	pending pendingTable
 	seq     atomic.Uint64
 
 	bulkMu  sync.RWMutex
@@ -161,6 +276,17 @@ type Class struct {
 	authMu      sync.RWMutex
 	auth        authState
 	authEnabled atomic.Bool
+
+	// Resident dispatch workers. A goroutine per inbound request would
+	// be correct but costly: each fresh goroutine starts on a 2 KiB
+	// stack and the handler call path overflows it, so every request
+	// would pay a stack copy (and a closure allocation). Idle resident
+	// workers with already-grown stacks take the messages instead; if
+	// none is idle, dispatch falls back to spawning, so slow handlers
+	// never delay other requests.
+	workCh   chan *message
+	workDone chan struct{}
+	workOnce sync.Once
 }
 
 // monitorHolder wraps the monitor so an atomic.Pointer can hold an
@@ -200,11 +326,15 @@ func (c *Class) mon() Monitor {
 }
 
 func newClass(tr transport) *Class {
-	return &Class{
+	c := &Class{
 		tr:       tr,
 		handlers: map[rpcKey]*rpcEntry{},
 		bulks:    map[uint64]*Bulk{},
+		workCh:   make(chan *message), // unbuffered: hand off only to an idle worker
+		workDone: make(chan struct{}),
 	}
+	c.pending.init()
+	return c
 }
 
 // Addr returns this class's network address.
@@ -263,6 +393,8 @@ func (c *Class) Forward(ctx context.Context, dst string, id RPCID, input []byte)
 
 // ForwardProvider sends an RPC to a specific provider at dst and waits
 // for the response. It is the equivalent of margo_provider_forward.
+// input is borrowed for the duration of the call only; the returned
+// payload is owned by the caller.
 func (c *Class) ForwardProvider(ctx context.Context, dst string, id RPCID, provider uint16, input []byte) ([]byte, error) {
 	c.mu.RLock()
 	closed := c.closed
@@ -271,42 +403,66 @@ func (c *Class) ForwardProvider(ctx context.Context, dst string, id RPCID, provi
 		return nil, ErrClassClosed
 	}
 	seq := c.seq.Add(1)
-	ch := make(chan *message, 1)
-	c.pending.Store(seq, ch)
-	defer c.pending.Delete(seq)
+	ch := getReplyChan()
+	c.pending.add(seq, ch)
 
-	req := &message{
-		kind:     msgRequest,
-		seq:      seq,
-		id:       id,
-		provider: provider,
-		src:      c.Addr(),
-		auth:     c.outgoingToken(),
-		payload:  input,
-	}
+	req := getMessage()
+	req.kind = msgRequest
+	req.seq = seq
+	req.id = id
+	req.provider = provider
+	req.src = c.Addr()
+	req.auth = c.outgoingToken()
+	req.payload = input
 	if m := c.mon(); m != nil {
 		m.SentRequest(id, provider, dst, len(input))
 	}
-	if err := c.tr.send(ctx, dst, req); err != nil {
+	err := c.tr.send(ctx, dst, req)
+	req.payload = nil // borrowed from the caller, not ours to recycle
+	putMessage(req)
+	if err != nil {
+		c.pending.remove(seq)
+		putReplyChan(ch)
 		return nil, err
 	}
-	select {
-	case resp := <-ch:
+	var resp *message
+	if done := ctx.Done(); done == nil {
+		// Uncancellable context: a plain receive avoids selectgo.
+		resp = <-ch
+	} else {
+		select {
+		case resp = <-ch:
+		case <-done:
+			c.pending.remove(seq)
+			putReplyChan(ch)
+			return nil, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+		}
+	}
+	{
+		c.pending.remove(seq)
+		putReplyChan(ch)
 		if m := c.mon(); m != nil {
 			m.ReceivedResponse(id, provider, dst, len(resp.payload))
 		}
-		switch resp.status {
-		case 0:
-			return resp.payload, nil
+		status, errmsg, payload := resp.status, resp.errmsg, resp.payload
+		if status == 0 {
+			// Ownership of the payload moves to the caller; it must
+			// not flow back into the buffer pool.
+			resp.payload = nil
+			resp.payloadPooled = false
+			putMessage(resp)
+			return payload, nil
+		}
+		resp.releasePayload()
+		putMessage(resp)
+		switch status {
 		case 1:
 			return nil, fmt.Errorf("%w: rpc %#x at %s", ErrNoHandler, id, dst)
 		case 3:
 			return nil, fmt.Errorf("%w: rpc %#x at %s", ErrUnauthorized, id, dst)
 		default:
-			return nil, fmt.Errorf("%w: %s", ErrRemoteFailure, resp.errmsg)
+			return nil, fmt.Errorf("%w: %s", ErrRemoteFailure, errmsg)
 		}
-	case <-ctx.Done():
-		return nil, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
 	}
 }
 
@@ -316,26 +472,94 @@ func (c *Class) ForwardProvider(ctx context.Context, dst string, id RPCID, provi
 // that must deliver its responses; responses are routed inline.
 func (c *Class) dispatch(m *message) {
 	switch m.kind {
-	case msgRequest:
-		go c.handleRequest(m)
 	case msgResponse, msgBulkAck:
-		if ch, ok := c.pending.Load(m.seq); ok {
-			select {
-			case ch.(chan *message) <- m:
-			default:
-			}
+		if !c.pending.deliver(m.seq, m) {
+			// Nobody is waiting (the forwarder timed out): reclaim.
+			m.releasePayload()
+			putMessage(m)
 		}
-	case msgBulkRead:
-		go c.handleBulkRead(m)
-	case msgBulkWrite:
-		go c.handleBulkWrite(m)
+	default:
+		c.submit(m)
 	}
+}
+
+// dispatchWorkers bounds the resident worker set; overflow beyond it
+// spawns goroutines as before.
+var dispatchWorkers = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}()
+
+// submit hands an inbound request or bulk operation to an idle resident
+// worker, or to a fresh goroutine if all workers are busy. Handing off
+// (rather than running the handler on the progress loop) keeps the
+// guarantee that a handler performing nested RPCs can never starve the
+// progress loop that must deliver its responses.
+func (c *Class) submit(m *message) {
+	c.workOnce.Do(c.startWorkers)
+	select {
+	case c.workCh <- m:
+	default:
+		go c.handleMessage(m)
+	}
+}
+
+func (c *Class) startWorkers() {
+	for i := 0; i < dispatchWorkers; i++ {
+		go c.dispatchWorker()
+	}
+}
+
+func (c *Class) dispatchWorker() {
+	for {
+		select {
+		case m := <-c.workCh:
+			c.handleMessage(m)
+		case <-c.workDone:
+			return
+		}
+	}
+}
+
+func (c *Class) handleMessage(m *message) {
+	switch m.kind {
+	case msgRequest:
+		c.handleRequest(m)
+	case msgBulkRead:
+		c.handleBulkRead(m)
+	case msgBulkWrite:
+		c.handleBulkWrite(m)
+	default:
+		m.releasePayload()
+		putMessage(m)
+	}
+}
+
+// respondStatus sends a handler-less error response for an inbound
+// request (unauthorized, no handler) and reclaims the request message.
+func (c *Class) respondStatus(m *message, status uint8) {
+	resp := getMessage()
+	resp.kind = msgResponse
+	resp.seq = m.seq
+	resp.id = m.id
+	resp.provider = m.provider
+	resp.src = c.Addr()
+	resp.status = status
+	_ = c.tr.send(context.Background(), m.src, resp)
+	putMessage(resp)
+	m.releasePayload()
+	putMessage(m)
 }
 
 func (c *Class) handleRequest(m *message) {
 	if !c.verifyInbound(m) {
-		resp := &message{kind: msgResponse, seq: m.seq, id: m.id, provider: m.provider, src: c.Addr(), status: 3}
-		_ = c.tr.send(context.Background(), m.src, resp)
+		c.respondStatus(m, 3)
 		return
 	}
 	entry := c.lookup(m.id, m.provider)
@@ -343,32 +567,67 @@ func (c *Class) handleRequest(m *message) {
 		mon.ReceivedRequest(m.id, m.provider, m.src, len(m.payload))
 	}
 	if entry == nil {
-		resp := &message{kind: msgResponse, seq: m.seq, id: m.id, provider: m.provider, src: c.Addr(), status: 1}
-		_ = c.tr.send(context.Background(), m.src, resp)
+		c.respondStatus(m, 1)
 		return
 	}
-	h := &Handle{
-		class:    c,
-		name:     entry.name,
-		id:       m.id,
-		provider: m.provider,
-		src:      m.src,
-		seq:      m.seq,
-		input:    m.payload,
-	}
+	h := getHandle()
+	h.class = c
+	h.name = entry.name
+	h.id = m.id
+	h.provider = m.provider
+	h.src = m.src
+	h.seq = m.seq
+	h.input = m.payload
+	h.inputPooled = m.payloadPooled
+	// The handle now owns the payload; the message shell goes back.
+	m.payload = nil
+	m.payloadPooled = false
+	putMessage(m)
 	entry.handler(h)
 }
 
-// Handle represents one in-flight inbound RPC.
+// Handle represents one in-flight inbound RPC. Handles are pooled:
+// a Handle and its Input() are valid only until Respond/RespondError
+// returns, after which both may be reused for an unrelated RPC.
+// Handlers that need either for longer must copy first (see DESIGN.md
+// "Hot-path memory discipline").
 type Handle struct {
-	class     *Class
-	name      string
-	id        RPCID
-	provider  uint16
-	src       string
-	seq       uint64
-	input     []byte
-	responded atomic.Bool
+	class       *Class
+	name        string
+	id          RPCID
+	provider    uint16
+	src         string
+	seq         uint64
+	input       []byte
+	inputPooled bool
+	responded   atomic.Bool
+}
+
+var handlePool = sync.Pool{New: func() any { return new(Handle) }}
+
+func getHandle() *Handle {
+	h := handlePool.Get().(*Handle)
+	h.responded.Store(false)
+	return h
+}
+
+// release recycles the handle and its pooled input buffer. Called
+// exactly once, from Respond/RespondError, after the response is on
+// the wire (so responses echoing the input are copied before the
+// buffer is reused).
+func (h *Handle) release() {
+	if h.inputPooled {
+		codec.PutBuffer(h.input)
+	}
+	h.class = nil
+	h.name = ""
+	h.src = ""
+	h.input = nil
+	h.inputPooled = false
+	h.id = 0
+	h.provider = 0
+	h.seq = 0
+	handlePool.Put(h)
 }
 
 // Name returns the RPC's registered name.
@@ -390,28 +649,41 @@ func (h *Handle) Input() []byte { return h.input }
 // bulk transfers.
 func (h *Handle) Class() *Class { return h.class }
 
-// Respond sends the RPC's output back to the caller.
+// Respond sends the RPC's output back to the caller. output is
+// borrowed for the duration of the call (transports copy or serialize
+// it before returning). Respond releases the handle: neither it nor
+// its Input() may be used afterwards.
 func (h *Handle) Respond(output []byte) error {
+	return h.respond(0, "", output)
+}
+
+// RespondError reports a handler failure to the caller. Like Respond,
+// it releases the handle.
+func (h *Handle) RespondError(err error) error {
+	return h.respond(2, err.Error(), nil)
+}
+
+func (h *Handle) respond(status uint8, errmsg string, output []byte) error {
 	if !h.responded.CompareAndSwap(false, true) {
 		return errors.New("mercury: handle already responded")
 	}
 	if m := h.class.mon(); m != nil {
 		m.SentResponse(h.id, h.provider, h.src, len(output))
 	}
-	resp := &message{kind: msgResponse, seq: h.seq, id: h.id, provider: h.provider, src: h.class.Addr(), payload: output}
-	return h.class.tr.send(context.Background(), h.src, resp)
-}
-
-// RespondError reports a handler failure to the caller.
-func (h *Handle) RespondError(err error) error {
-	if !h.responded.CompareAndSwap(false, true) {
-		return errors.New("mercury: handle already responded")
-	}
-	if m := h.class.mon(); m != nil {
-		m.SentResponse(h.id, h.provider, h.src, 0)
-	}
-	resp := &message{kind: msgResponse, seq: h.seq, id: h.id, provider: h.provider, src: h.class.Addr(), status: 2, errmsg: err.Error()}
-	return h.class.tr.send(context.Background(), h.src, resp)
+	resp := getMessage()
+	resp.kind = msgResponse
+	resp.seq = h.seq
+	resp.id = h.id
+	resp.provider = h.provider
+	resp.src = h.class.Addr()
+	resp.status = status
+	resp.errmsg = errmsg
+	resp.payload = output
+	err := h.class.tr.send(context.Background(), h.src, resp)
+	resp.payload = nil // borrowed from the handler
+	putMessage(resp)
+	h.release()
+	return err
 }
 
 // Close shuts the class down: the address becomes unreachable and all
@@ -425,5 +697,6 @@ func (c *Class) Close() error {
 	c.closed = true
 	c.handlers = map[rpcKey]*rpcEntry{}
 	c.mu.Unlock()
+	close(c.workDone)
 	return c.tr.close()
 }

@@ -252,7 +252,8 @@ func TestPayloadIsolation(t *testing.T) {
 	_, a, b := newPair(t)
 	got := make(chan []byte, 1)
 	b.Register("keep", func(h *Handle) {
-		got <- h.Input()
+		// Input() is only valid until Respond returns; copy to keep it.
+		got <- append([]byte(nil), h.Input()...)
 		_ = h.Respond(nil)
 	})
 	payload := []byte("original")

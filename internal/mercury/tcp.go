@@ -1,12 +1,14 @@
 package mercury
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"mochi/internal/codec"
 )
@@ -14,6 +16,11 @@ import (
 // maxFrame bounds a single TCP frame (64 MiB) to protect against
 // corrupt length prefixes.
 const maxFrame = 64 << 20
+
+// tcpWriteBuffer sizes each connection's bufio.Writer: large enough to
+// hold several small frames between flushes, small enough to be cheap
+// per connection.
+const tcpWriteBuffer = 64 << 10
 
 // NewTCPClass starts a real TCP endpoint listening on listenAddr
 // (e.g. "127.0.0.1:0"). Its address is "tcp://<host:port>". It is
@@ -47,9 +54,40 @@ type tcpTransport struct {
 	stopOnce sync.Once
 }
 
+// tcpConn wraps one outbound connection with a buffered, coalescing
+// write path. Frames are appended to bw under wm; a writer flushes
+// only when no other sender is queued on the mutex (waiters tracks
+// that), so N goroutines forwarding back-to-back share one flush —
+// and therefore one syscall — instead of paying N write(2) calls.
+// A lone sender flushes immediately: coalescing never adds latency.
 type tcpConn struct {
-	c  net.Conn
-	wm sync.Mutex // serializes frame writes
+	c       net.Conn
+	bw      *bufio.Writer
+	wm      sync.Mutex // serializes frame writes and flushes
+	waiters atomic.Int32
+	werr    error // sticky first write error, guarded by wm
+}
+
+// writeFrame appends one encoded frame and flushes unless another
+// sender is already waiting to append more.
+func (tc *tcpConn) writeFrame(frame []byte) error {
+	tc.waiters.Add(1)
+	tc.wm.Lock()
+	tc.waiters.Add(-1)
+	if tc.werr != nil {
+		err := tc.werr
+		tc.wm.Unlock()
+		return err
+	}
+	_, err := tc.bw.Write(frame)
+	if err == nil && tc.waiters.Load() == 0 {
+		err = tc.bw.Flush()
+	}
+	if err != nil {
+		tc.werr = err
+	}
+	tc.wm.Unlock()
+	return err
 }
 
 func (t *tcpTransport) addr() string { return t.address }
@@ -71,8 +109,11 @@ func (t *tcpTransport) acceptLoop() {
 
 func (t *tcpTransport) readLoop(conn net.Conn) {
 	defer conn.Close()
+	// The frame body scratch is per-connection and grows to the
+	// largest frame seen; message decode copies what it keeps.
+	var scratch []byte
 	for {
-		m, err := readFrame(conn)
+		m, err := readFrame(conn, &scratch)
 		if err != nil {
 			return
 		}
@@ -94,7 +135,7 @@ func (t *tcpTransport) getConn(dst string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, dst, err)
 	}
-	tc := &tcpConn{c: conn}
+	tc := &tcpConn{c: conn, bw: bufio.NewWriterSize(conn, tcpWriteBuffer)}
 	t.conns[dst] = tc
 	// Responses to our outbound requests come back on this same
 	// connection; read them.
@@ -107,8 +148,9 @@ func (t *tcpTransport) getConn(dst string) (*tcpConn, error) {
 			t.mu.Unlock()
 			conn.Close()
 		}()
+		var scratch []byte
 		for {
-			m, err := readFrame(conn)
+			m, err := readFrame(conn, &scratch)
 			if err != nil {
 				return
 			}
@@ -128,7 +170,17 @@ func (t *tcpTransport) send(ctx context.Context, dst string, m *message) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(tc, m); err != nil {
+	// Serialize header + body into one pooled buffer so each frame is
+	// a single buffered write: a 4-byte little-endian length prefix
+	// followed by the encoded message.
+	enc := codec.GetEncoder()
+	enc.Uint32(0) // length placeholder
+	m.MarshalMochi(enc)
+	frame := enc.Bytes()
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	err = tc.writeFrame(frame)
+	codec.PutEncoder(enc)
+	if err != nil {
 		// Connection broke: forget it so the next send redials.
 		t.mu.Lock()
 		if t.conns[dst] == tc {
@@ -156,22 +208,9 @@ func (t *tcpTransport) close() error {
 	return nil
 }
 
-func writeFrame(tc *tcpConn, m *message) error {
-	enc := codec.NewEncoder(nil)
-	m.MarshalMochi(enc)
-	body := enc.Bytes()
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
-	tc.wm.Lock()
-	defer tc.wm.Unlock()
-	if _, err := tc.c.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := tc.c.Write(body)
-	return err
-}
-
-func readFrame(r io.Reader) (*message, error) {
+// readFrame reads one length-prefixed frame into *scratch (grown as
+// needed, reused across frames) and decodes it into a pooled message.
+func readFrame(r io.Reader, scratch *[]byte) (*message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -180,13 +219,22 @@ func readFrame(r io.Reader) (*message, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("mercury: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
+	if uint32(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	body := (*scratch)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
-	var m message
-	if err := codec.Unmarshal(body, &m); err != nil {
+	m := getMessage()
+	d := codec.GetDecoder(body)
+	m.UnmarshalMochi(d)
+	err := d.Finish()
+	codec.PutDecoder(d)
+	if err != nil {
+		m.releasePayload()
+		putMessage(m)
 		return nil, err
 	}
-	return &m, nil
+	return m, nil
 }

@@ -52,12 +52,19 @@ func replyErr(status uint8, msg string) error {
 	}
 }
 
+// forward marshals m into a pooled encoder and sends the RPC. Forward
+// borrows the input only for the duration of the call and the reply is
+// a fresh caller-owned buffer, so the encode buffer is reused across
+// Put/Get calls instead of being allocated per operation.
 func (h *DatabaseHandle) forward(ctx context.Context, rpc string, m codec.Marshaler) ([]byte, error) {
-	var in []byte
-	if m != nil {
-		in = codec.Marshal(m)
+	if m == nil {
+		return h.client.inst.ForwardProvider(ctx, h.addr, rpc, h.provider, nil)
 	}
-	return h.client.inst.ForwardProvider(ctx, h.addr, rpc, h.provider, in)
+	e := codec.GetEncoder()
+	m.MarshalMochi(e)
+	out, err := h.client.inst.ForwardProvider(ctx, h.addr, rpc, h.provider, e.Bytes())
+	codec.PutEncoder(e)
+	return out, err
 }
 
 // Put stores one pair.

@@ -163,6 +163,17 @@ func statusFromErr(err error) (uint8, string) {
 	}
 }
 
+// respondReply marshals reply through a pooled encoder and sends it.
+// Respond borrows the encoded bytes only for the duration of the call,
+// so the buffer goes straight back to the pool: the steady-state
+// response path does not allocate a marshal buffer per RPC.
+func respondReply(h *mercury.Handle, reply codec.Marshaler) {
+	e := codec.GetEncoder()
+	reply.MarshalMochi(e)
+	_ = h.Respond(e.Bytes())
+	codec.PutEncoder(e)
+}
+
 func (p *Provider) database() (Database, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -187,7 +198,7 @@ func (p *Provider) handlePut(_ context.Context, h *mercury.Handle) {
 		}
 	}
 	st, msg := statusFromErr(err)
-	_ = h.Respond(codec.Marshal(&statusReply{Status: st, Err: msg}))
+	respondReply(h, &statusReply{Status: st, Err: msg})
 }
 
 func (p *Provider) handleGet(_ context.Context, h *mercury.Handle) {
@@ -206,7 +217,7 @@ func (p *Provider) handleGet(_ context.Context, h *mercury.Handle) {
 		}
 	}
 	reply.Status, reply.Err = statusFromErr(err)
-	_ = h.Respond(codec.Marshal(&reply))
+	respondReply(h, &reply)
 }
 
 func (p *Provider) handleGetMulti(_ context.Context, h *mercury.Handle) {
@@ -236,7 +247,7 @@ func (p *Provider) handleGetMulti(_ context.Context, h *mercury.Handle) {
 		}
 	}
 	reply.Status, reply.Err = statusFromErr(err)
-	_ = h.Respond(codec.Marshal(&reply))
+	respondReply(h, &reply)
 }
 
 func (p *Provider) handleErase(_ context.Context, h *mercury.Handle) {
@@ -254,7 +265,7 @@ func (p *Provider) handleErase(_ context.Context, h *mercury.Handle) {
 		}
 	}
 	st, msg := statusFromErr(err)
-	_ = h.Respond(codec.Marshal(&statusReply{Status: st, Err: msg}))
+	respondReply(h, &statusReply{Status: st, Err: msg})
 }
 
 func (p *Provider) handleExists(_ context.Context, h *mercury.Handle) {
@@ -273,7 +284,7 @@ func (p *Provider) handleExists(_ context.Context, h *mercury.Handle) {
 		}
 	}
 	reply.Status, reply.Err = statusFromErr(err)
-	_ = h.Respond(codec.Marshal(&reply))
+	respondReply(h, &reply)
 }
 
 func (p *Provider) handleCount(_ context.Context, h *mercury.Handle) {
@@ -285,7 +296,7 @@ func (p *Provider) handleCount(_ context.Context, h *mercury.Handle) {
 		reply.Count = uint64(n)
 	}
 	reply.Status, reply.Err = statusFromErr(err)
-	_ = h.Respond(codec.Marshal(&reply))
+	respondReply(h, &reply)
 }
 
 func (p *Provider) handleListKeys(_ context.Context, h *mercury.Handle) {
@@ -308,7 +319,7 @@ func (p *Provider) handleListKeys(_ context.Context, h *mercury.Handle) {
 		}
 	}
 	reply.Status, reply.Err = statusFromErr(err)
-	_ = h.Respond(codec.Marshal(&reply))
+	respondReply(h, &reply)
 }
 
 func (p *Provider) handleListKeyValues(_ context.Context, h *mercury.Handle) {
@@ -327,7 +338,7 @@ func (p *Provider) handleListKeyValues(_ context.Context, h *mercury.Handle) {
 		reply.Pairs, err = db.ListKeyValues(from, args.Prefix, int(args.Max))
 	}
 	reply.Status, reply.Err = statusFromErr(err)
-	_ = h.Respond(codec.Marshal(&reply))
+	respondReply(h, &reply)
 }
 
 func (p *Provider) handleGetConfig(_ context.Context, h *mercury.Handle) {

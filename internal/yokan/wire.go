@@ -18,6 +18,14 @@ const (
 
 // Wire message types. Status codes: 0 OK, 1 key-not-found, 2 other
 // error (message in Err).
+//
+// Decode ownership differs by direction (DESIGN.md "Hot-path memory
+// discipline"): argument types are decoded server-side from a request
+// buffer that mercury recycles when the handler responds, and the
+// database may retain keys/values indefinitely, so they copy every
+// byte slice. Reply types are decoded client-side from the Forward
+// result, which the caller owns and never recycles, so they alias the
+// reply buffer instead of copying.
 
 type putArgs struct {
 	Pairs []KeyValue
@@ -123,7 +131,7 @@ func (r *valueReply) MarshalMochi(e *codec.Encoder) {
 func (r *valueReply) UnmarshalMochi(d *codec.Decoder) {
 	r.Status = d.Uint8()
 	r.Err = d.String()
-	r.Value = append([]byte(nil), d.BytesField()...)
+	r.Value = d.BytesField()
 }
 
 type valuesReply struct {
@@ -155,7 +163,7 @@ func (r *valuesReply) UnmarshalMochi(d *codec.Decoder) {
 	r.Values = make([][]byte, 0, n)
 	for i := uint64(0); i < n; i++ {
 		r.Found = append(r.Found, d.Bool())
-		r.Values = append(r.Values, append([]byte(nil), d.BytesField()...))
+		r.Values = append(r.Values, d.BytesField())
 		if d.Err() != nil {
 			return
 		}
@@ -223,8 +231,8 @@ func (r *kvListReply) UnmarshalMochi(d *codec.Decoder) {
 	}
 	r.Pairs = make([]KeyValue, 0, n)
 	for i := uint64(0); i < n; i++ {
-		k := append([]byte(nil), d.BytesField()...)
-		v := append([]byte(nil), d.BytesField()...)
+		k := d.BytesField()
+		v := d.BytesField()
 		if d.Err() != nil {
 			return
 		}
