@@ -31,7 +31,8 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Allocation regression gate for the RPC hot path: fails if the pinned
-# AllocsPerRun budgets (codec round trip == 0, sm forward <= 2) regress.
+# AllocsPerRun budgets (codec round trip == 0, sm forward <= 2, and the
+# traced-but-unsampled forward <= 2 with tracers installed) regress.
 # Also prints the -benchmem numbers for the same paths for context.
 bench-alloc:
 	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/

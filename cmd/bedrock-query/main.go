@@ -9,6 +9,7 @@
 //	echo '<script>' | bedrock-query -addr tcp://... -script -
 //	bedrock-query -addr tcp://... -stats                            # Listing-1 JSON
 //	bedrock-query -addr tcp://... -metrics                          # Prometheus text
+//	bedrock-query -addr tcp://... -traces                           # Chrome trace JSON
 //	bedrock-query -addr tcp://... -shutdown
 package main
 
@@ -19,11 +20,14 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"mochi/internal/bedrock"
 	"mochi/internal/margo"
 	"mochi/internal/mercury"
+	"mochi/internal/trace"
 )
 
 func main() {
@@ -31,21 +35,31 @@ func main() {
 	script := flag.String("script", "", "Jx9 query to run ('-' reads stdin); empty prints the full config")
 	stats := flag.Bool("stats", false, "print the process's monitoring statistics (Listing 1 JSON)")
 	metricsFlag := flag.Bool("metrics", false, "print the process's metrics in Prometheus text format")
+	tracesFlag := flag.Bool("traces", false, "print the process's buffered trace spans as a Chrome trace-event document")
 	shutdown := flag.Bool("shutdown", false, "ask the process to shut down")
 	token := flag.String("token", "", "authentication token, for processes configured with auth_secret")
-	timeout := flag.Duration("timeout", 10*time.Second, "RPC timeout")
+	timeout := flag.Duration("timeout", 10*time.Second, "RPC timeout, including connection establishment")
 	flag.Parse()
 	if *addr == "" {
 		log.Fatal("bedrock-query: -addr is required")
 	}
-	// -shutdown would race the read: the process may be gone before the
-	// stats/metrics RPC lands. Refuse the ambiguous combination.
-	if *shutdown && (*stats || *metricsFlag) {
-		fmt.Fprintln(os.Stderr, "bedrock-query: -shutdown cannot be combined with -stats or -metrics; read first, then shut down")
-		os.Exit(2)
+	// The mode flags each claim stdout for a different document, and
+	// -shutdown would race any read (the process may be gone before the
+	// other RPC lands). Refuse ambiguous combinations, naming them.
+	var modes []string
+	for name, set := range map[string]bool{
+		"-stats":    *stats,
+		"-metrics":  *metricsFlag,
+		"-traces":   *tracesFlag,
+		"-shutdown": *shutdown,
+	} {
+		if set {
+			modes = append(modes, name)
+		}
 	}
-	if *stats && *metricsFlag {
-		fmt.Fprintln(os.Stderr, "bedrock-query: -stats and -metrics are mutually exclusive")
+	if len(modes) > 1 {
+		sort.Strings(modes)
+		fmt.Fprintf(os.Stderr, "bedrock-query: %s are mutually exclusive; pick one (read before shutting down)\n", strings.Join(modes, ", "))
 		os.Exit(2)
 	}
 
@@ -81,6 +95,15 @@ func main() {
 			log.Fatalf("bedrock-query: %v", err)
 		}
 		fmt.Print(text)
+	case *tracesFlag:
+		spans, _, err := sh.GetTraces(ctx)
+		if err != nil {
+			log.Fatalf("bedrock-query: %v", err)
+		}
+		if err := trace.WriteChrome(os.Stdout, spans); err != nil {
+			log.Fatalf("bedrock-query: %v", err)
+		}
+		fmt.Println()
 	case *shutdown:
 		if err := sh.Shutdown(ctx); err != nil {
 			log.Fatalf("bedrock-query: %v", err)

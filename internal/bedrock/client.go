@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"mochi/internal/margo"
+	"mochi/internal/trace"
 )
 
 // Client creates service handles to remote bedrock processes
@@ -189,6 +190,22 @@ func (sh *ServiceHandle) GetMetrics(ctx context.Context) (string, error) {
 		return "", fmt.Errorf("bedrock: bad metrics reply: %w", err)
 	}
 	return text, nil
+}
+
+// GetTraces fetches the remote process's buffered trace spans (oldest
+// first) along with the raw JSON reply. Render spans — possibly merged
+// from several processes — with trace.ChromeJSON for Perfetto or
+// about://tracing.
+func (sh *ServiceHandle) GetTraces(ctx context.Context) ([]trace.Span, []byte, error) {
+	raw, err := sh.call(ctx, rpcGetTraces, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	var spans []trace.Span
+	if err := json.Unmarshal(raw, &spans); err != nil {
+		return nil, nil, fmt.Errorf("bedrock: bad traces reply: %w", err)
+	}
+	return spans, raw, nil
 }
 
 // Shutdown asks the remote process to shut down.

@@ -46,9 +46,21 @@ type Config struct {
 type MonitoringConfig struct {
 	// HTTPAddress, when set (host:port; port 0 picks a free one),
 	// starts an embedded HTTP listener serving GET /metrics (Prometheus
-	// text format) and GET /healthz, so operators and rebalancers can
-	// scrape the process continuously.
+	// text format), GET /traces (Chrome trace-event JSON), and
+	// GET /healthz, so operators and rebalancers can scrape the process
+	// continuously.
 	HTTPAddress string `json:"http_address,omitempty"`
+	// TraceSampleRate is the head-sampling probability in [0, 1] for
+	// new traces rooted at this process (0, the default, disables head
+	// sampling; spans can still be captured by the tail sampler).
+	TraceSampleRate float64 `json:"trace_sample_rate,omitempty"`
+	// TraceSlowMS tunes the always-on slow-RPC tail sampler's latency
+	// threshold in milliseconds. 0 keeps the default (1000 ms);
+	// a negative value disables tail sampling.
+	TraceSlowMS int `json:"trace_slow_ms,omitempty"`
+	// TraceBufferSize bounds the in-memory span ring (default 4096
+	// spans); the oldest spans are evicted on overflow.
+	TraceBufferSize int `json:"trace_buffer_size,omitempty"`
 }
 
 // ParseConfig decodes a process description. The input is either a

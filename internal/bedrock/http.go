@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mochi/internal/metrics"
+	"mochi/internal/trace"
 )
 
 // startMonitoringHTTP binds the embedded metrics listener. The mercury
@@ -23,6 +24,10 @@ func (s *Server) startMonitoringHTTP(addr string) error {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", metrics.PrometheusContentType)
 		_ = s.inst.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChrome(w, s.inst.Tracer().Spans())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

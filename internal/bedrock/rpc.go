@@ -95,6 +95,7 @@ func (s *Server) registerRPCs() error {
 		{rpcShutdown, s.rpcShutdown},
 		{rpcGetStats, s.rpcGetStats},
 		{rpcGetMetrics, s.rpcGetMetrics},
+		{rpcGetTraces, s.rpcGetTraces},
 	}
 	for _, e := range entries {
 		if _, err := s.inst.Register(e.name, e.fn); err != nil {
@@ -221,7 +222,10 @@ func (s *Server) rpcMigrate(ctx context.Context, h *mercury.Handle) {
 	case "chunked":
 		method = remi.MethodChunked
 	}
-	mctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	// Derive from the handler context (not Background) so the trace
+	// context propagates into the REMI migration's nested forwards and
+	// bulk transfers — a migration shows up as one tree.
+	mctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
 	defer cancel()
 	if err := s.MigrateProvider(mctx, args.Name, args.DestAddr, args.DestRemiID, method, args.RemoveSource); err != nil {
 		respondErr(h, err)
@@ -323,6 +327,14 @@ func (s *Server) rpcGetStats(_ context.Context, h *mercury.Handle) {
 // listener configured.
 func (s *Server) rpcGetMetrics(_ context.Context, h *mercury.Handle) {
 	respondOK(h, mustJSON(string(s.inst.Metrics().PrometheusText())))
+}
+
+// rpcGetTraces returns the buffered spans of this process's trace
+// ring, oldest first — the RPC twin of the /traces HTTP endpoint.
+// Callers merge spans from several processes and render them with
+// trace.ChromeJSON (`bedrock-query -traces` does exactly that).
+func (s *Server) rpcGetTraces(_ context.Context, h *mercury.Handle) {
+	respondOK(h, mustJSON(s.inst.Tracer().Spans()))
 }
 
 // Ensure argobots types stay referenced (pool configs travel as raw

@@ -10,12 +10,14 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"mochi/internal/argobots"
 	"mochi/internal/jx9"
 	"mochi/internal/margo"
 	"mochi/internal/mercury"
 	"mochi/internal/remi"
+	"mochi/internal/trace"
 )
 
 // osStat is indirected for tests.
@@ -40,6 +42,7 @@ const (
 	rpcShutdown      = "bedrock_shutdown"
 	rpcGetStats      = "bedrock_get_stats"
 	rpcGetMetrics    = "bedrock_get_metrics"
+	rpcGetTraces     = "bedrock_get_traces"
 )
 
 type providerRecord struct {
@@ -69,8 +72,8 @@ type Server struct {
 	shutdownCh chan struct{}
 	once       sync.Once
 
-	// Embedded monitoring HTTP listener (/metrics, /healthz), present
-	// when the config's "monitoring" block sets http_address.
+	// Embedded monitoring HTTP listener (/metrics, /traces, /healthz),
+	// present when the config's "monitoring" block sets http_address.
 	httpLn  net.Listener
 	httpSrv *http.Server
 }
@@ -129,13 +132,31 @@ func NewServer(class *mercury.Class, raw []byte) (*Server, error) {
 		s.Shutdown()
 		return nil, err
 	}
-	if cfg.Monitoring != nil && cfg.Monitoring.HTTPAddress != "" {
-		if err := s.startMonitoringHTTP(cfg.Monitoring.HTTPAddress); err != nil {
-			s.Shutdown()
-			return nil, err
+	if cfg.Monitoring != nil {
+		applyTraceConfig(inst.Tracer(), cfg.Monitoring)
+		if cfg.Monitoring.HTTPAddress != "" {
+			if err := s.startMonitoringHTTP(cfg.Monitoring.HTTPAddress); err != nil {
+				s.Shutdown()
+				return nil, err
+			}
 		}
 	}
 	return s, nil
+}
+
+// applyTraceConfig tunes the instance tracer from the monitoring
+// block: head-sampling rate, tail-sampler threshold (0 keeps the
+// default, negative disables), and span ring capacity.
+func applyTraceConfig(tr *trace.Tracer, mc *MonitoringConfig) {
+	if mc.TraceSampleRate > 0 {
+		tr.SetSampleRate(mc.TraceSampleRate)
+	}
+	if mc.TraceSlowMS != 0 {
+		tr.SetSlowThreshold(time.Duration(mc.TraceSlowMS) * time.Millisecond)
+	}
+	if mc.TraceBufferSize > 0 {
+		tr.SetCapacity(mc.TraceBufferSize)
+	}
 }
 
 // Instance returns the server's margo instance.

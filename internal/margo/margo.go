@@ -28,6 +28,7 @@ import (
 	"mochi/internal/clock"
 	"mochi/internal/mercury"
 	"mochi/internal/metrics"
+	"mochi/internal/trace"
 )
 
 // Errors specific to the margo layer.
@@ -62,6 +63,7 @@ type Instance struct {
 
 	monitor *Monitor
 	metrics *instMetrics
+	tracer  *trace.Tracer
 	hooks   hookSet
 }
 
@@ -112,6 +114,15 @@ func NewWithClock(class *mercury.Class, rawConfig []byte, clk clock.Clock) (*Ins
 	inst.hooks.add(inst.metrics.hook())
 	rt.RegisterMetrics(reg)
 	class.SetMetrics(reg)
+
+	// Tracing is always wired (head sampling defaults to off, tail
+	// sampling to the slow-RPC threshold); the bedrock monitoring block
+	// tunes rates via Tracer(). Installing the tracer on the class lets
+	// bulk transfers issued from handlers record phase spans in the
+	// same ring.
+	inst.tracer = trace.NewTracer(trace.DefaultCapacity)
+	inst.tracer.SetProcess(class.Addr())
+	class.SetTracer(inst.tracer)
 
 	sample := time.Duration(cfg.MonitoringSampleMS) * time.Millisecond
 	if sample <= 0 {
@@ -200,6 +211,7 @@ type dispatchTask struct {
 	h        Handler
 	hd       *mercury.Handle
 	info     RPCInfo
+	tc       trace.SpanContext
 	queuedAt time.Time
 	run      argobots.ULT
 }
@@ -217,14 +229,72 @@ func init() {
 }
 
 func (t *dispatchTask) exec() {
-	m, h, hd, info, queuedAt := t.m, t.h, t.hd, t.info, t.queuedAt
+	m, h, hd, info, tc, queuedAt := t.m, t.h, t.hd, t.info, t.tc, t.queuedAt
 	*t = dispatchTask{run: t.run}
 	dispatchTaskPool.Put(t)
 	started := m.clk.Now()
-	m.hooks.onHandlerStart(info, started.Sub(queuedAt))
-	ctx := withCurrentRPC(context.Background(), info)
+	queueWait := started.Sub(queuedAt)
+	m.hooks.onHandlerStart(info, queueWait)
+	// Server-side span lifecycle: a server span covering queue wait +
+	// handler runtime, with queue and handler phase children. The
+	// handler span's ID rides in the handler context so nested
+	// forwards and bulk transfers become its children. Spans are kept
+	// as stack values until the commit decision at the end — head
+	// sampling commits always, tail sampling commits only if the RPC
+	// turned out slow (children committed themselves under the same
+	// rule, so slow trees stay connected).
+	tr := m.tracer
+	base := context.Background()
+	var serverSpan, handlerSpan trace.ID
+	record := tc.Valid() && (tc.Sampled() || tr.TailEnabled())
+	if record {
+		serverSpan = tr.NewID()
+		handlerSpan = tr.NewID()
+		base = trace.NewContext(base, trace.SpanContext{
+			TraceID: tc.TraceID,
+			Parent:  handlerSpan,
+			Flags:   tc.Flags,
+		})
+	}
+	ctx := withCurrentRPC(base, info)
 	h(ctx, hd)
-	m.hooks.onHandlerEnd(info, m.clk.Since(started))
+	ran := m.clk.Since(started)
+	m.hooks.onHandlerEnd(info, ran)
+	if record && (tc.Sampled() || tr.Slow(queueWait+ran)) {
+		tail := !tc.Sampled()
+		tr.Commit(trace.Span{
+			TraceID:  tc.TraceID,
+			SpanID:   serverSpan,
+			Parent:   tc.Parent,
+			Name:     info.Name,
+			Kind:     trace.KindServer,
+			Peer:     info.Peer,
+			Start:    queuedAt.UnixNano(),
+			Duration: int64(queueWait + ran),
+			Bytes:    int64(info.Bytes),
+			Tail:     tail,
+		})
+		tr.Commit(trace.Span{
+			TraceID:  tc.TraceID,
+			SpanID:   tr.NewID(),
+			Parent:   serverSpan,
+			Name:     "queue",
+			Kind:     trace.KindQueue,
+			Start:    queuedAt.UnixNano(),
+			Duration: int64(queueWait),
+			Tail:     tail,
+		})
+		tr.Commit(trace.Span{
+			TraceID:  tc.TraceID,
+			SpanID:   handlerSpan,
+			Parent:   serverSpan,
+			Name:     "handler",
+			Kind:     trace.KindHandler,
+			Start:    started.UnixNano(),
+			Duration: int64(ran),
+			Tail:     tail,
+		})
+	}
 }
 
 // dispatch submits the handler as a ULT, recording queueing and
@@ -242,6 +312,9 @@ func (m *Instance) dispatch(pool *argobots.Pool, h Handler, hd *mercury.Handle) 
 	// Parent RPC propagation: the wire does not carry parent IDs in
 	// this reproduction, so the target side records the paper's 65535
 	// "no parent" sentinel unless set by nesting within this process.
+	// (Trace context, by contrast, does travel on the wire; capture it
+	// before the handle can be released.)
+	t.tc = hd.Trace()
 	t.queuedAt = m.clk.Now()
 	m.hooks.onHandlerQueued(t.info)
 	if err := pool.Submit(t.run); err != nil {
@@ -275,10 +348,45 @@ func (m *Instance) ForwardProvider(ctx context.Context, dst string, name string,
 		info.ParentID = mercury.RPCID(noParent32)
 		info.ParentProvider = noParent16
 	}
+	// Client span: every forward carries a trace context on the wire —
+	// a fresh root (head-sample decision taken here) when the caller's
+	// ctx has none, a child of the surrounding handler span otherwise.
+	// IDs are generated even for unsampled traces (two atomic ops) so
+	// that spans tail-sampled independently on different hops of one
+	// slow request still share a trace ID.
+	tr := m.tracer
+	clientSpan := tr.NewID()
+	var parentSpan trace.ID
+	var tc trace.SpanContext
+	if psc, ok := trace.FromContext(ctx); ok && psc.Valid() {
+		parentSpan = psc.Parent
+		tc = trace.SpanContext{TraceID: psc.TraceID, Parent: clientSpan, Flags: psc.Flags}
+	} else {
+		tc = trace.SpanContext{TraceID: tr.NewID(), Parent: clientSpan}
+		if tr.SampleHead() {
+			tc.Flags = trace.FlagSampled
+		}
+	}
 	start := m.clk.Now()
 	m.hooks.onForwardStart(info)
-	out, err := m.class.ForwardProvider(ctx, dst, info.ID, provider, input)
-	m.hooks.onForwardEnd(info, m.clk.Since(start), err)
+	out, err := m.class.ForwardProviderTrace(ctx, dst, info.ID, provider, input, tc)
+	d := m.clk.Since(start)
+	m.hooks.onForwardEnd(info, d, err)
+	if tc.Sampled() || tr.Slow(d) {
+		tr.Commit(trace.Span{
+			TraceID:  tc.TraceID,
+			SpanID:   clientSpan,
+			Parent:   parentSpan,
+			Name:     name,
+			Kind:     trace.KindClient,
+			Peer:     dst,
+			Start:    start.UnixNano(),
+			Duration: int64(d),
+			Bytes:    int64(len(input)),
+			Err:      err != nil,
+			Tail:     !tc.Sampled(),
+		})
+	}
 	return out, err
 }
 
@@ -352,6 +460,11 @@ func (m *Instance) DisableMonitoring() {
 func (m *Instance) Stats() *StatsSnapshot {
 	return m.monitor.snapshot()
 }
+
+// Tracer returns the instance's span sink and sampling configuration.
+// It is always non-nil; head sampling defaults to off and tail
+// sampling to trace.DefaultSlowThreshold.
+func (m *Instance) Tracer() *trace.Tracer { return m.tracer }
 
 // AddHook injects user callbacks at the monitoring points (§4 "inject
 // callbacks to be invoked at various points in the lifetime of an

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"testing"
+
+	"mochi/internal/trace"
 )
 
 // TestForwardAllocsPinned is the regression gate for the zero-allocation
@@ -52,6 +54,66 @@ func TestForwardAllocsPinned(t *testing.T) {
 	})
 	if avg > 2 {
 		t.Fatalf("sm-fabric forward allocates %.2f times per op, pinned at <= 2", avg)
+	}
+}
+
+// TestForwardTracedUnsampledAllocsPinned is the same gate with tracing
+// compiled in and active on both ends: tracers installed, a valid but
+// unsampled trace context riding the envelope, tail sampling at its
+// default threshold, and a span context in the caller's ctx (the shape
+// of a nested forward from a handler). The trace fields live in the
+// pooled message and handle, the sampler decision is an atomic read,
+// and no span is committed — so the budget stays the same ≤ 2.
+func TestForwardTracedUnsampledAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc pinning is meaningless under the race detector")
+	}
+	fabric := NewFabric()
+	a, err := fabric.NewClass("alloc-ta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fabric.NewClass("alloc-tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	ta := trace.NewTracer(64)
+	tb := trace.NewTracer(64)
+	a.SetTracer(ta)
+	b.SetTracer(tb)
+
+	reply := []byte("pong-payload-323232")
+	id := b.Register("ping", func(h *Handle) {
+		if !h.Trace().Valid() || h.Trace().Sampled() {
+			panic("trace context lost or unexpectedly sampled")
+		}
+		_ = h.Respond(reply)
+	})
+	payload := []byte("ping-payload-161616")
+	tc := trace.SpanContext{TraceID: ta.NewID(), Parent: ta.NewID()} // unsampled
+	ctx := trace.NewContext(context.Background(), tc)
+
+	for i := 0; i < 50; i++ {
+		if _, err := a.ForwardProviderTrace(ctx, b.Addr(), id, AnyProvider, payload, tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(300, func() {
+		out, err := a.ForwardProviderTrace(ctx, b.Addr(), id, AnyProvider, payload, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(reply) {
+			t.Fatalf("bad reply: %q", out)
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("traced-unsampled forward allocates %.2f times per op, pinned at <= 2", avg)
+	}
+	if ta.Len() != 0 || tb.Len() != 0 {
+		t.Fatalf("unsampled fast-path traffic committed spans: %d/%d", ta.Len(), tb.Len())
 	}
 }
 

@@ -123,6 +123,15 @@ func (c *Class) bulkByID(id uint64) *Bulk {
 // cost plus size/bandwidth, regardless of size — the property that
 // makes RDMA preferable to chunked RPCs for large payloads.
 func (c *Class) BulkTransfer(ctx context.Context, op BulkOp, desc BulkDescriptor, remoteOff uint64, local *Bulk, localOff uint64, size uint64) error {
+	if tr, sc, start, ok := c.bulkSpanStart(ctx); ok {
+		err := c.bulkTransfer(ctx, op, desc, remoteOff, local, localOff, size)
+		c.bulkSpanEnd(tr, sc, start, op, desc.Addr, size, err)
+		return err
+	}
+	return c.bulkTransfer(ctx, op, desc, remoteOff, local, localOff, size)
+}
+
+func (c *Class) bulkTransfer(ctx context.Context, op BulkOp, desc BulkDescriptor, remoteOff uint64, local *Bulk, localOff uint64, size uint64) error {
 	if local == nil || local.class != c {
 		return fmt.Errorf("%w: local bulk not registered on this class", ErrBadBulk)
 	}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"mochi/internal/codec"
+	"mochi/internal/trace"
 )
 
 // Errors returned by the RPC layer.
@@ -109,6 +110,14 @@ type message struct {
 	bulkID  uint64
 	bulkOff uint64
 	bulkLen uint64
+	// trace context: set on requests whose origin propagates a trace,
+	// zero otherwise (and on responses — the client span is measured at
+	// the origin, so nothing needs to travel back). The fields live in
+	// the pooled message rather than a side allocation so carrying a
+	// trace costs the hot path nothing.
+	traceID   uint64
+	traceSpan uint64
+	traceFlag uint8
 }
 
 // msgPool recycles message structs across the send and receive paths.
@@ -148,6 +157,9 @@ func (m *message) MarshalMochi(e *codec.Encoder) {
 	e.Uint64(m.bulkID)
 	e.Uint64(m.bulkOff)
 	e.Uint64(m.bulkLen)
+	e.Uint64(m.traceID)
+	e.Uint64(m.traceSpan)
+	e.Uint8(m.traceFlag)
 }
 
 func (m *message) UnmarshalMochi(d *codec.Decoder) {
@@ -172,6 +184,9 @@ func (m *message) UnmarshalMochi(d *codec.Decoder) {
 	m.bulkID = d.Uint64()
 	m.bulkOff = d.Uint64()
 	m.bulkLen = d.Uint64()
+	m.traceID = d.Uint64()
+	m.traceSpan = d.Uint64()
+	m.traceFlag = d.Uint8()
 }
 
 // pendingTable maps in-flight sequence numbers to reply channels. It
@@ -272,6 +287,7 @@ type Class struct {
 
 	monitor   atomic.Pointer[monitorHolder]
 	bulkBytes atomic.Pointer[bulkMetrics]
+	tracer    atomic.Pointer[trace.Tracer]
 
 	authMu      sync.RWMutex
 	auth        authState
@@ -396,6 +412,18 @@ func (c *Class) Forward(ctx context.Context, dst string, id RPCID, input []byte)
 // input is borrowed for the duration of the call only; the returned
 // payload is owned by the caller.
 func (c *Class) ForwardProvider(ctx context.Context, dst string, id RPCID, provider uint16, input []byte) ([]byte, error) {
+	return c.forwardProvider(ctx, dst, id, provider, input, trace.SpanContext{})
+}
+
+// ForwardProviderTrace is ForwardProvider with an explicit trace
+// context stamped into the request envelope; the remote handler sees
+// it via Handle.Trace. A zero SpanContext sends no trace. The margo
+// layer uses this to propagate spans across hops.
+func (c *Class) ForwardProviderTrace(ctx context.Context, dst string, id RPCID, provider uint16, input []byte, tc trace.SpanContext) ([]byte, error) {
+	return c.forwardProvider(ctx, dst, id, provider, input, tc)
+}
+
+func (c *Class) forwardProvider(ctx context.Context, dst string, id RPCID, provider uint16, input []byte, tc trace.SpanContext) ([]byte, error) {
 	c.mu.RLock()
 	closed := c.closed
 	c.mu.RUnlock()
@@ -414,6 +442,9 @@ func (c *Class) ForwardProvider(ctx context.Context, dst string, id RPCID, provi
 	req.src = c.Addr()
 	req.auth = c.outgoingToken()
 	req.payload = input
+	req.traceID = uint64(tc.TraceID)
+	req.traceSpan = uint64(tc.Parent)
+	req.traceFlag = tc.Flags
 	if m := c.mon(); m != nil {
 		m.SentRequest(id, provider, dst, len(input))
 	}
@@ -579,6 +610,9 @@ func (c *Class) handleRequest(m *message) {
 	h.seq = m.seq
 	h.input = m.payload
 	h.inputPooled = m.payloadPooled
+	h.traceID = m.traceID
+	h.traceSpan = m.traceSpan
+	h.traceFlag = m.traceFlag
 	// The handle now owns the payload; the message shell goes back.
 	m.payload = nil
 	m.payloadPooled = false
@@ -600,6 +634,9 @@ type Handle struct {
 	seq         uint64
 	input       []byte
 	inputPooled bool
+	traceID     uint64
+	traceSpan   uint64
+	traceFlag   uint8
 	responded   atomic.Bool
 }
 
@@ -627,6 +664,9 @@ func (h *Handle) release() {
 	h.id = 0
 	h.provider = 0
 	h.seq = 0
+	h.traceID = 0
+	h.traceSpan = 0
+	h.traceFlag = 0
 	handlePool.Put(h)
 }
 
@@ -648,6 +688,17 @@ func (h *Handle) Input() []byte { return h.input }
 // Class returns the local class, so handlers can issue further RPCs or
 // bulk transfers.
 func (h *Handle) Class() *Class { return h.class }
+
+// Trace returns the trace context the caller propagated with this
+// request (zero, i.e. !Valid(), when the caller sent none). Like the
+// rest of the handle it is only meaningful until Respond/RespondError.
+func (h *Handle) Trace() trace.SpanContext {
+	return trace.SpanContext{
+		TraceID: trace.ID(h.traceID),
+		Parent:  trace.ID(h.traceSpan),
+		Flags:   h.traceFlag,
+	}
+}
 
 // Respond sends the RPC's output back to the caller. output is
 // borrowed for the duration of the call (transports copy or serialize

@@ -121,7 +121,7 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 	}
 }
 
-func (t *tcpTransport) getConn(dst string) (*tcpConn, error) {
+func (t *tcpTransport) getConn(ctx context.Context, dst string) (*tcpConn, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if c, ok := t.conns[dst]; ok {
@@ -131,7 +131,10 @@ func (t *tcpTransport) getConn(dst string) (*tcpConn, error) {
 	if len(dst) > 6 && dst[:6] == "tcp://" {
 		host = dst[6:]
 	}
-	conn, err := net.Dial("tcp", host)
+	// Dial under the caller's context so a Forward deadline bounds
+	// connection establishment, not just the wait for the response.
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", host)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, dst, err)
 	}
@@ -166,7 +169,7 @@ func (t *tcpTransport) send(ctx context.Context, dst string, m *message) error {
 		return ErrClassClosed
 	default:
 	}
-	tc, err := t.getConn(dst)
+	tc, err := t.getConn(ctx, dst)
 	if err != nil {
 		return err
 	}
@@ -190,7 +193,6 @@ func (t *tcpTransport) send(ctx context.Context, dst string, m *message) error {
 		tc.c.Close()
 		return fmt.Errorf("%w: %s (%v)", ErrUnreachable, dst, err)
 	}
-	_ = ctx
 	return nil
 }
 

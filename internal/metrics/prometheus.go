@@ -144,3 +144,37 @@ func escapeHelp(s string) string { return helpEscaper.Replace(s) }
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// UnescapeLabel inverts escapeLabel per the exposition format 0.0.4
+// rules (backslash, double-quote, line feed). Scrape-side consumers —
+// and the round-trip tests — use it to recover the original label
+// value. An escape sequence the format doesn't define passes through
+// with its backslash intact, matching Prometheus's own reader.
+func UnescapeLabel(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 == len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		switch s[i+1] {
+		case '\\':
+			b.WriteByte('\\')
+			i++
+		case '"':
+			b.WriteByte('"')
+			i++
+		case 'n':
+			b.WriteByte('\n')
+			i++
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

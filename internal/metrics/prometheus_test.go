@@ -98,3 +98,60 @@ func TestPrometheusFormatInvariants(t *testing.T) {
 		}
 	}
 }
+
+func TestLabelEscapeRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		"multi\nline\nvalue",
+		`all three: \ " ` + "\n done",
+		`trailing backslash \`,
+		`\\already escaped\n`,
+		"tab\tand unicode Σ stay as-is",
+	}
+	for _, in := range cases {
+		esc := escapeLabel(in)
+		if strings.ContainsAny(esc, "\n\"") && !strings.Contains(esc, `\"`) {
+			t.Errorf("escapeLabel(%q) = %q still contains raw newline or quote", in, esc)
+		}
+		if strings.ContainsRune(esc, '\n') {
+			t.Errorf("escapeLabel(%q) = %q still contains a raw newline", in, esc)
+		}
+		if got := UnescapeLabel(esc); got != in {
+			t.Errorf("round trip %q -> %q -> %q", in, esc, got)
+		}
+	}
+
+	// A registry-rendered label value with every escapable byte survives
+	// extraction from the exposition text.
+	const val = "a\\b\"c\nd"
+	reg := NewRegistry()
+	reg.Counter("mochi_roundtrip_total", "h", "k").With(val).Inc()
+	text := string(reg.PrometheusText())
+	const pre = `mochi_roundtrip_total{k="`
+	i := strings.Index(text, pre)
+	if i < 0 {
+		t.Fatalf("sample line missing in:\n%s", text)
+	}
+	rest := text[i+len(pre):]
+	j := 0
+	for j < len(rest) && !(rest[j] == '"' && (j == 0 || countTrailingBackslashes(rest[:j])%2 == 0)) {
+		j++
+	}
+	if got := UnescapeLabel(rest[:j]); got != val {
+		t.Errorf("exposition round trip: got %q want %q (escaped %q)", got, val, rest[:j])
+	}
+}
+
+// countTrailingBackslashes reports how many consecutive backslashes end
+// s — an odd count means the next character is escaped.
+func countTrailingBackslashes(s string) int {
+	n := 0
+	for i := len(s) - 1; i >= 0 && s[i] == '\\'; i-- {
+		n++
+	}
+	return n
+}

@@ -122,7 +122,7 @@ func (p *Provider) makeFileSet(args *beginArgs) (*FileSet, error) {
 // handleBegin starts a transfer. For MethodBulk the whole migration
 // completes inside this handler: the destination pulls each exposed
 // file in one bulk operation, verifies it, and writes it out.
-func (p *Provider) handleBegin(_ context.Context, h *mercury.Handle) {
+func (p *Provider) handleBegin(ctx context.Context, h *mercury.Handle) {
 	var args beginArgs
 	if err := codec.Unmarshal(h.Input(), &args); err != nil {
 		_ = h.RespondError(err)
@@ -135,7 +135,7 @@ func (p *Provider) handleBegin(_ context.Context, h *mercury.Handle) {
 	}
 	switch Method(args.Method) {
 	case MethodBulk:
-		err := p.pullAll(h, &args, fs)
+		err := p.pullAll(ctx, h, &args, fs)
 		reply := beginReply{}
 		if err != nil {
 			reply.Status = 1
@@ -157,7 +157,9 @@ func (p *Provider) handleBegin(_ context.Context, h *mercury.Handle) {
 	}
 }
 
-func (p *Provider) pullAll(h *mercury.Handle, args *beginArgs, fs *FileSet) error {
+// pullAll runs under the handler context so the bulk pulls inherit its
+// trace context (each transfer records a bulk phase span when sampled).
+func (p *Provider) pullAll(ctx context.Context, h *mercury.Handle, args *beginArgs, fs *FileSet) error {
 	p.mu.Lock()
 	closed := p.closed
 	p.mu.Unlock()
@@ -167,7 +169,7 @@ func (p *Provider) pullAll(h *mercury.Handle, args *beginArgs, fs *FileSet) erro
 	for i, wf := range args.Files {
 		buf := make([]byte, wf.Size)
 		local := h.Class().CreateBulk(buf, mercury.BulkReadWrite)
-		err := h.Class().BulkTransfer(context.Background(), mercury.BulkPull, wf.Bulk, 0, local, 0, uint64(wf.Size))
+		err := h.Class().BulkTransfer(ctx, mercury.BulkPull, wf.Bulk, 0, local, 0, uint64(wf.Size))
 		local.Free()
 		if err != nil {
 			return fmt.Errorf("remi: bulk pull of %s: %w", wf.RelPath, err)

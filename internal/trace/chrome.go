@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the JSON Array/Object format understood
+// by about://tracing and Perfetto. Each span becomes one "X" (complete)
+// event with microsecond timestamps; each distinct process becomes a
+// pid with a "process_name" metadata event. Event args carry the raw
+// trace/span/parent IDs (as hex strings) so tools and tests can rebuild
+// the exact tree. Spans of one trace share a tid derived from the
+// trace ID, which makes a request's tree render as nested slices on a
+// single track per process.
+
+// chromeSpanEvent is one "X" complete event.
+type chromeSpanEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`
+	Dur  float64    `json:"dur"`
+	PID  int        `json:"pid"`
+	TID  int64      `json:"tid"`
+	Args chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	TraceID  ID     `json:"trace_id"`
+	SpanID   ID     `json:"span_id"`
+	Parent   ID     `json:"parent_span_id,omitempty"`
+	Peer     string `json:"peer,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	Error    bool   `json:"error,omitempty"`
+	Tail     bool   `json:"tail,omitempty"`
+	Process  string `json:"process,omitempty"`
+	StartNS  int64  `json:"start_unix_ns,omitempty"`
+	Duration int64  `json:"duration_ns,omitempty"`
+}
+
+// chromeMetaEvent names a pid ("M" metadata event).
+type chromeMetaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeDoc is the JSON Object Format wrapper.
+type chromeDoc struct {
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// ChromeJSON renders spans (from one or more processes) as a single
+// Chrome trace-event JSON document. Spans are sorted by start time;
+// processes get stable pids in order of first appearance.
+func ChromeJSON(spans []Span) ([]byte, error) {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	pids := map[string]int{}
+	events := make([]any, 0, len(sorted)+4)
+	for _, s := range sorted {
+		pid, ok := pids[s.Process]
+		if !ok {
+			pid = len(pids) + 1
+			pids[s.Process] = pid
+			name := s.Process
+			if name == "" {
+				name = "unknown"
+			}
+			events = append(events, chromeMetaEvent{
+				Name: "process_name",
+				Ph:   "M",
+				PID:  pid,
+				Args: map[string]string{"name": name},
+			})
+		}
+		events = append(events, chromeSpanEvent{
+			Name: s.Name,
+			Cat:  string(s.Kind),
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Duration) / 1e3,
+			PID:  pid,
+			TID:  int64(uint64(s.TraceID) & 0x7FFFFFFF),
+			Args: chromeArgs{
+				TraceID:  s.TraceID,
+				SpanID:   s.SpanID,
+				Parent:   s.Parent,
+				Peer:     s.Peer,
+				Bytes:    s.Bytes,
+				Error:    s.Err,
+				Tail:     s.Tail,
+				Process:  s.Process,
+				StartNS:  s.Start,
+				Duration: s.Duration,
+			},
+		})
+	}
+	return json.Marshal(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChrome writes the ChromeJSON document for spans to w.
+func WriteChrome(w io.Writer, spans []Span) error {
+	doc, err := ChromeJSON(spans)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(doc)
+	return err
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeEvents unmarshals a ChromeJSON document loosely, the way a
+// trace viewer would.
+func chromeEvents(t *testing.T, doc []byte) []map[string]any {
+	t.Helper()
+	var top struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(doc, &top); err != nil {
+		t.Fatalf("chrome doc does not parse: %v", err)
+	}
+	if top.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", top.DisplayTimeUnit)
+	}
+	return top.TraceEvents
+}
+
+func TestChromeJSONStructure(t *testing.T) {
+	spans := []Span{
+		{TraceID: 0xABC, SpanID: 1, Name: "rpc_a", Kind: KindServer, Process: "node-1", Start: 2_000_000, Duration: 1_500_000},
+		{TraceID: 0xABC, SpanID: 2, Parent: 1, Name: "handler", Kind: KindHandler, Process: "node-1", Start: 2_100_000, Duration: 1_200_000},
+		{TraceID: 0xABC, SpanID: 3, Parent: 2, Name: "rpc_b", Kind: KindClient, Process: "node-2", Start: 1_000_000, Duration: 500_000, Bytes: 64},
+	}
+	doc, err := ChromeJSON(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := chromeEvents(t, doc)
+
+	var metas, xs int
+	pidNames := map[float64]string{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			metas++
+			pid := ev["pid"].(float64)
+			pidNames[pid] = ev["args"].(map[string]any)["name"].(string)
+		case "X":
+			xs++
+			args := ev["args"].(map[string]any)
+			if args["trace_id"] != ID(0xABC).String() {
+				t.Fatalf("trace_id arg = %v", args["trace_id"])
+			}
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("ts missing: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected ph %v", ev["ph"])
+		}
+	}
+	if metas != 2 {
+		t.Fatalf("process_name metadata events = %d, want 2", metas)
+	}
+	if xs != len(spans) {
+		t.Fatalf("X events = %d, want %d", xs, len(spans))
+	}
+	found := map[string]bool{}
+	for _, n := range pidNames {
+		found[n] = true
+	}
+	if !found["node-1"] || !found["node-2"] {
+		t.Fatalf("process names = %v", pidNames)
+	}
+}
+
+// TestChromeJSONTimestamps checks the ns→µs conversion: the trace
+// format's ts/dur are microseconds.
+func TestChromeJSONTimestamps(t *testing.T) {
+	doc, err := ChromeJSON([]Span{{TraceID: 1, SpanID: 1, Name: "x", Kind: KindClient, Start: 3_500, Duration: 7_250}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := chromeEvents(t, doc)
+	var x map[string]any
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			x = ev
+		}
+	}
+	if x == nil {
+		t.Fatal("no X event")
+	}
+	if ts := x["ts"].(float64); ts != 3.5 {
+		t.Fatalf("ts = %v µs, want 3.5", ts)
+	}
+	if dur := x["dur"].(float64); dur != 7.25 {
+		t.Fatalf("dur = %v µs, want 7.25", dur)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	events := chromeEvents(t, buf.Bytes())
+	if len(events) != 0 {
+		t.Fatalf("events = %d, want 0", len(events))
+	}
+}

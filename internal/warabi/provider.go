@@ -251,7 +251,9 @@ func (p *Provider) handleWrite(_ context.Context, h *mercury.Handle) {
 }
 
 // handleWriteBulk pulls the client's exposed buffer, then writes it.
-func (p *Provider) handleWriteBulk(_ context.Context, h *mercury.Handle) {
+// The handler context flows into the bulk transfer so the pull records
+// a bulk phase span under the surrounding trace (when sampled).
+func (p *Provider) handleWriteBulk(ctx context.Context, h *mercury.Handle) {
 	var args ioArgs
 	if err := codec.Unmarshal(h.Input(), &args); err != nil {
 		_ = h.RespondError(err)
@@ -262,7 +264,7 @@ func (p *Provider) handleWriteBulk(_ context.Context, h *mercury.Handle) {
 	if err == nil {
 		buf := make([]byte, args.Size)
 		local := h.Class().CreateBulk(buf, mercury.BulkReadWrite)
-		err = h.Class().BulkTransfer(context.Background(), mercury.BulkPull, args.Bulk, 0, local, 0, uint64(args.Size))
+		err = h.Class().BulkTransfer(ctx, mercury.BulkPull, args.Bulk, 0, local, 0, uint64(args.Size))
 		local.Free()
 		if err == nil {
 			err = t.Write(args.Region, args.Offset, buf)
@@ -287,7 +289,7 @@ func (p *Provider) handleRead(_ context.Context, h *mercury.Handle) {
 
 // handleReadBulk reads the region and pushes it into the client's
 // exposed buffer.
-func (p *Provider) handleReadBulk(_ context.Context, h *mercury.Handle) {
+func (p *Provider) handleReadBulk(ctx context.Context, h *mercury.Handle) {
 	var args ioArgs
 	if err := codec.Unmarshal(h.Input(), &args); err != nil {
 		_ = h.RespondError(err)
@@ -301,7 +303,7 @@ func (p *Provider) handleReadBulk(_ context.Context, h *mercury.Handle) {
 	}
 	if err == nil {
 		local := h.Class().CreateBulk(data, mercury.BulkReadOnly)
-		err = h.Class().BulkTransfer(context.Background(), mercury.BulkPush, args.Bulk, 0, local, 0, uint64(len(data)))
+		err = h.Class().BulkTransfer(ctx, mercury.BulkPush, args.Bulk, 0, local, 0, uint64(len(data)))
 		local.Free()
 	}
 	p.respond(h, &reply, err)
