@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-full examples vet fmt-check ci clean
+.PHONY: all build test race bench bench-alloc bench-full fuzz examples vet fmt-check ci clean
 
 all: build test
 
@@ -31,12 +31,26 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Allocation regression gate for the RPC hot path: fails if the pinned
-# AllocsPerRun budgets (codec round trip == 0, sm forward <= 2, and the
-# traced-but-unsampled forward <= 2 with tracers installed) regress.
-# Also prints the -benchmem numbers for the same paths for context.
+# AllocsPerRun budgets (codec round trip == 0, sm forward <= 2, the
+# traced-but-unsampled forward <= 2 with tracers installed, and the
+# margo forward with the resilience layer enabled adding zero over its
+# plain baseline) regress. Also prints the -benchmem numbers for the
+# same paths for context.
 bench-alloc:
-	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/
-	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkForward' -benchtime=1000x -benchmem ./internal/codec/ ./internal/mercury/
+	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/ ./internal/margo/
+	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkForward' -benchtime=1000x -benchmem ./internal/codec/ ./internal/mercury/ ./internal/margo/
+
+# Fuzz every hostile-input parser for FUZZTIME each: the pooled codec
+# decoder, the TCP frame parser, and the raft/yokan/ssg wire messages.
+# Go allows one -fuzz pattern per invocation, so targets run one by one.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/codec/   -run '^FuzzDecoder$$'      -fuzz '^FuzzDecoder$$'      -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codec/   -run '^FuzzRoundTrip$$'    -fuzz '^FuzzRoundTrip$$'    -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mercury/ -run '^FuzzFrameDecode$$'  -fuzz '^FuzzFrameDecode$$'  -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/raft/    -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/yokan/   -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ssg/     -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
 
 # Full experiment sweeps with pretty tables (minutes).
 bench-full:

@@ -7,6 +7,7 @@ import (
 
 	"mochi/internal/jx9"
 	"mochi/internal/margo"
+	"mochi/internal/resilience"
 )
 
 // ProviderConfig describes one provider in a process configuration
@@ -40,6 +41,12 @@ type Config struct {
 	// Monitoring configures the pull-based metrics exposition
 	// (extending Listing 2's shape with a "monitoring" block).
 	Monitoring *MonitoringConfig `json:"monitoring,omitempty"`
+	// Resilience configures client-side retries and per-destination
+	// circuit breaking for every RPC this process forwards (yokan,
+	// warabi, remi and service-handle clients included). It may also
+	// be given inside the margo section; this top-level block wins
+	// when both are present.
+	Resilience *resilience.Config `json:"resilience,omitempty"`
 }
 
 // MonitoringConfig is the "monitoring" block of a process config.

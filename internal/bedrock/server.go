@@ -102,6 +102,9 @@ func NewServer(class *mercury.Class, raw []byte) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Resilience != nil {
+		inst.SetResilience(cfg.Resilience)
+	}
 	s := &Server{
 		inst:       inst,
 		cfg:        cfg,
@@ -573,6 +576,7 @@ func (s *Server) GetConfig() ([]byte, error) {
 		RemiRoot:       s.cfg.RemiRoot,
 		RemiProviderID: s.cfg.RemiProviderID,
 		Monitoring:     s.cfg.Monitoring,
+		Resilience:     s.cfg.Resilience,
 	}
 	for _, rec := range s.providers {
 		pc := rec.cfg

@@ -6,13 +6,13 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
-	"runtime"
 	"testing"
 	"time"
 
 	"mochi/internal/bedrock"
 	"mochi/internal/margo"
 	"mochi/internal/mercury"
+	"mochi/internal/testutil"
 	"mochi/internal/trace"
 	"mochi/internal/yokan"
 )
@@ -166,7 +166,7 @@ func TestMigrateTraceTree(t *testing.T) {
 // paths (bedrock_get_traces RPC and the /traces HTTP endpoint), and
 // that the exporters do not leak goroutines across server shutdown.
 func TestTraceExportEndpoints(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := testutil.GoroutineCount()
 
 	f := mercury.NewFabric()
 	cls, err := f.NewClass("trace-export-srv")
@@ -251,14 +251,5 @@ func TestTraceExportEndpoints(t *testing.T) {
 	// neither the HTTP exporter nor the tracing paths may leak.
 	cli.Finalize()
 	srv.Shutdown()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= before+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines did not settle: before=%d now=%d", before, runtime.NumGoroutine())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	testutil.WaitGoroutinesSettle(t, before, 2)
 }

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/raft"
+	"mochi/internal/yokan"
+)
+
+// The chaos soak drives a Raft-replicated KV service through a seeded
+// schedule of message loss, partitions, and a crash-restart while a
+// client keeps writing. Two invariants are checked:
+//
+//   - No lost acknowledged writes: every Put the client saw succeed is
+//     present on every replica once the faults heal.
+//   - Eventual convergence: all replicas reach identical contents.
+//
+// The client's ability to make progress at all under loss depends on
+// the margo resilience layer (per-attempt timeouts + retries): a
+// dropped message otherwise stalls a forward for the full operation
+// deadline. TestChaosSoakFailsWithoutResilience demonstrates exactly
+// that failure mode with the policy disabled.
+
+// chaosResilienceJSON is the client- and member-side policy for the
+// soak: aggressive per-attempt timeouts so dropped messages are
+// reclaimed quickly, plus a breaker so dead peers are shed.
+const chaosResilienceJSON = `{
+  "resilience": {
+    "max_attempts": 8,
+    "base_backoff_ms": 5,
+    "max_backoff_ms": 40,
+    "attempt_timeout_ms": 120,
+    "breaker": {"failure_threshold": 6, "cooldown_ms": 300}
+  }
+}`
+
+type chaosMember struct {
+	name  string
+	inst  *margo.Instance
+	node  *raft.Node
+	store raft.Store
+	db    yokan.Database
+}
+
+type chaosRig struct {
+	t       *testing.T
+	f       *mercury.Fabric
+	group   string
+	addrs   []string
+	members map[string]*chaosMember // by address
+	cli     *margo.Instance
+	kv      *RaftKVClient
+	acked   map[string]string // key -> last acknowledged value
+}
+
+func chaosRaftCfg() raft.Config {
+	return raft.Config{
+		ElectionTimeoutMin: 50 * time.Millisecond,
+		ElectionTimeoutMax: 100 * time.Millisecond,
+		HeartbeatInterval:  15 * time.Millisecond,
+	}
+}
+
+// newChaosRig starts an n-member RaftKV group plus one client on a
+// fresh fabric. resilience is the margo config JSON applied to every
+// instance ("" disables the policy entirely).
+func newChaosRig(t *testing.T, group string, n int, resilience string) *chaosRig {
+	t.Helper()
+	r := &chaosRig{
+		t:       t,
+		f:       mercury.NewFabric(),
+		group:   group,
+		members: map[string]*chaosMember{},
+		acked:   map[string]string{},
+	}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("%s-%d", group, i)
+		cls, err := r.f.NewClass(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := margo.New(cls, []byte(resilience))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.addrs = append(r.addrs, inst.Addr())
+		r.members[inst.Addr()] = &chaosMember{name: names[i], inst: inst}
+	}
+	for _, addr := range r.addrs {
+		m := r.members[addr]
+		m.store = raft.NewMemoryStore()
+		m.db, _ = yokan.Open(yokan.Config{Type: "map"})
+		node, err := NewRaftKVNode(m.inst, group, r.addrs, m.store, m.db, chaosRaftCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.node = node
+	}
+	ccls, err := r.f.NewClass(group + "-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.cli, err = margo.New(ccls, []byte(resilience))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.kv = NewRaftKVClient(r.cli, group, r.addrs)
+	t.Cleanup(func() {
+		for _, m := range r.members {
+			if m.node != nil {
+				m.node.Stop()
+			}
+			m.inst.Finalize()
+		}
+		r.cli.Finalize()
+	})
+	return r
+}
+
+// put writes one pair with a bounded deadline and records the ack.
+// Returns whether the write was acknowledged.
+func (r *chaosRig) put(key, val string, deadline time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	if err := r.kv.Put(ctx, []byte(key), []byte(val)); err != nil {
+		return false
+	}
+	r.acked[key] = val
+	return true
+}
+
+// follower returns the address of a live member that is not currently
+// leader (falling back to any live member if leadership is unclear).
+func (r *chaosRig) follower() string {
+	for i := 0; i < 500; i++ {
+		var leader, other string
+		for addr, m := range r.members {
+			if m.node == nil {
+				continue
+			}
+			if m.node.IsLeader() {
+				leader = addr
+			} else {
+				other = addr
+			}
+		}
+		if leader != "" && other != "" {
+			return other
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.t.Fatal("no follower found")
+	return ""
+}
+
+// crash kills one member's endpoint and tears its process down,
+// keeping the store and database for a later restart.
+func (r *chaosRig) crash(addr string) {
+	m := r.members[addr]
+	r.f.Kill(addr)
+	m.node.Stop()
+	m.node = nil
+	m.inst.Finalize()
+	r.f.Remove(addr)
+}
+
+// restart brings a crashed member back under the same name with its
+// persisted store and database, as a restarted OS process would.
+func (r *chaosRig) restart(addr, resilience string) {
+	m := r.members[addr]
+	cls, err := r.f.NewClass(m.name)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	inst, err := margo.New(cls, []byte(resilience))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if inst.Addr() != addr {
+		r.t.Fatalf("restarted member came back as %s, want %s", inst.Addr(), addr)
+	}
+	node, err := NewRaftKVNode(inst, r.group, r.addrs, m.store, m.db, chaosRaftCfg())
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	m.inst, m.node = inst, node
+}
+
+// verifyConverged polls until every replica holds every acknowledged
+// write with its last acknowledged value.
+func (r *chaosRig) verifyConverged() {
+	r.t.Helper()
+	ok := pollUntil(1500, 10*time.Millisecond, func() bool {
+		for _, m := range r.members {
+			for k, v := range r.acked {
+				got, err := m.db.Get([]byte(k))
+				if err != nil || string(got) != v {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if ok {
+		return
+	}
+	// Report the first divergence precisely.
+	for addr, m := range r.members {
+		for k, v := range r.acked {
+			got, err := m.db.Get([]byte(k))
+			if err != nil || string(got) != v {
+				r.t.Fatalf("lost acknowledged write: replica %s key %q = %q, %v (want %q)",
+					addr, k, got, err, v)
+			}
+		}
+	}
+}
+
+// TestChaosSoak is the resilience soak: seeded loss, a minority
+// partition, and a follower crash-restart, with the retry/breaker
+// policy active on every instance. Acknowledged writes must survive
+// everything and the replicas must converge.
+func TestChaosSoak(t *testing.T) {
+	ops := func(full int) int {
+		if testing.Short() {
+			return full / 2
+		}
+		return full
+	}
+	rng := rand.New(rand.NewSource(20240805)) // fixes the fault schedule
+	r := newChaosRig(t, "soak", 3, chaosResilienceJSON)
+
+	// Phase 1 — baseline: the healthy group must accept every write.
+	for i := 0; i < ops(8); i++ {
+		k := fmt.Sprintf("base-%d", i)
+		if !r.put(k, "v-"+k, 5*time.Second) {
+			t.Fatalf("healthy group rejected write %s", k)
+		}
+	}
+
+	// Phase 2 — lossy network: a quarter of all messages vanish.
+	// Per-attempt timeouts reclaim dropped requests, so writes still
+	// land well inside the operation deadline.
+	r.f.SetDropRate(0.25)
+	lossyOK := 0
+	lossyN := ops(20)
+	for i := 0; i < lossyN; i++ {
+		k := fmt.Sprintf("lossy-%d", i)
+		if r.put(k, "v-"+k, 10*time.Second) {
+			lossyOK++
+		}
+	}
+	r.f.SetDropRate(0)
+	if lossyOK < lossyN/2 {
+		t.Fatalf("only %d/%d writes succeeded under 25%% loss with retries enabled", lossyOK, lossyN)
+	}
+
+	// Phase 3 — minority partition: isolate one random follower. The
+	// majority keeps committing; the breaker sheds the unreachable peer.
+	iso := r.follower()
+	_ = rng.Intn(2) // burn a draw so future schedule extensions stay stable
+	r.f.Partition([]string{iso})
+	for i := 0; i < ops(10); i++ {
+		k := fmt.Sprintf("part-%d", i)
+		if !r.put(k, "v-"+k, 10*time.Second) {
+			t.Fatalf("majority partition rejected write %s", k)
+		}
+	}
+	r.f.Heal()
+
+	// Phase 4 — crash-restart: a follower process dies (endpoint and
+	// all), writes continue on the surviving majority, then the member
+	// restarts from its persisted store and catches up.
+	victim := r.follower()
+	r.crash(victim)
+	for i := 0; i < ops(10); i++ {
+		k := fmt.Sprintf("crash-%d", i)
+		if !r.put(k, "v-"+k, 10*time.Second) {
+			t.Fatalf("2/3 group rejected write %s", k)
+		}
+	}
+	r.restart(victim, chaosResilienceJSON)
+
+	// Final write marks the end of the schedule, then every replica —
+	// including the restarted one — must hold every acknowledged write.
+	if !r.put("final", "converged", 10*time.Second) {
+		t.Fatal("final write failed")
+	}
+	r.verifyConverged()
+}
+
+// TestChaosSoakFailsWithoutResilience shows the soak's faults are real
+// and that the resilience policy is what masks them: with the policy
+// disabled, a single dropped message stalls the client's forward for
+// the entire operation deadline, so writes under loss time out instead
+// of being retried. (Acknowledged-write durability still holds — Raft
+// guarantees that — it is availability that collapses.)
+func TestChaosSoakFailsWithoutResilience(t *testing.T) {
+	r := newChaosRig(t, "naked", 3, "")
+
+	// Healthy baseline still works single-attempt.
+	if !r.put("pre", "fault", 5*time.Second) {
+		t.Fatal("healthy single-attempt write failed")
+	}
+
+	r.f.SetDropRate(0.4)
+	defer r.f.SetDropRate(0)
+	failures := 0
+	for i := 0; i < 15; i++ {
+		k := fmt.Sprintf("naked-%d", i)
+		if !r.put(k, "v-"+k, 500*time.Millisecond) {
+			failures++
+		}
+		if failures >= 2 {
+			break
+		}
+	}
+	if failures == 0 {
+		t.Fatal("without the resilience policy, 40% loss caused no visible unavailability — the soak would not distinguish the policy being on or off")
+	}
+
+	// Even the failed operations' acknowledged siblings survive.
+	r.f.SetDropRate(0)
+	r.verifyConverged()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mochi/internal/argobots"
+	"mochi/internal/resilience"
 )
 
 // Config is the margo section of a process configuration (paper
@@ -24,6 +25,10 @@ type Config struct {
 	// statistics JSON to this file (§4: "outputs them as JSON when
 	// shutting down the service").
 	MonitoringOutput string `json:"monitoring_output,omitempty"`
+	// Resilience enables client-side retries and circuit breaking for
+	// every RPC this instance forwards. Nil (the default) keeps the
+	// single-attempt behaviour.
+	Resilience *resilience.Config `json:"resilience,omitempty"`
 }
 
 // defaultConfig is used when New is given empty JSON: one pool drained

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mochi/internal/argobots"
 	"mochi/internal/clock"
 	"mochi/internal/mercury"
 	"mochi/internal/metrics"
+	"mochi/internal/resilience"
 	"mochi/internal/trace"
 )
 
@@ -65,6 +67,11 @@ type Instance struct {
 	metrics *instMetrics
 	tracer  *trace.Tracer
 	hooks   hookSet
+
+	// res holds the retry/circuit-breaker manager; nil keeps forwards
+	// single-attempt. Atomic so SetResilience can reconfigure a live
+	// instance without locking the forward path.
+	res atomic.Pointer[resilience.Manager]
 }
 
 // New creates an instance over an existing mercury class using a JSON
@@ -131,6 +138,9 @@ func NewWithClock(class *mercury.Class, rawConfig []byte, clk clock.Clock) (*Ins
 	inst.monitor = newMonitor(inst, sample)
 	if cfg.EnableMonitoring {
 		inst.EnableMonitoring()
+	}
+	if cfg.Resilience != nil {
+		inst.SetResilience(cfg.Resilience)
 	}
 	return inst, nil
 }
@@ -369,7 +379,13 @@ func (m *Instance) ForwardProvider(ctx context.Context, dst string, name string,
 	}
 	start := m.clk.Now()
 	m.hooks.onForwardStart(info)
-	out, err := m.class.ForwardProviderTrace(ctx, dst, info.ID, provider, input, tc)
+	var out []byte
+	var err error
+	if mgr := m.res.Load(); mgr == nil {
+		out, err = m.class.ForwardProviderTrace(ctx, dst, info.ID, provider, input, tc)
+	} else {
+		out, err = m.forwardResilient(ctx, mgr, dst, provider, input, info, tc, clientSpan)
+	}
 	d := m.clk.Since(start)
 	m.hooks.onForwardEnd(info, d, err)
 	if tc.Sampled() || tr.Slow(d) {

@@ -11,6 +11,7 @@ import (
 
 	"mochi/internal/argobots"
 	"mochi/internal/mercury"
+	"mochi/internal/testutil"
 )
 
 // listing2JSON is the paper's Listing 2 configuration, verbatim in
@@ -465,6 +466,7 @@ func TestForwardErrorCountsInStats(t *testing.T) {
 }
 
 func TestFinalizeStopsEverything(t *testing.T) {
+	before := testutil.GoroutineCount()
 	f := mercury.NewFabric()
 	cls, _ := f.NewClass("fin")
 	inst, err := New(cls, nil)
@@ -472,6 +474,16 @@ func TestFinalizeStopsEverything(t *testing.T) {
 		t.Fatal(err)
 	}
 	inst.EnableMonitoring()
+	// Run a forward so the dispatch path (xstreams, pools, reply
+	// plumbing) actually spins up before teardown.
+	if _, err := inst.Register("echo", func(_ context.Context, h *mercury.Handle) {
+		_ = h.Respond(h.Input())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Forward(shortCtx(t), inst.Addr(), "echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
 	inst.Finalize()
 	inst.Finalize() // idempotent
 	if !inst.Finalized() {
@@ -480,6 +492,9 @@ func TestFinalizeStopsEverything(t *testing.T) {
 	if _, err := inst.Register("late", func(_ context.Context, h *mercury.Handle) {}); !errors.Is(err, ErrFinalized) {
 		t.Fatalf("err = %v", err)
 	}
+	cls.Close()
+	// Every xstream, monitor, and transport goroutine must be reaped.
+	testutil.WaitGoroutinesSettle(t, before, 2)
 }
 
 func BenchmarkMargoEchoMonitoringOff(b *testing.B) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mochi/internal/metrics"
+	"mochi/internal/resilience"
 )
 
 // aggLabel is the catch-all series of the per-RPC histogram vectors:
@@ -28,6 +29,12 @@ type instMetrics struct {
 	handlerRun *metrics.HistogramVec // mochi_rpc_handler_runtime_seconds{rpc,provider}
 	fwdErrors  *metrics.CounterVec   // mochi_rpc_forward_errors_total{rpc}
 	inflight   *metrics.Gauge        // mochi_rpc_inflight
+
+	// Resilience series. These fire on the retry/breaker slow paths
+	// only, so plain With lookups are fine.
+	retries    *metrics.CounterVec // mochi_rpc_retries_total{rpc}
+	brkState   *metrics.GaugeVec   // mochi_rpc_breaker_state{peer}
+	brkRejects *metrics.CounterVec // mochi_rpc_breaker_rejections_total{peer}
 
 	// The hook below runs on every RPC, so it must not pay
 	// HistogramVec.With — a variadic slice plus a joined label-key
@@ -71,6 +78,12 @@ func newInstMetrics(reg *metrics.Registry) *instMetrics {
 			metrics.LatencyBuckets, "rpc", "provider"),
 		fwdErrors: reg.Counter("mochi_rpc_forward_errors_total",
 			"Forwarded RPCs that returned an error, by RPC name.", "rpc"),
+		retries: reg.Counter("mochi_rpc_retries_total",
+			"Retry attempts made by the resilience layer, by RPC name.", "rpc"),
+		brkState: reg.Gauge("mochi_rpc_breaker_state",
+			"Circuit-breaker state per destination (0 closed, 1 half-open, 2 open).", "peer"),
+		brkRejects: reg.Counter("mochi_rpc_breaker_rejections_total",
+			"Forwards rejected without a network attempt because the destination's breaker was open.", "peer"),
 		inflight: reg.Gauge("mochi_rpc_inflight",
 			"RPCs forwarded by this process still awaiting a response.").With(),
 		series: map[seriesKey]*rpcSeries{},
@@ -148,6 +161,22 @@ func (im *instMetrics) hook() *Hook {
 			im.aggRun.Observe(s)
 		},
 	}
+}
+
+// retried counts one retry attempt for the named RPC.
+func (im *instMetrics) retried(name string) {
+	im.retries.With(name).Inc()
+}
+
+// breakerState publishes a destination's breaker state transition
+// (0 closed, 1 half-open, 2 open), matching resilience.State order.
+func (im *instMetrics) breakerState(peer string, st resilience.State) {
+	im.brkState.With(peer).Set(float64(st))
+}
+
+// breakerRejected counts a forward shed by an open breaker.
+func (im *instMetrics) breakerRejected(peer string) {
+	im.brkRejects.With(peer).Inc()
 }
 
 // Metrics returns the instance's metrics registry: RPC latency/queue/

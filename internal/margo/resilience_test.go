@@ -1,0 +1,291 @@
+package margo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mochi/internal/mercury"
+	"mochi/internal/resilience"
+	"mochi/internal/trace"
+)
+
+// resilienceJSON enables retries with fast backoff for tests; attempt
+// timeouts are added per test where drops (rather than fast failures)
+// are in play.
+const resilienceJSON = `{
+  "resilience": {
+    "max_attempts": 3,
+    "base_backoff_ms": 1,
+    "max_backoff_ms": 5,
+    "jitter": -1
+  }
+}`
+
+func counterValue(inst *Instance, family, label string) float64 {
+	for _, fam := range inst.Metrics().Snapshot() {
+		if fam.Name != family {
+			continue
+		}
+		for _, s := range fam.Series {
+			if len(s.LabelValues) == 1 && s.LabelValues[0] == label {
+				return s.Value
+			}
+		}
+	}
+	return 0
+}
+
+func TestResilienceConfigApplied(t *testing.T) {
+	f := mercury.NewFabric()
+	inst := newInstance(t, f, "res-cfg", resilienceJSON)
+	mgr := inst.Resilience()
+	if mgr == nil {
+		t.Fatal("resilience block not applied from config")
+	}
+	if got := mgr.Policy().MaxAttempts; got != 3 {
+		t.Fatalf("MaxAttempts = %d, want 3", got)
+	}
+	plain := newInstance(t, f, "res-none", "")
+	if plain.Resilience() != nil {
+		t.Fatal("instance without a resilience block must be single-attempt")
+	}
+}
+
+// TestForwardRetriesDeadDestination checks the attempt loop runs to
+// exhaustion against a fast-failing destination, counting each retry
+// in mochi_rpc_retries_total.
+func TestForwardRetriesDeadDestination(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newInstance(t, f, "res-dead-srv", "")
+	cli := newInstance(t, f, "res-dead-cli", resilienceJSON)
+	addr := srv.Addr()
+	f.Kill(addr)
+
+	_, err := cli.Forward(shortCtx(t), addr, "nothing", nil)
+	if !errors.Is(err, mercury.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	// 3 attempts = 2 retries.
+	if got := counterValue(cli, "mochi_rpc_retries_total", "nothing"); got != 2 {
+		t.Fatalf("retries counter = %v, want 2", got)
+	}
+}
+
+// TestForwardRetryMasksTransientLoss drives a forward through a lossy
+// then healed fabric: the first attempts' messages are dropped (the
+// per-attempt timeout reclaims them), a later attempt succeeds, and
+// the client sees no error at all.
+func TestForwardRetryMasksTransientLoss(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newInstance(t, f, "res-loss-srv", "")
+	cfg := `{
+	  "resilience": {
+	    "max_attempts": 8,
+	    "base_backoff_ms": 5,
+	    "max_backoff_ms": 20,
+	    "attempt_timeout_ms": 100
+	  }
+	}`
+	cli := newInstance(t, f, "res-loss-cli", cfg)
+	cli.Tracer().SetSampleRate(1)
+
+	var calls atomic.Int64
+	if _, err := srv.Register("echo", func(_ context.Context, h *mercury.Handle) {
+		calls.Add(1)
+		_ = h.Respond(h.Input())
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	f.SetDropRate(1) // every message vanishes until healed
+	heal := time.AfterFunc(250*time.Millisecond, func() { f.SetDropRate(0) })
+	defer heal.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	out, err := cli.Forward(ctx, srv.Addr(), "echo", []byte("persist"))
+	if err != nil {
+		t.Fatalf("forward through transient loss failed: %v", err)
+	}
+	if string(out) != "persist" {
+		t.Fatalf("out = %q", out)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("handler never ran")
+	}
+	if got := counterValue(cli, "mochi_rpc_retries_total", "echo"); got < 1 {
+		t.Fatalf("retries counter = %v, want >= 1", got)
+	}
+
+	// The sampled trace shows the failed attempts as retry spans
+	// parented under the logical client span.
+	var client trace.Span
+	var retries []trace.Span
+	for _, s := range cli.Tracer().Spans() {
+		switch s.Kind {
+		case trace.KindClient:
+			if s.Name == "echo" {
+				client = s
+			}
+		case trace.KindRetry:
+			retries = append(retries, s)
+		}
+	}
+	if client.SpanID == 0 {
+		t.Fatal("no client span for echo")
+	}
+	if len(retries) == 0 {
+		t.Fatal("no retry spans recorded for failed attempts")
+	}
+	for _, s := range retries {
+		if s.Parent != client.SpanID {
+			t.Fatalf("retry span parent = %v, want client span %v", s.Parent, client.SpanID)
+		}
+		if !s.Err || s.Name != "echo" {
+			t.Fatalf("retry span malformed: %+v", s)
+		}
+	}
+}
+
+// TestBreakerShedsTrafficToDeadDestination checks the circuit opens
+// after the failure threshold and subsequent forwards are rejected
+// without touching the network.
+func TestBreakerShedsTrafficToDeadDestination(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newInstance(t, f, "res-brk-srv", "")
+	cfg := `{
+	  "resilience": {
+	    "max_attempts": 1,
+	    "breaker": {"failure_threshold": 3, "cooldown_ms": 60000}
+	  }
+	}`
+	cli := newInstance(t, f, "res-brk-cli", cfg)
+	addr := srv.Addr()
+	f.Kill(addr)
+
+	ctx := shortCtx(t)
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Forward(ctx, addr, "x", nil); !errors.Is(err, mercury.ErrUnreachable) {
+			t.Fatalf("attempt %d: err = %v, want ErrUnreachable", i, err)
+		}
+	}
+	if st := cli.Resilience().BreakerState(addr); st != resilience.Open {
+		t.Fatalf("breaker state = %v, want Open", st)
+	}
+	_, err := cli.Forward(ctx, addr, "x", nil)
+	if !errors.Is(err, resilience.ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	// The rejection carries the destination and is counted.
+	if !strings.Contains(err.Error(), addr) {
+		t.Fatalf("open-circuit error %q does not name destination %q", err, addr)
+	}
+	if got := counterValue(cli, "mochi_rpc_breaker_rejections_total", addr); got < 1 {
+		t.Fatalf("rejections counter = %v, want >= 1", got)
+	}
+	// State gauge published the transition (2 = open).
+	var gauge float64 = -1
+	for _, fam := range cli.Metrics().Snapshot() {
+		if fam.Name != "mochi_rpc_breaker_state" {
+			continue
+		}
+		for _, s := range fam.Series {
+			if len(s.LabelValues) == 1 && s.LabelValues[0] == addr {
+				gauge = s.Value
+			}
+		}
+	}
+	if gauge != 2 {
+		t.Fatalf("breaker state gauge = %v, want 2 (open)", gauge)
+	}
+}
+
+// TestBreakerRecoversAfterCooldown checks the closed → open →
+// half-open → closed cycle against a destination that comes back.
+func TestBreakerRecoversAfterCooldown(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newInstance(t, f, "res-rec-srv", "")
+	cfg := `{
+	  "resilience": {
+	    "max_attempts": 1,
+	    "attempt_timeout_ms": 50,
+	    "breaker": {"failure_threshold": 2, "cooldown_ms": 50}
+	  }
+	}`
+	cli := newInstance(t, f, "res-rec-cli", cfg)
+	if _, err := srv.Register("ping", func(_ context.Context, h *mercury.Handle) {
+		_ = h.Respond(nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	ctx := shortCtx(t)
+
+	// Partition the client away: attempts time out (retryably) and
+	// trip the breaker.
+	f.Partition([]string{cli.Addr()}, []string{addr})
+	for i := 0; i < 2; i++ {
+		if _, err := cli.Forward(ctx, addr, "ping", nil); !errors.Is(err, mercury.ErrTimeout) {
+			t.Fatalf("partitioned forward: err = %v, want ErrTimeout", err)
+		}
+	}
+	if st := cli.Resilience().BreakerState(addr); st != resilience.Open {
+		t.Fatalf("breaker state = %v, want Open", st)
+	}
+
+	f.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cli.Forward(ctx, addr, "ping", nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("destination never readmitted after cooldown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := cli.Resilience().BreakerState(addr); st != resilience.Closed {
+		t.Fatalf("breaker state after recovery = %v, want Closed", st)
+	}
+}
+
+// TestNonRetryableErrorsAreNotRetried: the destination answered, so
+// handler failures, missing handlers etc. must pass through after one
+// attempt — and must not count against the breaker.
+func TestNonRetryableErrorsAreNotRetried(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newInstance(t, f, "res-app-srv", "")
+	cfg := `{
+	  "resilience": {
+	    "max_attempts": 5,
+	    "breaker": {"failure_threshold": 2}
+	  }
+	}`
+	cli := newInstance(t, f, "res-app-cli", cfg)
+	var calls atomic.Int64
+	if _, err := srv.Register("boom", func(_ context.Context, h *mercury.Handle) {
+		calls.Add(1)
+		_ = h.RespondError(errors.New("application failure"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := shortCtx(t)
+	for i := 0; i < 4; i++ {
+		if _, err := cli.Forward(ctx, srv.Addr(), "boom", nil); !errors.Is(err, mercury.ErrRemoteFailure) {
+			t.Fatalf("err = %v, want ErrRemoteFailure", err)
+		}
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("handler ran %d times for 4 forwards, want exactly 4 (no retries)", got)
+	}
+	if got := counterValue(cli, "mochi_rpc_retries_total", "boom"); got != 0 {
+		t.Fatalf("retries counter = %v, want 0", got)
+	}
+	if st := cli.Resilience().BreakerState(srv.Addr()); st != resilience.Closed {
+		t.Fatalf("breaker %v after application errors, want Closed", st)
+	}
+}

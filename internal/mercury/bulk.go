@@ -172,7 +172,7 @@ func (c *Class) bulkTransfer(ctx context.Context, op BulkOp, desc BulkDescriptor
 		msg.kind = msgBulkWrite
 		msg.payload = local.mem[localOff : localOff+size]
 	}
-	err := c.tr.send(ctx, desc.Addr, msg)
+	err := c.send(ctx, desc.Addr, msg)
 	msg.payload = nil // borrowed from the local region
 	putMessage(msg)
 	if err != nil {
@@ -234,7 +234,7 @@ func (c *Class) handleBulkRead(m *message) {
 	default:
 		resp.payload = b.mem[m.bulkOff : m.bulkOff+m.bulkLen]
 	}
-	_ = c.tr.send(context.Background(), m.src, resp)
+	_ = c.send(context.Background(), m.src, resp)
 	resp.payload = nil // borrowed from the registered region
 	putMessage(resp)
 	m.releasePayload()
@@ -260,7 +260,7 @@ func (c *Class) handleBulkWrite(m *message) {
 	default:
 		copy(b.mem[m.bulkOff:], m.payload)
 	}
-	_ = c.tr.send(context.Background(), m.src, resp)
+	_ = c.send(context.Background(), m.src, resp)
 	putMessage(resp)
 	m.releasePayload()
 	putMessage(m)

@@ -1,0 +1,171 @@
+package mercury
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig describes the fault mix a ChaosTransport injects.
+// Probabilities are per outbound message, in [0, 1], and drawn from
+// the seeded RNG in a fixed order (reset, drop, delay, duplicate) so
+// a given seed produces the same fault schedule on every run and on
+// either transport.
+type ChaosConfig struct {
+	// Seed makes the fault schedule reproducible (used by NewChaos;
+	// Configure keeps the running RNG so mid-test schedule changes do
+	// not restart the sequence).
+	Seed int64
+	// DropRate silently discards the message, which the caller
+	// experiences as a timeout — exactly how the in-process Fabric
+	// models loss.
+	DropRate float64
+	// ResetRate kills the underlying connection (on transports that
+	// have one) and fails the send with ErrConnReset.
+	ResetRate float64
+	// DelayRate holds the message for a uniform duration in
+	// [DelayMin, DelayMax] before sending it.
+	DelayRate float64
+	DelayMin  time.Duration
+	DelayMax  time.Duration
+	// DupRate sends the message twice, exercising at-least-once
+	// delivery assumptions in the layers above.
+	DupRate float64
+}
+
+// ChaosStats counts the faults a ChaosTransport has injected.
+type ChaosStats struct {
+	Drops, Resets, Delays, Dups int64
+}
+
+// ChaosTransport injects transport-level faults — drop, delay,
+// duplicate, connection reset — into every message a Class sends,
+// bringing the Fabric's fault-injection capabilities to transports
+// that talk to a real network (TCP). Install with Class.SetChaos; the
+// same schedule then runs identically over "sm" and "tcp" classes.
+type ChaosTransport struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg ChaosConfig
+
+	drops  atomic.Int64
+	resets atomic.Int64
+	delays atomic.Int64
+	dups   atomic.Int64
+}
+
+// NewChaos creates a fault injector with the given config. A zero
+// Seed is honored as-is (rand.NewSource(0)), keeping schedules
+// reproducible by default.
+func NewChaos(cfg ChaosConfig) *ChaosTransport {
+	return &ChaosTransport{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// Configure replaces the fault mix while keeping the RNG sequence and
+// counters, so chaos schedules can shift phases mid-test without
+// losing reproducibility.
+func (ct *ChaosTransport) Configure(cfg ChaosConfig) {
+	ct.mu.Lock()
+	ct.cfg = cfg
+	ct.mu.Unlock()
+}
+
+// Stats returns the counts of injected faults so far.
+func (ct *ChaosTransport) Stats() ChaosStats {
+	return ChaosStats{
+		Drops:  ct.drops.Load(),
+		Resets: ct.resets.Load(),
+		Delays: ct.delays.Load(),
+		Dups:   ct.dups.Load(),
+	}
+}
+
+type chaosAction struct {
+	reset bool
+	drop  bool
+	dup   bool
+	delay time.Duration
+}
+
+func (ct *ChaosTransport) decide() chaosAction {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	var a chaosAction
+	cfg := &ct.cfg
+	// Always draw every variate so the sequence (and thus the rest of
+	// the schedule) is independent of which faults are enabled.
+	rReset, rDrop, rDelay, rDup := ct.rng.Float64(), ct.rng.Float64(), ct.rng.Float64(), ct.rng.Float64()
+	fDelay := ct.rng.Float64()
+	a.reset = rReset < cfg.ResetRate
+	a.drop = rDrop < cfg.DropRate
+	a.dup = rDup < cfg.DupRate
+	if rDelay < cfg.DelayRate && cfg.DelayMax > 0 {
+		a.delay = cfg.DelayMin + time.Duration(fDelay*float64(cfg.DelayMax-cfg.DelayMin))
+	}
+	return a
+}
+
+// connResetter is implemented by transports that hold revocable
+// connections (TCP); resets on connection-less transports only fail
+// the send.
+type connResetter interface {
+	resetConn(dst string)
+}
+
+// send applies the fault decision for one message, then (unless it was
+// dropped or reset) forwards it to the real transport.
+func (ct *ChaosTransport) send(tr transport, ctx context.Context, dst string, m *message) error {
+	a := ct.decide()
+	if a.reset {
+		ct.resets.Add(1)
+		if r, ok := tr.(connResetter); ok {
+			r.resetConn(dst)
+		}
+		return fmt.Errorf("%w: %s (chaos)", ErrConnReset, dst)
+	}
+	if a.drop {
+		ct.drops.Add(1)
+		return nil // silent loss: the caller times out, like Fabric drops
+	}
+	if a.delay > 0 {
+		ct.delays.Add(1)
+		t := time.NewTimer(a.delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+		}
+	}
+	if err := tr.send(ctx, dst, m); err != nil {
+		return err
+	}
+	if a.dup {
+		ct.dups.Add(1)
+		// Best effort: the first copy was delivered, a failed
+		// duplicate must not fail the send.
+		_ = tr.send(ctx, dst, m)
+	}
+	return nil
+}
+
+// SetChaos installs (or, with nil, removes) a fault injector on every
+// message this class sends — requests, responses, and bulk traffic
+// alike. The injector composes with the Fabric's own fault model and
+// works identically over TCP, where no in-process fabric exists.
+func (c *Class) SetChaos(ct *ChaosTransport) {
+	c.chaos.Store(ct)
+}
+
+// send routes one outbound message through the chaos injector when one
+// is installed. The nil check is a single atomic load, so the normal
+// path costs nothing measurable.
+func (c *Class) send(ctx context.Context, dst string, m *message) error {
+	if ct := c.chaos.Load(); ct != nil {
+		return ct.send(c.tr, ctx, dst, m)
+	}
+	return c.tr.send(ctx, dst, m)
+}

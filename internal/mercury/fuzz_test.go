@@ -1,0 +1,57 @@
+package mercury
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"mochi/internal/codec"
+)
+
+// validFrame encodes one message exactly as tcpTransport.send does:
+// 4-byte little-endian length prefix, then the codec encoding.
+func validFrame(payload []byte) []byte {
+	m := getMessage()
+	m.kind = msgRequest
+	m.seq = 7
+	m.id = NameToID("fuzz")
+	m.src = "sm://fuzz-src"
+	m.payload = payload
+	enc := codec.GetEncoder()
+	enc.Uint32(0)
+	m.MarshalMochi(enc)
+	frame := append([]byte(nil), enc.Bytes()...)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	codec.PutEncoder(enc)
+	m.payload = nil
+	putMessage(m)
+	return frame
+}
+
+// FuzzFrameDecode feeds arbitrary byte streams to the TCP frame
+// parser. It must never panic and never allocate anywhere near an
+// advertised hostile length; valid frames decode and pooled messages
+// recycle cleanly.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(validFrame([]byte("hello")))
+	f.Add(validFrame(nil))
+	f.Add(append(validFrame([]byte("two")), validFrame([]byte("frames"))...))
+	f.Add([]byte{0, 0, 0, 0})             // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB length prefix
+	hostile := make([]byte, 4, 104)
+	binary.LittleEndian.PutUint32(hostile, 32<<20)
+	f.Add(append(hostile, make([]byte, 100)...)) // huge length, short body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var scratch []byte
+		for {
+			m, err := readFrame(r, &scratch)
+			if err != nil {
+				return
+			}
+			m.releasePayload()
+			putMessage(m)
+		}
+	})
+}

@@ -33,6 +33,7 @@ import (
 // Errors returned by the RPC layer.
 var (
 	ErrUnreachable   = errors.New("mercury: address unreachable")
+	ErrConnReset     = errors.New("mercury: connection reset")
 	ErrNoHandler     = errors.New("mercury: no handler registered")
 	ErrClassClosed   = errors.New("mercury: class closed")
 	ErrTimeout       = errors.New("mercury: operation timed out")
@@ -293,6 +294,10 @@ type Class struct {
 	auth        authState
 	authEnabled atomic.Bool
 
+	// chaos, when set, injects transport-level faults into every
+	// outbound message (see ChaosTransport).
+	chaos atomic.Pointer[ChaosTransport]
+
 	// Resident dispatch workers. A goroutine per inbound request would
 	// be correct but costly: each fresh goroutine starts on a 2 KiB
 	// stack and the handler call path overflows it, so every request
@@ -448,7 +453,7 @@ func (c *Class) forwardProvider(ctx context.Context, dst string, id RPCID, provi
 	if m := c.mon(); m != nil {
 		m.SentRequest(id, provider, dst, len(input))
 	}
-	err := c.tr.send(ctx, dst, req)
+	err := c.send(ctx, dst, req)
 	req.payload = nil // borrowed from the caller, not ours to recycle
 	putMessage(req)
 	if err != nil {
@@ -582,7 +587,7 @@ func (c *Class) respondStatus(m *message, status uint8) {
 	resp.provider = m.provider
 	resp.src = c.Addr()
 	resp.status = status
-	_ = c.tr.send(context.Background(), m.src, resp)
+	_ = c.send(context.Background(), m.src, resp)
 	putMessage(resp)
 	m.releasePayload()
 	putMessage(m)
@@ -730,7 +735,7 @@ func (h *Handle) respond(status uint8, errmsg string, output []byte) error {
 	resp.status = status
 	resp.errmsg = errmsg
 	resp.payload = output
-	err := h.class.tr.send(context.Background(), h.src, resp)
+	err := h.class.send(context.Background(), h.src, resp)
 	resp.payload = nil // borrowed from the handler
 	putMessage(resp)
 	h.release()

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"mochi/internal/codec"
 )
@@ -136,7 +138,7 @@ func (t *tcpTransport) getConn(ctx context.Context, dst string) (*tcpConn, error
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", host)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, dst, err)
+		return nil, classifyNetErr(dst, err)
 	}
 	tc := &tcpConn{c: conn, bw: bufio.NewWriterSize(conn, tcpWriteBuffer)}
 	t.conns[dst] = tc
@@ -191,9 +193,38 @@ func (t *tcpTransport) send(ctx context.Context, dst string, m *message) error {
 		}
 		t.mu.Unlock()
 		tc.c.Close()
-		return fmt.Errorf("%w: %s (%v)", ErrUnreachable, dst, err)
+		return classifyNetErr(dst, err)
 	}
 	return nil
+}
+
+// classifyNetErr maps dial/write failures onto the package's
+// retryable error values, always naming the destination: refused and
+// reset connections are transient conditions a retry policy should act
+// on, not opaque failures.
+func classifyNetErr(dst string, err error) error {
+	switch {
+	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE),
+		errors.Is(err, net.ErrClosed), errors.Is(err, io.ErrClosedPipe):
+		return fmt.Errorf("%w: %s (%v)", ErrConnReset, dst, err)
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return fmt.Errorf("%w: %s: connection refused (%v)", ErrUnreachable, dst, err)
+	default:
+		return fmt.Errorf("%w: %s (%v)", ErrUnreachable, dst, err)
+	}
+}
+
+// resetConn drops the cached connection to dst, if any, forcing the
+// next send to redial. The chaos injector uses it to simulate
+// connection resets against the real TCP stack.
+func (t *tcpTransport) resetConn(dst string) {
+	t.mu.Lock()
+	tc := t.conns[dst]
+	delete(t.conns, dst)
+	t.mu.Unlock()
+	if tc != nil {
+		tc.c.Close()
+	}
 }
 
 func (t *tcpTransport) close() error {
@@ -217,17 +248,50 @@ func readFrame(r io.Reader, scratch *[]byte) (*message, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return nil, fmt.Errorf("mercury: frame of %d bytes exceeds limit", n)
 	}
-	if uint32(cap(*scratch)) < n {
-		*scratch = make([]byte, n)
+	// Grow the body buffer only as bytes actually arrive (doubling,
+	// starting at one chunk): a hostile length prefix on a short
+	// stream then costs at most one chunk of allocation, not an
+	// up-front 64 MiB. Legitimate large frames converge to a single
+	// persistent buffer, reused across frames.
+	const frameChunk = 1 << 20
+	if cap(*scratch) < n {
+		alloc := n
+		if alloc > frameChunk {
+			alloc = frameChunk
+		}
+		if alloc > cap(*scratch) {
+			*scratch = make([]byte, alloc)
+		}
 	}
-	body := (*scratch)[:n]
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+	body := (*scratch)[:cap(*scratch)]
+	read := 0
+	for read < n {
+		want := n - read
+		if want > len(body)-read {
+			want = len(body) - read
+		}
+		if want == 0 {
+			grow := 2 * len(body)
+			if grow > n {
+				grow = n
+			}
+			nb := make([]byte, grow)
+			copy(nb, body[:read])
+			*scratch = nb
+			body = nb
+			continue
+		}
+		k, err := io.ReadFull(r, body[read:read+want])
+		read += k
+		if err != nil {
+			return nil, err
+		}
 	}
+	body = body[:n]
 	m := getMessage()
 	d := codec.GetDecoder(body)
 	m.UnmarshalMochi(d)

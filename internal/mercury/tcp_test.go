@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mochi/internal/testutil"
 )
 
 func newTCPPair(t *testing.T) (*Class, *Class) {
@@ -123,6 +125,31 @@ func TestTCPPeerShutdownThenError(t *testing.T) {
 	if _, err := a.Forward(ctx2, addr, NameToID("echo"), nil); err == nil {
 		t.Fatal("forward to closed peer succeeded")
 	}
+}
+
+// TestTCPCloseReapsGoroutines checks the TCP transport's accept loop,
+// per-connection read loops, and response readers all exit when the
+// classes close — real sockets must not leak goroutines across a
+// connect/forward/close cycle.
+func TestTCPCloseReapsGoroutines(t *testing.T) {
+	before := testutil.GoroutineCount()
+	a, err := NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Register("echo", func(h *Handle) { _ = h.Respond(h.Input()) })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := a.Forward(ctx, b.Addr(), NameToID("echo"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+	testutil.WaitGoroutinesSettle(t, before, 2)
 }
 
 // TestTCPConcurrentFrameIntegrity hammers one TCP connection from many

@@ -1,0 +1,187 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"mochi/internal/clock"
+)
+
+// State is a breaker's position in the closed → open → half-open
+// cycle.
+type State int32
+
+const (
+	// Closed: traffic flows; failures are being counted.
+	Closed State = iota
+	// HalfOpen: cooling down finished; a limited number of probe
+	// requests test whether the destination recovered.
+	HalfOpen
+	// Open: traffic is shed without attempting the network.
+	Open
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig is the "breaker" sub-block of a resilience config.
+type BreakerConfig struct {
+	// FailureThreshold trips the breaker when this many retryable
+	// failures land within Window (default 5).
+	FailureThreshold int `json:"failure_threshold,omitempty"`
+	// WindowMS is the sliding failure window, in milliseconds
+	// (default 10000). Failures older than the window no longer count
+	// toward the threshold.
+	WindowMS int `json:"window_ms,omitempty"`
+	// CooldownMS is how long an open breaker sheds traffic before
+	// letting probes through, in milliseconds (default 1000).
+	CooldownMS int `json:"cooldown_ms,omitempty"`
+	// HalfOpenProbes is how many consecutive probe successes close a
+	// half-open breaker (default 1). Any probe failure reopens it.
+	HalfOpenProbes int `json:"half_open_probes,omitempty"`
+}
+
+type breakerSettings struct {
+	threshold int
+	window    time.Duration
+	cooldown  time.Duration
+	probes    int
+}
+
+func (c *BreakerConfig) resolve() *breakerSettings {
+	s := &breakerSettings{
+		threshold: c.FailureThreshold,
+		window:    time.Duration(c.WindowMS) * time.Millisecond,
+		cooldown:  time.Duration(c.CooldownMS) * time.Millisecond,
+		probes:    c.HalfOpenProbes,
+	}
+	if s.threshold <= 0 {
+		s.threshold = 5
+	}
+	if s.window <= 0 {
+		s.window = 10 * time.Second
+	}
+	if s.cooldown <= 0 {
+		s.cooldown = time.Second
+	}
+	if s.probes <= 0 {
+		s.probes = 1
+	}
+	return s
+}
+
+// Breaker is a per-destination circuit breaker. Failures recorded
+// within the sliding window trip it open; after a cooldown it lets
+// probe traffic through (half-open) and closes again once probes
+// succeed. The zero value is not usable — breakers are created by a
+// Manager.
+type Breaker struct {
+	clk clock.Clock
+	cfg *breakerSettings
+
+	mu       sync.Mutex
+	state    State
+	failures []time.Time // ring of the most recent failure times
+	head     int         // next write position in failures
+	count    int         // live entries in failures
+	openedAt time.Time
+	probes   int // consecutive successes while half-open
+}
+
+func newBreaker(clk clock.Clock, cfg *breakerSettings) *Breaker {
+	return &Breaker{
+		clk:      clk,
+		cfg:      cfg,
+		failures: make([]time.Time, cfg.threshold),
+	}
+}
+
+// State returns the breaker's current state, accounting for cooldown
+// expiry (an open breaker whose cooldown has lapsed reports HalfOpen).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.clk.Since(b.openedAt) >= b.cfg.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a request may proceed. Open breakers reject
+// until the cooldown lapses, then transition to half-open and admit
+// probes.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	default: // Open
+		if b.clk.Since(b.openedAt) < b.cfg.cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probes = 0
+		return true
+	}
+}
+
+// Record feeds one attempt's outcome into the breaker. failed should
+// be true only for failures that indicate destination ill-health
+// (margo passes its retryable classification); application-level
+// errors from a reachable destination are recorded as successes.
+// It returns the state after the outcome and whether it changed.
+func (b *Breaker) Record(failed bool) (State, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prev := b.state
+	now := b.clk.Now()
+	if !failed {
+		switch b.state {
+		case HalfOpen:
+			b.probes++
+			if b.probes >= b.cfg.probes {
+				b.state = Closed
+				b.count, b.head = 0, 0
+			}
+		case Open:
+			// A success from an in-flight request that predates the
+			// trip; ignore it rather than reset the cooldown.
+		}
+		return b.state, b.state != prev
+	}
+	switch b.state {
+	case HalfOpen:
+		// The probe failed: shed traffic for another cooldown.
+		b.state = Open
+		b.openedAt = now
+		b.probes = 0
+	case Closed:
+		b.failures[b.head] = now
+		b.head = (b.head + 1) % len(b.failures)
+		if b.count < len(b.failures) {
+			b.count++
+		}
+		// With the ring full, head points at the oldest of the last
+		// threshold failures; trip when all of them fit in the window.
+		if b.count == b.cfg.threshold && now.Sub(b.failures[b.head]) <= b.cfg.window {
+			// b.failures[b.head] is the oldest only when the ring is
+			// full, which count == threshold guarantees.
+			b.state = Open
+			b.openedAt = now
+		}
+	case Open:
+		// Late failure from a pre-trip request; the cooldown stands.
+	}
+	return b.state, b.state != prev
+}

@@ -1,0 +1,41 @@
+// Package testutil holds helpers shared by the test suites of several
+// packages. It must only be imported from _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// failer is the subset of testing.TB the helpers need; taking the
+// interface keeps testutil free of a testing import in callers' builds
+// and works for both *testing.T and *testing.B.
+type failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// GoroutineCount samples the current goroutine count. Call it before
+// starting the system under test and hand the result to
+// WaitGoroutinesSettle after tearing it down.
+func GoroutineCount() int { return runtime.NumGoroutine() }
+
+// WaitGoroutinesSettle polls until the process goroutine count drops
+// back to before+slack, failing the test after 5 seconds. Use it to
+// assert that Finalize/Shutdown/Close paths reap every goroutine they
+// started; the slack absorbs runtime background goroutines that come
+// and go independently of the code under test.
+func WaitGoroutinesSettle(t failer, before, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: before=%d now=%d (slack %d)", before, now, slack)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -103,6 +103,10 @@ const (
 	// KindBulk measures one bulk (RDMA-like) transfer issued from a
 	// handler, with Bytes carrying the transfer size.
 	KindBulk Kind = "bulk"
+	// KindRetry measures one failed attempt that the resilience layer
+	// retried; it is a child of the client span covering the whole
+	// logical forward, and always carries Err.
+	KindRetry Kind = "retry"
 )
 
 // Span is one completed, immutable trace record. Spans are plain
