@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-full fuzz examples vet fmt-check ci clean
+.PHONY: all build test race bench bench-alloc bench-throughput bench-full fuzz examples vet fmt-check ci clean
 
 all: build test
 
@@ -32,16 +32,19 @@ bench:
 
 # Allocation regression gate for the RPC hot path: fails if the pinned
 # AllocsPerRun budgets (codec round trip == 0, sm forward <= 2, the
-# traced-but-unsampled forward <= 2 with tracers installed, and the
-# margo forward with the resilience layer enabled adding zero over its
-# plain baseline) regress. Also prints the -benchmem numbers for the
-# same paths for context.
+# traced-but-unsampled forward <= 2 with tracers installed, the margo
+# forward with the resilience layer enabled adding zero over its plain
+# baseline, and the yokan multi-op per-key deltas — PutMulti <= 0.5,
+# GetMulti <= 1.5 per key over sm transport) regress. Also prints the
+# -benchmem numbers for the same paths for context.
 bench-alloc:
-	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/ ./internal/margo/
-	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkForward' -benchtime=1000x -benchmem ./internal/codec/ ./internal/mercury/ ./internal/margo/
+	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/
+	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkForward|BenchmarkMulti' -benchtime=1000x -benchmem ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/
 
-# Fuzz every hostile-input parser for FUZZTIME each: the pooled codec
-# decoder, the TCP frame parser, and the raft/yokan/ssg wire messages.
+# Fuzz every hostile-input parser for FUZZTIME each — the pooled codec
+# decoder, the TCP frame parser, the raft/yokan/ssg wire messages — plus
+# the yokan op-script target, which runs differential op sequences
+# (multi-key batches, shard-boundary keys) against a reference model.
 # Go allows one -fuzz pattern per invocation, so targets run one by one.
 FUZZTIME ?= 20s
 fuzz:
@@ -50,7 +53,17 @@ fuzz:
 	$(GO) test ./internal/mercury/ -run '^FuzzFrameDecode$$'  -fuzz '^FuzzFrameDecode$$'  -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/raft/    -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/yokan/   -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/yokan/   -run '^FuzzOpScript$$'     -fuzz '^FuzzOpScript$$'     -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ssg/     -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
+
+# Concurrent storage-engine throughput sweep, baseline vs striped, for
+# every backend (about 5s per backend at the default 300ms cells ×
+# 4 worker counts × 2 modes). CI runs this and uploads the table;
+# override THROUGHPUT_FLAGS for longer local runs, e.g.
+#   make bench-throughput THROUGHPUT_FLAGS="-duration 1s -log-sync"
+THROUGHPUT_FLAGS ?= -duration 300ms
+bench-throughput:
+	$(GO) run ./cmd/mochi-bench -throughput $(THROUGHPUT_FLAGS)
 
 # Full experiment sweeps with pretty tables (minutes).
 bench-full:

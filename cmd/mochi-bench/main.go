@@ -1,15 +1,23 @@
 // Command mochi-bench runs the evaluation suite (EXPERIMENTS.md,
-// E1–E10) and prints one table per experiment.
+// E1–E10) and prints one table per experiment. With -throughput it
+// instead runs the storage-engine concurrency sweep: configurable
+// worker counts, read/write mix and value size against every backend,
+// baseline (single lock / direct commit) vs striped (sharded / group
+// commit) side by side.
 //
 // Usage:
 //
 //	mochi-bench [-quick] [-only E3,E5]
+//	mochi-bench -throughput [-backends map,log] [-workers 1,2,4,8]
+//	            [-read-frac 0.5] [-value-size 128] [-duration 1s]
+//	            [-shards N] [-batch-window 200us] [-log-sync]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -19,7 +27,20 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps (CI mode)")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	throughput := flag.Bool("throughput", false, "run the concurrent storage-engine throughput sweep instead of the experiment suite")
+	backends := flag.String("backends", "map,skiplist,btree,log", "throughput: comma-separated backends to sweep")
+	workers := flag.String("workers", "1,2,4,8", "throughput: comma-separated goroutine counts")
+	readFrac := flag.Float64("read-frac", 0.5, "throughput: fraction of ops that are reads")
+	valueSize := flag.Int("value-size", 128, "throughput: value size in bytes")
+	duration := flag.Duration("duration", time.Second, "throughput: time per (backend, mode, workers) cell")
+	shards := flag.Int("shards", 0, "throughput: stripe count for the sharded mode (0 = default)")
+	batchWindow := flag.String("batch-window", "", "throughput: log group-commit window, e.g. 200us")
+	logSync := flag.Bool("log-sync", false, "throughput: fsync log commits (measures group commit against real commit latency)")
 	flag.Parse()
+
+	if *throughput {
+		os.Exit(runThroughput(*backends, *workers, *readFrac, *valueSize, *duration, *shards, *batchWindow, *logSync))
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -47,4 +68,39 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func runThroughput(backends, workers string, readFrac float64, valueSize int, duration time.Duration, shards int, batchWindow string, logSync bool) int {
+	opts := experiments.ThroughputOptions{
+		ReadFraction: readFrac,
+		ValueSize:    valueSize,
+		Duration:     duration,
+		Shards:       shards,
+		BatchWindow:  batchWindow,
+		LogSync:      logSync,
+	}
+	for _, b := range strings.Split(backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			opts.Backends = append(opts.Backends, b)
+		}
+	}
+	for _, w := range strings.Split(workers, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -workers entry %q\n", w)
+			return 2
+		}
+		opts.Workers = append(opts.Workers, n)
+	}
+	table, err := experiments.RunThroughput(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "throughput sweep FAILED: %v\n", err)
+		return 1
+	}
+	table.Render(os.Stdout)
+	return 0
 }

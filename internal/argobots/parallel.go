@@ -1,0 +1,49 @@
+package argobots
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelDo executes every fn and returns when all have finished,
+// using the pool's xstreams for parallelism when they have spare
+// capacity. It is safe to call from a ULT running on p itself: tasks
+// are claimed with a CAS before execution and the caller loops over
+// the task list claiming whatever no xstream has picked up yet, so a
+// saturated (or single-xstream) pool degrades to inline sequential
+// execution instead of deadlocking on its own queue.
+func (p *Pool) ParallelDo(fns ...ULT) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	var (
+		claimed = make([]atomic.Bool, len(fns))
+		wg      sync.WaitGroup // counts executions, not queue slots
+	)
+	wg.Add(len(fns))
+	run := func(i int) {
+		if claimed[i].CompareAndSwap(false, true) {
+			defer wg.Done()
+			fns[i]()
+		}
+	}
+	if p != nil {
+		for i := 1; i < len(fns); i++ {
+			i := i
+			// A closed pool just means everything runs on the caller.
+			if err := p.Submit(func() { run(i) }); err != nil {
+				break
+			}
+		}
+	}
+	// Run the first task here, then steal back anything still queued.
+	run(0)
+	for i := 1; i < len(fns); i++ {
+		run(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+package argobots
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func parallelRuntime(t *testing.T, xstreams int) (*Runtime, *Pool) {
+	t.Helper()
+	cfg := Config{
+		Pools: []PoolConfig{{Name: "p", Kind: string(PoolFIFOWait), Access: string(AccessMPMC)}},
+	}
+	for i := 0; i < xstreams; i++ {
+		cfg.Xstreams = append(cfg.Xstreams, XstreamConfig{
+			Name:      "es" + string(rune('0'+i)),
+			Scheduler: SchedConfig{Kind: string(SchedBasicWait), Pools: []string{"p"}},
+		})
+	}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	p, ok := rt.FindPool("p")
+	if !ok {
+		t.Fatal("pool p missing")
+	}
+	return rt, p
+}
+
+// TestParallelDoRunsEachOnce checks the claim-steal contract: every
+// task runs exactly once whether the pool helps or the caller steals
+// everything back.
+func TestParallelDoRunsEachOnce(t *testing.T) {
+	_, pool := parallelRuntime(t, 4)
+	for _, p := range []*Pool{nil, pool} {
+		var counts [40]atomic.Int32
+		fns := make([]ULT, len(counts))
+		for i := range fns {
+			i := i
+			fns[i] = func() { counts[i].Add(1) }
+		}
+		p.ParallelDo(fns...)
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("pool=%v: task %d ran %d times", p != nil, i, got)
+			}
+		}
+	}
+	// Degenerate arities.
+	pool.ParallelDo()
+	ran := false
+	pool.ParallelDo(func() { ran = true })
+	if !ran {
+		t.Fatal("single-task ParallelDo did not run inline")
+	}
+}
+
+// TestParallelDoFromPoolULT is the deadlock regression: a ULT already
+// running on a single-xstream pool fans out on that same pool. The
+// caller must steal the work back instead of waiting for an executor
+// that is itself.
+func TestParallelDoFromPoolULT(t *testing.T) {
+	_, pool := parallelRuntime(t, 1)
+	done := make(chan struct{})
+	if err := pool.Submit(func() {
+		var n atomic.Int32
+		fns := make([]ULT, 8)
+		for i := range fns {
+			fns[i] = func() { n.Add(1) }
+		}
+		pool.ParallelDo(fns...)
+		if n.Load() == 8 {
+			close(done)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ParallelDo deadlocked when fanning out on its own single-xstream pool")
+	}
+}
+
+// TestParallelDoActuallyParallel proves the fan-out overlaps: with
+// four xstreams, tasks that each block on a shared rendezvous can only
+// finish if several run at once.
+func TestParallelDoActuallyParallel(t *testing.T) {
+	_, pool := parallelRuntime(t, 4)
+	const n = 3
+	arrived := make(chan struct{}, n)
+	release := make(chan struct{})
+	fns := make([]ULT, n)
+	for i := range fns {
+		fns[i] = func() {
+			arrived <- struct{}{}
+			<-release
+		}
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			select {
+			case <-arrived:
+			case <-time.After(5 * time.Second):
+				return // ParallelDo will hang; the test times out below
+			}
+		}
+		close(release)
+	}()
+	done := make(chan struct{})
+	go func() { pool.ParallelDo(fns...); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("tasks did not run concurrently across xstreams")
+	}
+}

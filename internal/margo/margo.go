@@ -154,6 +154,10 @@ func (m *Instance) Addr() string { return m.class.Addr() }
 // Runtime returns the argobots runtime, for introspection.
 func (m *Instance) Runtime() *argobots.Runtime { return m.rt }
 
+// RPCPool returns the pool handlers are dispatched on by default;
+// providers use it for intra-request fan-out (Pool.ParallelDo).
+func (m *Instance) RPCPool() *argobots.Pool { return m.rpcPool }
+
 // Clock returns the instance's time source.
 func (m *Instance) Clock() clock.Clock { return m.clk }
 

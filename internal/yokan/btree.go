@@ -62,18 +62,28 @@ func (d *btreeDB) Put(key, value []byte) error {
 	if d.closed {
 		return ErrClosed
 	}
-	k := append([]byte(nil), key...)
-	v := append([]byte(nil), value...)
 	// Split a full root first (the standard pre-emptive split insert).
+	// Copies of key/value are made at the insertion point, so an
+	// overwrite can reuse the stored buffer instead of allocating.
 	if len(d.root.items) == 2*btreeDegree-1 {
 		old := d.root
 		d.root = &btreeNode{children: []*btreeNode{old}}
 		d.root.splitChild(0)
 	}
-	if d.root.insertNonFull(k, v) {
+	if d.root.insertNonFull(key, value) {
 		d.count++
 	}
 	return nil
+}
+
+// setValue overwrites an item's value, reusing its buffer when it is
+// big enough (Get copies under the lock, so no reader aliases it).
+func (it *btreeItem) setValue(value []byte) {
+	if cap(it.value) >= len(value) {
+		it.value = append(it.value[:0], value...)
+	} else {
+		it.value = append([]byte(nil), value...)
+	}
 }
 
 // splitChild splits the full child at index i of n.
@@ -99,24 +109,29 @@ func (n *btreeNode) splitChild(i int) {
 }
 
 // insertNonFull inserts into a node known not to be full; reports
-// whether a new key was added (false for overwrite).
+// whether a new key was added (false for overwrite). key and value
+// are the caller's slices; they are copied exactly once, at the point
+// of insertion or overwrite.
 func (n *btreeNode) insertNonFull(key, value []byte) bool {
 	i, found := n.find(key)
 	if found {
-		n.items[i].value = value
+		n.items[i].setValue(value)
 		return false
 	}
 	if n.leaf() {
 		n.items = append(n.items, btreeItem{})
 		copy(n.items[i+1:], n.items[i:])
-		n.items[i] = btreeItem{key: key, value: value}
+		n.items[i] = btreeItem{
+			key:   append([]byte(nil), key...),
+			value: append([]byte(nil), value...),
+		}
 		return true
 	}
 	if len(n.children[i].items) == 2*btreeDegree-1 {
 		n.splitChild(i)
 		switch bytes.Compare(key, n.items[i].key) {
 		case 0:
-			n.items[i].value = value
+			n.items[i].setValue(value)
 			return false
 		case 1:
 			i++

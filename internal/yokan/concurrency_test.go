@@ -1,0 +1,158 @@
+package yokan
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+)
+
+// blockingDB wraps a Database and parks any Get of the key "slow"
+// until gate is closed, signalling entry on entered.
+type blockingDB struct {
+	Database
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingDB) Get(key []byte) ([]byte, error) {
+	if string(key) == "slow" {
+		b.once.Do(func() { close(b.entered) })
+		<-b.gate
+	}
+	return b.Database.Get(key)
+}
+
+// multiXstreamConfig gives the server one RPC pool drained by four
+// xstreams, so handlers actually run concurrently (margo's default is
+// a single xstream, which would serialize them regardless of locking).
+const multiXstreamConfig = `{
+  "argobots": {
+    "pools": [{"name": "rpc", "type": "fifo_wait", "access": "mpmc"}],
+    "xstreams": [
+      {"name": "es0", "scheduler": {"type": "basic_wait", "pools": ["rpc"]}},
+      {"name": "es1", "scheduler": {"type": "basic_wait", "pools": ["rpc"]}},
+      {"name": "es2", "scheduler": {"type": "basic_wait", "pools": ["rpc"]}},
+      {"name": "es3", "scheduler": {"type": "basic_wait", "pools": ["rpc"]}}
+    ]
+  },
+  "rpc_pool": "rpc",
+  "progress_pool": "rpc"
+}`
+
+// TestSlowGetDoesNotBlockProvider is the provider-locking contract:
+// with the RWMutex replaced by an atomic state pointer, a handler
+// stuck inside a database call must not delay a concurrent Put, nor a
+// SwapDatabase performed by the admin path.
+func TestSlowGetDoesNotBlockProvider(t *testing.T) {
+	f := mercury.NewFabric()
+	scls, err := f.NewClass("conc-srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccls, err := f.NewClass("conc-cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := margo.New(scls, []byte(multiXstreamConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Finalize()
+	client, err := margo.New(ccls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Finalize()
+
+	inner, err := Open(Config{Type: "map", Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb := &blockingDB{
+		Database: inner,
+		gate:     make(chan struct{}),
+		entered:  make(chan struct{}),
+	}
+	prov, err := NewProviderWithDatabase(server, 3, nil, bdb, Config{Type: "map"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+	h := NewClient(client).Handle(server.Addr(), 3)
+	ctx := tctx(t)
+
+	if err := h.Put(ctx, []byte("slow"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := h.Get(ctx, []byte("slow"))
+		slowDone <- err
+	}()
+	select {
+	case <-bdb.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow Get never reached the database")
+	}
+
+	// With the slow Get parked inside its handler, a Put must complete
+	// promptly: nothing provider-level brackets handler execution.
+	putDone := make(chan error, 1)
+	go func() { putDone <- h.Put(ctx, []byte("fast"), []byte("v2")) }()
+	select {
+	case err := <-putDone:
+		if err != nil {
+			t.Fatalf("concurrent Put failed: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Put blocked behind a slow Get: provider is holding a lock across handlers")
+	}
+
+	// So must a database swap — it replaces the pointer, it does not
+	// wait for in-flight handlers.
+	replacement, err := Open(Config{Type: "map", Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replacement.Put([]byte("swapped"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	swapDone := make(chan error, 1)
+	go func() {
+		old, err := prov.SwapDatabase(replacement, Config{Type: "map"})
+		if err == nil && old != bdb {
+			t.Errorf("SwapDatabase returned %T, want the blocking db", old)
+		}
+		swapDone <- err
+	}()
+	select {
+	case err := <-swapDone:
+		if err != nil {
+			t.Fatalf("SwapDatabase failed: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("SwapDatabase blocked behind a slow Get")
+	}
+
+	// New requests see the new database immediately.
+	if v, err := h.Get(ctx, []byte("swapped")); err != nil || string(v) != "yes" {
+		t.Fatalf("post-swap Get = %q, %v", v, err)
+	}
+
+	// The parked handler still completes against the old database.
+	close(bdb.gate)
+	select {
+	case err := <-slowDone:
+		if err != nil {
+			t.Fatalf("slow Get failed after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow Get never completed")
+	}
+	inner.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"mochi/internal/argobots"
 	"mochi/internal/codec"
@@ -17,16 +18,47 @@ import (
 // Provider manages one Database and serves it over RPC (Figure 1's
 // server-library side: "Registers RPCs and their callbacks, forwards
 // them to the Resource").
+//
+// The resource pointer is published through an atomic: the per-RPC
+// fast path is one pointer load, with no lock — not even a read lock
+// — bracketing handler execution, so a slow operation on one shard
+// never convoys requests headed elsewhere. swapMu exists only for the
+// rare lifecycle transitions (Close/Destroy/SwapDatabase) that
+// replace the pointer.
 type Provider struct {
 	inst *margo.Instance
 	id   uint16
 	pool *argobots.Pool
 
-	mu  sync.RWMutex
+	state atomic.Pointer[providerState]
+	// swapMu serializes Close/Destroy/SwapDatabase against each
+	// other; it is never taken on the RPC path.
+	swapMu sync.Mutex
+}
+
+// providerState pairs the database with the config that built it, so
+// both swap atomically during reconfiguration.
+type providerState struct {
 	db  Database
 	cfg Config
+}
 
-	closed bool
+// fanoutPool picks the pool multi-op handlers fan out on: the
+// provider's explicit pool, else the instance's RPC dispatch pool.
+func (p *Provider) fanoutPool() *argobots.Pool {
+	if p.pool != nil {
+		return p.pool
+	}
+	return p.inst.RPCPool()
+}
+
+// adopt publishes a database, wiring the fan-out pool into backends
+// that can exploit intra-request parallelism.
+func (p *Provider) adopt(db Database, cfg Config) {
+	if pa, ok := db.(PoolAware); ok {
+		pa.SetPool(p.fanoutPool())
+	}
+	p.state.Store(&providerState{db: db, cfg: cfg})
 }
 
 // NewProvider creates a provider with the given ID serving a database
@@ -36,7 +68,8 @@ func NewProvider(inst *margo.Instance, id uint16, pool *argobots.Pool, cfg Confi
 	if err != nil {
 		return nil, err
 	}
-	p := &Provider{inst: inst, id: id, pool: pool, db: db, cfg: cfg}
+	p := &Provider{inst: inst, id: id, pool: pool}
+	p.adopt(db, cfg)
 	if err := p.register(); err != nil {
 		db.Close()
 		return nil, err
@@ -50,7 +83,8 @@ func NewProvider(inst *margo.Instance, id uint16, pool *argobots.Pool, cfg Confi
 // operations to replicas on other nodes while clients see an ordinary
 // yokan provider.
 func NewProviderWithDatabase(inst *margo.Instance, id uint16, pool *argobots.Pool, db Database, cfg Config) (*Provider, error) {
-	p := &Provider{inst: inst, id: id, pool: pool, db: db, cfg: cfg}
+	p := &Provider{inst: inst, id: id, pool: pool}
+	p.adopt(db, cfg)
 	if err := p.register(); err != nil {
 		return nil, err
 	}
@@ -72,18 +106,39 @@ func NewProviderJSON(inst *margo.Instance, id uint16, pool *argobots.Pool, raw [
 // ID returns the provider ID.
 func (p *Provider) ID() uint16 { return p.id }
 
-// Database returns the underlying resource (for local composition).
+// Database returns the underlying resource (for local composition),
+// or nil after Close.
 func (p *Provider) Database() Database {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.db
+	st := p.state.Load()
+	if st == nil {
+		return nil
+	}
+	return st.db
 }
 
 // Config returns the provider's configuration as JSON.
 func (p *Provider) Config() ([]byte, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return json.Marshal(p.cfg)
+	st := p.state.Load()
+	if st == nil {
+		return nil, ErrClosed
+	}
+	return json.Marshal(st.cfg)
+}
+
+// SwapDatabase atomically replaces the served database (the
+// reconfiguration/migration path): in-flight handlers finish against
+// the database they loaded, new requests see the replacement
+// immediately. The previous database is returned for the caller to
+// drain, checkpoint, or close.
+func (p *Provider) SwapDatabase(db Database, cfg Config) (Database, error) {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	st := p.state.Load()
+	if st == nil {
+		return nil, ErrClosed
+	}
+	p.adopt(db, cfg)
+	return st.db, nil
 }
 
 func (p *Provider) register() error {
@@ -126,30 +181,26 @@ func (p *Provider) deregister() {
 
 // Close deregisters the provider and closes its database.
 func (p *Provider) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.swapMu.Lock()
+	st := p.state.Swap(nil)
+	p.swapMu.Unlock()
+	if st == nil {
 		return nil
 	}
-	p.closed = true
-	db := p.db
-	p.mu.Unlock()
 	p.deregister()
-	return db.Close()
+	return st.db.Close()
 }
 
 // Destroy closes the provider and removes the database's files.
 func (p *Provider) Destroy() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.swapMu.Lock()
+	st := p.state.Swap(nil)
+	p.swapMu.Unlock()
+	if st == nil {
 		return nil
 	}
-	p.closed = true
-	db := p.db
-	p.mu.Unlock()
 	p.deregister()
-	return db.Destroy()
+	return st.db.Destroy()
 }
 
 func statusFromErr(err error) (uint8, string) {
@@ -174,13 +225,14 @@ func respondReply(h *mercury.Handle, reply codec.Marshaler) {
 	codec.PutEncoder(e)
 }
 
+// database resolves the served resource with a single atomic load —
+// the whole cost the provider layer adds to the storage hot path.
 func (p *Provider) database() (Database, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
+	st := p.state.Load()
+	if st == nil {
 		return nil, ErrClosed
 	}
-	return p.db, nil
+	return st.db, nil
 }
 
 func (p *Provider) handlePut(_ context.Context, h *mercury.Handle) {
@@ -191,9 +243,15 @@ func (p *Provider) handlePut(_ context.Context, h *mercury.Handle) {
 	}
 	db, err := p.database()
 	if err == nil {
-		for _, kv := range args.Pairs {
-			if err = db.Put(kv.Key, kv.Value); err != nil {
-				break
+		if bw, ok := db.(BatchWriter); ok && len(args.Pairs) > 1 {
+			// Sharded and log backends absorb the batch in one shot:
+			// parallel per-stripe fan-out or a single group commit.
+			err = bw.PutMulti(args.Pairs)
+		} else {
+			for _, kv := range args.Pairs {
+				if err = db.Put(kv.Key, kv.Value); err != nil {
+					break
+				}
 			}
 		}
 	}
@@ -229,20 +287,24 @@ func (p *Provider) handleGetMulti(_ context.Context, h *mercury.Handle) {
 	var reply valuesReply
 	db, err := p.database()
 	if err == nil {
-		for _, k := range args.Keys {
-			v, gerr := db.Get(k)
-			switch gerr {
-			case nil:
-				reply.Found = append(reply.Found, true)
-				reply.Values = append(reply.Values, v)
-			case ErrKeyNotFound:
-				reply.Found = append(reply.Found, false)
-				reply.Values = append(reply.Values, nil)
-			default:
-				err = gerr
-			}
-			if err != nil {
-				break
+		if br, ok := db.(BatchReader); ok && len(args.Keys) > 1 {
+			reply.Values, reply.Found, err = br.GetMulti(args.Keys)
+		} else {
+			for _, k := range args.Keys {
+				v, gerr := db.Get(k)
+				switch gerr {
+				case nil:
+					reply.Found = append(reply.Found, true)
+					reply.Values = append(reply.Values, v)
+				case ErrKeyNotFound:
+					reply.Found = append(reply.Found, false)
+					reply.Values = append(reply.Values, nil)
+				default:
+					err = gerr
+				}
+				if err != nil {
+					break
+				}
 			}
 		}
 	}

@@ -20,7 +20,7 @@ type testService struct {
 	handle   *DatabaseHandle
 }
 
-func newTestService(t *testing.T, cfg Config) *testService {
+func newTestService(t testing.TB, cfg Config) *testService {
 	t.Helper()
 	f := mercury.NewFabric()
 	scls, err := f.NewClass("yk-srv")
@@ -52,7 +52,7 @@ func newTestService(t *testing.T, cfg Config) *testService {
 	return &testService{fabric: f, server: server, client: client, provider: prov, handle: h}
 }
 
-func tctx(t *testing.T) context.Context {
+func tctx(t testing.TB) context.Context {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	t.Cleanup(cancel)

@@ -1,0 +1,345 @@
+package yokan
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+
+	"mochi/internal/argobots"
+)
+
+// shardedDB stripes one logical database across N independently locked
+// partitions of the same backend type, keyed by key hash. Point
+// operations touch exactly one shard's lock, so concurrent clients
+// scale with cores instead of convoying on a single mutex; ordered
+// iteration merge-sorts the per-shard scans so ListKeys/ListKeyValues
+// remain byte-identical to an unsharded database holding the same
+// pairs (shards partition the key space, so the merge never sees
+// duplicates).
+type shardedDB struct {
+	shards []Database
+	// pool, when set, runs multi-op fan-out and per-shard scans in
+	// parallel on the provider's Argobots pool (ParallelDo steals work
+	// back if the pool is busy, so a single-xstream pool cannot
+	// deadlock the handler that is already running on it).
+	pool atomic.Pointer[argobots.Pool]
+}
+
+// BatchWriter is the optional bulk-write fast path of a Database:
+// PutMulti stores all pairs, fanning out across internal partitions
+// (or batching into one commit) instead of looping Put.
+type BatchWriter interface {
+	PutMulti(pairs []KeyValue) error
+}
+
+// BatchReader is the optional bulk-read fast path of a Database:
+// GetMulti looks every key up, with found[i] reporting presence, and
+// only fails on errors other than a missing key.
+type BatchReader interface {
+	GetMulti(keys [][]byte) (values [][]byte, found []bool, err error)
+}
+
+// PoolAware lets a provider hand its Argobots pool to a database that
+// can exploit intra-request parallelism.
+type PoolAware interface {
+	SetPool(p *argobots.Pool)
+}
+
+// defaultShards sizes the stripe count to the cores the process may
+// use, capped so tiny values-per-shard overheads do not pile up on
+// very wide machines.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func newShardedDB(n int, open func() Database) *shardedDB {
+	s := &shardedDB{shards: make([]Database, n)}
+	for i := range s.shards {
+		s.shards[i] = open()
+	}
+	return s
+}
+
+// SetPool implements PoolAware.
+func (s *shardedDB) SetPool(p *argobots.Pool) { s.pool.Store(p) }
+
+// shardFor routes a key by FNV-1a hash. The empty key is rejected by
+// every backend's Put, but reads of it must still route somewhere
+// deterministic.
+func (s *shardedDB) shardFor(key []byte) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+func (s *shardedDB) Put(key, value []byte) error {
+	return s.shards[s.shardFor(key)].Put(key, value)
+}
+
+func (s *shardedDB) Get(key []byte) ([]byte, error) {
+	return s.shards[s.shardFor(key)].Get(key)
+}
+
+func (s *shardedDB) Erase(key []byte) error {
+	return s.shards[s.shardFor(key)].Erase(key)
+}
+
+func (s *shardedDB) Exists(key []byte) (bool, error) {
+	return s.shards[s.shardFor(key)].Exists(key)
+}
+
+func (s *shardedDB) Count() (int, error) {
+	total := 0
+	for _, sh := range s.shards {
+		n, err := sh.Count()
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// PutMulti implements BatchWriter: pairs are grouped per shard and the
+// groups stored in parallel. Pairs within one shard keep their
+// submission order, so a batch that writes the same key twice still
+// ends with the later value.
+func (s *shardedDB) PutMulti(pairs []KeyValue) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	groups := s.group(len(pairs), func(i int) []byte { return pairs[i].Key })
+	errs := make([]error, len(s.shards))
+	fns := make([]argobots.ULT, 0, len(s.shards))
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		si, idxs := si, idxs
+		fns = append(fns, func() {
+			sh := s.shards[si]
+			for _, i := range idxs {
+				if err := sh.Put(pairs[i].Key, pairs[i].Value); err != nil {
+					errs[si] = err
+					return
+				}
+			}
+		})
+	}
+	s.pool.Load().ParallelDo(fns...)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetMulti implements BatchReader: lookups fan out per shard, each
+// worker writing disjoint indices of the result slices.
+func (s *shardedDB) GetMulti(keys [][]byte) ([][]byte, []bool, error) {
+	values := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, found, nil
+	}
+	groups := s.group(len(keys), func(i int) []byte { return keys[i] })
+	errs := make([]error, len(s.shards))
+	fns := make([]argobots.ULT, 0, len(s.shards))
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		si, idxs := si, idxs
+		fns = append(fns, func() {
+			sh := s.shards[si]
+			for _, i := range idxs {
+				v, err := sh.Get(keys[i])
+				switch err {
+				case nil:
+					values[i], found[i] = v, true
+				case ErrKeyNotFound:
+					// leave the zero values
+				default:
+					errs[si] = err
+					return
+				}
+			}
+		})
+	}
+	s.pool.Load().ParallelDo(fns...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return values, found, nil
+}
+
+// group buckets item indices by destination shard.
+func (s *shardedDB) group(n int, keyAt func(int) []byte) [][]int {
+	groups := make([][]int, len(s.shards))
+	for i := 0; i < n; i++ {
+		si := s.shardFor(keyAt(i))
+		groups[si] = append(groups[si], i)
+	}
+	return groups
+}
+
+// Ordered scans ask every shard for the same (fromKey, prefix, max)
+// window — each answer alone could satisfy the page — then merge.
+func (s *shardedDB) ListKeys(fromKey, prefix []byte, max int) ([][]byte, error) {
+	per := make([][][]byte, len(s.shards))
+	errs := make([]error, len(s.shards))
+	fns := make([]argobots.ULT, len(s.shards))
+	for i := range s.shards {
+		i := i
+		fns[i] = func() {
+			per[i], errs[i] = s.shards[i].ListKeys(fromKey, prefix, max)
+		}
+	}
+	s.pool.Load().ParallelDo(fns...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeKeys(per, max), nil
+}
+
+func (s *shardedDB) ListKeyValues(fromKey, prefix []byte, max int) ([]KeyValue, error) {
+	per := make([][]KeyValue, len(s.shards))
+	errs := make([]error, len(s.shards))
+	fns := make([]argobots.ULT, len(s.shards))
+	for i := range s.shards {
+		i := i
+		fns[i] = func() {
+			per[i], errs[i] = s.shards[i].ListKeyValues(fromKey, prefix, max)
+		}
+	}
+	s.pool.Load().ParallelDo(fns...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeKeyValues(per, max), nil
+}
+
+// mergeKeys k-way merges per-shard sorted key slices. Shard key sets
+// are disjoint, so plain smallest-head selection preserves the exact
+// sequence an unsharded scan would produce.
+func mergeKeys(per [][][]byte, max int) [][]byte {
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	if max > 0 && total > max {
+		total = max
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, total)
+	heads := make([]int, len(per))
+	for len(out) < total {
+		best := -1
+		for i, p := range per {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || bytes.Compare(p[heads[i]], per[best][heads[best]]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, per[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+func mergeKeyValues(per [][]KeyValue, max int) []KeyValue {
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	if max > 0 && total > max {
+		total = max
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]KeyValue, 0, total)
+	heads := make([]int, len(per))
+	for len(out) < total {
+		best := -1
+		for i, p := range per {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || bytes.Compare(p[heads[i]].Key, per[best][heads[best]].Key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, per[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+func (s *shardedDB) Flush() error {
+	for _, sh := range s.shards {
+		if err := sh.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *shardedDB) Files() []string {
+	var out []string
+	for _, sh := range s.shards {
+		out = append(out, sh.Files()...)
+	}
+	return out
+}
+
+func (s *shardedDB) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *shardedDB) Destroy() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Destroy(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -73,7 +73,13 @@ func (d *skipDB) Put(key, value []byte) error {
 	}
 	cand := d.findPredecessors(key, prev)
 	if cand != nil && bytes.Equal(cand.key, key) {
-		cand.value = append([]byte(nil), value...)
+		// Overwrite in place when the old buffer is big enough; Get
+		// copies under the lock, so no reader aliases it.
+		if cap(cand.value) >= len(value) {
+			cand.value = append(cand.value[:0], value...)
+		} else {
+			cand.value = append([]byte(nil), value...)
+		}
 		return nil
 	}
 	lvl := d.randomLevel()

@@ -19,13 +19,15 @@ const (
 // Wire message types. Status codes: 0 OK, 1 key-not-found, 2 other
 // error (message in Err).
 //
-// Decode ownership differs by direction (DESIGN.md "Hot-path memory
-// discipline"): argument types are decoded server-side from a request
-// buffer that mercury recycles when the handler responds, and the
-// database may retain keys/values indefinitely, so they copy every
-// byte slice. Reply types are decoded client-side from the Forward
-// result, which the caller owns and never recycles, so they alias the
-// reply buffer instead of copying.
+// Decode ownership (DESIGN.md "Hot-path memory discipline"): both
+// directions alias the underlying buffer instead of copying. Reply
+// types are decoded client-side from the Forward result, which the
+// caller owns and never recycles. Argument types are decoded
+// server-side from a request buffer that mercury recycles only after
+// the handler responds; the Database contract forbids implementations
+// from retaining key/value slices beyond the call, and every handler
+// finishes its database calls before responding, so aliasing is safe
+// and the decode path allocates nothing per byte slice.
 
 type putArgs struct {
 	Pairs []KeyValue
@@ -46,8 +48,8 @@ func (a *putArgs) UnmarshalMochi(d *codec.Decoder) {
 	}
 	a.Pairs = make([]KeyValue, 0, n)
 	for i := uint64(0); i < n; i++ {
-		k := append([]byte(nil), d.BytesField()...)
-		v := append([]byte(nil), d.BytesField()...)
+		k := d.BytesField()
+		v := d.BytesField()
 		if d.Err() != nil {
 			return
 		}
@@ -73,7 +75,7 @@ func (a *keysArgs) UnmarshalMochi(d *codec.Decoder) {
 	}
 	a.Keys = make([][]byte, 0, n)
 	for i := uint64(0); i < n; i++ {
-		a.Keys = append(a.Keys, append([]byte(nil), d.BytesField()...))
+		a.Keys = append(a.Keys, d.BytesField())
 		if d.Err() != nil {
 			return
 		}
@@ -96,8 +98,8 @@ func (a *listArgs) MarshalMochi(e *codec.Encoder) {
 
 func (a *listArgs) UnmarshalMochi(d *codec.Decoder) {
 	a.HasFrom = d.Bool()
-	a.FromKey = append([]byte(nil), d.BytesField()...)
-	a.Prefix = append([]byte(nil), d.BytesField()...)
+	a.FromKey = d.BytesField()
+	a.Prefix = d.BytesField()
 	a.Max = d.Uint32()
 }
 
