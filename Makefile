@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-throughput bench-full fuzz examples vet fmt-check ci clean
+.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-full fuzz examples vet fmt-check lint reshard-soak ci clean
 
 all: build test
 
@@ -23,6 +23,26 @@ test:
 race:
 	$(GO) test -race -timeout 1200s ./internal/...
 
+# Static analysis beyond `go vet`, with pinned tool versions so CI
+# and local runs agree. `go run pkg@version` resolves the tools from
+# the module cache without touching go.mod.
+STATICCHECK_VERSION ?= v0.5.1
+GOVULNCHECK_VERSION ?= v1.1.3
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# The CI reconfiguration soak: the multi-provider resharding tests
+# under the race detector with seeded ChaosTransport loss/dup/delay on
+# every link, long enough (RESHARD_SOAK_MS per soak) for dozens of
+# routing flips. The gated invariant: acked writes are never lost
+# across a flip.
+RESHARD_SOAK_MS ?= 15000
+reshard-soak:
+	RESHARD_SOAK_MS=$(RESHARD_SOAK_MS) $(GO) test -race -count=1 -v \
+		-run 'TestReshardUnderLiveTraffic|TestReshardSoakChaos' \
+		-timeout 900s ./internal/yokan/router/
+
 # Everything the CI workflow runs, in the same order. Run before pushing.
 ci: build vet fmt-check test race
 
@@ -42,9 +62,11 @@ bench-alloc:
 	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkForward|BenchmarkMulti' -benchtime=1000x -benchmem ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/
 
 # Fuzz every hostile-input parser for FUZZTIME each — the pooled codec
-# decoder, the TCP frame parser, the raft/yokan/ssg wire messages — plus
-# the yokan op-script target, which runs differential op sequences
-# (multi-key batches, shard-boundary keys) against a reference model.
+# decoder, the TCP frame parser, the raft/yokan/ssg wire messages, the
+# router shard-map encoding (epoch, ring entries) and migration
+# messages — plus the yokan op-script target, which runs differential
+# op sequences (multi-key batches, shard-boundary keys) against a
+# reference model.
 # Go allows one -fuzz pattern per invocation, so targets run one by one.
 FUZZTIME ?= 20s
 fuzz:
@@ -55,6 +77,8 @@ fuzz:
 	$(GO) test ./internal/yokan/   -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/yokan/   -run '^FuzzOpScript$$'     -fuzz '^FuzzOpScript$$'     -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ssg/     -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/yokan/router/ -run '^FuzzShardMapWire$$'       -fuzz '^FuzzShardMapWire$$'       -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/yokan/router/ -run '^FuzzRouterWireMessages$$' -fuzz '^FuzzRouterWireMessages$$' -fuzztime $(FUZZTIME)
 
 # Concurrent storage-engine throughput sweep, baseline vs striped, for
 # every backend (about 5s per backend at the default 300ms cells ×
@@ -64,6 +88,14 @@ fuzz:
 THROUGHPUT_FLAGS ?= -duration 300ms
 bench-throughput:
 	$(GO) run ./cmd/mochi-bench -throughput $(THROUGHPUT_FLAGS)
+
+# Online-resharding throughput leg: live traffic against a 3-node
+# sharded deployment with a migration fired mid-run; reports tail
+# latency before/during/after the move and fails on any lost acked
+# write. CI runs this in bench-smoke and uploads the table.
+RESHARD_FLAGS ?= -duration 1s -reshard-at 300ms
+bench-reshard:
+	$(GO) run ./cmd/mochi-bench -throughput $(RESHARD_FLAGS)
 
 # Full experiment sweeps with pretty tables (minutes).
 bench-full:
@@ -75,6 +107,7 @@ examples:
 	$(GO) run ./examples/elastic-kv
 	$(GO) run ./examples/resilient-kv
 	$(GO) run ./examples/colza-pipeline
+	$(GO) run ./examples/reshard-demo
 
 clean:
 	$(GO) clean ./...

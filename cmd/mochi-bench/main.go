@@ -11,6 +11,13 @@
 //	mochi-bench -throughput [-backends map,log] [-workers 1,2,4,8]
 //	            [-read-frac 0.5] [-value-size 128] [-duration 1s]
 //	            [-shards N] [-batch-window 200us] [-log-sync]
+//	mochi-bench -throughput -reshard-at 300ms [-duration 1s]
+//	            [-workers 4] [-shards 8] [-read-frac 0.5]
+//
+// With -reshard-at the throughput leg runs against a live 3-node
+// sharded deployment instead of a local engine, fires an online
+// resharding at the given offset, and reports tail latency before,
+// during, and after the migration window.
 package main
 
 import (
@@ -36,8 +43,12 @@ func main() {
 	shards := flag.Int("shards", 0, "throughput: stripe count for the sharded mode (0 = default)")
 	batchWindow := flag.String("batch-window", "", "throughput: log group-commit window, e.g. 200us")
 	logSync := flag.Bool("log-sync", false, "throughput: fsync log commits (measures group commit against real commit latency)")
+	reshardAt := flag.Duration("reshard-at", 0, "throughput: fire an online resharding at this offset into the run (0 = off)")
 	flag.Parse()
 
+	if *throughput && *reshardAt > 0 {
+		os.Exit(runReshard(*workers, *readFrac, *valueSize, *duration, *shards, *reshardAt))
+	}
 	if *throughput {
 		os.Exit(runThroughput(*backends, *workers, *readFrac, *valueSize, *duration, *shards, *batchWindow, *logSync))
 	}
@@ -102,5 +113,40 @@ func runThroughput(backends, workers string, readFrac float64, valueSize int, du
 		return 1
 	}
 	table.Render(os.Stdout)
+	return 0
+}
+
+// runReshard drives the online-resharding leg: live traffic against a
+// sharded 3-node deployment with a mid-run migration. The first entry
+// of -workers picks the client goroutine count.
+func runReshard(workers string, readFrac float64, valueSize int, duration time.Duration, shards int, reshardAt time.Duration) int {
+	opts := experiments.ReshardOptions{
+		ReadFraction: readFrac,
+		ValueSize:    valueSize,
+		Duration:     duration,
+		ReshardAt:    reshardAt,
+		Shards:       shards,
+	}
+	// Only honor an explicit -workers; the sweep's default list is for
+	// the engine sweep, not this leg (ReshardOptions defaults to 4).
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			set = true
+		}
+	})
+	if w := strings.Split(workers, ","); set && len(w) > 0 {
+		if n, err := strconv.Atoi(strings.TrimSpace(w[0])); err == nil && n > 0 {
+			opts.Workers = n
+		}
+	}
+	table, err := experiments.RunReshardThroughput(opts)
+	if table != nil {
+		table.Render(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reshard leg FAILED: %v\n", err)
+		return 1
+	}
 	return 0
 }

@@ -37,6 +37,7 @@ func NewTCPClass(listenAddr string) (*Class, error) {
 		listener: ln,
 		address:  "tcp://" + ln.Addr().String(),
 		conns:    map[string]*tcpConn{},
+		dials:    map[string]*pendingDial{},
 		done:     make(chan struct{}),
 	}
 	cls := newClass(tr)
@@ -52,8 +53,28 @@ type tcpTransport struct {
 
 	mu       sync.Mutex
 	conns    map[string]*tcpConn
+	dials    map[string]*pendingDial
 	done     chan struct{}
 	stopOnce sync.Once
+}
+
+// pendingDial is one in-flight dial. Concurrent senders to the same
+// destination wait on done rather than dialing redundantly, and the
+// transport lock is never held across the dial itself — a slow or
+// blackholed destination must not stall sends to healthy ones, and a
+// waiter must stay responsive to its own context (the dial may be
+// running under someone else's much longer deadline).
+type pendingDial struct {
+	done chan struct{} // closed once tc/err are set
+	tc   *tcpConn
+	err  error
+}
+
+// tcpDialContext dials one outbound connection. It is a variable so
+// tests can substitute slow or blocking dials.
+var tcpDialContext = func(ctx context.Context, host string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", host)
 }
 
 // tcpConn wraps one outbound connection with a buffered, coalescing
@@ -124,24 +145,75 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 }
 
 func (t *tcpTransport) getConn(ctx context.Context, dst string) (*tcpConn, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if c, ok := t.conns[dst]; ok {
-		return c, nil
+	for {
+		t.mu.Lock()
+		if c, ok := t.conns[dst]; ok {
+			t.mu.Unlock()
+			return c, nil
+		}
+		if p := t.dials[dst]; p != nil {
+			t.mu.Unlock()
+			select {
+			case <-p.done:
+				if p.err == nil {
+					return p.tc, nil
+				}
+				// The owner's dial failed under the owner's context;
+				// retry under ours — it may be more patient.
+				continue
+			case <-ctx.Done():
+				return nil, classifyNetErr(dst, ctx.Err())
+			case <-t.done:
+				return nil, ErrClassClosed
+			}
+		}
+		p := &pendingDial{done: make(chan struct{})}
+		t.dials[dst] = p
+		t.mu.Unlock()
+		tc, err := t.dial(ctx, dst, p)
+		if err != nil {
+			return nil, err
+		}
+		return tc, nil
 	}
+}
+
+// dial performs the dial this goroutine owns (registered in t.dials
+// as p), publishes the outcome to waiters, and starts the response
+// read loop on success. It runs without the transport lock.
+func (t *tcpTransport) dial(ctx context.Context, dst string, p *pendingDial) (*tcpConn, error) {
 	host := dst
 	if len(dst) > 6 && dst[:6] == "tcp://" {
 		host = dst[6:]
 	}
 	// Dial under the caller's context so a Forward deadline bounds
 	// connection establishment, not just the wait for the response.
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", host)
+	conn, err := tcpDialContext(ctx, host)
+
+	t.mu.Lock()
+	delete(t.dials, dst)
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		if err == nil {
+			conn.Close()
+		}
+		p.err = ErrClassClosed
+		close(p.done)
+		return nil, ErrClassClosed
+	default:
+	}
 	if err != nil {
-		return nil, classifyNetErr(dst, err)
+		t.mu.Unlock()
+		p.err = classifyNetErr(dst, err)
+		close(p.done)
+		return nil, p.err
 	}
 	tc := &tcpConn{c: conn, bw: bufio.NewWriterSize(conn, tcpWriteBuffer)}
 	t.conns[dst] = tc
+	t.mu.Unlock()
+	p.tc = tc
+	close(p.done)
 	// Responses to our outbound requests come back on this same
 	// connection; read them.
 	go func() {

@@ -3,7 +3,9 @@ package mercury
 import (
 	"context"
 	"errors"
+	"net"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -227,5 +229,78 @@ func TestTCPConcurrentFrameIntegrity(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestTCPDialHonorsContextCancel is the regression test for a stall
+// in the outbound dial path: getConn used to hold the transport lock
+// across DialContext, so while one dial hung (a blackholed host), a
+// concurrent sender — even one whose own context was about to expire,
+// or one retrying with backoff toward a different destination — sat
+// on the mutex, unable to observe its cancellation. Now waiters on
+// the same destination select on their own context, and dials to
+// other destinations proceed concurrently.
+func TestTCPDialHonorsContextCancel(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.Register("echo", func(h *Handle) { _ = h.Respond(h.Input()) })
+
+	release := make(chan struct{})
+	oldDial := tcpDialContext
+	blackhole := "tcp://192.0.2.1:9" // TEST-NET-1: never dialed for real
+	tcpDialContext = func(ctx context.Context, host string) (net.Conn, error) {
+		if "tcp://"+host == blackhole {
+			// Simulate a dial that hangs until canceled, as against a
+			// host that silently drops SYNs.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-release:
+				return nil, syscall.ECONNREFUSED
+			}
+		}
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", host)
+	}
+	defer func() {
+		close(release)
+		tcpDialContext = oldDial
+	}()
+
+	// First sender: long deadline, hangs in the blackholed dial.
+	firstErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, err := a.Forward(ctx, blackhole, NameToID("echo"), nil)
+		firstErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it own the pending dial
+
+	// Second sender to the same destination with a short deadline must
+	// observe its own cancellation promptly instead of riding out the
+	// first sender's 30s dial.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	_, err := a.Forward(ctx, blackhole, NameToID("echo"), nil)
+	cancel()
+	if err == nil {
+		t.Fatal("forward to blackholed destination succeeded")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("canceled sender stalled %v behind another sender's dial", waited)
+	}
+
+	// A sender to a healthy destination must not queue behind the
+	// hung dial at all.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if _, err := a.Forward(ctx2, b.Addr(), NameToID("echo"), []byte("x")); err != nil {
+		t.Fatalf("healthy destination blocked by unrelated dial: %v", err)
+	}
+
+	// Unblock the first dial and reap it.
+	release <- struct{}{}
+	if err := <-firstErr; err == nil {
+		t.Fatal("blackholed forward unexpectedly succeeded")
 	}
 }

@@ -19,13 +19,14 @@ import (
 
 var registerOnce sync.Once
 
-// RegisterBuiltins registers the yokan, warabi and poesie modules.
-// It is idempotent.
+// RegisterBuiltins registers the yokan, warabi, poesie and xkv
+// modules. It is idempotent.
 func RegisterBuiltins() {
 	registerOnce.Do(func() {
 		bedrock.RegisterModule(&YokanModule{})
 		bedrock.RegisterModule(&WarabiModule{})
 		bedrock.RegisterModule(&PoesieModule{})
+		bedrock.RegisterModule(&XkvModule{})
 	})
 }
 

@@ -1,0 +1,115 @@
+package modules
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/yokan/router"
+)
+
+// xkvServerConfig builds a bedrock process description hosting one
+// xkv provider. Every member of the keyspace gets the identical
+// bootstrap block, so all of them derive the same epoch-1 map without
+// coordination.
+func xkvServerConfig(owners []string) string {
+	b, _ := json.Marshal(owners)
+	return fmt.Sprintf(`{
+  "libraries": { "xkv": "libxkv.so" },
+  "providers": [
+    { "name": "keyspace",
+      "type": "xkv",
+      "provider_id": 40,
+      "config": {
+        "backend": {"type": "map"},
+        "bootstrap": {"shards": 8, "owners": %s}
+      } }
+  ]
+}`, b)
+}
+
+// TestXkvModuleBedrockReshard spins up three bedrock processes
+// hosting one sharded keyspace (two owners, one spare), routes
+// traffic through a client, then moves one shard to the spare via the
+// remote reshard RPC and verifies the keyspace is intact under the
+// bumped epoch.
+func TestXkvModuleBedrockReshard(t *testing.T) {
+	RegisterBuiltins()
+	f := mercury.NewFabric()
+	names := []string{"xkv-bed-0", "xkv-bed-1", "xkv-bed-2"}
+	owners := []string{"sm://xkv-bed-0", "sm://xkv-bed-1"}
+	cfg := xkvServerConfig(owners)
+	for _, name := range names {
+		cls, err := f.NewClass(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := bedrock.NewServer(cls, []byte(cfg))
+		if err != nil {
+			t.Fatalf("server %s: %v", name, err)
+		}
+		t.Cleanup(srv.Shutdown)
+		if _, ok := srv.LookupProvider("keyspace"); !ok {
+			t.Fatalf("server %s did not start the xkv provider", name)
+		}
+	}
+
+	cls, err := f.NewClass("xkv-bed-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := margo.New(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Finalize)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+
+	r, err := router.Bootstrap(ctx, inst, owners, 40)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if err := r.Put(ctx, []byte(k), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+
+	// Move shard 0 from its owner to the spare through the same RPC
+	// path the balancer uses.
+	m := r.Map()
+	spare := router.Owner{Addr: "sm://xkv-bed-2", Provider: 40}
+	dec := &router.Decision{Shard: 0, From: m.Owners[0], To: spare}
+	if err := router.NewBalancer(inst, nil).Execute(ctx, dec); err != nil {
+		t.Fatalf("remote reshard: %v", err)
+	}
+
+	// A stale router must follow the redirect and still see every key.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		v, err := r.Get(ctx, []byte(k))
+		if err != nil {
+			t.Fatalf("get %s after reshard: %v", k, err)
+		}
+		if want := fmt.Sprintf("val-%d", i); string(v) != want {
+			t.Fatalf("key %s: got %q want %q", k, v, want)
+		}
+	}
+	if err := r.Refresh(ctx); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if got := r.Map(); got.Epoch <= m.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", m.Epoch, got.Epoch)
+	}
+	if got := r.Map().Owners[0]; got != spare {
+		t.Fatalf("shard 0 owned by %v, want spare %v", got, spare)
+	}
+}

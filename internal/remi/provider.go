@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"mochi/internal/argobots"
 	"mochi/internal/codec"
@@ -157,6 +158,13 @@ func (p *Provider) handleBegin(ctx context.Context, h *mercury.Handle) {
 	}
 }
 
+// pullTimeout bounds one destination-side bulk pull when the handler
+// context carries no deadline of its own. Handler contexts normally
+// don't: without this bound, a lost bulk frame would park the handler
+// forever — and handlers run on the instance's RPC execution stream,
+// so one wedged pull starves every other RPC on the node.
+const pullTimeout = 10 * time.Second
+
 // pullAll runs under the handler context so the bulk pulls inherit its
 // trace context (each transfer records a bulk phase span when sampled).
 func (p *Provider) pullAll(ctx context.Context, h *mercury.Handle, args *beginArgs, fs *FileSet) error {
@@ -169,7 +177,15 @@ func (p *Provider) pullAll(ctx context.Context, h *mercury.Handle, args *beginAr
 	for i, wf := range args.Files {
 		buf := make([]byte, wf.Size)
 		local := h.Class().CreateBulk(buf, mercury.BulkReadWrite)
-		err := h.Class().BulkTransfer(ctx, mercury.BulkPull, wf.Bulk, 0, local, 0, uint64(wf.Size))
+		pctx := ctx
+		var cancel context.CancelFunc
+		if _, ok := ctx.Deadline(); !ok {
+			pctx, cancel = context.WithTimeout(ctx, pullTimeout)
+		}
+		err := h.Class().BulkTransfer(pctx, mercury.BulkPull, wf.Bulk, 0, local, 0, uint64(wf.Size))
+		if cancel != nil {
+			cancel()
+		}
 		local.Free()
 		if err != nil {
 			return fmt.Errorf("remi: bulk pull of %s: %w", wf.RelPath, err)

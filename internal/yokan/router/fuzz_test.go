@@ -1,0 +1,87 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mochi/internal/codec"
+)
+
+// FuzzShardMapWire decodes arbitrary bytes as a shard map. The map
+// travels inside redirect replies from arbitrary peers, so the
+// decoder must never panic, never allocate absurdly, and anything it
+// accepts must round-trip byte-identically and route keys identically
+// after re-serialization.
+func FuzzShardMapWire(f *testing.F) {
+	m, _ := NewMap(8, []Owner{{Addr: "sm://a", Provider: 1}, {Addr: "sm://b", Provider: 2}}, 0)
+	f.Add(EncodeMap(m))
+	f.Add(EncodeMap(m.WithOwner(3, Owner{Addr: "sm://c", Provider: 3})))
+	big, _ := NewMap(64, []Owner{{Addr: "tcp://127.0.0.1:9999", Provider: 42}}, 128)
+	f.Add(EncodeMap(big))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeMap(data)
+		if err != nil {
+			return
+		}
+		re := EncodeMap(dec)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted map does not round-trip: %x -> %x", data, re)
+		}
+		dec2, err := DecodeMap(re)
+		if err != nil {
+			t.Fatalf("re-encoded map rejected: %v", err)
+		}
+		for i := 0; i < 64; i++ {
+			key := []byte(fmt.Sprintf("probe-%d", i))
+			s := dec.ShardOf(key)
+			if s2 := dec2.ShardOf(key); s2 != s {
+				t.Fatalf("ring moved across re-serialization: key %q %d -> %d", key, s, s2)
+			}
+			if int(s) >= len(dec.Owners) {
+				t.Fatalf("ShardOf out of range: %d >= %d", s, len(dec.Owners))
+			}
+		}
+	})
+}
+
+// FuzzRouterWireMessages decodes arbitrary bytes as each router wire
+// message, mirroring the ssg fuzz harness: decoders must be
+// allocation-bounded and panic-free on hostile input.
+func FuzzRouterWireMessages(f *testing.F) {
+	seed := func(m codec.Marshaler) []byte { return codec.Marshal(m) }
+	f.Add(uint8(0), seed(&opArgs{Epoch: 1, Shard: 2, Keys: [][]byte{[]byte("k")}}))
+	f.Add(uint8(1), seed(&opReply{Status: statusStale, Map: []byte{1, 2}}))
+	f.Add(uint8(2), seed(&stageArgs{Shard: 1, MigID: 99, Pairs: nil}))
+	f.Add(uint8(3), seed(&promoteArgs{Shard: 1, MigID: 99, Map: []byte{3}}))
+	f.Add(uint8(4), seed(&statsReply{Epoch: 7, Stats: []ShardStat{{Shard: 1, Ops: 2, Bytes: 3}}}))
+	f.Add(uint8(5), seed(&prepareReply{Status: 0, RemiProvider: 10}))
+	f.Add(uint8(6), seed(&installArgs{Bootstrap: true, Map: []byte{9}}))
+	f.Add(uint8(7), seed(&reshardArgs{Shard: 3, Dst: Owner{Addr: "sm://x", Provider: 1}}))
+
+	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
+		var m codec.Unmarshaler
+		switch sel % 8 {
+		case 0:
+			m = &opArgs{}
+		case 1:
+			m = &opReply{}
+		case 2:
+			m = &stageArgs{}
+		case 3:
+			m = &promoteArgs{}
+		case 4:
+			m = &statsReply{}
+		case 5:
+			m = &prepareReply{}
+		case 6:
+			m = &installArgs{}
+		case 7:
+			m = &reshardArgs{}
+		}
+		_ = codec.Unmarshal(data, m)
+	})
+}

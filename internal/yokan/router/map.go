@@ -1,0 +1,238 @@
+// Package router spreads one logical yokan keyspace across N
+// providers with a client-side consistent-hash router, and makes the
+// placement *dynamic*: a Reshard operation REMI-migrates one shard's
+// data to a new owner and atomically flips routing under live
+// traffic. This is the paper's elasticity claim (§6: REMI +
+// Pufferscale + SSG compose into dynamically reconfigurable
+// services) exercised end to end.
+//
+// Routing is two-level, the classic "many fixed shards over few
+// movable owners" design: a key hashes onto a virtual-node ring whose
+// points map to a fixed set of shards, and an epoch-versioned map
+// assigns each shard to an owner (address, provider ID). Moving data
+// never rehashes keys — only the shard→owner assignment changes, so a
+// reshard touches exactly one shard's pairs and every other key keeps
+// routing without interruption.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"mochi/internal/codec"
+)
+
+// Bounds on decoded maps, protecting against corrupt or hostile
+// inputs (the map travels inside redirect replies).
+const (
+	MaxShards = 4096
+	MaxVNodes = 1024
+	// DefaultVNodes is the ring density per shard. 32 points per
+	// shard keeps the max/mean keyspace share of a shard within a
+	// few percent of ideal while the ring stays small enough to
+	// rebuild on every map decode.
+	DefaultVNodes = 32
+)
+
+// Owner locates the provider serving a shard.
+type Owner struct {
+	Addr     string
+	Provider uint16
+}
+
+func (o Owner) String() string { return fmt.Sprintf("%s/%d", o.Addr, o.Provider) }
+
+// Map is the epoch-versioned shard map. It is immutable once built:
+// mutation happens by deriving a successor with WithOwner (epoch+1),
+// so a *Map can be published through an atomic pointer and read
+// lock-free on every operation.
+//
+// The ring is derived deterministically from (len(Owners), VNodes)
+// alone — ring point j of shard i is the hash of "shard/i/j" — so two
+// parties that agree on the shard count agree on every key's shard,
+// regardless of how the map was serialized, merged, or re-decoded.
+// Owner changes never move ring points.
+type Map struct {
+	Epoch  uint64
+	VNodes int
+	Owners []Owner // indexed by shard
+
+	ring []ringEntry
+}
+
+type ringEntry struct {
+	point uint64
+	shard uint32
+}
+
+// NewMap builds an epoch-0 map assigning shard i to owners[i%len].
+// nshards is the fixed shard count for the life of the keyspace.
+func NewMap(nshards int, owners []Owner, vnodes int) (*Map, error) {
+	if nshards < 1 || nshards > MaxShards {
+		return nil, fmt.Errorf("router: shard count %d out of range [1,%d]", nshards, MaxShards)
+	}
+	if len(owners) == 0 {
+		return nil, fmt.Errorf("router: need at least one owner")
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVNodes
+	}
+	if vnodes < 1 || vnodes > MaxVNodes {
+		return nil, fmt.Errorf("router: vnodes %d out of range [1,%d]", vnodes, MaxVNodes)
+	}
+	m := &Map{Epoch: 0, VNodes: vnodes, Owners: make([]Owner, nshards)}
+	for i := range m.Owners {
+		m.Owners[i] = owners[i%len(owners)]
+	}
+	m.buildRing()
+	return m, nil
+}
+
+// NumShards returns the fixed shard count.
+func (m *Map) NumShards() int { return len(m.Owners) }
+
+// buildRing derives the sorted virtual-node ring. Points depend only
+// on the shard count and vnode density, never on owners or epoch.
+func (m *Map) buildRing() {
+	m.ring = make([]ringEntry, 0, len(m.Owners)*m.VNodes)
+	var name [32]byte
+	for s := 0; s < len(m.Owners); s++ {
+		for v := 0; v < m.VNodes; v++ {
+			b := name[:0]
+			b = append(b, "shard/"...)
+			b = appendUint(b, uint64(s))
+			b = append(b, '/')
+			b = appendUint(b, uint64(v))
+			m.ring = append(m.ring, ringEntry{point: hashBytes(b), shard: uint32(s)})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].point != m.ring[j].point {
+			return m.ring[i].point < m.ring[j].point
+		}
+		// Deterministic tie-break so equal points (vanishingly
+		// rare) still order identically everywhere.
+		return m.ring[i].shard < m.ring[j].shard
+	})
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v >= 10 {
+		b = appendUint(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// hashBytes hashes for ring placement: FNV-64a for the byte walk,
+// then a murmur3-style finalizer. Raw FNV of short, similar inputs
+// ("key-1", "key-2", ...) clusters badly — neighbouring inputs land
+// in neighbouring ring arcs and the "uniform" ring degenerates to a
+// couple of hot shards; the finalizer's avalanche restores uniform
+// spread while staying a bijection (distinct FNV values stay
+// distinct).
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// ShardOf maps a key to its shard: the first ring point at or after
+// the key's hash, wrapping at the top.
+func (m *Map) ShardOf(key []byte) uint32 {
+	h := hashBytes(key)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].point >= h })
+	if i == len(m.ring) {
+		i = 0
+	}
+	return m.ring[i].shard
+}
+
+// OwnerOf returns the owner currently assigned to the key's shard.
+func (m *Map) OwnerOf(key []byte) (uint32, Owner) {
+	s := m.ShardOf(key)
+	return s, m.Owners[s]
+}
+
+// WithOwner derives the successor map: identical except shard is
+// assigned to o and the epoch is bumped. The ring is shared — ring
+// points never depend on ownership.
+func (m *Map) WithOwner(shard uint32, o Owner) *Map {
+	owners := make([]Owner, len(m.Owners))
+	copy(owners, m.Owners)
+	owners[shard] = o
+	return &Map{Epoch: m.Epoch + 1, VNodes: m.VNodes, Owners: owners, ring: m.ring}
+}
+
+// Nodes returns the distinct owner addresses, in first-seen order.
+func (m *Map) Nodes() []string {
+	seen := make(map[string]bool, len(m.Owners))
+	var out []string
+	for _, o := range m.Owners {
+		if !seen[o.Addr] {
+			seen[o.Addr] = true
+			out = append(out, o.Addr)
+		}
+	}
+	return out
+}
+
+// MarshalMochi encodes the map: epoch, vnode density, then the
+// shard→owner table. The ring is derived, never serialized.
+func (m *Map) MarshalMochi(e *codec.Encoder) {
+	e.Uint64(m.Epoch)
+	e.Uvarint(uint64(m.VNodes))
+	e.Uvarint(uint64(len(m.Owners)))
+	for _, o := range m.Owners {
+		e.String(o.Addr)
+		e.Uint16(o.Provider)
+	}
+}
+
+// UnmarshalMochi decodes and validates a map and rebuilds its ring.
+func (m *Map) UnmarshalMochi(d *codec.Decoder) {
+	m.Epoch = d.Uint64()
+	vn := d.Uvarint()
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return
+	}
+	if vn < 1 || vn > MaxVNodes || n < 1 || n > MaxShards || n > uint64(d.Remaining())+1 {
+		// Leave Owners nil: Unmarshal's Finish rejects trailing
+		// bytes and DecodeMap rejects empty maps, so out-of-range
+		// headers never yield a usable map.
+		return
+	}
+	m.VNodes = int(vn)
+	m.Owners = make([]Owner, 0, n)
+	for i := uint64(0); i < n; i++ {
+		addr := d.String()
+		prov := d.Uint16()
+		if d.Err() != nil {
+			return
+		}
+		m.Owners = append(m.Owners, Owner{Addr: addr, Provider: prov})
+	}
+	m.buildRing()
+}
+
+// EncodeMap serializes a map to bytes.
+func EncodeMap(m *Map) []byte { return codec.Marshal(m) }
+
+// DecodeMap parses and validates a serialized map.
+func DecodeMap(b []byte) (*Map, error) {
+	var m Map
+	if err := codec.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("router: bad shard map: %w", err)
+	}
+	if len(m.Owners) == 0 || m.ring == nil {
+		return nil, fmt.Errorf("router: bad shard map: empty")
+	}
+	return &m, nil
+}

@@ -1,0 +1,904 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/mercury"
+	"mochi/internal/remi"
+	"mochi/internal/ssg"
+	"mochi/internal/yokan"
+)
+
+// Shard modes. Owned is the steady state. Dual is the migration
+// window: the source stays authoritative (every write applies locally
+// first) but forwards each write to the destination's staging area
+// before acking, so an acked write exists on both sides whichever way
+// the migration ends.
+const (
+	modeOwned = iota
+	modeDual
+)
+
+// shard is one locally resident shard.
+type shard struct {
+	id uint32
+	db yokan.Database
+
+	// mu is the reconfiguration fence: every data operation holds it
+	// for read, the flip holds it for write. Acquiring the write lock
+	// therefore *is* the drain — it waits out in-flight operations
+	// (including their dual-write forwards) and blocks new ones for
+	// the one RTT the promote takes.
+	mu      sync.RWMutex
+	mode    int
+	dualDst Owner
+	migID   uint64
+	dropped bool // shard moved away; set before removal from the table
+
+	// abortFlag is set by a data operation whose dual-write forward
+	// failed (it cannot take mu for write — it holds it for read), and
+	// checked by the flip under the write lock: a failed forward
+	// always either aborts the migration or is observed before the
+	// flip commits.
+	abortFlag atomic.Bool
+	// stageSeq numbers the dual-write stream (see stageArgs.Seq).
+	stageSeq atomic.Uint64
+
+	ops   atomic.Uint64 // cumulative data operations (load signal)
+	bytes atomic.Int64  // approximate resident bytes (data signal)
+}
+
+// staging is an in-flight incoming shard on the destination.
+type staging struct {
+	migID uint64
+	mu    sync.Mutex
+	db    yokan.Database
+	// tombstones records keys erased through the dual-write stream
+	// before the snapshot arrived, so the merge cannot resurrect
+	// them: the snapshot is older than any staged operation.
+	tombstones map[string]struct{}
+	// lastSeq records the highest stage sequence applied per key, so
+	// delayed duplicates of older writes cannot clobber newer ones.
+	lastSeq map[string]uint64
+	merged  bool
+}
+
+// Options configures a Node.
+type Options struct {
+	// ProviderID is the router provider's ID. All nodes of one
+	// sharded keyspace must use the same ID (the way bedrock names a
+	// provider consistently across processes); map dissemination to
+	// SSG members that own no shard yet relies on it.
+	ProviderID uint16
+	// RemiProviderID is the REMI provider receiving shard snapshots
+	// (0 = ProviderID+1).
+	RemiProviderID uint16
+	// Backend templates each shard's database. The "log" backend
+	// gets a per-shard path under Dir. Stripe count defaults to 1:
+	// shards are already the unit of parallelism here.
+	Backend yokan.Config
+	// Dir is the node's scratch root (snapshots, incoming REMI
+	// files, log-backend shards). Empty = a fresh temp directory.
+	Dir string
+	// Group, when set, is the SSG group used to disseminate new maps
+	// after a flip.
+	Group *ssg.Group
+	// StageTimeoutMS bounds one dual-write forward (0 = 2000).
+	StageTimeoutMS int
+}
+
+// Node serves a slice of the sharded keyspace: it owns some shards'
+// databases, redirects traffic for the rest, and implements both ends
+// of the migration protocol.
+type Node struct {
+	inst *margo.Instance
+	id   uint16
+	opts Options
+	dir  string
+
+	remiP *remi.Provider
+	remiC *remi.Client
+
+	cur atomic.Pointer[Map]
+
+	mu       sync.Mutex // guards shards, incoming, migSeq, closed
+	shards   map[uint32]*shard
+	incoming map[uint32]*staging
+	migSeq   uint64
+	closed   bool
+
+	// Counters exposed through NodeStats.
+	redirects  atomic.Uint64
+	dualWrites atomic.Uint64
+	reshards   atomic.Uint64
+}
+
+var routerRPCs = []string{
+	RPCPut, RPCGet, RPCErase, RPCExists, RPCCount,
+	RPCFetchMap, RPCInstallMap, RPCStats, RPCReshard,
+	RPCMigratePrepare, RPCMigrateStage, RPCMigratePromote, RPCMigrateAbort,
+}
+
+// NewNode creates a router node. It owns no shards until a map is
+// adopted (Adopt or a bootstrap install RPC) or a migration promotes
+// one onto it.
+func NewNode(inst *margo.Instance, opts Options) (*Node, error) {
+	if opts.RemiProviderID == 0 {
+		opts.RemiProviderID = opts.ProviderID + 1
+	}
+	dir := opts.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "xkv-node-")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "out"), 0o755); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		inst:     inst,
+		id:       opts.ProviderID,
+		opts:     opts,
+		dir:      dir,
+		shards:   map[uint32]*shard{},
+		incoming: map[uint32]*staging{},
+	}
+	rp, err := remi.NewProvider(inst, opts.RemiProviderID, nil, filepath.Join(dir, "in"))
+	if err != nil {
+		return nil, err
+	}
+	rp.OnMigrated(n.receiveSnapshot)
+	n.remiP = rp
+	n.remiC = remi.NewClient(inst)
+	if err := n.register(); err != nil {
+		rp.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *Node) register() error {
+	type h struct {
+		name string
+		fn   margo.Handler
+	}
+	handlers := []h{
+		{RPCPut, n.handlePut},
+		{RPCGet, n.handleGet},
+		{RPCErase, n.handleErase},
+		{RPCExists, n.handleExists},
+		{RPCCount, n.handleCount},
+		{RPCFetchMap, n.handleFetchMap},
+		{RPCInstallMap, n.handleInstallMap},
+		{RPCStats, n.handleStats},
+		{RPCReshard, n.handleReshard},
+		{RPCMigratePrepare, n.handlePrepare},
+		{RPCMigrateStage, n.handleStage},
+		{RPCMigratePromote, n.handlePromote},
+		{RPCMigrateAbort, n.handleAbort},
+	}
+	for i, hh := range handlers {
+		if _, err := n.inst.RegisterProvider(hh.name, n.id, nil, hh.fn); err != nil {
+			for j := 0; j < i; j++ {
+				n.inst.DeregisterProvider(handlers[j].name, n.id)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Self returns this node's owner identity.
+func (n *Node) Self() Owner { return Owner{Addr: n.inst.Addr(), Provider: n.id} }
+
+// CurrentMap returns the node's view of the shard map (nil before
+// bootstrap).
+func (n *Node) CurrentMap() *Map { return n.cur.Load() }
+
+// NodeStats reports the node's reconfiguration counters.
+type NodeStats struct {
+	Redirects  uint64
+	DualWrites uint64
+	Reshards   uint64
+}
+
+// Stats returns reconfiguration counters.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		Redirects:  n.redirects.Load(),
+		DualWrites: n.dualWrites.Load(),
+		Reshards:   n.reshards.Load(),
+	}
+}
+
+// Adopt installs m as the node's initial map and opens empty
+// databases for the shards it assigns to this node. It is the
+// programmatic form of a bootstrap install RPC and is only legal
+// before any map is set.
+func (n *Node) Adopt(m *Map) error {
+	return n.bootstrap(m)
+}
+
+func (n *Node) bootstrap(m *Map) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return yokan.ErrClosed
+	}
+	if n.cur.Load() != nil {
+		return fmt.Errorf("router: node already has a map")
+	}
+	self := n.Self()
+	for s, o := range m.Owners {
+		if o != self {
+			continue
+		}
+		db, err := n.openShardDB(uint32(s))
+		if err != nil {
+			return err
+		}
+		n.shards[uint32(s)] = &shard{id: uint32(s), db: db}
+	}
+	n.cur.Store(m)
+	return nil
+}
+
+func (n *Node) openShardDB(shardID uint32) (yokan.Database, error) {
+	cfg := n.opts.Backend
+	if cfg.Type == "" {
+		cfg.Type = "map"
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Type == "log" {
+		cfg.Path = filepath.Join(n.dir, fmt.Sprintf("shard-%04d.log", shardID))
+	}
+	return yokan.Open(cfg)
+}
+
+// installMap publishes m if it is newer than the current map.
+func (n *Node) installMap(m *Map) bool {
+	for {
+		cur := n.cur.Load()
+		if cur != nil && cur.Epoch >= m.Epoch {
+			return false
+		}
+		if n.cur.CompareAndSwap(cur, m) {
+			return true
+		}
+	}
+}
+
+// Close deregisters the node and releases its databases.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	shards := n.shards
+	incoming := n.incoming
+	n.shards = map[uint32]*shard{}
+	n.incoming = map[uint32]*staging{}
+	n.mu.Unlock()
+	for _, name := range routerRPCs {
+		n.inst.DeregisterProvider(name, n.id)
+	}
+	n.remiP.Close()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		sh.dropped = true
+		sh.db.Close()
+		sh.mu.Unlock()
+	}
+	for _, inc := range incoming {
+		inc.mu.Lock()
+		inc.db.Close()
+		inc.mu.Unlock()
+	}
+	return nil
+}
+
+func respondReply(h *mercury.Handle, reply codec.Marshaler) {
+	e := codec.GetEncoder()
+	reply.MarshalMochi(e)
+	_ = h.Respond(e.Bytes())
+	codec.PutEncoder(e)
+}
+
+// lookupShard resolves the target shard for a data operation. nil
+// means the caller must redirect (reply already prepared).
+func (n *Node) lookupShard(shardID uint32) *shard {
+	n.mu.Lock()
+	sh := n.shards[shardID]
+	n.mu.Unlock()
+	return sh
+}
+
+// redirect fills an opReply for a shard this node does not serve:
+// statusStale plus our current map if we have one (the retryable
+// redirect carrying the new map), statusRetry if we believe we *are*
+// the owner but the shard is not resident yet (bootstrap or flip
+// races — transient), statusError if the node has no map at all.
+func (n *Node) redirect(shardID uint32, r *opReply) {
+	m := n.cur.Load()
+	if m == nil {
+		r.Status = statusError
+		r.Err = "router: node has no shard map"
+		return
+	}
+	if int(shardID) < len(m.Owners) && m.Owners[shardID] == n.Self() {
+		r.Status = statusRetry
+		r.Err = "router: shard arriving"
+		return
+	}
+	n.redirects.Add(1)
+	r.Status = statusStale
+	r.Map = EncodeMap(m)
+}
+
+func statusFromErr(err error) (uint8, string) {
+	switch {
+	case err == nil:
+		return statusOK, ""
+	case yokan.IsNotFound(err):
+		return statusNotFound, ""
+	default:
+		return statusError, err.Error()
+	}
+}
+
+// dualForward ships one applied write to the destination's staging
+// area and acks only on success; a failure marks the migration
+// aborted so the flip can never commit without this write.
+// Called with sh.mu held for read.
+func (n *Node) dualForward(ctx context.Context, sh *shard, erase bool, keys [][]byte, pairs []yokan.KeyValue) {
+	n.dualWrites.Add(1)
+	args := &stageArgs{Shard: sh.id, MigID: sh.migID, Seq: sh.stageSeq.Add(1), Erase: erase, Keys: keys, Pairs: pairs}
+	stageTimeout := n.opts.StageTimeoutMS
+	if stageTimeout <= 0 {
+		stageTimeout = 2000
+	}
+	sctx, cancel := context.WithTimeout(ctx, msDuration(stageTimeout))
+	defer cancel()
+	var reply statusReply
+	err := n.call(sctx, sh.dualDst, RPCMigrateStage, args, &reply)
+	if err == nil && reply.Status != statusOK {
+		err = fmt.Errorf("router: stage rejected: %s", reply.Err)
+	}
+	if err != nil {
+		// The write is applied locally (the source stays
+		// authoritative), so the safe resolution is to abort the
+		// migration, not the write.
+		sh.abortFlag.Store(true)
+		go n.abortRemote(sh.dualDst, sh.id, sh.migID)
+	}
+}
+
+// handlePut applies a put to the local shard, dual-forwarding it
+// during a migration window.
+func (n *Node) handlePut(ctx context.Context, h *mercury.Handle) {
+	var args opArgs
+	var r opReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	sh := n.lookupShard(args.Shard)
+	if sh == nil {
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	sh.mu.RLock()
+	if sh.dropped {
+		sh.mu.RUnlock()
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	var err error
+	var delta int64
+	for _, kv := range args.Pairs {
+		if err = sh.db.Put(kv.Key, kv.Value); err != nil {
+			break
+		}
+		delta += int64(len(kv.Key) + len(kv.Value))
+	}
+	if err == nil && sh.mode == modeDual {
+		n.dualForward(ctx, sh, false, nil, args.Pairs)
+	}
+	sh.ops.Add(1)
+	sh.bytes.Add(delta)
+	sh.mu.RUnlock()
+	r.Status, r.Err = statusFromErr(err)
+	respondReply(h, &r)
+}
+
+// handleErase removes a key, dual-forwarding the erase during a
+// migration window (the staging side records a tombstone).
+func (n *Node) handleErase(ctx context.Context, h *mercury.Handle) {
+	var args opArgs
+	var r opReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	sh := n.lookupShard(args.Shard)
+	if sh == nil {
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	sh.mu.RLock()
+	if sh.dropped {
+		sh.mu.RUnlock()
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	var err error
+	for _, k := range args.Keys {
+		if err = sh.db.Erase(k); err != nil {
+			break
+		}
+	}
+	// Forward even a not-found erase: a concurrent snapshot merge
+	// could otherwise resurrect a key this node already dropped.
+	if (err == nil || yokan.IsNotFound(err)) && sh.mode == modeDual {
+		n.dualForward(ctx, sh, true, args.Keys, nil)
+	}
+	sh.ops.Add(1)
+	sh.mu.RUnlock()
+	r.Status, r.Err = statusFromErr(err)
+	respondReply(h, &r)
+}
+
+func (n *Node) handleGet(_ context.Context, h *mercury.Handle) {
+	var args opArgs
+	var r opReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	sh := n.lookupShard(args.Shard)
+	if sh == nil {
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	sh.mu.RLock()
+	if sh.dropped {
+		sh.mu.RUnlock()
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	var v []byte
+	var err error
+	if len(args.Keys) == 1 {
+		v, err = sh.db.Get(args.Keys[0])
+	} else {
+		err = fmt.Errorf("router: get wants exactly one key")
+	}
+	sh.ops.Add(1)
+	sh.mu.RUnlock()
+	r.Status, r.Err = statusFromErr(err)
+	r.Value = v
+	respondReply(h, &r)
+}
+
+func (n *Node) handleExists(_ context.Context, h *mercury.Handle) {
+	var args opArgs
+	var r opReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	sh := n.lookupShard(args.Shard)
+	if sh == nil {
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	sh.mu.RLock()
+	if sh.dropped {
+		sh.mu.RUnlock()
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	var found bool
+	var err error
+	if len(args.Keys) == 1 {
+		found, err = sh.db.Exists(args.Keys[0])
+	} else {
+		err = fmt.Errorf("router: exists wants exactly one key")
+	}
+	sh.ops.Add(1)
+	sh.mu.RUnlock()
+	r.Status, r.Err = statusFromErr(err)
+	r.Found = found
+	respondReply(h, &r)
+}
+
+func (n *Node) handleCount(_ context.Context, h *mercury.Handle) {
+	var args opArgs
+	var r opReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	sh := n.lookupShard(args.Shard)
+	if sh == nil {
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	sh.mu.RLock()
+	if sh.dropped {
+		sh.mu.RUnlock()
+		n.redirect(args.Shard, &r)
+		respondReply(h, &r)
+		return
+	}
+	c, err := sh.db.Count()
+	sh.mu.RUnlock()
+	r.Status, r.Err = statusFromErr(err)
+	r.Count = uint64(c)
+	respondReply(h, &r)
+}
+
+func (n *Node) handleFetchMap(_ context.Context, h *mercury.Handle) {
+	var r mapReply
+	if m := n.cur.Load(); m != nil {
+		r.Map = EncodeMap(m)
+	} else {
+		r.Status = statusError
+		r.Err = "router: node has no shard map"
+	}
+	respondReply(h, &r)
+}
+
+func (n *Node) handleInstallMap(_ context.Context, h *mercury.Handle) {
+	var args installArgs
+	var r statusReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	m, err := DecodeMap(args.Map)
+	if err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	if args.Bootstrap {
+		if err := n.bootstrap(m); err != nil {
+			r.Status, r.Err = statusError, err.Error()
+		}
+	} else {
+		n.installMap(m)
+	}
+	respondReply(h, &r)
+}
+
+func (n *Node) handleStats(_ context.Context, h *mercury.Handle) {
+	var r statsReply
+	if m := n.cur.Load(); m != nil {
+		r.Epoch = m.Epoch
+	}
+	n.mu.Lock()
+	for _, sh := range n.shards {
+		b := sh.bytes.Load()
+		if b < 0 {
+			b = 0
+		}
+		r.Stats = append(r.Stats, ShardStat{Shard: sh.id, Ops: sh.ops.Load(), Bytes: uint64(b)})
+	}
+	n.mu.Unlock()
+	respondReply(h, &r)
+}
+
+// handleReshard lets a remote coordinator (the balancer) command
+// this node to move one of its shards.
+func (n *Node) handleReshard(ctx context.Context, h *mercury.Handle) {
+	var args reshardArgs
+	var r statusReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	if err := n.Reshard(ctx, args.Shard, args.Dst); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+	}
+	respondReply(h, &r)
+}
+
+// handlePrepare opens a staging area for an incoming shard.
+func (n *Node) handlePrepare(_ context.Context, h *mercury.Handle) {
+	var args prepareArgs
+	r := prepareReply{RemiProvider: n.opts.RemiProviderID}
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	n.mu.Lock()
+	defer func() {
+		n.mu.Unlock()
+		respondReply(h, &r)
+	}()
+	if n.closed {
+		r.Status, r.Err = statusError, "router: node closed"
+		return
+	}
+	if _, own := n.shards[args.Shard]; own {
+		r.Status, r.Err = statusError, "router: destination already owns shard"
+		return
+	}
+	if inc := n.incoming[args.Shard]; inc != nil {
+		if inc.migID == args.MigID {
+			return // duplicate prepare: idempotent
+		}
+		r.Status, r.Err = statusError, "router: shard already staging under another migration"
+		return
+	}
+	db, err := n.openShardDB(args.Shard)
+	if err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		return
+	}
+	n.incoming[args.Shard] = &staging{
+		migID:      args.MigID,
+		db:         db,
+		tombstones: map[string]struct{}{},
+		lastSeq:    map[string]uint64{},
+	}
+}
+
+// handleStage applies one dual-written operation to the staging area.
+// A stage arriving after the migration promoted is always a
+// transport-level duplicate whose reply nobody awaits: each forward
+// runs under the shard's read lock, the flip runs under its write
+// lock, so every forward the source acted on completed before the
+// promote was issued. Rejecting late arrivals (rather than applying
+// them to the now-owned shard) is what keeps a chaos-delayed
+// duplicate of an *older* write from clobbering a newer one.
+func (n *Node) handleStage(_ context.Context, h *mercury.Handle) {
+	var args stageArgs
+	var r statusReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	n.mu.Lock()
+	inc := n.incoming[args.Shard]
+	if inc != nil && inc.migID != args.MigID {
+		inc = nil
+	}
+	n.mu.Unlock()
+	if inc == nil {
+		r.Status, r.Err = statusError, "router: no such migration"
+		respondReply(h, &r)
+		return
+	}
+	inc.mu.Lock()
+	err := applyStaged(inc, &args)
+	inc.mu.Unlock()
+	r.Status, r.Err = statusFromErr(err)
+	respondReply(h, &r)
+}
+
+// applyStaged applies one dual-written operation to a staging area.
+// Per-key sequence gating makes application idempotent *and*
+// order-insensitive: at-least-once transports can deliver a duplicate
+// of an older operation after a newer one, and replaying it blindly
+// would silently roll the key back. Called with inc.mu held.
+func applyStaged(inc *staging, args *stageArgs) error {
+	if args.Erase {
+		for _, k := range args.Keys {
+			if args.Seq <= inc.lastSeq[string(k)] {
+				continue // duplicate of an operation already superseded
+			}
+			inc.lastSeq[string(k)] = args.Seq
+			if !inc.merged {
+				inc.tombstones[string(k)] = struct{}{}
+			}
+			if err := inc.db.Erase(k); err != nil && !yokan.IsNotFound(err) {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, kv := range args.Pairs {
+		if args.Seq <= inc.lastSeq[string(kv.Key)] {
+			continue
+		}
+		inc.lastSeq[string(kv.Key)] = args.Seq
+		if !inc.merged {
+			// A later staged erase must still win over this put's
+			// tombstone shadow.
+			delete(inc.tombstones, string(kv.Key))
+		}
+		if err := inc.db.Put(kv.Key, kv.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handlePromote commits the flip on the destination: the staging area
+// becomes the owned shard, and the attached map (which names this
+// node the owner) becomes current *before* the source stops serving —
+// the ordering that makes the redirect chain always land.
+func (n *Node) handlePromote(_ context.Context, h *mercury.Handle) {
+	var args promoteArgs
+	var r statusReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	m, err := DecodeMap(args.Map)
+	if err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	n.mu.Lock()
+	if sh := n.shards[args.Shard]; sh != nil && sh.migID == args.MigID {
+		// Duplicate promote (retried RPC): already committed.
+		n.mu.Unlock()
+		n.installMap(m)
+		respondReply(h, &r)
+		return
+	}
+	inc := n.incoming[args.Shard]
+	if inc == nil || inc.migID != args.MigID {
+		n.mu.Unlock()
+		r.Status, r.Err = statusError, "router: no such migration"
+		respondReply(h, &r)
+		return
+	}
+	inc.mu.Lock()
+	merged := inc.merged
+	inc.mu.Unlock()
+	if !merged {
+		n.mu.Unlock()
+		r.Status, r.Err = statusError, "router: snapshot not merged"
+		respondReply(h, &r)
+		return
+	}
+	delete(n.incoming, args.Shard)
+	n.shards[args.Shard] = &shard{id: args.Shard, db: inc.db, migID: args.MigID}
+	n.mu.Unlock()
+	n.installMap(m)
+	respondReply(h, &r)
+}
+
+// handleAbort tears down a staging area after a failed migration.
+func (n *Node) handleAbort(_ context.Context, h *mercury.Handle) {
+	var args abortArgs
+	var r statusReply
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		r.Status, r.Err = statusError, err.Error()
+		respondReply(h, &r)
+		return
+	}
+	n.mu.Lock()
+	inc := n.incoming[args.Shard]
+	if inc != nil && inc.migID == args.MigID {
+		delete(n.incoming, args.Shard)
+	} else {
+		inc = nil
+	}
+	n.mu.Unlock()
+	if inc != nil {
+		inc.mu.Lock()
+		inc.db.Destroy()
+		inc.mu.Unlock()
+	}
+	respondReply(h, &r)
+}
+
+// receiveSnapshot is the REMI arrival callback: it merges a shard
+// snapshot into the staging area. Staged operations are newer than
+// the snapshot by construction (dual-write starts before the snapshot
+// is cut), so the merge only fills keys the stream has not touched:
+// tombstoned keys stay dead, staged values win.
+func (n *Node) receiveSnapshot(fs *remi.FileSet) {
+	if fs.Class != snapshotClass || len(fs.Files) == 0 {
+		return
+	}
+	shardID, migID, err := parseSnapshotMeta(fs.Metadata)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	inc := n.incoming[shardID]
+	if inc == nil || inc.migID != migID {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	path := filepath.Join(fs.Root, fs.Files[0].RelPath)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.merged {
+		return // duplicate delivery
+	}
+	if err := mergeSnapshot(inc, data); err != nil {
+		return // leaves merged=false: promote will refuse, source aborts
+	}
+	inc.merged = true
+	inc.tombstones = nil
+	os.Remove(path)
+}
+
+// mergeSnapshot decodes an encoded shard snapshot into the staging
+// database, skipping keys the dual-write stream already decided.
+func mergeSnapshot(inc *staging, data []byte) error {
+	d := codec.NewDecoder(data)
+	count := d.Uvarint()
+	if count > uint64(d.Remaining())+1 {
+		return fmt.Errorf("router: corrupt snapshot header")
+	}
+	for i := uint64(0); i < count; i++ {
+		k := d.BytesField()
+		v := d.BytesField()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, dead := inc.tombstones[string(k)]; dead {
+			continue
+		}
+		if ok, err := inc.db.Exists(k); err != nil {
+			return err
+		} else if ok {
+			continue // staged write is newer than the snapshot
+		}
+		if err := inc.db.Put(k, v); err != nil {
+			return err
+		}
+	}
+	return d.Finish()
+}
+
+// call forwards a marshaled request to (owner, rpc) and decodes the
+// reply into out.
+func (n *Node) call(ctx context.Context, dst Owner, rpc string, args codec.Marshaler, out codec.Unmarshaler) error {
+	e := codec.GetEncoder()
+	if args != nil {
+		args.MarshalMochi(e)
+	}
+	raw, err := n.inst.ForwardProvider(ctx, dst.Addr, rpc, dst.Provider, e.Bytes())
+	codec.PutEncoder(e)
+	if err != nil {
+		return err
+	}
+	return codec.Unmarshal(raw, out)
+}

@@ -1,0 +1,283 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mochi/internal/codec"
+	"mochi/internal/margo"
+	"mochi/internal/yokan"
+)
+
+// ErrNoMap is returned by client operations before a map is known.
+var ErrNoMap = errors.New("router: no shard map")
+
+// ErrTooManyRedirects is returned when an operation keeps bouncing:
+// either the cluster is mid-flip for longer than the retry budget or
+// the client's map and the cluster disagree pathologically.
+var ErrTooManyRedirects = errors.New("router: too many redirects")
+
+// Router is the client-side consistent-hash router: it holds the
+// current shard map (lock-free, swapped on redirects) and forwards
+// each operation to the shard's owner. A stale-epoch redirect carries
+// the server's newer map; the router installs it and retries, so one
+// reconfiguration costs in-flight requests at most one extra hop.
+type Router struct {
+	inst *margo.Instance
+	cur  atomic.Pointer[Map]
+
+	// MaxRedirects bounds the redirect/retry loop per operation.
+	MaxRedirects int
+	// RetryBase paces statusRetry backoff (flip window); redirects
+	// retry immediately with the new map.
+	RetryBase time.Duration
+
+	redirects atomic.Uint64
+	installs  atomic.Uint64
+}
+
+// NewRouter creates a router over a seed map (from NewMap or
+// Bootstrap).
+func NewRouter(inst *margo.Instance, seed *Map) *Router {
+	r := &Router{inst: inst, MaxRedirects: 16, RetryBase: 2 * time.Millisecond}
+	if seed != nil {
+		r.cur.Store(seed)
+	}
+	return r
+}
+
+// Bootstrap fetches the current shard map from the first responsive
+// node among addrs (e.g. the alive view of the service's SSG group)
+// and returns a ready router.
+func Bootstrap(ctx context.Context, inst *margo.Instance, addrs []string, provider uint16) (*Router, error) {
+	var lastErr error = ErrNoMap
+	for _, addr := range addrs {
+		m, err := FetchMap(ctx, inst, addr, provider)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return NewRouter(inst, m), nil
+	}
+	return nil, fmt.Errorf("router: bootstrap failed: %w", lastErr)
+}
+
+// FetchMap asks one node for its current shard map.
+func FetchMap(ctx context.Context, inst *margo.Instance, addr string, provider uint16) (*Map, error) {
+	raw, err := inst.ForwardProvider(ctx, addr, RPCFetchMap, provider, nil)
+	if err != nil {
+		return nil, err
+	}
+	var reply mapReply
+	if err := codec.Unmarshal(raw, &reply); err != nil {
+		return nil, err
+	}
+	if reply.Status != statusOK {
+		return nil, fmt.Errorf("router: fetch map: %s", reply.Err)
+	}
+	return DecodeMap(reply.Map)
+}
+
+// Map returns the router's current view of the shard map.
+func (r *Router) Map() *Map { return r.cur.Load() }
+
+// Stats reports how many redirects this router absorbed and how many
+// newer maps it installed from them.
+func (r *Router) Stats() (redirects, installs uint64) {
+	return r.redirects.Load(), r.installs.Load()
+}
+
+// install adopts m if it is newer than the current map.
+func (r *Router) install(m *Map) bool {
+	for {
+		cur := r.cur.Load()
+		if cur != nil && cur.Epoch >= m.Epoch {
+			return false
+		}
+		if r.cur.CompareAndSwap(cur, m) {
+			r.installs.Add(1)
+			return true
+		}
+	}
+}
+
+// backoff sleeps before a retry attempt, preferring the instance's
+// resilience manager (jittered exponential policy, honors context and
+// simulated clocks) over a bare timer.
+func (r *Router) backoff(ctx context.Context, attempt int) error {
+	if mgr := r.inst.Resilience(); mgr != nil {
+		if !mgr.Sleep(ctx, mgr.Backoff(attempt)) {
+			return ctx.Err()
+		}
+		return nil
+	}
+	d := r.RetryBase << uint(attempt)
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// op runs one data RPC against the key's owner, following redirects.
+// Transport-level retries (drops, resets, timeouts) belong to the
+// margo resilience layer underneath; this loop only handles the
+// routing protocol: statusStale installs the newer map and re-routes,
+// statusRetry backs off through the flip window.
+func (r *Router) op(ctx context.Context, rpc string, key []byte, args *opArgs) (*opReply, error) {
+	retries := 0
+	for attempt := 0; attempt <= r.MaxRedirects; attempt++ {
+		m := r.cur.Load()
+		if m == nil {
+			return nil, ErrNoMap
+		}
+		shard := args.Shard
+		if key != nil {
+			shard = m.ShardOf(key)
+		}
+		args.Epoch = m.Epoch
+		args.Shard = shard
+		owner := m.Owners[shard]
+		e := codec.GetEncoder()
+		args.MarshalMochi(e)
+		raw, err := r.inst.ForwardProvider(ctx, owner.Addr, rpc, owner.Provider, e.Bytes())
+		codec.PutEncoder(e)
+		if err != nil {
+			return nil, err
+		}
+		reply := &opReply{}
+		if err := codec.Unmarshal(raw, reply); err != nil {
+			return nil, err
+		}
+		switch reply.Status {
+		case statusStale:
+			r.redirects.Add(1)
+			nm, err := DecodeMap(reply.Map)
+			if err != nil {
+				return nil, fmt.Errorf("router: redirect with bad map: %w", err)
+			}
+			if !r.install(nm) {
+				// The server's map is not newer than ours: both
+				// sides are catching up with a flip in progress.
+				// Back off instead of spinning on the same answer.
+				retries++
+				if err := r.backoff(ctx, retries); err != nil {
+					return nil, err
+				}
+			}
+		case statusRetry:
+			retries++
+			if err := r.backoff(ctx, retries); err != nil {
+				return nil, err
+			}
+		default:
+			return reply, nil
+		}
+	}
+	return nil, ErrTooManyRedirects
+}
+
+func replyErr(r *opReply) error {
+	switch r.Status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return yokan.ErrKeyNotFound
+	default:
+		return fmt.Errorf("router: remote error: %s", r.Err)
+	}
+}
+
+// Put stores one pair.
+func (r *Router) Put(ctx context.Context, key, value []byte) error {
+	reply, err := r.op(ctx, RPCPut, key, &opArgs{Pairs: []yokan.KeyValue{{Key: key, Value: value}}})
+	if err != nil {
+		return err
+	}
+	return replyErr(reply)
+}
+
+// Get fetches one key.
+func (r *Router) Get(ctx context.Context, key []byte) ([]byte, error) {
+	reply, err := r.op(ctx, RPCGet, key, &opArgs{Keys: [][]byte{key}})
+	if err != nil {
+		return nil, err
+	}
+	if err := replyErr(reply); err != nil {
+		return nil, err
+	}
+	return reply.Value, nil
+}
+
+// Erase removes one key.
+func (r *Router) Erase(ctx context.Context, key []byte) error {
+	reply, err := r.op(ctx, RPCErase, key, &opArgs{Keys: [][]byte{key}})
+	if err != nil {
+		return err
+	}
+	return replyErr(reply)
+}
+
+// Exists reports whether key is present.
+func (r *Router) Exists(ctx context.Context, key []byte) (bool, error) {
+	reply, err := r.op(ctx, RPCExists, key, &opArgs{Keys: [][]byte{key}})
+	if err != nil {
+		return false, err
+	}
+	if err := replyErr(reply); err != nil {
+		return false, err
+	}
+	return reply.Found, nil
+}
+
+// Count sums the pair count across all shards. It is not atomic
+// against concurrent writes or migrations — like any distributed
+// count, it is a monitoring number, not a transaction.
+func (r *Router) Count(ctx context.Context) (int, error) {
+	m := r.cur.Load()
+	if m == nil {
+		return 0, ErrNoMap
+	}
+	total := 0
+	for s := 0; s < m.NumShards(); s++ {
+		reply, err := r.op(ctx, RPCCount, nil, &opArgs{Shard: uint32(s)})
+		if err != nil {
+			return 0, err
+		}
+		if err := replyErr(reply); err != nil {
+			return 0, err
+		}
+		total += int(reply.Count)
+	}
+	return total, nil
+}
+
+// Refresh fetches the map from the current owner set, adopting it if
+// newer. Useful after a long idle period; normal traffic self-heals
+// through redirects.
+func (r *Router) Refresh(ctx context.Context) error {
+	m := r.cur.Load()
+	if m == nil {
+		return ErrNoMap
+	}
+	var lastErr error
+	for _, o := range m.Owners {
+		nm, err := FetchMap(ctx, r.inst, o.Addr, o.Provider)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.install(nm)
+		return nil
+	}
+	return lastErr
+}
