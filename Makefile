@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-full fuzz examples vet fmt-check lint reshard-soak ci clean
+.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-c10k bench-full fuzz examples vet fmt-check lint reshard-soak test-unsafe ci clean
 
 all: build test
 
@@ -59,6 +59,7 @@ bench:
 # -benchmem numbers for the same paths for context.
 bench-alloc:
 	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/
+	$(GO) test -run 'AllocsPinned' -count=1 -tags mochi_unsafe ./internal/codec/ ./internal/mercury/
 	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkForward|BenchmarkMulti' -benchtime=1000x -benchmem ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/
 
 # Fuzz every hostile-input parser for FUZZTIME each — the pooled codec
@@ -72,6 +73,8 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/codec/   -run '^FuzzDecoder$$'      -fuzz '^FuzzDecoder$$'      -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/codec/   -run '^FuzzRoundTrip$$'    -fuzz '^FuzzRoundTrip$$'    -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codec/   -run '^FuzzZeroCopyParity$$' -fuzz '^FuzzZeroCopyParity$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codec/   -run '^FuzzZeroCopyParity$$' -fuzz '^FuzzZeroCopyParity$$' -fuzztime $(FUZZTIME) -tags mochi_unsafe
 	$(GO) test ./internal/mercury/ -run '^FuzzFrameDecode$$'  -fuzz '^FuzzFrameDecode$$'  -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/raft/    -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/yokan/   -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
@@ -96,6 +99,25 @@ bench-throughput:
 RESHARD_FLAGS ?= -duration 1s -reshard-at 300ms
 bench-reshard:
 	$(GO) run ./cmd/mochi-bench -throughput $(RESHARD_FLAGS)
+
+# Transport connection-scaling sweep (EXPERIMENTS.md E12): real TCP
+# sockets from hundreds of client classes against one server, sweeping
+# per-destination pool size and GOMAXPROCS. The default includes a
+# thousand-socket leg (256 clients × pool 4). CI runs this in
+# bench-smoke and uploads the table; override for longer local runs:
+#   make bench-c10k C10K_FLAGS="-conns 256 -c10k-workers 1024 -pools 4"
+C10K_FLAGS ?= -conns 16,64,256 -c10k-workers 256 -pools 1,4 -gomaxprocs 1,2,4 -duration 500ms
+bench-c10k:
+	$(GO) run ./cmd/mochi-bench -c10k $(C10K_FLAGS)
+
+# Build and test the unsafe zero-copy codec flavor (string decode
+# aliases the frame buffer). CI runs this as its own leg; the
+# differential fuzz seeds in `make fuzz` prove byte-identical behavior
+# with the default build.
+test-unsafe:
+	$(GO) build -tags mochi_unsafe ./...
+	$(GO) vet -tags mochi_unsafe ./...
+	$(GO) test -tags mochi_unsafe -count=1 ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/
 
 # Full experiment sweeps with pretty tables (minutes).
 bench-full:

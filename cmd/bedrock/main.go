@@ -63,19 +63,25 @@ func main() {
 			log.Fatalf("bedrock: reading config: %v", err)
 		}
 	}
-	if len(params) > 0 {
-		// Resolve the (Jx9) config with parameters, then hand the
-		// resulting JSON to the server.
-		cfg, err := bedrock.ParseConfigParams(raw, params)
-		if err != nil {
-			log.Fatalf("bedrock: %v", err)
-		}
-		raw, err = json.Marshal(cfg)
-		if err != nil {
-			log.Fatalf("bedrock: %v", err)
-		}
+	// Resolve the (possibly Jx9) config up front: the transport knobs
+	// live in the margo section and must be known before the TCP class
+	// is created. The resolved JSON is handed to the server.
+	cfg, err := bedrock.ParseConfigParams(raw, params)
+	if err != nil {
+		log.Fatalf("bedrock: %v", err)
 	}
-	class, err := mercury.NewTCPClass(*listen)
+	raw, err = json.Marshal(cfg)
+	if err != nil {
+		log.Fatalf("bedrock: %v", err)
+	}
+	var topts mercury.TCPOptions
+	if t := cfg.Margo.Transport; t != nil {
+		topts.PoolSize = t.PoolSize
+		topts.AcceptLoops = t.AcceptLoops
+		topts.ReadBuffer = t.ReadBufferBytes
+		topts.ScratchCap = t.ScratchCapBytes
+	}
+	class, err := mercury.NewTCPClassOptions(*listen, topts)
 	if err != nil {
 		log.Fatalf("bedrock: %v", err)
 	}

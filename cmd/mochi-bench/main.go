@@ -13,11 +13,17 @@
 //	            [-shards N] [-batch-window 200us] [-log-sync]
 //	mochi-bench -throughput -reshard-at 300ms [-duration 1s]
 //	            [-workers 4] [-shards 8] [-read-frac 0.5]
+//	mochi-bench -c10k [-conns 64,256] [-c10k-workers 256] [-pools 1,4]
+//	            [-gomaxprocs 1,2,4] [-duration 1s] [-payload 64]
 //
 // With -reshard-at the throughput leg runs against a live 3-node
 // sharded deployment instead of a local engine, fires an online
 // resharding at the given offset, and reports tail latency before,
 // during, and after the migration window.
+//
+// With -c10k it runs the transport-scaling sweep (E12): hundreds to
+// thousands of real TCP connections against one server class,
+// sweeping per-destination pool size and GOMAXPROCS.
 package main
 
 import (
@@ -44,8 +50,17 @@ func main() {
 	batchWindow := flag.String("batch-window", "", "throughput: log group-commit window, e.g. 200us")
 	logSync := flag.Bool("log-sync", false, "throughput: fsync log commits (measures group commit against real commit latency)")
 	reshardAt := flag.Duration("reshard-at", 0, "throughput: fire an online resharding at this offset into the run (0 = off)")
+	c10k := flag.Bool("c10k", false, "run the transport connection-scaling sweep (E12) instead of the experiment suite")
+	conns := flag.String("conns", "64,256", "c10k: comma-separated client-class counts")
+	c10kWorkers := flag.Int("c10k-workers", 256, "c10k: concurrent forwarders striped over the clients")
+	pools := flag.String("pools", "1,4", "c10k: comma-separated per-destination pool sizes")
+	gomaxprocs := flag.String("gomaxprocs", "", "c10k: comma-separated GOMAXPROCS values (default: current)")
+	payload := flag.Int("payload", 64, "c10k: payload size in bytes per direction")
 	flag.Parse()
 
+	if *c10k {
+		os.Exit(runC10K(*conns, *c10kWorkers, *pools, *gomaxprocs, *duration, *payload))
+	}
 	if *throughput && *reshardAt > 0 {
 		os.Exit(runReshard(*workers, *readFrac, *valueSize, *duration, *shards, *reshardAt))
 	}
@@ -110,6 +125,54 @@ func runThroughput(backends, workers string, readFrac float64, valueSize int, du
 	table, err := experiments.RunThroughput(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "throughput sweep FAILED: %v\n", err)
+		return 1
+	}
+	table.Render(os.Stdout)
+	return 0
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -%s entry %q", flagName, part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runC10K drives the transport-scaling leg (E12).
+func runC10K(conns string, workers int, pools, gomaxprocs string, duration time.Duration, payload int) int {
+	opts := experiments.C10KOptions{
+		Workers:     workers,
+		Duration:    duration,
+		PayloadSize: payload,
+	}
+	var err error
+	if opts.Conns, err = parseIntList("conns", conns); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if opts.Pools, err = parseIntList("pools", pools); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if gomaxprocs != "" {
+		if opts.GOMAXPROCS, err = parseIntList("gomaxprocs", gomaxprocs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	table, err := experiments.RunC10K(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c10k sweep FAILED: %v\n", err)
 		return 1
 	}
 	table.Render(os.Stdout)

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"unsafe"
 )
 
 // ErrShortBuffer is returned when a Decoder runs out of input.
@@ -226,18 +225,31 @@ func (d *Decoder) BytesFieldCopy() []byte {
 // provably does not outlive the input buffer.
 func (d *Decoder) String() string { return string(d.BytesField()) }
 
-// StringRef decodes a length-prefixed string without copying: the
-// returned string's bytes alias the decoder's buffer. The caller must
+// StringRef decodes a length-prefixed string for transient use inside
+// a single decode scope (map keys checked and dropped, comparisons).
+// Under the mochi_unsafe build tag it is zero-copy: the returned
+// string's bytes alias the decoder's buffer, and the caller must
 // guarantee the buffer is neither mutated nor recycled while the
 // string is live — violating this breaks Go's string immutability
-// invariant. Reserve it for transient lookups (map keys checked and
-// dropped, comparisons) inside a single decode scope.
+// invariant. The default build copies, trading one allocation for
+// immunity to lifetime bugs; both builds return byte-identical values
+// (FuzzZeroCopyParity).
 func (d *Decoder) StringRef() string {
 	b := d.BytesField()
 	if len(b) == 0 {
 		return ""
 	}
-	return unsafe.String(&b[0], len(b))
+	return bytesToString(b)
+}
+
+// StringIntern decodes a length-prefixed string through the small-
+// string intern table: repeated wire values (source addresses, RPC
+// names, auth tokens) resolve to one shared owned copy, so the steady
+// state allocates nothing. The result is always safe to retain — on an
+// intern miss the string is copied before it is cached.
+func (d *Decoder) StringIntern() string {
+	b := d.BytesField()
+	return Intern(b)
 }
 
 // StringSlice decodes a count-prefixed slice of strings.

@@ -1,0 +1,64 @@
+// Small-string interning for the decode hot path. RPC traffic repeats
+// the same few strings endlessly — source addresses ("tcp://host:port"),
+// RPC names, auth tokens — and decoding each occurrence as string(b)
+// costs one heap allocation per frame. The intern table resolves a
+// byte window to a previously cached owned copy: a hit allocates
+// nothing, a miss copies once and caches. The table is a fixed-size,
+// lossy, lock-free cache (colliding entries overwrite), so it can
+// never grow, never needs eviction, and a hostile peer flooding it
+// with unique strings degrades it to plain string(b) — one copy per
+// decode, exactly the cost without interning.
+package codec
+
+import "sync/atomic"
+
+// internMaxLen bounds what gets cached: interning exists for short
+// repeated identifiers, not payloads.
+const internMaxLen = 64
+
+// internSlots must be a power of two.
+const internSlots = 1 << 9
+
+var internTab [internSlots]atomic.Pointer[string]
+
+// Intern returns a string equal to b, reusing a previously interned
+// copy when one is cached. The result is always an owned string, safe
+// to retain indefinitely.
+func Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	slot := &internTab[internHash(b)&(internSlots-1)]
+	if p := slot.Load(); p != nil && stringEqBytes(*p, b) {
+		return *p
+	}
+	s := string(b)
+	slot.Store(&s)
+	return s
+}
+
+// internHash is FNV-1a over b.
+func internHash(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// stringEqBytes compares without converting (no allocation either way).
+func stringEqBytes(s string, b []byte) bool {
+	if len(s) != len(b) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if s[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package codec
+
+import "testing"
+
+// FuzzZeroCopyParity is the differential proof behind the mochi_unsafe
+// build tag: for arbitrary input bytes, the fast-path string accessors
+// (StringRef, StringIntern) must return values byte-identical to the
+// always-safe reference decode (String), and both decoders must agree
+// on the error state. Running this target under both the default and
+// the mochi_unsafe build (make fuzz, CI's mochi_unsafe leg) pins the
+// two implementations to one observable behavior.
+func FuzzZeroCopyParity(f *testing.F) {
+	seed := NewEncoder(nil)
+	seed.String("tcp://127.0.0.1:4242")
+	seed.String("")
+	seed.String("forward")
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x05, 'x'}) // declared 5 bytes, only 1 present
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fast := NewDecoder(data)
+		intern := NewDecoder(data)
+		ref := NewDecoder(data)
+		// Decode the whole buffer as a string sequence through all
+		// three paths in lockstep.
+		for i := 0; i < 64; i++ {
+			fs := fast.StringRef()
+			is := intern.StringIntern()
+			rs := ref.String()
+			if fs != rs {
+				t.Fatalf("op %d: StringRef %q != String %q (ZeroCopyStrings=%v)", i, fs, rs, ZeroCopyStrings)
+			}
+			if is != rs {
+				t.Fatalf("op %d: StringIntern %q != String %q", i, is, rs)
+			}
+			if (fast.Err() == nil) != (ref.Err() == nil) || (intern.Err() == nil) != (ref.Err() == nil) {
+				t.Fatalf("op %d: error state diverged: fast=%v intern=%v ref=%v", i, fast.Err(), intern.Err(), ref.Err())
+			}
+			if ref.Err() != nil || ref.Remaining() == 0 {
+				break
+			}
+		}
+		if fast.Remaining() != ref.Remaining() || intern.Remaining() != ref.Remaining() {
+			t.Fatalf("offsets diverged: fast=%d intern=%d ref=%d", fast.Remaining(), intern.Remaining(), ref.Remaining())
+		}
+	})
+}

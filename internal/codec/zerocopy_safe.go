@@ -1,0 +1,14 @@
+//go:build !mochi_unsafe
+
+package codec
+
+// ZeroCopyStrings reports whether the unsafe string fast path is
+// compiled in (build tag mochi_unsafe). In the default build every
+// string↔bytes conversion copies, so decoded strings can never alias
+// transport-owned buffers. The two paths are byte-identical on every
+// input; FuzzZeroCopyParity proves it.
+const ZeroCopyStrings = false
+
+// bytesToString converts decoded bytes to a string. Safe fallback: an
+// owned copy.
+func bytesToString(b []byte) string { return string(b) }

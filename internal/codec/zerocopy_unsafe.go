@@ -1,0 +1,25 @@
+//go:build mochi_unsafe
+
+package codec
+
+import "unsafe"
+
+// ZeroCopyStrings reports whether the unsafe string fast path is
+// compiled in (build tag mochi_unsafe). In this build StringRef
+// returns a string whose bytes alias the decoder's buffer — zero
+// allocation, zero copy — which is only sound under the documented
+// contract: the buffer must outlive the string and never be mutated
+// while it is live. The two paths are byte-identical on every input;
+// FuzzZeroCopyParity proves it.
+const ZeroCopyStrings = true
+
+// bytesToString reinterprets b as a string without copying, in the
+// spirit of go-msgpack's stringView. The caller inherits b's lifetime:
+// recycling or mutating b while the string is reachable breaks Go's
+// string immutability invariant.
+func bytesToString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

@@ -29,6 +29,28 @@ type Config struct {
 	// every RPC this instance forwards. Nil (the default) keeps the
 	// single-attempt behaviour.
 	Resilience *resilience.Config `json:"resilience,omitempty"`
+	// Transport tunes the TCP transport layer. Nil selects the built-in
+	// defaults (pool and accept-loop counts sized from GOMAXPROCS).
+	Transport *TransportConfig `json:"transport,omitempty"`
+}
+
+// TransportConfig exposes the mercury TCP transport knobs in process
+// configuration (DESIGN.md §12). Zero values select defaults.
+type TransportConfig struct {
+	// PoolSize is the number of connections kept per destination;
+	// in-flight RPCs are striped across them by sequence number.
+	// Default min(4, GOMAXPROCS), clamped to [1, 64].
+	PoolSize int `json:"pool_size,omitempty"`
+	// AcceptLoops is the number of goroutines accepting inbound
+	// connections. Default min(4, GOMAXPROCS), clamped to [1, 16].
+	AcceptLoops int `json:"accept_loops,omitempty"`
+	// ReadBufferBytes sizes the per-connection buffered reader that
+	// batches frame ingress into large read(2) calls. Default 64KiB.
+	ReadBufferBytes int `json:"read_buffer_bytes,omitempty"`
+	// ScratchCapBytes caps the per-connection frame scratch buffer; a
+	// frame larger than this is still handled but its buffer is
+	// released afterwards instead of being kept for reuse. Default 1MiB.
+	ScratchCapBytes int `json:"scratch_cap_bytes,omitempty"`
 }
 
 // defaultConfig is used when New is given empty JSON: one pool drained
@@ -75,6 +97,20 @@ func ParseConfig(raw []byte) (Config, error) {
 	}
 	if cfg.RPCPool == "" {
 		cfg.RPCPool = cfg.Argobots.Pools[0].Name
+	}
+	if t := cfg.Transport; t != nil {
+		if t.PoolSize < 0 {
+			return Config{}, fmt.Errorf("margo: transport.pool_size must be >= 0, got %d", t.PoolSize)
+		}
+		if t.AcceptLoops < 0 {
+			return Config{}, fmt.Errorf("margo: transport.accept_loops must be >= 0, got %d", t.AcceptLoops)
+		}
+		if t.ReadBufferBytes < 0 {
+			return Config{}, fmt.Errorf("margo: transport.read_buffer_bytes must be >= 0, got %d", t.ReadBufferBytes)
+		}
+		if t.ScratchCapBytes < 0 {
+			return Config{}, fmt.Errorf("margo: transport.scratch_cap_bytes must be >= 0, got %d", t.ScratchCapBytes)
+		}
 	}
 	return cfg, nil
 }

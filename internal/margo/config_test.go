@@ -1,0 +1,44 @@
+package margo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfigTransport(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"transport": {
+			"pool_size": 8,
+			"accept_loops": 2,
+			"read_buffer_bytes": 32768,
+			"scratch_cap_bytes": 524288
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		t.Fatal("transport section dropped")
+	}
+	if tr.PoolSize != 8 || tr.AcceptLoops != 2 || tr.ReadBufferBytes != 32768 || tr.ScratchCapBytes != 524288 {
+		t.Fatalf("transport = %+v", *tr)
+	}
+	// Absent section stays nil so callers can distinguish "defaults".
+	cfg, err = ParseConfig([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Transport != nil {
+		t.Fatalf("expected nil transport, got %+v", *cfg.Transport)
+	}
+}
+
+func TestParseConfigTransportRejectsNegative(t *testing.T) {
+	for _, field := range []string{"pool_size", "accept_loops", "read_buffer_bytes", "scratch_cap_bytes"} {
+		raw := []byte(`{"transport": {"` + field + `": -1}}`)
+		if _, err := ParseConfig(raw); err == nil || !strings.Contains(err.Error(), field) {
+			t.Fatalf("%s: err = %v", field, err)
+		}
+	}
+}

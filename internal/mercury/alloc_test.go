@@ -117,6 +117,53 @@ func TestForwardTracedUnsampledAllocsPinned(t *testing.T) {
 	}
 }
 
+// TestTCPForwardAllocsPinned is the TCP-transport counterpart of
+// TestForwardAllocsPinned: one small RPC over a real socket pair must
+// stay at or under 4 heap allocations per op in steady state
+// (currently 3: caller-owned response copy plus per-frame bookkeeping
+// in the two read loops). The egress path itself — frame encode,
+// drain-leader batching, ack channels — is allocation-free once warm.
+func TestTCPForwardAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc pinning is meaningless under the race detector")
+	}
+	a, err := NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	reply := []byte("pong-payload-323232")
+	id := b.Register("ping", func(h *Handle) {
+		_ = h.Respond(reply)
+	})
+	payload := []byte("ping-payload-161616")
+	ctx := context.Background()
+
+	for i := 0; i < 50; i++ {
+		if _, err := a.Forward(ctx, b.Addr(), id, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(300, func() {
+		out, err := a.Forward(ctx, b.Addr(), id, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(reply) {
+			t.Fatalf("bad reply: %q", out)
+		}
+	})
+	if avg > 4 {
+		t.Fatalf("tcp forward allocates %.2f times per op, pinned at <= 4", avg)
+	}
+}
+
 // TestPayloadRecycleNoAliasing drives the pooled request-buffer cycle
 // hard: the caller reuses (and rewrites) one input buffer across many
 // RPCs, and every handler invocation must still observe exactly the

@@ -168,10 +168,12 @@ func (m *message) UnmarshalMochi(d *codec.Decoder) {
 	m.seq = d.Uint64()
 	m.id = RPCID(d.Uint32())
 	m.provider = d.Uint16()
-	m.src = d.String()
+	// src and auth repeat the same few values for a connection's whole
+	// lifetime; interning makes their steady-state decode free.
+	m.src = d.StringIntern()
 	m.status = d.Uint8()
 	m.errmsg = d.String()
-	m.auth = d.String()
+	m.auth = d.StringIntern()
 	// The frame buffer is transport-owned and reused for the next
 	// frame, so the payload is copied out — into pooled scratch that
 	// the message's consumer recycles (Handle.release, bulk handlers).

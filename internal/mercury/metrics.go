@@ -2,12 +2,23 @@ package mercury
 
 import "mochi/internal/metrics"
 
+// transportMetrics is implemented by transports that export their own
+// series (the TCP transport: connection gauges, dial latency, writev
+// batch sizes, accept errors).
+type transportMetrics interface {
+	setMetrics(reg *metrics.Registry)
+}
+
 // SetMetrics installs a metrics registry on the class: every completed
-// bulk transfer records its size into a bytes-by-direction histogram.
+// bulk transfer records its size into a bytes-by-direction histogram,
+// and transports exporting wire-level series register them too.
 // Both direction series are created eagerly so scrapers see the family
 // before the first transfer. Passing nil uninstalls. The margo layer
 // calls this when it builds its registry; manual classes may too.
 func (c *Class) SetMetrics(reg *metrics.Registry) {
+	if tm, ok := c.tr.(transportMetrics); ok {
+		tm.setMetrics(reg)
+	}
 	if reg == nil {
 		c.bulkBytes.Store(nil)
 		return

@@ -8,27 +8,86 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"mochi/internal/codec"
+	"mochi/internal/metrics"
 )
 
 // maxFrame bounds a single TCP frame (64 MiB) to protect against
 // corrupt length prefixes.
 const maxFrame = 64 << 20
 
-// tcpWriteBuffer sizes each connection's bufio.Writer: large enough to
-// hold several small frames between flushes, small enough to be cheap
-// per connection.
-const tcpWriteBuffer = 64 << 10
+// TCPOptions tunes the TCP transport for scale. The zero value selects
+// defaults sized for the host (see each field); NewTCPClass uses it.
+type TCPOptions struct {
+	// PoolSize is the number of connections kept per destination.
+	// In-flight RPCs are striped over the pool by sequence number, so
+	// many outstanding forwards to one peer spread over PoolSize
+	// sockets instead of serializing on one write path. Default
+	// min(4, GOMAXPROCS), clamped to [1, 64].
+	PoolSize int
+	// AcceptLoops is the number of concurrent accept goroutines
+	// (ingress shards). Connections accepted by different shards are
+	// fully independent, so one listener saturates multiple cores.
+	// Default min(4, GOMAXPROCS), clamped to [1, 16].
+	AcceptLoops int
+	// ReadBuffer sizes each connection's buffered reader. Bursts of
+	// small frames queued in the socket buffer are drained with one
+	// read(2) instead of two syscalls per frame. Default 64 KiB.
+	ReadBuffer int
+	// ScratchCap caps the per-connection frame-body scratch buffer.
+	// After a frame larger than this is processed the scratch is
+	// released, so one oversized frame (up to maxFrame) does not pin
+	// its worst-case footprint for the connection's lifetime — at
+	// thousands of connections that would be a silent memory bomb.
+	// Default 1 MiB.
+	ScratchCap int
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.PoolSize <= 0 {
+		o.PoolSize = runtime.GOMAXPROCS(0)
+		if o.PoolSize > 4 {
+			o.PoolSize = 4
+		}
+	}
+	if o.PoolSize > 64 {
+		o.PoolSize = 64
+	}
+	if o.AcceptLoops <= 0 {
+		o.AcceptLoops = runtime.GOMAXPROCS(0)
+		if o.AcceptLoops > 4 {
+			o.AcceptLoops = 4
+		}
+	}
+	if o.AcceptLoops > 16 {
+		o.AcceptLoops = 16
+	}
+	if o.ReadBuffer <= 0 {
+		o.ReadBuffer = 64 << 10
+	}
+	if o.ScratchCap <= 0 {
+		o.ScratchCap = 1 << 20
+	}
+	return o
+}
 
 // NewTCPClass starts a real TCP endpoint listening on listenAddr
-// (e.g. "127.0.0.1:0"). Its address is "tcp://<host:port>". It is
-// wire-compatible with other TCP classes of this package and is used
-// by cmd/bedrock for multi-OS-process deployments.
+// (e.g. "127.0.0.1:0") with default options. Its address is
+// "tcp://<host:port>". It is wire-compatible with other TCP classes of
+// this package and is used by cmd/bedrock for multi-OS-process
+// deployments.
 func NewTCPClass(listenAddr string) (*Class, error) {
+	return NewTCPClassOptions(listenAddr, TCPOptions{})
+}
+
+// NewTCPClassOptions is NewTCPClass with explicit transport tuning.
+func NewTCPClassOptions(listenAddr string, opts TCPOptions) (*Class, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("mercury: listen: %w", err)
@@ -36,13 +95,16 @@ func NewTCPClass(listenAddr string) (*Class, error) {
 	tr := &tcpTransport{
 		listener: ln,
 		address:  "tcp://" + ln.Addr().String(),
-		conns:    map[string]*tcpConn{},
-		dials:    map[string]*pendingDial{},
+		opts:     opts.withDefaults(),
+		pools:    map[string]*connPool{},
+		routes:   map[string][]*tcpConn{},
 		done:     make(chan struct{}),
 	}
 	cls := newClass(tr)
 	tr.class = cls
-	go tr.acceptLoop()
+	for i := 0; i < tr.opts.AcceptLoops; i++ {
+		go tr.acceptLoop()
+	}
 	return cls, nil
 }
 
@@ -50,20 +112,39 @@ type tcpTransport struct {
 	listener net.Listener
 	address  string
 	class    *Class
+	opts     TCPOptions
 
-	mu       sync.Mutex
-	conns    map[string]*tcpConn
-	dials    map[string]*pendingDial
+	mu sync.Mutex
+	// pools holds outbound connections, a fixed-size slot array per
+	// destination; in-flight messages stripe over slots by sequence.
+	pools map[string]*connPool
+	// routes maps a peer's advertised address to the inbound
+	// connections it dialed to us. Responses and bulk acks ride back
+	// on these instead of dialing the peer's listener: halves the
+	// connection count per pair and lets non-accepting clients
+	// (NAT'd tools, short-lived queriers) receive responses.
+	routes map[string][]*tcpConn
+
 	done     chan struct{}
 	stopOnce sync.Once
+
+	met atomic.Pointer[tcpMetrics]
 }
 
-// pendingDial is one in-flight dial. Concurrent senders to the same
-// destination wait on done rather than dialing redundantly, and the
-// transport lock is never held across the dial itself — a slow or
-// blackholed destination must not stall sends to healthy ones, and a
-// waiter must stay responsive to its own context (the dial may be
-// running under someone else's much longer deadline).
+// connPool is the per-destination outbound slot array. Slots dial
+// lazily: a destination that only ever sees one outstanding RPC at a
+// time keeps one connection, whatever PoolSize says.
+type connPool struct {
+	conns []*tcpConn
+	dials []*pendingDial
+}
+
+// pendingDial is one in-flight dial for one pool slot. Concurrent
+// senders striped to the same slot wait on done rather than dialing
+// redundantly, and the transport lock is never held across the dial
+// itself — a slow or blackholed destination must not stall sends to
+// healthy ones, and a waiter must stay responsive to its own context
+// (the dial may be running under someone else's much longer deadline).
 type pendingDial struct {
 	done chan struct{} // closed once tc/err are set
 	tc   *tcpConn
@@ -71,51 +152,184 @@ type pendingDial struct {
 }
 
 // tcpDialContext dials one outbound connection. It is a variable so
-// tests can substitute slow or blocking dials.
+// tests can substitute slow, blocking, or failing dials.
 var tcpDialContext = func(ctx context.Context, host string) (net.Conn, error) {
 	var d net.Dialer
 	return d.DialContext(ctx, "tcp", host)
 }
 
-// tcpConn wraps one outbound connection with a buffered, coalescing
-// write path. Frames are appended to bw under wm; a writer flushes
-// only when no other sender is queued on the mutex (waiters tracks
-// that), so N goroutines forwarding back-to-back share one flush —
-// and therefore one syscall — instead of paying N write(2) calls.
-// A lone sender flushes immediately: coalescing never adds latency.
-type tcpConn struct {
-	c       net.Conn
-	bw      *bufio.Writer
-	wm      sync.Mutex // serializes frame writes and flushes
-	waiters atomic.Int32
-	werr    error // sticky first write error, guarded by wm
+// tcpMetrics caches the transport's metric series so hot paths observe
+// through plain pointers, no registry lookups.
+type tcpMetrics struct {
+	acceptErrors *metrics.Counter
+	inbound      *metrics.Gauge
+	outbound     *metrics.Gauge
+	poolConns    *metrics.GaugeVec
+	dialLatency  *metrics.Histogram
+	writevBatch  *metrics.Histogram
 }
 
-// writeFrame appends one encoded frame and flushes unless another
-// sender is already waiting to append more.
+// setMetrics installs the transport series into reg (nil uninstalls).
+// Class.SetMetrics calls this for transports that support it.
+func (t *tcpTransport) setMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		t.met.Store(nil)
+		return
+	}
+	open := reg.Gauge("mochi_tcp_open_conns",
+		"Open TCP transport connections, by direction.", "direction")
+	m := &tcpMetrics{
+		acceptErrors: reg.Counter("mochi_tcp_accept_errors_total",
+			"Accept failures on the TCP listener (each retried with capped backoff).").With(),
+		inbound:  open.With("inbound"),
+		outbound: open.With("outbound"),
+		poolConns: reg.Gauge("mochi_tcp_pool_conns",
+			"Dialed outbound connections per destination pool.", "dst"),
+		dialLatency: reg.Histogram("mochi_tcp_dial_latency_seconds",
+			"Outbound TCP dial latency in seconds.", metrics.LatencyBuckets).With(),
+		writevBatch: reg.Histogram("mochi_tcp_writev_batch_frames",
+			"Frames retired per egress write call (writev gather batch size).",
+			metrics.ExpBuckets(1, 2, 12)).With(),
+	}
+	t.met.Store(m)
+}
+
+func (t *tcpTransport) metrics() *tcpMetrics { return t.met.Load() }
+
+// tcpConn wraps one connection (outbound or accepted) with a batching
+// egress queue. The first sender to arrive becomes the drain leader:
+// it writes its own frame plus everything queued behind it, gathering
+// each batch into net.Buffers so the kernel retires it with one
+// writev(2) and no intermediate copy. Later senders enqueue and wait
+// for their batch's result. A lone sender takes the inline fast path —
+// one plain Write, no queuing, no handoff — so batching never adds
+// latency when there is no concurrency to amortize.
+type tcpConn struct {
+	c net.Conn
+	t *tcpTransport
+
+	mu      sync.Mutex
+	werr    error // sticky first write error
+	writing bool  // a drain leader is active
+	queue   [][]byte
+	acks    []chan error
+	// spare queue/ack arrays ping-pong with the active ones so
+	// steady-state enqueueing never allocates.
+	spareQ [][]byte
+	spareA []chan error
+	iovs   net.Buffers // gather scratch, reused across batches
+}
+
+func newTCPConn(c net.Conn, t *tcpTransport) *tcpConn {
+	return &tcpConn{c: c, t: t}
+}
+
+// ackChanPool recycles the per-enqueue result channels. Channels are
+// pointer-shaped, so Get/Put do not box.
+var ackChanPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
+// writeFrame sends one encoded frame, blocking until it is on the wire
+// (or failed). The frame buffer is borrowed for the duration of the
+// call only.
 func (tc *tcpConn) writeFrame(frame []byte) error {
-	tc.waiters.Add(1)
-	tc.wm.Lock()
-	tc.waiters.Add(-1)
+	tc.mu.Lock()
 	if tc.werr != nil {
 		err := tc.werr
-		tc.wm.Unlock()
+		tc.mu.Unlock()
 		return err
 	}
-	_, err := tc.bw.Write(frame)
-	if err == nil && tc.waiters.Load() == 0 {
-		err = tc.bw.Flush()
+	if !tc.writing {
+		tc.writing = true
+		return tc.drainAndUnlock(frame)
 	}
-	if err != nil {
-		tc.werr = err
-	}
-	tc.wm.Unlock()
+	ch := ackChanPool.Get().(chan error)
+	tc.queue = append(tc.queue, frame)
+	tc.acks = append(tc.acks, ch)
+	tc.mu.Unlock()
+	err := <-ch
+	ackChanPool.Put(ch)
 	return err
+}
+
+// drainAndUnlock runs the drain leader. Entered with tc.mu held and
+// tc.writing freshly set; own is the leader's frame. It returns the
+// write result that applied to own's batch after the queue is empty
+// and leadership is released.
+func (tc *tcpConn) drainAndUnlock(own []byte) error {
+	var ownErr error
+	first := own
+	for {
+		q, a := tc.queue, tc.acks
+		tc.queue, tc.acks = tc.spareQ, tc.spareA
+		werr := tc.werr
+		tc.mu.Unlock()
+
+		n := len(q)
+		if first != nil {
+			n++
+		}
+		var err error
+		switch {
+		case werr != nil:
+			err = werr
+		case n == 1:
+			f := first
+			if f == nil {
+				f = q[0]
+			}
+			_, err = tc.c.Write(f)
+		default:
+			iov := tc.iovs[:0]
+			if first != nil {
+				iov = append(iov, first)
+			}
+			iov = append(iov, q...)
+			tc.iovs = iov
+			bufs := iov // WriteTo consumes its receiver; keep iovs' header
+			_, err = bufs.WriteTo(tc.c)
+		}
+		if werr == nil {
+			if met := tc.t.metrics(); met != nil {
+				met.writevBatch.Observe(float64(n))
+			}
+		}
+		if first != nil {
+			ownErr = err
+			first = nil
+		}
+		for i, ch := range a {
+			ch <- err
+			a[i] = nil
+		}
+		for i := range q {
+			q[i] = nil
+		}
+
+		tc.mu.Lock()
+		if err != nil && tc.werr == nil {
+			tc.werr = err
+		}
+		tc.spareQ, tc.spareA = q[:0], a[:0]
+		if len(tc.queue) == 0 {
+			tc.writing = false
+			tc.mu.Unlock()
+			return ownErr
+		}
+	}
 }
 
 func (t *tcpTransport) addr() string { return t.address }
 
+// acceptBackoffMax caps the exponential backoff between accept
+// retries. Temporary accept errors (EMFILE under connection storms,
+// ECONNABORTED) must not hot-spin the accept shard.
+const acceptBackoffMax = 100 * time.Millisecond
+
+// acceptLoop is one ingress shard. AcceptLoops of them run
+// concurrently against the shared listener; the kernel distributes
+// incoming connections across whichever are blocked in accept(2).
 func (t *tcpTransport) acceptLoop() {
+	backoff := time.Duration(0)
 	for {
 		conn, err := t.listener.Accept()
 		if err != nil {
@@ -123,40 +337,128 @@ func (t *tcpTransport) acceptLoop() {
 			case <-t.done:
 				return
 			default:
-				continue
 			}
+			if met := t.metrics(); met != nil {
+				met.acceptErrors.Inc()
+			}
+			if backoff == 0 {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			select {
+			case <-t.done:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
-		go t.readLoop(conn)
+		backoff = 0
+		go t.serveInbound(conn)
 	}
 }
 
-func (t *tcpTransport) readLoop(conn net.Conn) {
-	defer conn.Close()
-	// The frame body scratch is per-connection and grows to the
-	// largest frame seen; message decode copies what it keeps.
+// serveInbound owns one accepted connection: it reads frames through a
+// buffered reader (many queued frames per syscall), registers the
+// connection as a response route for the dialing peer once the peer's
+// address is known, and dispatches every message.
+func (t *tcpTransport) serveInbound(conn net.Conn) {
+	tc := newTCPConn(conn, t)
+	if met := t.metrics(); met != nil {
+		met.inbound.Inc()
+	}
+	var src string
+	defer func() {
+		if src != "" {
+			t.dropRoute(src, tc)
+		}
+		conn.Close()
+		if met := t.metrics(); met != nil {
+			met.inbound.Dec()
+		}
+	}()
+	br := bufio.NewReaderSize(conn, t.opts.ReadBuffer)
 	var scratch []byte
 	for {
-		m, err := readFrame(conn, &scratch)
+		m, err := readFrame(br, &scratch)
 		if err != nil {
 			return
+		}
+		if cap(scratch) > t.opts.ScratchCap {
+			// An oversized frame grew the scratch; release it so the
+			// next frame re-allocates at the normal chunk size.
+			scratch = nil
+		}
+		if src == "" && m.src != "" && m.src != t.address {
+			src = m.src
+			t.addRoute(src, tc)
 		}
 		t.class.dispatch(m)
 	}
 }
 
-func (t *tcpTransport) getConn(ctx context.Context, dst string) (*tcpConn, error) {
+func (t *tcpTransport) addRoute(src string, tc *tcpConn) {
+	t.mu.Lock()
+	t.routes[src] = append(t.routes[src], tc)
+	t.mu.Unlock()
+}
+
+func (t *tcpTransport) dropRoute(src string, tc *tcpConn) {
+	t.mu.Lock()
+	conns := t.routes[src]
+	for i, c := range conns {
+		if c == tc {
+			conns[i] = conns[len(conns)-1]
+			conns = conns[:len(conns)-1]
+			break
+		}
+	}
+	if len(conns) == 0 {
+		delete(t.routes, src)
+	} else {
+		t.routes[src] = conns
+	}
+	t.mu.Unlock()
+}
+
+// routeConn returns an inbound connection from dst to respond on, or
+// nil if dst never dialed us (or its connections are gone). Striped by
+// seq so responses to one busy peer spread over its pooled dials.
+func (t *tcpTransport) routeConn(dst string, seq uint64) *tcpConn {
+	t.mu.Lock()
+	conns := t.routes[dst]
+	var tc *tcpConn
+	if n := len(conns); n > 0 {
+		tc = conns[seq%uint64(n)]
+	}
+	t.mu.Unlock()
+	return tc
+}
+
+// getConn returns the pooled outbound connection for (dst, seq),
+// dialing its slot if needed.
+func (t *tcpTransport) getConn(ctx context.Context, dst string, seq uint64) (*tcpConn, error) {
+	slot := int(seq % uint64(t.opts.PoolSize))
 	for {
 		t.mu.Lock()
-		if c, ok := t.conns[dst]; ok {
-			t.mu.Unlock()
-			return c, nil
+		p := t.pools[dst]
+		if p == nil {
+			p = &connPool{
+				conns: make([]*tcpConn, t.opts.PoolSize),
+				dials: make([]*pendingDial, t.opts.PoolSize),
+			}
+			t.pools[dst] = p
 		}
-		if p := t.dials[dst]; p != nil {
+		if tc := p.conns[slot]; tc != nil {
+			t.mu.Unlock()
+			return tc, nil
+		}
+		if pd := p.dials[slot]; pd != nil {
 			t.mu.Unlock()
 			select {
-			case <-p.done:
-				if p.err == nil {
-					return p.tc, nil
+			case <-pd.done:
+				if pd.err == nil {
+					return pd.tc, nil
 				}
 				// The owner's dial failed under the owner's context;
 				// retry under ours — it may be more patient.
@@ -167,74 +469,115 @@ func (t *tcpTransport) getConn(ctx context.Context, dst string) (*tcpConn, error
 				return nil, ErrClassClosed
 			}
 		}
-		p := &pendingDial{done: make(chan struct{})}
-		t.dials[dst] = p
+		pd := &pendingDial{done: make(chan struct{})}
+		p.dials[slot] = pd
 		t.mu.Unlock()
-		tc, err := t.dial(ctx, dst, p)
-		if err != nil {
-			return nil, err
-		}
-		return tc, nil
+		return t.dial(ctx, dst, slot, pd)
 	}
 }
 
-// dial performs the dial this goroutine owns (registered in t.dials
-// as p), publishes the outcome to waiters, and starts the response
-// read loop on success. It runs without the transport lock.
-func (t *tcpTransport) dial(ctx context.Context, dst string, p *pendingDial) (*tcpConn, error) {
+// dial performs the dial this goroutine owns (registered in the pool's
+// dials[slot] as pd), publishes the outcome to waiters, and starts the
+// connection's read loop on success. It runs without the transport
+// lock.
+func (t *tcpTransport) dial(ctx context.Context, dst string, slot int, pd *pendingDial) (*tcpConn, error) {
 	host := dst
 	if len(dst) > 6 && dst[:6] == "tcp://" {
 		host = dst[6:]
 	}
 	// Dial under the caller's context so a Forward deadline bounds
 	// connection establishment, not just the wait for the response.
+	start := time.Now()
 	conn, err := tcpDialContext(ctx, host)
 
 	t.mu.Lock()
-	delete(t.dials, dst)
+	if p := t.pools[dst]; p != nil && p.dials[slot] == pd {
+		p.dials[slot] = nil
+	}
 	select {
 	case <-t.done:
 		t.mu.Unlock()
 		if err == nil {
 			conn.Close()
 		}
-		p.err = ErrClassClosed
-		close(p.done)
+		pd.err = ErrClassClosed
+		close(pd.done)
 		return nil, ErrClassClosed
 	default:
 	}
 	if err != nil {
 		t.mu.Unlock()
-		p.err = classifyNetErr(dst, err)
-		close(p.done)
-		return nil, p.err
+		pd.err = classifyNetErr(dst, err)
+		close(pd.done)
+		return nil, pd.err
 	}
-	tc := &tcpConn{c: conn, bw: bufio.NewWriterSize(conn, tcpWriteBuffer)}
-	t.conns[dst] = tc
+	tc := newTCPConn(conn, t)
+	var open int
+	if p := t.pools[dst]; p != nil {
+		p.conns[slot] = tc
+		open = p.open()
+	}
 	t.mu.Unlock()
-	p.tc = tc
-	close(p.done)
+	if met := t.metrics(); met != nil {
+		met.dialLatency.Observe(time.Since(start).Seconds())
+		met.outbound.Inc()
+		met.poolConns.With(dst).Set(float64(open))
+	}
+	pd.tc = tc
+	close(pd.done)
 	// Responses to our outbound requests come back on this same
-	// connection; read them.
+	// connection (and peers may push frames on it too); read them.
 	go func() {
 		defer func() {
-			t.mu.Lock()
-			if t.conns[dst] == tc {
-				delete(t.conns, dst)
-			}
-			t.mu.Unlock()
+			t.evictPool(dst, slot, tc)
 			conn.Close()
+			if met := t.metrics(); met != nil {
+				met.outbound.Dec()
+			}
 		}()
+		br := bufio.NewReaderSize(conn, t.opts.ReadBuffer)
 		var scratch []byte
 		for {
-			m, err := readFrame(conn, &scratch)
+			m, err := readFrame(br, &scratch)
 			if err != nil {
 				return
+			}
+			if cap(scratch) > t.opts.ScratchCap {
+				scratch = nil
 			}
 			t.class.dispatch(m)
 		}
 	}()
 	return tc, nil
+}
+
+func (p *connPool) open() int {
+	n := 0
+	for _, c := range p.conns {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// evictPool forgets tc if it still occupies its pool slot, so the next
+// send striped there redials.
+func (t *tcpTransport) evictPool(dst string, slot int, tc *tcpConn) {
+	t.mu.Lock()
+	var open int
+	evicted := false
+	if p := t.pools[dst]; p != nil && p.conns[slot] == tc {
+		p.conns[slot] = nil
+		open = p.open()
+		evicted = true
+	}
+	t.mu.Unlock()
+	if evicted {
+		if met := t.metrics(); met != nil {
+			met.poolConns.With(dst).Set(float64(open))
+		}
+	}
 }
 
 func (t *tcpTransport) send(ctx context.Context, dst string, m *message) error {
@@ -243,28 +586,50 @@ func (t *tcpTransport) send(ctx context.Context, dst string, m *message) error {
 		return ErrClassClosed
 	default:
 	}
-	tc, err := t.getConn(ctx, dst)
-	if err != nil {
-		return err
+	// Responses and bulk acks prefer the connection their request
+	// arrived on; everything else goes through the outbound pool.
+	var tc *tcpConn
+	fromRoute := false
+	if m.kind == msgResponse || m.kind == msgBulkAck {
+		if tc = t.routeConn(dst, m.seq); tc != nil {
+			fromRoute = true
+		}
+	}
+	if tc == nil {
+		var err error
+		tc, err = t.getConn(ctx, dst, m.seq)
+		if err != nil {
+			return err
+		}
 	}
 	// Serialize header + body into one pooled buffer so each frame is
-	// a single buffered write: a 4-byte little-endian length prefix
+	// a single gather entry: a 4-byte little-endian length prefix
 	// followed by the encoded message.
 	enc := codec.GetEncoder()
 	enc.Uint32(0) // length placeholder
 	m.MarshalMochi(enc)
 	frame := enc.Bytes()
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
-	err = tc.writeFrame(frame)
+	err := tc.writeFrame(frame)
+	if err != nil && fromRoute {
+		// The inbound route died under us; fall back to the pool once
+		// (the frame stays valid until the encoder is recycled).
+		tc.c.Close()
+		if tc2, derr := t.getConn(ctx, dst, m.seq); derr == nil {
+			if err = tc2.writeFrame(frame); err != nil {
+				t.evictPool(dst, int(m.seq%uint64(t.opts.PoolSize)), tc2)
+				tc2.c.Close()
+			}
+		} else {
+			err = derr
+		}
+	} else if err != nil {
+		// Connection broke: forget it so the next send redials.
+		t.evictPool(dst, int(m.seq%uint64(t.opts.PoolSize)), tc)
+		tc.c.Close()
+	}
 	codec.PutEncoder(enc)
 	if err != nil {
-		// Connection broke: forget it so the next send redials.
-		t.mu.Lock()
-		if t.conns[dst] == tc {
-			delete(t.conns, dst)
-		}
-		t.mu.Unlock()
-		tc.c.Close()
 		return classifyNetErr(dst, err)
 	}
 	return nil
@@ -276,6 +641,10 @@ func (t *tcpTransport) send(ctx context.Context, dst string, m *message) error {
 // on, not opaque failures.
 func classifyNetErr(dst string, err error) error {
 	switch {
+	case errors.Is(err, ErrClassClosed):
+		return err
+	case errors.Is(err, ErrUnreachable), errors.Is(err, ErrConnReset):
+		return err
 	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE),
 		errors.Is(err, net.ErrClosed), errors.Is(err, io.ErrClosedPipe):
 		return fmt.Errorf("%w: %s (%v)", ErrConnReset, dst, err)
@@ -286,15 +655,24 @@ func classifyNetErr(dst string, err error) error {
 	}
 }
 
-// resetConn drops the cached connection to dst, if any, forcing the
+// resetConn drops every cached connection to/from dst, forcing the
 // next send to redial. The chaos injector uses it to simulate
 // connection resets against the real TCP stack.
 func (t *tcpTransport) resetConn(dst string) {
 	t.mu.Lock()
-	tc := t.conns[dst]
-	delete(t.conns, dst)
+	var victims []*tcpConn
+	if p := t.pools[dst]; p != nil {
+		for i, c := range p.conns {
+			if c != nil {
+				victims = append(victims, c)
+				p.conns[i] = nil
+			}
+		}
+	}
+	victims = append(victims, t.routes[dst]...)
+	delete(t.routes, dst)
 	t.mu.Unlock()
-	if tc != nil {
+	for _, tc := range victims {
 		tc.c.Close()
 	}
 }
@@ -304,11 +682,23 @@ func (t *tcpTransport) close() error {
 		close(t.done)
 		t.listener.Close()
 		t.mu.Lock()
-		for _, c := range t.conns {
-			c.c.Close()
+		var victims []*tcpConn
+		for _, p := range t.pools {
+			for _, c := range p.conns {
+				if c != nil {
+					victims = append(victims, c)
+				}
+			}
 		}
-		t.conns = map[string]*tcpConn{}
+		for _, conns := range t.routes {
+			victims = append(victims, conns...)
+		}
+		t.pools = map[string]*connPool{}
+		t.routes = map[string][]*tcpConn{}
 		t.mu.Unlock()
+		for _, tc := range victims {
+			tc.c.Close()
+		}
 	})
 	return nil
 }
