@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-c10k bench-full fuzz examples vet fmt-check lint reshard-soak test-unsafe ci clean
+.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-c10k bench-observe bench-full fuzz examples vet fmt-check lint reshard-soak observe-smoke test-unsafe ci clean
 
 all: build test
 
@@ -65,8 +65,10 @@ bench-alloc:
 # Fuzz every hostile-input parser for FUZZTIME each — the pooled codec
 # decoder, the TCP frame parser, the raft/yokan/ssg wire messages, the
 # router shard-map encoding (epoch, ring entries) and migration
-# messages — plus the yokan op-script target, which runs differential
-# op sequences (multi-key batches, shard-boundary keys) against a
+# messages, the Prometheus exposition round trip (render → parse →
+# re-render, exercised by the federation path on remote snapshots) —
+# plus the yokan op-script target, which runs differential op
+# sequences (multi-key batches, shard-boundary keys) against a
 # reference model.
 # Go allows one -fuzz pattern per invocation, so targets run one by one.
 FUZZTIME ?= 20s
@@ -82,6 +84,7 @@ fuzz:
 	$(GO) test ./internal/ssg/     -run '^FuzzWireMessages$$' -fuzz '^FuzzWireMessages$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/yokan/router/ -run '^FuzzShardMapWire$$'       -fuzz '^FuzzShardMapWire$$'       -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/yokan/router/ -run '^FuzzRouterWireMessages$$' -fuzz '^FuzzRouterWireMessages$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/metrics/ -run '^FuzzPrometheusExposition$$' -fuzz '^FuzzPrometheusExposition$$' -fuzztime $(FUZZTIME)
 
 # Concurrent storage-engine throughput sweep, baseline vs striped, for
 # every backend (about 5s per backend at the default 300ms cells ×
@@ -109,6 +112,26 @@ bench-reshard:
 C10K_FLAGS ?= -conns 16,64,256 -c10k-workers 256 -pools 1,4 -gomaxprocs 1,2,4 -duration 500ms
 bench-c10k:
 	$(GO) run ./cmd/mochi-bench -c10k $(C10K_FLAGS)
+
+# The introspection-plane smoke (EXPERIMENTS.md E13): the multi-node
+# metrics federation, exemplar→trace resolution, SLO burn-rate health
+# flip and profile RPCs, all under the race detector. When
+# OBSERVE_ARTIFACT_DIR is set the tests drop a merged cluster
+# exposition and a heap profile there for upload.
+observe-smoke:
+	$(GO) test -race -count=1 -v \
+		-run 'TestClusterMetrics|TestExemplarResolvesToTrace|TestHealthzDegradedOnSLOBurn|TestProfilingGates' \
+		-timeout 300s ./internal/bedrock/
+	$(GO) test -race -count=1 -timeout 300s ./internal/observe/ ./cmd/bedrock-query/
+
+# Observability overhead numbers for the EXPERIMENTS.md E13 table: SLO
+# tracker on the handler path, a 3-node federation merge, one Go
+# runtime-metrics scrape, and the forward path with tracing compiled
+# in (the exemplar branch rides the existing slow-path commit).
+bench-observe:
+	$(GO) test -run '^$$' -bench 'BenchmarkTracker|BenchmarkAggregator|BenchmarkRuntimeScrape' \
+		-benchtime=10000x -benchmem ./internal/observe/
+	$(GO) test -run '^$$' -bench 'BenchmarkForward' -benchtime=10000x -benchmem ./internal/margo/
 
 # Build and test the unsafe zero-copy codec flavor (string decode
 # aliases the frame buffer). CI runs this as its own leg; the

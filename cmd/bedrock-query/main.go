@@ -9,6 +9,9 @@
 //	echo '<script>' | bedrock-query -addr tcp://... -script -
 //	bedrock-query -addr tcp://... -stats                            # Listing-1 JSON
 //	bedrock-query -addr tcp://... -metrics                          # Prometheus text
+//	bedrock-query -addr tcp://... -cluster-metrics                  # federated view, node-labelled
+//	bedrock-query -addr tcp://... -profile heap > heap.pprof        # pprof protobuf
+//	bedrock-query -addr tcp://... -profile cpu -profile-seconds 10
 //	bedrock-query -addr tcp://... -traces                           # Chrome trace JSON
 //	bedrock-query -addr tcp://... -shutdown
 package main
@@ -18,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"sort"
 	"strings"
@@ -27,31 +29,51 @@ import (
 	"mochi/internal/bedrock"
 	"mochi/internal/margo"
 	"mochi/internal/mercury"
+	"mochi/internal/metrics"
 	"mochi/internal/trace"
 )
 
 func main() {
-	addr := flag.String("addr", "", "address of the bedrock process (tcp://host:port)")
-	script := flag.String("script", "", "Jx9 query to run ('-' reads stdin); empty prints the full config")
-	stats := flag.Bool("stats", false, "print the process's monitoring statistics (Listing 1 JSON)")
-	metricsFlag := flag.Bool("metrics", false, "print the process's metrics in Prometheus text format")
-	tracesFlag := flag.Bool("traces", false, "print the process's buffered trace spans as a Chrome trace-event document")
-	shutdown := flag.Bool("shutdown", false, "ask the process to shut down")
-	token := flag.String("token", "", "authentication token, for processes configured with auth_secret")
-	timeout := flag.Duration("timeout", 10*time.Second, "RPC timeout, including connection establishment")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, stdio, exit code) made
+// explicit so tests can drive the tool in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bedrock-query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "address of the bedrock process (tcp://host:port)")
+	script := fs.String("script", "", "Jx9 query to run ('-' reads stdin); empty prints the full config")
+	stats := fs.Bool("stats", false, "print the process's monitoring statistics (Listing 1 JSON)")
+	metricsFlag := fs.Bool("metrics", false, "print the process's metrics in Prometheus text format")
+	clusterFlag := fs.Bool("cluster-metrics", false, "print the federated cluster metrics view (every member, node-labelled) in Prometheus text format")
+	profileFlag := fs.String("profile", "", "fetch a pprof profile (cpu, heap, goroutine, ...) and write the binary protobuf to stdout")
+	profileSeconds := fs.Int("profile-seconds", 0, "CPU profile duration in seconds (0 uses the server default)")
+	tracesFlag := fs.Bool("traces", false, "print the process's buffered trace spans as a Chrome trace-event document")
+	shutdown := fs.Bool("shutdown", false, "ask the process to shut down")
+	token := fs.String("token", "", "authentication token, for processes configured with auth_secret")
+	timeout := fs.Duration("timeout", 10*time.Second, "RPC timeout, including connection establishment")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "bedrock-query: "+format+"\n", a...)
+		return 1
+	}
 	if *addr == "" {
-		log.Fatal("bedrock-query: -addr is required")
+		return fail("-addr is required")
 	}
 	// The mode flags each claim stdout for a different document, and
 	// -shutdown would race any read (the process may be gone before the
 	// other RPC lands). Refuse ambiguous combinations, naming them.
 	var modes []string
 	for name, set := range map[string]bool{
-		"-stats":    *stats,
-		"-metrics":  *metricsFlag,
-		"-traces":   *tracesFlag,
-		"-shutdown": *shutdown,
+		"-stats":           *stats,
+		"-metrics":         *metricsFlag,
+		"-cluster-metrics": *clusterFlag,
+		"-profile":         *profileFlag != "",
+		"-traces":          *tracesFlag,
+		"-shutdown":        *shutdown,
 	} {
 		if set {
 			modes = append(modes, name)
@@ -59,20 +81,24 @@ func main() {
 	}
 	if len(modes) > 1 {
 		sort.Strings(modes)
-		fmt.Fprintf(os.Stderr, "bedrock-query: %s are mutually exclusive; pick one (read before shutting down)\n", strings.Join(modes, ", "))
-		os.Exit(2)
+		fmt.Fprintf(stderr, "bedrock-query: %s are mutually exclusive; pick one (read before shutting down)\n", strings.Join(modes, ", "))
+		return 2
+	}
+	if *profileSeconds != 0 && *profileFlag == "" {
+		fmt.Fprintln(stderr, "bedrock-query: -profile-seconds only makes sense with -profile")
+		return 2
 	}
 
 	class, err := mercury.NewTCPClass("127.0.0.1:0")
 	if err != nil {
-		log.Fatalf("bedrock-query: %v", err)
+		return fail("%v", err)
 	}
 	if *token != "" {
 		class.SetAuthToken(*token)
 	}
 	inst, err := margo.New(class, nil)
 	if err != nil {
-		log.Fatalf("bedrock-query: %v", err)
+		return fail("%v", err)
 	}
 	defer inst.Finalize()
 
@@ -84,50 +110,67 @@ func main() {
 	case *stats:
 		_, raw, err := sh.GetStats(ctx)
 		if err != nil {
-			log.Fatalf("bedrock-query: %v", err)
+			return fail("%v", err)
 		}
-		fmt.Println(string(raw))
+		fmt.Fprintln(stdout, string(raw))
 	case *metricsFlag:
 		// ctx carries -timeout, so the metrics RPC honors it like every
 		// other path.
 		text, err := sh.GetMetrics(ctx)
 		if err != nil {
-			log.Fatalf("bedrock-query: %v", err)
+			return fail("%v", err)
 		}
-		fmt.Print(text)
+		fmt.Fprint(stdout, text)
+	case *clusterFlag:
+		fams, err := sh.GetClusterMetrics(ctx)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := metrics.WriteText(stdout, fams); err != nil {
+			return fail("%v", err)
+		}
+	case *profileFlag != "":
+		data, err := sh.GetProfile(ctx, *profileFlag, *profileSeconds)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if _, err := stdout.Write(data); err != nil {
+			return fail("writing profile: %v", err)
+		}
 	case *tracesFlag:
 		spans, _, err := sh.GetTraces(ctx)
 		if err != nil {
-			log.Fatalf("bedrock-query: %v", err)
+			return fail("%v", err)
 		}
-		if err := trace.WriteChrome(os.Stdout, spans); err != nil {
-			log.Fatalf("bedrock-query: %v", err)
+		if err := trace.WriteChrome(stdout, spans); err != nil {
+			return fail("%v", err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	case *shutdown:
 		if err := sh.Shutdown(ctx); err != nil {
-			log.Fatalf("bedrock-query: %v", err)
+			return fail("%v", err)
 		}
-		fmt.Println("shutdown requested")
+		fmt.Fprintln(stdout, "shutdown requested")
 	case *script != "":
 		src := *script
 		if src == "-" {
-			raw, err := io.ReadAll(os.Stdin)
+			raw, err := io.ReadAll(stdin)
 			if err != nil {
-				log.Fatalf("bedrock-query: reading stdin: %v", err)
+				return fail("reading stdin: %v", err)
 			}
 			src = string(raw)
 		}
 		out, err := sh.QueryConfig(ctx, src)
 		if err != nil {
-			log.Fatalf("bedrock-query: %v", err)
+			return fail("%v", err)
 		}
-		fmt.Println(string(out))
+		fmt.Fprintln(stdout, string(out))
 	default:
 		_, raw, err := sh.GetConfig(ctx)
 		if err != nil {
-			log.Fatalf("bedrock-query: %v", err)
+			return fail("%v", err)
 		}
-		fmt.Println(string(raw))
+		fmt.Fprintln(stdout, string(raw))
 	}
+	return 0
 }

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/mercury"
+	"mochi/internal/metrics"
+)
+
+// startServer brings up a real bedrock process over TCP — the same
+// path the binary exercises — and returns its address.
+func startServer(t *testing.T, cfg string) string {
+	t.Helper()
+	cls, err := mercury.NewTCPClass("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := bedrock.NewServer(cls, []byte(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv.Addr()
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(""), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestModeFlagsMutuallyExclusive(t *testing.T) {
+	cases := [][]string{
+		{"-addr", "x", "-metrics", "-cluster-metrics"},
+		{"-addr", "x", "-profile", "heap", "-shutdown"},
+		{"-addr", "x", "-stats", "-traces", "-cluster-metrics"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("%v: want exit 2, got %d (stderr: %s)", args, code, stderr)
+		}
+		if !strings.Contains(stderr, "mutually exclusive") {
+			t.Fatalf("%v: stderr should explain exclusivity: %s", args, stderr)
+		}
+		// Every conflicting flag is named so the user can pick.
+		for _, a := range args[2:] {
+			if strings.HasPrefix(a, "-") && !strings.Contains(stderr, a) {
+				t.Fatalf("%v: stderr does not name %s: %s", args, a, stderr)
+			}
+		}
+	}
+}
+
+func TestProfileSecondsRequiresProfile(t *testing.T) {
+	code, _, stderr := runCLI(t, "-addr", "x", "-profile-seconds", "5", "-metrics")
+	if code != 2 || !strings.Contains(stderr, "-profile-seconds") {
+		t.Fatalf("want exit 2 naming -profile-seconds, got %d: %s", code, stderr)
+	}
+}
+
+func TestMissingAddr(t *testing.T) {
+	code, _, stderr := runCLI(t, "-metrics")
+	if code != 1 || !strings.Contains(stderr, "-addr is required") {
+		t.Fatalf("want exit 1 about -addr, got %d: %s", code, stderr)
+	}
+}
+
+func TestClusterMetricsFlag(t *testing.T) {
+	addr := startServer(t, `{}`)
+	code, stdout, stderr := runCLI(t, "-addr", addr, "-cluster-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	samples, err := metrics.ParseExposition([]byte(stdout))
+	if err != nil {
+		t.Fatalf("-cluster-metrics output does not parse: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("-cluster-metrics printed no series")
+	}
+	for _, s := range samples {
+		found := false
+		for _, l := range s.Labels {
+			if l.Name == "node" && l.Value == addr {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("series %s lacks node=%q label", s.Name, addr)
+		}
+	}
+}
+
+func TestProfileFlag(t *testing.T) {
+	addr := startServer(t, `{"monitoring": {"profiling": {"pprof": true}}}`)
+	code, stdout, stderr := runCLI(t, "-addr", addr, "-profile", "heap")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if len(stdout) < 2 || stdout[0] != 0x1f || byte(stdout[1]) != 0x8b {
+		t.Fatalf("-profile heap did not emit gzip pprof bytes (got %d bytes)", len(stdout))
+	}
+
+	// Gated off on the server → clean failure, no partial stdout.
+	addrOff := startServer(t, `{}`)
+	code, stdout, stderr = runCLI(t, "-addr", addrOff, "-profile", "heap")
+	if code != 1 || !strings.Contains(stderr, "profiling disabled") {
+		t.Fatalf("want exit 1 'profiling disabled', got %d: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("failed profile fetch wrote to stdout: %q", stdout)
+	}
+}
+
+func TestMetricsFlagStillWorks(t *testing.T) {
+	addr := startServer(t, `{}`)
+	code, stdout, stderr := runCLI(t, "-addr", addr, "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "# TYPE mochi_rpc_forward_latency_seconds histogram") {
+		t.Fatalf("-metrics output missing families:\n%s", stdout)
+	}
+}

@@ -53,3 +53,22 @@ func (r *Runtime) RegisterMetrics(reg *metrics.Registry) {
 			return []metrics.Sample{{Value: float64(len(r.XstreamNames()))}}
 		})
 }
+
+// EnableWaitSampling turns on per-pool ULT queue-wait histograms
+// (mochi_pool_wait_seconds{pool}) for every current pool and every
+// pool added later. It is the config-gated profiling leg: with it off
+// (the default) the pool hot path never reads the clock; with it on,
+// each enqueue stamps a timestamp and each pop records the wait —
+// exactly the distribution an xstream/pool reconfiguration decision
+// needs to distinguish "queue is deep" from "queue drains fast".
+func (r *Runtime) EnableWaitSampling(reg *metrics.Registry) {
+	vec := reg.Histogram("mochi_pool_wait_seconds",
+		"Time a ULT waited in its pool between submission and execution start.",
+		metrics.LatencyBuckets, "pool")
+	r.mu.Lock()
+	r.waitVec = vec
+	for name, p := range r.pools {
+		p.SetWaitHistogram(vec.With(name))
+	}
+	r.mu.Unlock()
+}

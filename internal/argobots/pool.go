@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mochi/internal/metrics"
 )
 
 // Errors returned by the runtime.
@@ -73,6 +76,10 @@ type poolItem struct {
 	fn   ULT
 	th   *Thread
 	prio bool
+	// at is the enqueue time, stamped only while wait sampling is
+	// enabled (observability profiling); zero otherwise so the default
+	// hot path never reads the clock.
+	at time.Time
 }
 
 // Pool is a queue of ULTs drained by zero or more xstreams.
@@ -93,6 +100,11 @@ type Pool struct {
 	// refs counts external users (providers, xstreams) registered via
 	// Retain/Release; the runtime refuses to remove referenced pools.
 	refs atomic.Int64
+	// wait, when set, receives each ULT's queue-wait time (seconds,
+	// enqueue to pop). Nil by default: one atomic load per enqueue/pop
+	// and nothing else — reconfiguration decisions about xstream
+	// counts want this distribution, but only on request.
+	wait atomic.Pointer[metrics.Histogram]
 
 	waiterMu sync.Mutex
 	waiters  []chan struct{}
@@ -192,7 +204,14 @@ func (p *Pool) Submit(fn ULT) error {
 	return p.enqueue(poolItem{fn: fn})
 }
 
+// SetWaitHistogram enables (non-nil) or disables (nil) queue-wait
+// sampling on this pool.
+func (p *Pool) SetWaitHistogram(h *metrics.Histogram) { p.wait.Store(h) }
+
 func (p *Pool) enqueue(item poolItem) error {
+	if p.wait.Load() != nil {
+		item.at = time.Now()
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -229,6 +248,7 @@ func (p *Pool) popLocked() (poolItem, bool) {
 			p.prioHd = 0
 		}
 		p.executed.Add(1)
+		p.observeWait(it)
 		return it, true
 	}
 	if p.head < len(p.queue) {
@@ -240,9 +260,20 @@ func (p *Pool) popLocked() (poolItem, bool) {
 			p.head = 0
 		}
 		p.executed.Add(1)
+		p.observeWait(it)
 		return it, true
 	}
 	return poolItem{}, false
+}
+
+// observeWait records the queue wait of a popped item when sampling
+// is on. Items enqueued before sampling was enabled carry no
+// timestamp and are skipped; the histogram update is atomics-only, so
+// doing it under the pool lock is acceptable.
+func (p *Pool) observeWait(it poolItem) {
+	if h := p.wait.Load(); h != nil && !it.at.IsZero() {
+		h.Observe(time.Since(it.at).Seconds())
+	}
 }
 
 // waitPop blocks until a ULT is available or the pool closes.

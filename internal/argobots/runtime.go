@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"mochi/internal/metrics"
 )
 
 // PoolConfig describes one pool (Listing 2's "pools" entries).
@@ -41,6 +43,9 @@ type Runtime struct {
 	pools    map[string]*Pool
 	xstreams map[string]*Xstream
 	stopped  bool
+	// waitVec, when set by EnableWaitSampling, supplies the queue-wait
+	// histogram for every pool, including pools added afterwards.
+	waitVec *metrics.HistogramVec
 }
 
 // NewRuntime builds a runtime from a configuration, creating and
@@ -109,6 +114,9 @@ func (r *Runtime) AddPool(pc PoolConfig) (*Pool, error) {
 		return nil, fmt.Errorf("%w: pool %q", ErrDuplicate, pc.Name)
 	}
 	p := NewPool(pc.Name, kind, access)
+	if r.waitVec != nil {
+		p.SetWaitHistogram(r.waitVec.With(pc.Name))
+	}
 	r.pools[pc.Name] = p
 	return p, nil
 }

@@ -1,0 +1,64 @@
+package argobots
+
+import (
+	"testing"
+	"time"
+
+	"mochi/internal/metrics"
+)
+
+// TestPoolWaitSampling checks the config-gated queue-wait histogram:
+// off by default (no samples), populated once enabled, and applied to
+// pools added after EnableWaitSampling (online reconfiguration adds
+// pools at run time).
+func TestPoolWaitSampling(t *testing.T) {
+	rt, err := NewRuntime(Config{
+		Pools:    []PoolConfig{{Name: "p0", Kind: "fifo_wait"}},
+		Xstreams: []XstreamConfig{{Name: "x0", Scheduler: SchedConfig{Pools: []string{"p0"}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	p0, _ := rt.FindPool("p0")
+
+	run := func(p *Pool) {
+		th, err := p.Push(func() { time.Sleep(time.Millisecond) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		th.Join()
+	}
+	run(p0)
+
+	reg := metrics.NewRegistry()
+	rt.EnableWaitSampling(reg)
+	run(p0)
+
+	// A pool added after enabling must be sampled too.
+	p1, err := rt.AddPool(PoolConfig{Name: "p1", Kind: "fifo_wait"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddXstream(XstreamConfig{Name: "x1", Scheduler: SchedConfig{Pools: []string{"p1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	run(p1)
+
+	counts := map[string]uint64{}
+	for _, f := range reg.Snapshot() {
+		if f.Name != "mochi_pool_wait_seconds" {
+			continue
+		}
+		for _, s := range f.Series {
+			counts[s.LabelValues[0]] = s.Hist.Count
+		}
+	}
+	// p0 ran twice but only the post-enable ULT is stamped.
+	if counts["p0"] != 1 {
+		t.Fatalf("p0 wait samples: want 1 (pre-enable ULT unsampled), got %d", counts["p0"])
+	}
+	if counts["p1"] != 1 {
+		t.Fatalf("p1 wait samples: want 1, got %d", counts["p1"])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"mochi/internal/margo"
+	"mochi/internal/metrics"
 	"mochi/internal/trace"
 )
 
@@ -190,6 +191,52 @@ func (sh *ServiceHandle) GetMetrics(ctx context.Context) (string, error) {
 		return "", fmt.Errorf("bedrock: bad metrics reply: %w", err)
 	}
 	return text, nil
+}
+
+// GetMetricsSnapshot fetches the remote process's metrics registry in
+// structured snapshot form — the same data the federation aggregator
+// pulls and merges.
+func (sh *ServiceHandle) GetMetricsSnapshot(ctx context.Context) ([]metrics.FamilySnapshot, error) {
+	raw, err := sh.call(ctx, rpcGetMetrics, metricsArgs{Format: "snapshot"})
+	if err != nil {
+		return nil, err
+	}
+	var snap []metrics.FamilySnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("bedrock: bad metrics snapshot reply: %w", err)
+	}
+	return snap, nil
+}
+
+// GetClusterMetrics asks the remote process for its federated cluster
+// view: every member it knows about, scraped and merged under a node
+// label. Render with metrics.WriteText for Prometheus text.
+func (sh *ServiceHandle) GetClusterMetrics(ctx context.Context) ([]metrics.FamilySnapshot, error) {
+	raw, err := sh.call(ctx, rpcGetCluster, nil)
+	if err != nil {
+		return nil, err
+	}
+	var snap []metrics.FamilySnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("bedrock: bad cluster metrics reply: %w", err)
+	}
+	return snap, nil
+}
+
+// GetProfile fetches one pprof profile (binary protobuf bytes) from
+// the remote process. CPU profiles sample for the given number of
+// seconds; pass 0 for the server default. Requires
+// monitoring.profiling.pprof on the target.
+func (sh *ServiceHandle) GetProfile(ctx context.Context, name string, seconds int) ([]byte, error) {
+	raw, err := sh.call(ctx, rpcGetProfile, profileArgs{Name: name, Seconds: seconds})
+	if err != nil {
+		return nil, err
+	}
+	var data []byte
+	if err := json.Unmarshal(raw, &data); err != nil {
+		return nil, fmt.Errorf("bedrock: bad profile reply: %w", err)
+	}
+	return data, nil
 }
 
 // GetTraces fetches the remote process's buffered trace spans (oldest

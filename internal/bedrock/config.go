@@ -7,6 +7,7 @@ import (
 
 	"mochi/internal/jx9"
 	"mochi/internal/margo"
+	"mochi/internal/observe"
 	"mochi/internal/resilience"
 )
 
@@ -68,6 +69,19 @@ type MonitoringConfig struct {
 	// TraceBufferSize bounds the in-memory span ring (default 4096
 	// spans); the oldest spans are evicted on overflow.
 	TraceBufferSize int `json:"trace_buffer_size,omitempty"`
+	// Profiling gates the runtime-profiling leg of the introspection
+	// plane: pprof endpoints (/debug/pprof and the bedrock_get_profile
+	// RPC), mochi_go_* runtime families, and per-pool ULT queue-wait
+	// histograms. Everything defaults to off.
+	Profiling *observe.ProfilingConfig `json:"profiling,omitempty"`
+	// Cluster configures the metrics federation: peers to scrape for
+	// GET /metrics/cluster and the per-node scrape timeout. When this
+	// process also joins an SSG group, feed the live view to
+	// Server.SetMemberSource and it supersedes the static list.
+	Cluster *observe.ClusterConfig `json:"cluster,omitempty"`
+	// SLO lists latency objectives; the burn-rate tracker publishes
+	// mochi_slo_burn_rate and can turn /healthz "degraded".
+	SLO []observe.Objective `json:"slo,omitempty"`
 }
 
 // ParseConfig decodes a process description. The input is either a

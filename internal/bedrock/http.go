@@ -5,16 +5,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"time"
 
 	"mochi/internal/metrics"
+	"mochi/internal/observe"
 	"mochi/internal/trace"
 )
 
 // startMonitoringHTTP binds the embedded metrics listener. The mercury
 // control plane stays the only reconfiguration surface; this endpoint
-// is read-only (scrapes and health probes), which is why plain HTTP
-// next to the RPC fabric is acceptable.
+// is read-only (scrapes, health probes, profiles), which is why plain
+// HTTP next to the RPC fabric is acceptable.
 func (s *Server) startMonitoringHTTP(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -25,22 +27,58 @@ func (s *Server) startMonitoringHTTP(addr string) error {
 		w.Header().Set("Content-Type", metrics.PrometheusContentType)
 		_ = s.inst.Metrics().WritePrometheus(w)
 	})
+	mux.HandleFunc("GET /metrics/cluster", func(w http.ResponseWriter, r *http.Request) {
+		fams, err := s.ClusterMetrics(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		_ = metrics.WriteText(w, fams)
+	})
 	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = trace.WriteChrome(w, s.inst.Tracer().Spans())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"status":    "ok",
+		status := "ok"
+		degraded := s.Degraded()
+		if len(degraded) > 0 {
+			// 503 so load balancers and probes act on SLO burn without
+			// parsing the body; the body names the offenders for humans.
+			status = "degraded"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		body := map[string]any{
+			"status":    status,
 			"address":   s.Addr(),
 			"providers": s.Providers(),
-		})
+		}
+		if len(degraded) > 0 {
+			body["degraded"] = degraded
+		}
+		_ = json.NewEncoder(w).Encode(body)
 	})
+	if s.pprofEnabled {
+		// Registered on this mux (not DefaultServeMux) so profiling is
+		// really off when the config says so.
+		mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+	}
 	s.httpLn = ln
 	s.httpSrv = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		// WriteTimeout must leave room for the longest legitimate
+		// response: a CPU profile samples for up to 30s before it
+		// writes. Idle keep-alive connections (scrapers poll every few
+		// seconds) are bounded separately.
+		WriteTimeout: 2 * observe.MaxCPUProfileSeconds * time.Second,
+		IdleTimeout:  2 * time.Minute,
 	}
 	go func() {
 		// Serve returns http.ErrServerClosed on Shutdown; any other

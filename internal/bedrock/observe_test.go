@@ -1,0 +1,401 @@
+package bedrock_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mochi/internal/bedrock"
+	"mochi/internal/mercury"
+	"mochi/internal/metrics"
+	"mochi/internal/observe"
+	"mochi/internal/ssg"
+)
+
+// observedConfig gives each process an HTTP listener and a tight tail
+// threshold so slow RPCs are trace-sampled in tests.
+const observedConfig = `{
+  "monitoring": {
+    "http_address": "127.0.0.1:0",
+    "trace_slow_ms": 5
+  }
+}`
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestClusterMetricsFederation is the acceptance scenario: a 3-process
+// group whose members discover each other via SSG, each serving a
+// merged /metrics/cluster where every series carries a node label;
+// killing one member degrades the view (staleness and error counters
+// grow) without failing the endpoint.
+func TestClusterMetricsFederation(t *testing.T) {
+	f := mercury.NewFabric()
+	srvs := []*bedrock.Server{
+		newServer(t, f, "fed0", observedConfig),
+		newServer(t, f, "fed1", observedConfig),
+		newServer(t, f, "fed2", observedConfig),
+	}
+	addrs := make([]string, len(srvs))
+	for i, s := range srvs {
+		addrs[i] = s.Addr()
+	}
+	for _, s := range srvs {
+		g, err := ssg.Create(s.Instance(), "fed", addrs, ssg.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetMemberSource(observe.SSGMembers(g))
+	}
+
+	status, body := httpGet(t, "http://"+srvs[0].MetricsAddr()+"/metrics/cluster")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics/cluster: status %d: %s", status, body)
+	}
+	samples, err := metrics.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("/metrics/cluster does not parse: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("/metrics/cluster empty")
+	}
+	validNode := map[string]bool{}
+	for _, a := range addrs {
+		validNode[a] = true
+	}
+	perNode := map[string]int{}
+	for _, s := range samples {
+		found := false
+		for _, l := range s.Labels {
+			if l.Name == "node" {
+				if !validNode[l.Value] {
+					t.Fatalf("sample %s has unknown node %q", s.Name, l.Value)
+				}
+				perNode[l.Value]++
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sample %s lacks a node label: %+v", s.Name, s.Labels)
+		}
+	}
+	for _, a := range addrs {
+		if perNode[a] == 0 {
+			t.Fatalf("no series from member %s in cluster view (per-node: %v)", a, perNode)
+		}
+	}
+	// Staleness is itself a metric in the merged view.
+	if !strings.Contains(string(body), "mochi_observe_scrape_age_seconds{") {
+		t.Fatalf("cluster view lacks scrape staleness metric:\n%s", body)
+	}
+
+	// Optionally save the merged view for CI artifacts.
+	if dir := os.Getenv("OBSERVE_ARTIFACT_DIR"); dir != "" {
+		if err := os.WriteFile(filepath.Join(dir, "metrics_cluster.txt"), body, 0o644); err != nil {
+			t.Logf("artifact write failed: %v", err)
+		}
+	}
+
+	// Kill one member. The endpoint must keep answering with the
+	// survivor's data plus the victim's last snapshot, and the scrape
+	// error counter must tick.
+	victim := srvs[2].Addr()
+	srvs[2].Shutdown()
+	status, body = httpGet(t, "http://"+srvs[0].MetricsAddr()+"/metrics/cluster")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics/cluster after member death: status %d", status)
+	}
+	samples, err = metrics.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("degraded cluster view does not parse: %v", err)
+	}
+	sawVictimErr := false
+	for _, s := range samples {
+		if s.Name != "mochi_observe_scrape_errors_total" {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Name == "peer" && l.Value == victim && s.Value >= 1 {
+				sawVictimErr = true
+			}
+		}
+	}
+	if !sawVictimErr {
+		t.Fatalf("no scrape errors recorded for dead member %s:\n%s", victim, body)
+	}
+}
+
+// TestClusterMetricsRPC checks the RPC twin and the snapshot format of
+// bedrock_get_metrics.
+func TestClusterMetricsRPC(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newServer(t, f, "crpc", `{"monitoring": {"cluster": {"members": []}}}`)
+	cli := newClientInst(t, f, "crpc-cli")
+	sh := bedrock.NewClient(cli).MakeServiceHandle(srv.Addr())
+
+	snap, err := sh.GetMetricsSnapshot(bctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty metrics snapshot")
+	}
+	for _, fam := range snap {
+		for _, ln := range fam.LabelNames {
+			if ln == "node" {
+				t.Fatalf("per-process snapshot already node-labelled: %+v", fam)
+			}
+		}
+	}
+
+	fams, err := sh.GetClusterMetrics(bctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("empty cluster metrics")
+	}
+	for _, fam := range fams {
+		if len(fam.LabelNames) == 0 || fam.LabelNames[0] != "node" {
+			t.Fatalf("cluster family %s lacks node label: %v", fam.Name, fam.LabelNames)
+		}
+	}
+	// Plain GetMetrics (text form) still works — back-compat.
+	text, err := sh.GetMetrics(bctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "# TYPE mochi_rpc_forward_latency_seconds histogram") {
+		t.Fatalf("text metrics missing families:\n%s", text)
+	}
+}
+
+// TestExemplarResolvesToTrace is the histogram→trace acceptance path:
+// an induced slow RPC leaves an exemplar on the forward-latency
+// histogram whose trace ID resolves to the full span tree served by
+// /traces on both sides.
+func TestExemplarResolvesToTrace(t *testing.T) {
+	f := mercury.NewFabric()
+	a := newServer(t, f, "exa", observedConfig)
+	b := newServer(t, f, "exb", observedConfig)
+
+	if _, err := b.Instance().Register("slow_obs", func(_ context.Context, h *mercury.Handle) {
+		time.Sleep(20 * time.Millisecond)
+		_ = h.Respond(nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Instance().Forward(bctx(t), b.Addr(), "slow_obs", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exemplar must appear in A's /metrics exposition.
+	status, body := httpGet(t, "http://"+a.MetricsAddr()+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: %d", status)
+	}
+	samples, err := metrics.ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceID string
+	for _, s := range samples {
+		if !strings.HasPrefix(s.Name, "mochi_rpc_forward_latency_seconds_bucket") || s.Exemplar == nil {
+			continue
+		}
+		isSlowObs := false
+		for _, l := range s.Labels {
+			if l.Name == "rpc" && l.Value == "slow_obs" {
+				isSlowObs = true
+			}
+		}
+		if !isSlowObs {
+			continue
+		}
+		for _, l := range s.Exemplar.Labels {
+			if l.Name == "trace_id" {
+				traceID = l.Value
+			}
+		}
+	}
+	if traceID == "" {
+		t.Fatalf("no exemplar on slow_obs forward latency:\n%s", body)
+	}
+
+	// The trace ID must resolve to client and server spans via the
+	// /traces endpoints (Chrome trace-event JSON keeps the trace ID in
+	// each event's args).
+	kinds := map[string]bool{}
+	for _, srv := range []*bedrock.Server{a, b} {
+		status, tbody := httpGet(t, "http://"+srv.MetricsAddr()+"/traces")
+		if status != http.StatusOK {
+			t.Fatalf("/traces: %d", status)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string          `json:"name"`
+				Cat  string          `json:"cat"`
+				Args json.RawMessage `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(tbody, &doc); err != nil {
+			t.Fatalf("bad /traces JSON: %v", err)
+		}
+		for _, ev := range doc.TraceEvents {
+			var args struct {
+				TraceID string `json:"trace_id"`
+			}
+			_ = json.Unmarshal(ev.Args, &args)
+			if args.TraceID == traceID && ev.Name == "slow_obs" {
+				kinds[ev.Cat] = true
+			}
+		}
+	}
+	if !kinds["client"] || !kinds["server"] {
+		t.Fatalf("exemplar trace %s did not resolve to a full span tree (kinds: %v)", traceID, kinds)
+	}
+}
+
+// TestHealthzDegradedOnSLOBurn: a latency objective that the workload
+// violates must flip /healthz to 503 "degraded" and name the family.
+func TestHealthzDegradedOnSLOBurn(t *testing.T) {
+	f := mercury.NewFabric()
+	srv := newServer(t, f, "slo", `{
+	  "monitoring": {
+	    "http_address": "127.0.0.1:0",
+	    "slo": [ { "rpc": "slow_slo", "target_ms": 1, "error_budget": 0.01 } ]
+	  }
+	}`)
+	if _, err := srv.Instance().Register("slow_slo", func(_ context.Context, h *mercury.Handle) {
+		time.Sleep(10 * time.Millisecond)
+		_ = h.Respond(nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy before traffic.
+	status, body := httpGet(t, "http://"+srv.MetricsAddr()+"/healthz")
+	if status != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz before traffic: %d %s", status, body)
+	}
+
+	cli := newClientInst(t, f, "slo-cli")
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Forward(bctx(t), srv.Addr(), "slow_slo", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	status, body = httpGet(t, "http://"+srv.MetricsAddr()+"/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz under SLO burn: want 503, got %d: %s", status, body)
+	}
+	var health struct {
+		Status   string   `json:"status"`
+		Degraded []string `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || len(health.Degraded) != 1 || health.Degraded[0] != "slow_slo" {
+		t.Fatalf("healthz body: %+v", health)
+	}
+
+	// The burn rate is also a metric.
+	_, mbody := httpGet(t, "http://"+srv.MetricsAddr()+"/metrics")
+	if !strings.Contains(string(mbody), `mochi_slo_burn_rate{rpc="slow_slo",window="5m"}`) {
+		t.Fatalf("burn-rate family missing:\n%s", mbody)
+	}
+}
+
+// TestProfilingGates: profiles are served over RPC and HTTP only when
+// the config enables them.
+func TestProfilingGates(t *testing.T) {
+	f := mercury.NewFabric()
+	on := newServer(t, f, "prof-on", `{
+	  "monitoring": {
+	    "http_address": "127.0.0.1:0",
+	    "profiling": { "pprof": true, "runtime_metrics": true, "pool_wait": true }
+	  }
+	}`)
+	off := newServer(t, f, "prof-off", `{ "monitoring": { "http_address": "127.0.0.1:0" } }`)
+	cli := newClientInst(t, f, "prof-cli")
+
+	shOn := bedrock.NewClient(cli).MakeServiceHandle(on.Addr())
+	data, err := shOn.GetProfile(bctx(t), "heap", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("heap profile not gzip pprof: % x", data[:min(len(data), 4)])
+	}
+	if dir := os.Getenv("OBSERVE_ARTIFACT_DIR"); dir != "" {
+		if err := os.WriteFile(filepath.Join(dir, "heap.pprof"), data, 0o644); err != nil {
+			t.Logf("artifact write failed: %v", err)
+		}
+	}
+	if _, err := shOn.GetProfile(bctx(t), "no-such", 0); err == nil {
+		t.Fatal("unknown profile name should fail")
+	}
+
+	shOff := bedrock.NewClient(cli).MakeServiceHandle(off.Addr())
+	if _, err := shOff.GetProfile(bctx(t), "heap", 0); err == nil || !strings.Contains(err.Error(), "profiling disabled") {
+		t.Fatalf("profile on gated-off server: want 'profiling disabled', got %v", err)
+	}
+
+	// HTTP pprof handlers follow the same gate.
+	status, _ := httpGet(t, "http://"+on.MetricsAddr()+"/debug/pprof/cmdline")
+	if status != http.StatusOK {
+		t.Fatalf("pprof on enabled server: %d", status)
+	}
+	status, _ = httpGet(t, "http://"+off.MetricsAddr()+"/debug/pprof/cmdline")
+	if status == http.StatusOK {
+		t.Fatal("pprof served despite profiling disabled")
+	}
+
+	// runtime_metrics and pool_wait families are exported on the
+	// enabled server only.
+	_, body := httpGet(t, "http://"+on.MetricsAddr()+"/metrics")
+	for _, want := range []string{"mochi_go_goroutines", "mochi_go_gc_pause_seconds", "mochi_pool_wait_seconds"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("enabled server missing %s:\n%s", want, body)
+		}
+	}
+	_, body = httpGet(t, "http://"+off.MetricsAddr()+"/metrics")
+	if strings.Contains(string(body), "mochi_go_goroutines") {
+		t.Fatal("runtime metrics exported despite profiling disabled")
+	}
+}
+
+// TestSLOConfigRejected: invalid objectives must fail server startup,
+// not silently misbehave later.
+func TestSLOConfigRejected(t *testing.T) {
+	f := mercury.NewFabric()
+	cls, err := f.NewClass("slo-bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = bedrock.NewServer(cls, []byte(`{
+	  "monitoring": { "slo": [ { "rpc": "x", "target_ms": -1, "error_budget": 0.1 } ] }
+	}`))
+	if err == nil || !strings.Contains(err.Error(), "target_ms") {
+		t.Fatalf("bad SLO config: want target_ms error, got %v", err)
+	}
+}

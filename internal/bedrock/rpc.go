@@ -1,12 +1,15 @@
 package bedrock
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"mochi/internal/argobots"
 	"mochi/internal/mercury"
+	"mochi/internal/observe"
 	"mochi/internal/remi"
 )
 
@@ -96,6 +99,8 @@ func (s *Server) registerRPCs() error {
 		{rpcGetStats, s.rpcGetStats},
 		{rpcGetMetrics, s.rpcGetMetrics},
 		{rpcGetTraces, s.rpcGetTraces},
+		{rpcGetCluster, s.rpcGetClusterMetrics},
+		{rpcGetProfile, s.rpcGetProfile},
 	}
 	for _, e := range entries {
 		if _, err := s.inst.Register(e.name, e.fn); err != nil {
@@ -321,12 +326,70 @@ func (s *Server) rpcGetStats(_ context.Context, h *mercury.Handle) {
 	respondOK(h, raw)
 }
 
-// rpcGetMetrics returns the process's metrics registry in Prometheus
-// text format — the RPC twin of the /metrics HTTP endpoint, so
+// metricsArgs selects the wire form of a bedrock_get_metrics reply.
+type metricsArgs struct {
+	// Format "snapshot" returns the structured []metrics.FamilySnapshot
+	// the federation aggregator merges; empty (or anything else, for
+	// forward compatibility) returns Prometheus text.
+	Format string `json:"format,omitempty"`
+}
+
+// profileArgs requests one pprof profile over the control plane.
+type profileArgs struct {
+	Name    string `json:"name"`
+	Seconds int    `json:"seconds,omitempty"`
+}
+
+// rpcGetMetrics returns the process's metrics registry — Prometheus
+// text by default (the RPC twin of the /metrics HTTP endpoint, so
 // `bedrock-query -metrics` works over the fabric without an HTTP
-// listener configured.
+// listener configured), or the structured snapshot form when asked,
+// which is what peer aggregators pull and merge.
 func (s *Server) rpcGetMetrics(_ context.Context, h *mercury.Handle) {
+	var args metricsArgs
+	if in := h.Input(); len(in) > 0 {
+		if err := json.Unmarshal(in, &args); err != nil {
+			respondErr(h, err)
+			return
+		}
+	}
+	if args.Format == "snapshot" {
+		respondOK(h, mustJSON(s.inst.Metrics().Snapshot()))
+		return
+	}
 	respondOK(h, mustJSON(string(s.inst.Metrics().PrometheusText())))
+}
+
+// rpcGetClusterMetrics returns the merged, node-labelled snapshot of
+// every federation member — the RPC twin of GET /metrics/cluster.
+func (s *Server) rpcGetClusterMetrics(ctx context.Context, h *mercury.Handle) {
+	fams, err := s.ClusterMetrics(ctx)
+	if err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, mustJSON(fams))
+}
+
+// rpcGetProfile returns one pprof profile (binary protobuf, base64 in
+// the JSON envelope). Gated on monitoring.profiling.pprof, like the
+// HTTP endpoints.
+func (s *Server) rpcGetProfile(_ context.Context, h *mercury.Handle) {
+	if !s.pprofEnabled {
+		respondErr(h, fmt.Errorf("bedrock: profiling disabled (set monitoring.profiling.pprof)"))
+		return
+	}
+	var args profileArgs
+	if err := json.Unmarshal(h.Input(), &args); err != nil {
+		respondErr(h, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := observe.WriteProfile(&buf, args.Name, args.Seconds); err != nil {
+		respondErr(h, err)
+		return
+	}
+	respondOK(h, mustJSON(buf.Bytes()))
 }
 
 // rpcGetTraces returns the buffered spans of this process's trace

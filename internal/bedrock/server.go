@@ -16,6 +16,8 @@ import (
 	"mochi/internal/jx9"
 	"mochi/internal/margo"
 	"mochi/internal/mercury"
+	"mochi/internal/metrics"
+	"mochi/internal/observe"
 	"mochi/internal/remi"
 	"mochi/internal/trace"
 )
@@ -43,6 +45,8 @@ const (
 	rpcGetStats      = "bedrock_get_stats"
 	rpcGetMetrics    = "bedrock_get_metrics"
 	rpcGetTraces     = "bedrock_get_traces"
+	rpcGetCluster    = "bedrock_get_cluster_metrics"
+	rpcGetProfile    = "bedrock_get_profile"
 )
 
 type providerRecord struct {
@@ -76,6 +80,13 @@ type Server struct {
 	// present when the config's "monitoring" block sets http_address.
 	httpLn  net.Listener
 	httpSrv *http.Server
+
+	// Introspection plane (always constructed; the legs are
+	// config-gated individually).
+	agg          *observe.Aggregator
+	slo          *observe.Tracker
+	sloUnhook    func()
+	pprofEnabled bool
 }
 
 // NewServer bootstraps a process from a Listing-3 configuration: it
@@ -131,6 +142,10 @@ func NewServer(class *mercury.Class, raw []byte) (*Server, error) {
 		inst.Finalize()
 		return nil, err
 	}
+	if err := s.setupObservability(cfg.Monitoring); err != nil {
+		s.Shutdown()
+		return nil, err
+	}
 	if err := s.bootstrapProviders(cfg.Providers); err != nil {
 		s.Shutdown()
 		return nil, err
@@ -145,6 +160,78 @@ func NewServer(class *mercury.Class, raw []byte) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// setupObservability builds the introspection plane. The federation
+// aggregator always exists (a single-node cluster view is just the
+// local registry with a node label); the profiling and SLO legs are
+// config-gated.
+func (s *Server) setupObservability(mc *MonitoringConfig) error {
+	acfg := observe.AggregatorConfig{
+		Self:    s.inst.Addr(),
+		RPCName: rpcGetMetrics,
+		Pool:    s.inst.RPCPool(),
+		Clock:   s.inst.Clock(),
+	}
+	if mc != nil && mc.Cluster != nil && mc.Cluster.ScrapeTimeoutMS > 0 {
+		acfg.Timeout = time.Duration(mc.Cluster.ScrapeTimeoutMS) * time.Millisecond
+	}
+	s.agg = observe.NewAggregator(s.inst, s.inst.Metrics(), acfg)
+	if mc == nil {
+		return nil
+	}
+	if mc.Cluster != nil && len(mc.Cluster.Members) > 0 {
+		s.agg.SetMemberSource(observe.StaticMembers(mc.Cluster.Members))
+	}
+	if p := mc.Profiling; p != nil {
+		s.pprofEnabled = p.Pprof
+		if p.RuntimeMetrics {
+			observe.RegisterRuntimeMetrics(s.inst.Metrics())
+		}
+		if p.PoolWait {
+			s.inst.Runtime().EnableWaitSampling(s.inst.Metrics())
+		}
+	}
+	if len(mc.SLO) > 0 {
+		tr, err := observe.NewTracker(s.inst.Clock(), mc.SLO)
+		if err != nil {
+			return err
+		}
+		tr.Register(s.inst.Metrics())
+		s.slo = tr
+		s.sloUnhook = s.inst.AddHook(&margo.Hook{
+			OnHandlerEnd: func(info margo.RPCInfo, d time.Duration) {
+				tr.Observe(info.Name, d)
+			},
+		})
+	}
+	return nil
+}
+
+// Aggregator returns the metrics-federation aggregator, so embedding
+// applications can re-point its member source (e.g. at an SSG view via
+// observe.SSGMembers).
+func (s *Server) Aggregator() *observe.Aggregator { return s.agg }
+
+// SetMemberSource re-points the federation's membership (an SSG view,
+// a static list). Nil reverts to self-only.
+func (s *Server) SetMemberSource(fn func() []string) { s.agg.SetMemberSource(fn) }
+
+// ClusterMetrics scrapes every federation member and returns the
+// merged, node-labelled snapshot — the data behind GET /metrics/cluster
+// and the bedrock_get_cluster_metrics RPC.
+func (s *Server) ClusterMetrics(ctx context.Context) ([]metrics.FamilySnapshot, error) {
+	return s.agg.Merged(ctx)
+}
+
+// Degraded returns the RPC families currently burning their error
+// budget in both SLO windows (empty when no SLOs are configured or
+// all are healthy).
+func (s *Server) Degraded() []string {
+	if s.slo == nil {
+		return nil
+	}
+	return s.slo.Degraded()
 }
 
 // applyTraceConfig tunes the instance tracer from the monitoring
@@ -703,6 +790,9 @@ func (s *Server) Shutdown() {
 		remiProv := s.remiProv
 		s.mu.Unlock()
 		s.stopMonitoringHTTP()
+		if s.sloUnhook != nil {
+			s.sloUnhook()
+		}
 		for _, r := range recs {
 			_ = r.instance.Close()
 		}

@@ -406,6 +406,15 @@ func (m *Instance) ForwardProvider(ctx context.Context, dst string, name string,
 			Err:      err != nil,
 			Tail:     !tc.Sampled(),
 		})
+		// Exemplar: pin this trace ID to the latency bucket the RPC
+		// landed in, linking the histogram's tail straight to a span
+		// tree. Runs only for sampled/slow RPCs, so the common path
+		// pays nothing (and stays inside the alloc pins).
+		sec := d.Seconds()
+		id := tc.TraceID.String()
+		ts := float64(start.UnixNano()) / 1e9
+		m.metrics.seriesFor(info).fwd.SetExemplar(sec, id, ts)
+		m.metrics.aggFwd.SetExemplar(sec, id, ts)
 	}
 	return out, err
 }

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Exemplar ties one observed value to the trace that produced it, in
+// the OpenMetrics sense: a scraper reading a latency histogram can
+// jump from a bucket to the exact trace ID of a request that landed
+// there. In this codebase the margo forward path attaches exemplars
+// only on its already-allocating slow/sampled commit branch, so the
+// unsampled hot path never sees this code.
+type Exemplar struct {
+	// Bucket is the index of the histogram bucket this exemplar
+	// belongs to (len(Upper) means the +Inf bucket). Only meaningful
+	// inside a HistogramSnapshot.
+	Bucket int `json:"bucket"`
+	// TraceID is the hex trace ID of the exemplified request.
+	TraceID string `json:"trace_id"`
+	// Value is the observed value (seconds for latency histograms).
+	Value float64 `json:"value"`
+	// Ts is the unix timestamp (seconds, fractional) of the
+	// observation; merges keep the newest.
+	Ts float64 `json:"ts,omitempty"`
+}
+
+// exemplarStore holds one exemplar slot per histogram bucket. It is
+// allocated lazily on the first SetExemplar so histograms that never
+// see an exemplar pay a single nil atomic load at snapshot time and
+// nothing at all on Observe.
+type exemplarStore struct {
+	slots []atomic.Pointer[Exemplar]
+}
+
+// SetExemplar records an exemplar for the bucket holding v,
+// overwriting any previous exemplar of that bucket. It allocates (the
+// store on first use, one Exemplar per call) and is therefore meant
+// for slow paths that already allocate — the tail-sampled span commit,
+// not the per-observation fast path.
+func (h *Histogram) SetExemplar(v float64, traceID string, ts float64) {
+	st := h.exemplars.Load()
+	if st == nil {
+		st = &exemplarStore{slots: make([]atomic.Pointer[Exemplar], len(h.counts))}
+		if !h.exemplars.CompareAndSwap(nil, st) {
+			st = h.exemplars.Load()
+		}
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	st.slots[i].Store(&Exemplar{Bucket: i, TraceID: traceID, Value: v, Ts: ts})
+}
+
+// exemplarSnapshot collects the non-empty exemplar slots in bucket
+// order (nil when no exemplar was ever set).
+func (h *Histogram) exemplarSnapshot() []Exemplar {
+	st := h.exemplars.Load()
+	if st == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range st.slots {
+		if e := st.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// mergeExemplars folds src into dst keeping, per bucket, the exemplar
+// with the newest timestamp. Both inputs are bucket-ordered; the
+// result is too.
+func mergeExemplars(dst, src []Exemplar) []Exemplar {
+	if len(src) == 0 {
+		return dst
+	}
+	byBucket := make(map[int]Exemplar, len(dst)+len(src))
+	for _, e := range dst {
+		byBucket[e.Bucket] = e
+	}
+	for _, e := range src {
+		if cur, ok := byBucket[e.Bucket]; !ok || e.Ts >= cur.Ts {
+			byBucket[e.Bucket] = e
+		}
+	}
+	out := make([]Exemplar, 0, len(byBucket))
+	for _, e := range byBucket {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
+	return out
+}

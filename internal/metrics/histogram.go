@@ -19,6 +19,10 @@ type Histogram struct {
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
 	max    atomic.Uint64 // float64 bits
+	// exemplars is allocated lazily by SetExemplar (exemplar.go); nil
+	// for the overwhelming majority of histograms, costing Observe
+	// nothing and Snapshot one atomic load.
+	exemplars atomic.Pointer[exemplarStore]
 }
 
 // NewHistogram creates a histogram over the given bucket upper bounds
@@ -83,6 +87,7 @@ func (h *Histogram) Snapshot() *HistogramSnapshot {
 	// Derive the count from the buckets so count == sum(buckets) holds
 	// within the snapshot even under concurrent recording.
 	s.Count = total
+	s.Exemplars = h.exemplarSnapshot()
 	return s
 }
 
@@ -95,6 +100,18 @@ type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
 	Max    float64   `json:"max"`
+	// Exemplars, when present, link buckets to trace IDs (at most one
+	// per bucket, bucket-ordered). Merges keep the newest per bucket.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Clone returns a deep copy, so a cached snapshot survives callers
+// that merge into it (federation relabels then merges node snapshots).
+func (s *HistogramSnapshot) Clone() *HistogramSnapshot {
+	c := *s
+	c.Counts = append([]uint64(nil), s.Counts...)
+	c.Exemplars = append([]Exemplar(nil), s.Exemplars...)
+	return &c
 }
 
 // Merge adds other into s. The bucket layouts must match exactly.
@@ -115,6 +132,7 @@ func (s *HistogramSnapshot) Merge(other *HistogramSnapshot) error {
 	if other.Max > s.Max {
 		s.Max = other.Max
 	}
+	s.Exemplars = mergeExemplars(s.Exemplars, other.Exemplars)
 	return nil
 }
 

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMergeSnapshotsKindMismatch pins the error path the federation
+// layer depends on: two processes disagreeing about a family's kind
+// must fail the merge loudly, not silently sum a gauge into a counter.
+func TestMergeSnapshotsKindMismatch(t *testing.T) {
+	dst := []FamilySnapshot{{Name: "m", Kind: KindCounter, Series: []SeriesSnapshot{{Value: 1}}}}
+	src := []FamilySnapshot{{Name: "m", Kind: KindGauge, Series: []SeriesSnapshot{{Value: 2}}}}
+	if _, err := MergeSnapshots(dst, src); err == nil {
+		t.Fatal("kind mismatch merged without error")
+	} else if !strings.Contains(err.Error(), "kind counter vs gauge") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestMergeSnapshotsHistogramShapeMismatch covers both histogram
+// layout errors: differing bucket counts and differing bounds.
+func TestMergeSnapshotsHistogramShapeMismatch(t *testing.T) {
+	mk := func(upper []float64) []FamilySnapshot {
+		return []FamilySnapshot{{
+			Name: "h", Kind: KindHistogram,
+			Series: []SeriesSnapshot{{Hist: &HistogramSnapshot{
+				Upper:  upper,
+				Counts: make([]uint64, len(upper)+1),
+			}}},
+		}}
+	}
+	if _, err := MergeSnapshots(mk([]float64{1, 2}), mk([]float64{1, 2, 4})); err == nil {
+		t.Fatal("bucket-count mismatch merged without error")
+	} else if !strings.Contains(err.Error(), "2 vs 3 buckets") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := MergeSnapshots(mk([]float64{1, 2}), mk([]float64{1, 3})); err == nil {
+		t.Fatal("bucket-bound mismatch merged without error")
+	} else if !strings.Contains(err.Error(), "bound 1: 2 vs 3") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestMergeSnapshotsAppendsUnknown checks the append paths: families
+// and series present only in src land in dst untouched.
+func TestMergeSnapshotsAppendsUnknown(t *testing.T) {
+	dst := []FamilySnapshot{{Name: "a", Kind: KindCounter, LabelNames: []string{"l"},
+		Series: []SeriesSnapshot{{LabelValues: []string{"x"}, Value: 1}}}}
+	src := []FamilySnapshot{
+		{Name: "a", Kind: KindCounter, LabelNames: []string{"l"},
+			Series: []SeriesSnapshot{
+				{LabelValues: []string{"x"}, Value: 2},
+				{LabelValues: []string{"y"}, Value: 5},
+			}},
+		{Name: "b", Kind: KindGauge, Series: []SeriesSnapshot{{Value: 7}}},
+	}
+	out, err := MergeSnapshots(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Series[0].Value != 3 || out[0].Series[1].Value != 5 || out[1].Series[0].Value != 7 {
+		t.Fatalf("bad merge result: %+v", out)
+	}
+}
+
+// TestExemplarSnapshotAndMerge exercises the exemplar lifecycle: set,
+// snapshot, serialize implicitly via merge, newest-wins semantics.
+func TestExemplarSnapshotAndMerge(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(0.005)
+	if s := h.Snapshot(); s.Exemplars != nil {
+		t.Fatalf("exemplars present before any SetExemplar: %+v", s.Exemplars)
+	}
+	h.SetExemplar(0.005, "aaaa", 100)
+	h.SetExemplar(5.0, "bbbb", 101) // +Inf bucket
+	s := h.Snapshot()
+	if len(s.Exemplars) != 2 {
+		t.Fatalf("want 2 exemplars, got %+v", s.Exemplars)
+	}
+	if s.Exemplars[0].Bucket != 1 || s.Exemplars[0].TraceID != "aaaa" {
+		t.Fatalf("bad exemplar: %+v", s.Exemplars[0])
+	}
+	if s.Exemplars[1].Bucket != 3 || s.Exemplars[1].TraceID != "bbbb" {
+		t.Fatalf("bad +Inf exemplar: %+v", s.Exemplars[1])
+	}
+
+	// Merge: same bucket keeps the newest timestamp; new buckets append.
+	h2 := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h2.SetExemplar(0.004, "newer", 200)
+	h2.SetExemplar(0.0001, "cccc", 50)
+	s2 := h2.Snapshot()
+	if err := s.Merge(s2); err != nil {
+		t.Fatal(err)
+	}
+	byBucket := map[int]Exemplar{}
+	for _, e := range s.Exemplars {
+		byBucket[e.Bucket] = e
+	}
+	if byBucket[1].TraceID != "newer" {
+		t.Fatalf("merge kept stale exemplar: %+v", byBucket[1])
+	}
+	if byBucket[0].TraceID != "cccc" || byBucket[3].TraceID != "bbbb" {
+		t.Fatalf("merge lost exemplars: %+v", s.Exemplars)
+	}
+	// Overwrite within one histogram: latest call wins for the bucket.
+	h.SetExemplar(0.006, "dddd", 300)
+	if got := h.Snapshot().Exemplars[0].TraceID; got != "dddd" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+}
+
+// TestExemplarLabelEscapeRoundTrip pushes hostile strings through the
+// exemplar label path: whatever WriteText emits must re-parse to the
+// original trace ID via the exposition parser.
+func TestExemplarLabelEscapeRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`, `with"quote`, `back\slash`, "new\nline", `trailing\`,
+		`mix\"of\neverything` + "\n\\", "",
+	}
+	for _, id := range hostile {
+		h := NewHistogram([]float64{1})
+		h.Observe(0.5)
+		h.SetExemplar(0.5, id, 123.456)
+		fams := []FamilySnapshot{{
+			Name: "m", Kind: KindHistogram,
+			Series: []SeriesSnapshot{{Hist: h.Snapshot()}},
+		}}
+		var b strings.Builder
+		if err := WriteText(&b, fams); err != nil {
+			t.Fatal(err)
+		}
+		samples, err := ParseExposition([]byte(b.String()))
+		if err != nil {
+			t.Fatalf("id %q: output does not re-parse: %v\n%s", id, err, b.String())
+		}
+		found := false
+		for _, s := range samples {
+			if s.Exemplar == nil {
+				continue
+			}
+			found = true
+			if len(s.Exemplar.Labels) != 1 || s.Exemplar.Labels[0].Name != "trace_id" {
+				t.Fatalf("id %q: bad exemplar labels: %+v", id, s.Exemplar.Labels)
+			}
+			if got := s.Exemplar.Labels[0].Value; got != id {
+				t.Fatalf("round trip lost: wrote %q, read %q", id, got)
+			}
+			if s.Exemplar.Ts != 123.456 {
+				t.Fatalf("id %q: bad exemplar ts %v", id, s.Exemplar.Ts)
+			}
+		}
+		if !found {
+			t.Fatalf("id %q: no exemplar in output:\n%s", id, b.String())
+		}
+	}
+}
+
+// TestPrefixLabel checks the federation relabel helper: the node
+// label lands first in every schema and series, and merging the
+// result never mutates the original snapshot (the aggregator caches
+// per-node snapshots across scrapes).
+func TestPrefixLabel(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	src := []FamilySnapshot{
+		{Name: "c", Kind: KindCounter, LabelNames: []string{"rpc"},
+			Series: []SeriesSnapshot{{LabelValues: []string{"put"}, Value: 3}}},
+		{Name: "h", Kind: KindHistogram,
+			Series: []SeriesSnapshot{{Hist: h.Snapshot()}}},
+	}
+	a := PrefixLabel(src, "node", "n1")
+	b := PrefixLabel(src, "node", "n2")
+	if got := a[0].LabelNames; len(got) != 2 || got[0] != "node" || got[1] != "rpc" {
+		t.Fatalf("bad label names: %v", got)
+	}
+	if got := a[0].Series[0].LabelValues; len(got) != 2 || got[0] != "n1" || got[1] != "put" {
+		t.Fatalf("bad label values: %v", got)
+	}
+	merged, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged[0].Series) != 2 {
+		t.Fatalf("want per-node series kept distinct, got %+v", merged[0].Series)
+	}
+	// Merging n2's histogram into the output must not have touched the
+	// original snapshot's counts.
+	if src[1].Series[0].Hist.Count != 1 {
+		t.Fatalf("PrefixLabel aliased the source histogram: count %d", src[1].Series[0].Hist.Count)
+	}
+	// Identical label values across nodes must still merge: same node.
+	again, err := MergeSnapshots(PrefixLabel(src, "node", "n1"), PrefixLabel(src, "node", "n1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Series[0].Value != 6 {
+		t.Fatalf("same-node merge should sum: %+v", again[0].Series[0])
+	}
+}
+
+// TestParseExpositionRejectsMalformed spot-checks the parser's error
+// paths so the fuzz target's "must parse" assertion means something.
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`metric{l="unterminated} 1`,
+		`metric{l="v" 1`,
+		`metric{2bad="v"} 1`,
+		`9metric 1`,
+		`metric`,
+		`metric 1 2 3`,
+		`metric nope`,
+		"# BOGUS comment",
+		"# TYPE metric frobnicator",
+		`metric 1 # 2`,
+	}
+	for _, doc := range bad {
+		if _, err := ParseExposition([]byte(doc)); err == nil {
+			t.Fatalf("parsed malformed doc %q", doc)
+		}
+	}
+	good := "# HELP m helptext\n# TYPE m counter\nm{a=\"b\"} 1\nm2 +Inf\nm3 NaN\n"
+	samples, err := ParseExposition([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 || samples[0].Labels[0].Value != "b" {
+		t.Fatalf("bad parse of well-formed doc: %+v", samples)
+	}
+}

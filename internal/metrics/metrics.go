@@ -68,10 +68,12 @@ func (g *Gauge) Dec() { g.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return floatBits(&g.v) }
 
-// Sample is one series produced by a callback collector.
+// Sample is one series produced by a callback collector. Scalar
+// collectors set Value; histogram collectors (HistogramFunc) set Hist.
 type Sample struct {
 	LabelValues []string
 	Value       float64
+	Hist        *HistogramSnapshot
 }
 
 // family is one named metric with a label schema and a set of series.
@@ -83,8 +85,9 @@ type family struct {
 	buckets    []float64 // histograms only
 
 	mu     sync.RWMutex
-	series map[string]any // label key -> *Counter | *Gauge | *Histogram
-	order  []string       // insertion order of label keys
+	series map[string]any      // label key -> *Counter | *Gauge | *Histogram
+	vals   map[string][]string // label key -> original label values
+	order  []string            // insertion order of label keys
 
 	// collect, when set, produces the series at snapshot time instead
 	// (pool depths and similar values owned by other subsystems).
@@ -93,7 +96,23 @@ type family struct {
 
 const labelSep = "\x1f"
 
-func labelKey(values []string) string { return strings.Join(values, labelSep) }
+// keyEscaper keeps joined label keys unambiguous when a label value
+// itself contains the separator byte (or a backslash, which the
+// escaping introduces). The fast path below skips it entirely.
+var keyEscaper = strings.NewReplacer(`\`, `\\`, labelSep, `\x`)
+
+func labelKey(values []string) string {
+	for _, v := range values {
+		if strings.ContainsAny(v, labelSep+`\`) {
+			esc := make([]string, len(values))
+			for i, v := range values {
+				esc[i] = keyEscaper.Replace(v)
+			}
+			return strings.Join(esc, labelSep)
+		}
+	}
+	return strings.Join(values, labelSep)
+}
 
 func (f *family) get(labelValues []string, make func() any) any {
 	if len(labelValues) != len(f.labelNames) {
@@ -113,6 +132,7 @@ func (f *family) get(labelValues []string, make func() any) any {
 	}
 	s = make()
 	f.series[key] = s
+	f.vals[key] = append([]string(nil), labelValues...)
 	f.order = append(f.order, key)
 	return s
 }
@@ -176,6 +196,7 @@ func (r *Registry) register(name, help string, kind Kind, labelNames []string, b
 		labelNames: append([]string(nil), labelNames...),
 		buckets:    buckets,
 		series:     map[string]any{},
+		vals:       map[string][]string{},
 		collect:    collect,
 	}
 	r.families[name] = f
@@ -213,6 +234,14 @@ func (r *Registry) GaugeFunc(name, help string, labelNames []string, fn func() [
 // CounterFunc is GaugeFunc for monotonic values (ULTs executed).
 func (r *Registry) CounterFunc(name, help string, labelNames []string, fn func() []Sample) {
 	r.register(name, help, KindCounter, labelNames, nil, fn)
+}
+
+// HistogramFunc registers a histogram family whose snapshots are
+// produced by fn at scrape time — for distributions owned elsewhere
+// (the Go runtime's GC pause and scheduler-latency histograms,
+// re-bucketed by the observe sampler).
+func (r *Registry) HistogramFunc(name, help string, labelNames []string, fn func() []Sample) {
+	r.register(name, help, KindHistogram, labelNames, nil, fn)
 }
 
 // SeriesSnapshot is one series in a family snapshot.
@@ -254,7 +283,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 		}
 		if f.collect != nil {
 			for _, s := range f.collect() {
-				fs.Series = append(fs.Series, SeriesSnapshot{LabelValues: s.LabelValues, Value: s.Value})
+				fs.Series = append(fs.Series, SeriesSnapshot{LabelValues: s.LabelValues, Value: s.Value, Hist: s.Hist})
 			}
 		} else {
 			f.mu.RLock()
@@ -263,11 +292,10 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			values := make([][]string, 0, len(keys))
 			for _, k := range keys {
 				series = append(series, f.series[k])
-				if k == "" {
-					values = append(values, nil)
-				} else {
-					values = append(values, strings.Split(k, labelSep))
-				}
+				// Stored original values, not a re-split of the joined
+				// key: label values may contain any byte, including the
+				// separator.
+				values = append(values, f.vals[k])
 			}
 			f.mu.RUnlock()
 			for i, s := range series {
@@ -338,6 +366,14 @@ func MergeSnapshots(dst, src []FamilySnapshot) ([]FamilySnapshot, error) {
 // it so scrapes and golden files are stable).
 func (r *Registry) SortedSnapshot() []FamilySnapshot {
 	fams := r.Snapshot()
+	SortSnapshots(fams)
+	return fams
+}
+
+// SortSnapshots orders families by name and series by label key, in
+// place — the same determinism SortedSnapshot applies, for snapshot
+// sets assembled outside a registry (a federated cluster view).
+func SortSnapshots(fams []FamilySnapshot) {
 	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
 	for i := range fams {
 		s := fams[i].Series
@@ -345,7 +381,30 @@ func (r *Registry) SortedSnapshot() []FamilySnapshot {
 			return labelKey(s[a].LabelValues) < labelKey(s[b].LabelValues)
 		})
 	}
-	return fams
+}
+
+// PrefixLabel returns a deep-enough copy of fams with an extra label
+// prepended to every family's schema and every series' values — how
+// the federation layer stamps each member's snapshot with its node
+// address before merging. Histograms are cloned so merging the result
+// never mutates the input (which the aggregator caches per node).
+func PrefixLabel(fams []FamilySnapshot, name, value string) []FamilySnapshot {
+	out := make([]FamilySnapshot, len(fams))
+	for i, f := range fams {
+		nf := f
+		nf.LabelNames = append([]string{name}, f.LabelNames...)
+		nf.Series = make([]SeriesSnapshot, len(f.Series))
+		for j, s := range f.Series {
+			ns := s
+			ns.LabelValues = append([]string{value}, s.LabelValues...)
+			if s.Hist != nil {
+				ns.Hist = s.Hist.Clone()
+			}
+			nf.Series[j] = ns
+		}
+		out[i] = nf
+	}
+	return out
 }
 
 func floatBits(bits *atomic.Uint64) float64 {

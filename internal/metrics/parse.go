@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a strict parser
+// for the text this package's encoder emits (Prometheus 0.0.4 series
+// lines plus OpenMetrics-style bucket exemplars). It exists for two
+// consumers: the FuzzPrometheusExposition target, which pins the
+// encoder's escaping by requiring every emitted document to re-parse
+// to the original label values, and scrape-side tooling/tests that
+// want structured access without a Prometheus dependency.
+
+// ParsedLabel is one name="value" pair with the value unescaped.
+type ParsedLabel struct {
+	Name  string
+	Value string
+}
+
+// ParsedExemplar is the trace link attached to a bucket line.
+type ParsedExemplar struct {
+	Labels []ParsedLabel
+	Value  float64
+	Ts     float64
+}
+
+// ParsedSample is one non-comment line of an exposition document.
+type ParsedSample struct {
+	Name     string
+	Labels   []ParsedLabel
+	Value    float64
+	Exemplar *ParsedExemplar
+}
+
+// ParseExposition parses an exposition document, returning every
+// sample line in order. Comment lines (# HELP, # TYPE) are validated
+// structurally and skipped. Any malformed line is an error — the
+// point is conformance, not leniency.
+func ParseExposition(data []byte) ([]ParsedSample, error) {
+	var out []ParsedSample
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func checkComment(line string) error {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return fmt.Errorf("metrics: bad comment %q", line)
+	}
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		if fields[0] == "" || !validMetricName(fields[0]) {
+			return fmt.Errorf("metrics: bad HELP metric name %q", fields[0])
+		}
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 || !validMetricName(fields[0]) {
+			return fmt.Errorf("metrics: bad TYPE line %q", line)
+		}
+		switch fields[1] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("metrics: unknown TYPE %q", fields[1])
+		}
+	default:
+		return fmt.Errorf("metrics: unknown comment %q", line)
+	}
+	return nil
+}
+
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	rest := line
+
+	// Metric name runs to '{' or the first space.
+	end := strings.IndexAny(rest, "{ ")
+	if end <= 0 {
+		return s, fmt.Errorf("metrics: no metric name in %q", line)
+	}
+	s.Name = rest[:end]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("metrics: invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+
+	if rest[0] == '{' {
+		labels, tail, err := parseLabelSet(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return s, fmt.Errorf("metrics: missing value in %q", line)
+	}
+	rest = rest[1:]
+
+	// Value runs to end of line or to the exemplar marker " # ".
+	valStr, exemplarStr, hasEx := strings.Cut(rest, " # ")
+	// A trailing timestamp (integer ms) would be a second field; this
+	// encoder never writes one, so reject extra fields.
+	valStr = strings.TrimSpace(valStr)
+	if valStr == "" || strings.ContainsRune(valStr, ' ') {
+		return s, fmt.Errorf("metrics: bad value field %q", rest)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("metrics: bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+
+	if hasEx {
+		ex, err := parseExemplar(exemplarStr)
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
+	}
+	return s, nil
+}
+
+// parseExemplar parses `{labels} value [ts]` (the part after " # ").
+func parseExemplar(rest string) (*ParsedExemplar, error) {
+	if len(rest) == 0 || rest[0] != '{' {
+		return nil, fmt.Errorf("metrics: exemplar must start with a label set: %q", rest)
+	}
+	labels, tail, err := parseLabelSet(rest)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(tail)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("metrics: exemplar wants value [ts], got %q", tail)
+	}
+	ex := &ParsedExemplar{Labels: labels}
+	if ex.Value, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return nil, fmt.Errorf("metrics: bad exemplar value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if ex.Ts, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("metrics: bad exemplar timestamp %q: %v", fields[1], err)
+		}
+	}
+	return ex, nil
+}
+
+// parseLabelSet parses a `{name="value",...}` block starting at
+// rest[0] == '{' and returns the labels plus the remainder of the
+// line. Values are unescaped.
+func parseLabelSet(rest string) ([]ParsedLabel, string, error) {
+	rest = rest[1:] // consume '{'
+	var labels []ParsedLabel
+	for {
+		if len(rest) == 0 {
+			return nil, "", fmt.Errorf("metrics: unterminated label set")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("metrics: bad label pair near %q", rest)
+		}
+		name := rest[:eq]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("metrics: invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, "", fmt.Errorf("metrics: label %q value not quoted", name)
+		}
+		raw, tail, err := scanQuoted(rest)
+		if err != nil {
+			return nil, "", err
+		}
+		labels = append(labels, ParsedLabel{Name: name, Value: UnescapeLabel(raw)})
+		rest = tail
+		switch {
+		case len(rest) == 0:
+			return nil, "", fmt.Errorf("metrics: unterminated label set")
+		case rest[0] == ',':
+			rest = rest[1:]
+		case rest[0] == '}':
+			// loop terminates on next iteration
+		default:
+			return nil, "", fmt.Errorf("metrics: unexpected %q after label value", rest[0])
+		}
+	}
+}
+
+// scanQuoted consumes a double-quoted string starting at rest[0] ==
+// '"', honoring backslash escapes, and returns the raw (still
+// escaped) contents plus the remainder after the closing quote.
+func scanQuoted(rest string) (string, string, error) {
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case '"':
+			return rest[1:i], rest[i+1:], nil
+		case '\n':
+			return "", "", fmt.Errorf("metrics: raw newline inside label value")
+		}
+	}
+	return "", "", fmt.Errorf("metrics: unterminated quoted string")
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

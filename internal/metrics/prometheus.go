@@ -68,6 +68,7 @@ func writeHistogram(bw *bufio.Writer, f FamilySnapshot, s SeriesSnapshot) {
 		writeLabels(bw, f.LabelNames, s.LabelValues, "le", formatValue(upper))
 		bw.WriteByte(' ')
 		bw.WriteString(strconv.FormatUint(cum, 10))
+		writeExemplar(bw, h.Exemplars, i)
 		bw.WriteByte('\n')
 	}
 	cum += h.Counts[len(h.Counts)-1]
@@ -76,6 +77,7 @@ func writeHistogram(bw *bufio.Writer, f FamilySnapshot, s SeriesSnapshot) {
 	writeLabels(bw, f.LabelNames, s.LabelValues, "le", "+Inf")
 	bw.WriteByte(' ')
 	bw.WriteString(strconv.FormatUint(cum, 10))
+	writeExemplar(bw, h.Exemplars, len(h.Upper))
 	bw.WriteByte('\n')
 
 	bw.WriteString(f.Name)
@@ -91,6 +93,28 @@ func writeHistogram(bw *bufio.Writer, f FamilySnapshot, s SeriesSnapshot) {
 	bw.WriteByte(' ')
 	bw.WriteString(strconv.FormatUint(h.Count, 10))
 	bw.WriteByte('\n')
+}
+
+// writeExemplar appends the OpenMetrics exemplar suffix
+// (` # {trace_id="..."} value ts`) to a bucket line when the bucket
+// has one. Classic 0.0.4 scrapers that pre-date exemplars should be
+// pointed at the exemplar-free per-family series; OpenMetrics-aware
+// ones (and this package's own parser) read the trace link.
+func writeExemplar(bw *bufio.Writer, exemplars []Exemplar, bucket int) {
+	for _, e := range exemplars {
+		if e.Bucket != bucket {
+			continue
+		}
+		bw.WriteString(` # {trace_id="`)
+		bw.WriteString(escapeLabel(e.TraceID))
+		bw.WriteString(`"} `)
+		bw.WriteString(formatValue(e.Value))
+		if e.Ts != 0 {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(e.Ts, 'f', 3, 64))
+		}
+		return
+	}
 }
 
 // writeLabels emits {a="x",b="y"[,extraName="extraValue"]}, or nothing

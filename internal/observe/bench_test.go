@@ -1,0 +1,75 @@
+package observe
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mochi/internal/metrics"
+)
+
+// BenchmarkTrackerObserve is the hot-path cost of SLO tracking: one
+// map lookup plus three atomics per tracked RPC (E13).
+func BenchmarkTrackerObserve(b *testing.B) {
+	tr, err := NewTracker(nil, []Objective{{RPC: "hot", TargetMS: 1, ErrorBudget: 0.01}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Observe("hot", 500*time.Microsecond)
+		}
+	})
+}
+
+// BenchmarkTrackerObserveUntracked is the cost paid by RPCs with no
+// objective: the map miss only.
+func BenchmarkTrackerObserveUntracked(b *testing.B) {
+	tr, err := NewTracker(nil, []Objective{{RPC: "hot", TargetMS: 1, ErrorBudget: 0.01}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Observe("cold", 500*time.Microsecond)
+	}
+}
+
+// BenchmarkAggregatorMerged measures a full federation round over an
+// in-process fabric with three members, each exporting a realistic
+// family count.
+func BenchmarkAggregatorMerged(b *testing.B) {
+	fab := newFakeFabric()
+	local := fab.addNode("n0")
+	for _, addr := range []string{"n0", "n1", "n2"} {
+		reg := local
+		if addr != "n0" {
+			reg = fab.addNode(addr)
+		}
+		for _, op := range []string{"get", "put", "del"} {
+			reg.Counter("requests_total", "", "op").With(op).Add(100)
+			reg.Histogram("latency_seconds", "", nil, "op").With(op).Observe(0.001)
+		}
+	}
+	a := NewAggregator(fab, local, AggregatorConfig{Self: "n0"})
+	a.SetMemberSource(StaticMembers([]string{"n0", "n1", "n2"}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Merged(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeScrape is one scrape of all mochi_go_* families.
+func BenchmarkRuntimeScrape(b *testing.B) {
+	reg := metrics.NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Snapshot()
+	}
+}

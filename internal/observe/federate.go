@@ -1,0 +1,324 @@
+package observe
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mochi/internal/argobots"
+	"mochi/internal/clock"
+	"mochi/internal/metrics"
+)
+
+// Forwarder sends a control-plane RPC to a peer and returns the raw
+// reply. *margo.Instance satisfies it; the indirection keeps observe
+// below margo's consumers in the dependency order.
+type Forwarder interface {
+	Forward(ctx context.Context, dst, name string, input []byte) ([]byte, error)
+}
+
+// scrapeReply mirrors bedrock's control-RPC envelope; the aggregator
+// only ever decodes it, never produces it.
+type scrapeReply struct {
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// snapshotRequest asks bedrock_get_metrics for the JSON snapshot form
+// instead of the default Prometheus text.
+var snapshotRequest = []byte(`{"format":"snapshot"}`)
+
+// DefaultScrapeTimeout bounds one per-node snapshot pull unless the
+// cluster config overrides it.
+const DefaultScrapeTimeout = 2 * time.Second
+
+// nodeState caches the most recent scrape of one member. A member that
+// stops answering keeps serving its last snapshot (with its staleness
+// age exported), so one dead node degrades the cluster view instead of
+// failing it.
+type nodeState struct {
+	snap        []metrics.FamilySnapshot
+	lastSuccess time.Time
+	lastErr     string
+}
+
+// Aggregator federates metric snapshots across a service group: it
+// pulls []metrics.FamilySnapshot from every member in parallel over
+// the control-plane RPC fabric, stamps each with a node label, and
+// merges them into one cluster view. Membership comes from a pluggable
+// source (an SSG view, or a static list); the local process
+// short-circuits to its own registry.
+type Aggregator struct {
+	self    string
+	fwd     Forwarder
+	local   *metrics.Registry
+	pool    *argobots.Pool // may be nil: fan-out degrades to sequential
+	clk     clock.Clock
+	timeout time.Duration
+	rpcName string
+
+	errors *metrics.CounterVec
+
+	memberMu sync.RWMutex
+	members  func() []string
+
+	// refreshMu serializes scrape rounds; mu guards the node cache.
+	refreshMu sync.Mutex
+	mu        sync.Mutex
+	nodes     map[string]*nodeState
+}
+
+// AggregatorConfig carries the knobs for NewAggregator.
+type AggregatorConfig struct {
+	// Self is the local address; it is scraped without an RPC.
+	Self string
+	// RPCName is the metrics RPC to invoke on peers
+	// (bedrock uses "bedrock_get_metrics").
+	RPCName string
+	// Timeout bounds each per-node pull (DefaultScrapeTimeout if zero).
+	Timeout time.Duration
+	// Pool, when set, runs the fan-out on argobots xstreams.
+	Pool *argobots.Pool
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+}
+
+// NewAggregator builds an aggregator over the given forwarder and
+// local registry, and registers its own health families
+// (mochi_observe_members, mochi_observe_scrape_age_seconds,
+// mochi_observe_scrape_errors_total) on that registry.
+func NewAggregator(fwd Forwarder, local *metrics.Registry, cfg AggregatorConfig) *Aggregator {
+	if cfg.RPCName == "" {
+		cfg.RPCName = "bedrock_get_metrics"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultScrapeTimeout
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
+	}
+	a := &Aggregator{
+		self:    cfg.Self,
+		fwd:     fwd,
+		local:   local,
+		pool:    cfg.Pool,
+		clk:     cfg.Clock,
+		timeout: cfg.Timeout,
+		rpcName: cfg.RPCName,
+		nodes:   map[string]*nodeState{},
+	}
+	a.members = func() []string { return nil }
+	// Per-member series use a "peer" label, not "node": the merged
+	// cluster view prefixes every family with a node="<scraper>" label,
+	// and a second label of the same name would make the exposition
+	// unparseable.
+	a.errors = local.Counter("mochi_observe_scrape_errors_total",
+		"Failed federation scrapes per member node.", "peer")
+	local.GaugeFunc("mochi_observe_members",
+		"Member nodes currently known to the metrics federation.",
+		nil, func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(len(a.Members()))}}
+		})
+	local.GaugeFunc("mochi_observe_scrape_age_seconds",
+		"Seconds since the last successful scrape of each member (staleness of its slice of the cluster view).",
+		[]string{"peer"}, func() []metrics.Sample {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			out := make([]metrics.Sample, 0, len(a.nodes))
+			for addr, st := range a.nodes {
+				age := 0.0
+				if !st.lastSuccess.IsZero() {
+					age = a.clk.Since(st.lastSuccess).Seconds()
+				}
+				out = append(out, metrics.Sample{LabelValues: []string{addr}, Value: age})
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].LabelValues[0] < out[j].LabelValues[0] })
+			return out
+		})
+	return a
+}
+
+// SetMemberSource replaces the membership callback (an SSG view, a
+// static list). The source is polled at every refresh, so a dynamic
+// group resizes the federation automatically.
+func (a *Aggregator) SetMemberSource(fn func() []string) {
+	a.memberMu.Lock()
+	if fn == nil {
+		fn = func() []string { return nil }
+	}
+	a.members = fn
+	a.memberMu.Unlock()
+}
+
+// StaticMembers adapts a fixed address list to a member source.
+func StaticMembers(addrs []string) func() []string {
+	fixed := append([]string(nil), addrs...)
+	return func() []string { return fixed }
+}
+
+// Members returns the current membership, always including self.
+func (a *Aggregator) Members() []string {
+	a.memberMu.RLock()
+	fn := a.members
+	a.memberMu.RUnlock()
+	listed := fn()
+	out := make([]string, 0, len(listed)+1)
+	seen := map[string]bool{}
+	for _, m := range append(listed, a.self) {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scrape pulls one member's snapshot and updates its cache entry.
+func (a *Aggregator) scrape(ctx context.Context, addr string) {
+	var snap []metrics.FamilySnapshot
+	var err error
+	if addr == a.self {
+		snap = a.local.Snapshot()
+	} else {
+		snap, err = a.scrapeRemote(ctx, addr)
+	}
+	a.mu.Lock()
+	st := a.nodes[addr]
+	if st == nil {
+		st = &nodeState{}
+		a.nodes[addr] = st
+	}
+	if err != nil {
+		st.lastErr = err.Error()
+	} else {
+		st.snap = snap
+		st.lastSuccess = a.clk.Now()
+		st.lastErr = ""
+	}
+	a.mu.Unlock()
+	if err != nil {
+		a.errors.With(addr).Inc()
+	}
+}
+
+func (a *Aggregator) scrapeRemote(ctx context.Context, addr string) ([]metrics.FamilySnapshot, error) {
+	cctx, cancel := context.WithTimeout(ctx, a.timeout)
+	defer cancel()
+	raw, err := a.fwd.Forward(cctx, addr, a.rpcName, snapshotRequest)
+	if err != nil {
+		return nil, err
+	}
+	var reply scrapeReply
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		return nil, fmt.Errorf("observe: bad reply from %s: %w", addr, err)
+	}
+	if !reply.OK {
+		return nil, fmt.Errorf("observe: %s: %s", addr, reply.Error)
+	}
+	var snap []metrics.FamilySnapshot
+	if err := json.Unmarshal(reply.Data, &snap); err != nil {
+		return nil, fmt.Errorf("observe: bad snapshot from %s: %w", addr, err)
+	}
+	return snap, nil
+}
+
+// Refresh scrapes every current member once, in parallel on the
+// aggregator's pool (sequentially without one). Members that have left
+// the group are dropped from the cache; members that fail keep their
+// last snapshot. The local snapshot is taken after the remote round so
+// it reflects this round's scrape errors and staleness. Refresh rounds
+// are serialized.
+func (a *Aggregator) Refresh(ctx context.Context) {
+	a.refreshMu.Lock()
+	defer a.refreshMu.Unlock()
+	members := a.Members()
+
+	fns := make([]argobots.ULT, 0, len(members))
+	for _, addr := range members {
+		if addr == a.self {
+			continue
+		}
+		addr := addr
+		fns = append(fns, func() { a.scrape(ctx, addr) })
+	}
+	a.pool.ParallelDo(fns...)
+	a.scrape(ctx, a.self)
+
+	keep := map[string]bool{}
+	for _, m := range members {
+		keep[m] = true
+	}
+	a.mu.Lock()
+	for addr := range a.nodes {
+		if !keep[addr] {
+			delete(a.nodes, addr)
+		}
+	}
+	a.mu.Unlock()
+}
+
+// NodeStatus describes one member's slice of the cluster view.
+type NodeStatus struct {
+	Node        string  `json:"node"`
+	AgeSeconds  float64 `json:"age_seconds"`
+	LastError   string  `json:"last_error,omitempty"`
+	HasSnapshot bool    `json:"has_snapshot"`
+}
+
+// Status reports per-node scrape freshness, sorted by address.
+func (a *Aggregator) Status() []NodeStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]NodeStatus, 0, len(a.nodes))
+	for addr, st := range a.nodes {
+		ns := NodeStatus{Node: addr, LastError: st.lastErr, HasSnapshot: st.snap != nil}
+		if !st.lastSuccess.IsZero() {
+			ns.AgeSeconds = a.clk.Since(st.lastSuccess).Seconds()
+		}
+		out = append(out, ns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Merged refreshes all members and returns the cluster-wide snapshot:
+// every member's families stamped with a node label and folded
+// together, sorted for deterministic output. A member whose scrape
+// failed contributes its last good snapshot (age visible via
+// mochi_observe_scrape_age_seconds); a member that never answered
+// contributes nothing. The merge itself cannot fail on healthy input —
+// node labels make all series distinct per member — but histogram
+// shape mismatches across software versions are reported.
+func (a *Aggregator) Merged(ctx context.Context) ([]metrics.FamilySnapshot, error) {
+	a.Refresh(ctx)
+	a.mu.Lock()
+	addrs := make([]string, 0, len(a.nodes))
+	for addr, st := range a.nodes {
+		if st.snap != nil {
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Strings(addrs)
+	snaps := make([][]metrics.FamilySnapshot, 0, len(addrs))
+	for _, addr := range addrs {
+		snaps = append(snaps, a.nodes[addr].snap)
+	}
+	a.mu.Unlock()
+
+	var merged []metrics.FamilySnapshot
+	var err error
+	for i, addr := range addrs {
+		merged, err = metrics.MergeSnapshots(merged, metrics.PrefixLabel(snaps[i], "node", addr))
+		if err != nil {
+			return nil, fmt.Errorf("observe: merging %s: %w", addr, err)
+		}
+	}
+	metrics.SortSnapshots(merged)
+	return merged, nil
+}

@@ -1,0 +1,252 @@
+package observe
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mochi/internal/clock"
+	"mochi/internal/metrics"
+)
+
+// fakeFabric serves canned per-node registries over the Forwarder
+// interface, mimicking bedrock's {ok,error,data} reply envelope.
+type fakeFabric struct {
+	mu    sync.Mutex
+	regs  map[string]*metrics.Registry
+	down  map[string]bool
+	calls map[string]int
+}
+
+func newFakeFabric() *fakeFabric {
+	return &fakeFabric{
+		regs:  map[string]*metrics.Registry{},
+		down:  map[string]bool{},
+		calls: map[string]int{},
+	}
+}
+
+func (f *fakeFabric) addNode(addr string) *metrics.Registry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reg := metrics.NewRegistry()
+	f.regs[addr] = reg
+	return reg
+}
+
+func (f *fakeFabric) Forward(ctx context.Context, dst, name string, input []byte) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[dst]++
+	if f.down[dst] {
+		return nil, errors.New("fabric: no route to " + dst)
+	}
+	reg, ok := f.regs[dst]
+	if !ok {
+		return nil, errors.New("fabric: unknown node " + dst)
+	}
+	if name != "bedrock_get_metrics" {
+		return nil, fmt.Errorf("fabric: unexpected rpc %q", name)
+	}
+	var req struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(input, &req); err != nil || req.Format != "snapshot" {
+		return nil, fmt.Errorf("fabric: unexpected request %q", input)
+	}
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(scrapeReply{OK: true, Data: data})
+}
+
+func findSeries(fams []metrics.FamilySnapshot, name string) (metrics.FamilySnapshot, bool) {
+	for _, f := range fams {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return metrics.FamilySnapshot{}, false
+}
+
+func TestAggregatorMergesWithNodeLabel(t *testing.T) {
+	fab := newFakeFabric()
+	local := fab.addNode("n0")
+	fab.addNode("n1").Counter("requests_total", "", "op").With("put").Add(3)
+	fab.addNode("n2").Counter("requests_total", "", "op").With("put").Add(5)
+	local.Counter("requests_total", "", "op").With("put").Add(1)
+
+	sim := clock.NewSim(time.Unix(1_700_000_000, 0))
+	a := NewAggregator(fab, local, AggregatorConfig{Self: "n0", Clock: sim})
+	a.SetMemberSource(StaticMembers([]string{"n0", "n1", "n2"}))
+
+	merged, err := a.Merged(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, ok := findSeries(merged, "requests_total")
+	if !ok {
+		t.Fatalf("requests_total missing from merged view: %v", merged)
+	}
+	if len(f.LabelNames) == 0 || f.LabelNames[0] != "node" {
+		t.Fatalf("merged label names: want node first, got %v", f.LabelNames)
+	}
+	byNode := map[string]float64{}
+	for _, s := range f.Series {
+		if len(s.LabelValues) != 2 {
+			t.Fatalf("series label values: want [node op], got %v", s.LabelValues)
+		}
+		byNode[s.LabelValues[0]] = s.Value
+	}
+	want := map[string]float64{"n0": 1, "n1": 3, "n2": 5}
+	for n, w := range want {
+		if byNode[n] != w {
+			t.Fatalf("requests_total{node=%s}: want %g, got %g", n, w, byNode[n])
+		}
+	}
+
+	// Every merged family must carry the node label — the acceptance
+	// bar for the cluster endpoint.
+	for _, fam := range merged {
+		if len(fam.LabelNames) == 0 || fam.LabelNames[0] != "node" {
+			t.Fatalf("family %s lacks node label: %v", fam.Name, fam.LabelNames)
+		}
+	}
+
+	// The local node is scraped without an RPC.
+	if fab.calls["n0"] != 0 {
+		t.Fatalf("self scrape went over the wire: %d calls", fab.calls["n0"])
+	}
+}
+
+func TestAggregatorDegradesOnDeadMember(t *testing.T) {
+	fab := newFakeFabric()
+	local := fab.addNode("n0")
+	fab.addNode("n1").Gauge("depth", "").With().Set(7)
+
+	sim := clock.NewSim(time.Unix(1_700_000_000, 0))
+	a := NewAggregator(fab, local, AggregatorConfig{Self: "n0", Clock: sim})
+	a.SetMemberSource(StaticMembers([]string{"n0", "n1"}))
+
+	if _, err := a.Merged(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill n1: the merged view must still include its last snapshot,
+	// its staleness must grow, and the error counter must tick.
+	fab.mu.Lock()
+	fab.down["n1"] = true
+	fab.mu.Unlock()
+	sim.Advance(30 * time.Second)
+
+	merged, err := a.Merged(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := findSeries(merged, "depth")
+	if !ok || len(f.Series) != 1 || f.Series[0].Value != 7 {
+		t.Fatalf("dead member's last snapshot missing: %+v", f)
+	}
+
+	ages, ok := findSeries(merged, "mochi_observe_scrape_age_seconds")
+	if !ok {
+		t.Fatal("mochi_observe_scrape_age_seconds missing")
+	}
+	var n1age float64
+	for _, s := range ages.Series {
+		// Label values are [node(prefix), node(series)].
+		if s.LabelValues[len(s.LabelValues)-1] == "n1" {
+			n1age = s.Value
+		}
+	}
+	if n1age < 30 {
+		t.Fatalf("n1 staleness: want >= 30s, got %g", n1age)
+	}
+
+	errs, ok := findSeries(merged, "mochi_observe_scrape_errors_total")
+	if !ok {
+		t.Fatal("mochi_observe_scrape_errors_total missing")
+	}
+	var n1errs float64
+	for _, s := range errs.Series {
+		if s.LabelValues[len(s.LabelValues)-1] == "n1" {
+			n1errs = s.Value
+		}
+	}
+	if n1errs != 1 {
+		t.Fatalf("n1 scrape errors: want 1, got %g", n1errs)
+	}
+
+	st := a.Status()
+	if len(st) != 2 {
+		t.Fatalf("status: want 2 nodes, got %v", st)
+	}
+	if st[1].Node != "n1" || st[1].LastError == "" || !st[1].HasSnapshot {
+		t.Fatalf("n1 status: want cached snapshot with error, got %+v", st[1])
+	}
+}
+
+func TestAggregatorDropsDepartedMembers(t *testing.T) {
+	fab := newFakeFabric()
+	local := fab.addNode("n0")
+	fab.addNode("n1").Gauge("g", "").With().Set(1)
+
+	a := NewAggregator(fab, local, AggregatorConfig{Self: "n0"})
+	members := []string{"n0", "n1"}
+	var mu sync.Mutex
+	a.SetMemberSource(func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), members...)
+	})
+
+	if _, err := a.Merged(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	members = []string{"n0"} // n1 leaves the group
+	mu.Unlock()
+	merged, err := a.Merged(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findSeries(merged, "g"); ok {
+		t.Fatal("departed member's series still present after it left the member list")
+	}
+	for _, s := range a.Status() {
+		if s.Node == "n1" {
+			t.Fatal("departed member still in status")
+		}
+	}
+}
+
+func TestAggregatorTextOutput(t *testing.T) {
+	// The merged snapshot must encode as valid Prometheus text — the
+	// form /metrics/cluster serves.
+	fab := newFakeFabric()
+	local := fab.addNode("n0")
+	local.Histogram("lat", "", []float64{0.1, 1}).With().Observe(0.5)
+
+	a := NewAggregator(fab, local, AggregatorConfig{Self: "n0"})
+	merged, err := a.Merged(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := metrics.WriteText(&sb, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `lat_bucket{node="n0",le="1"} 1`) {
+		t.Fatalf("cluster text missing node-labelled bucket:\n%s", sb.String())
+	}
+	if _, err := metrics.ParseExposition([]byte(sb.String())); err != nil {
+		t.Fatalf("cluster text does not re-parse: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package observe is the cluster-wide introspection plane: it extends
+// the paper's per-process §4 monitoring into something an operator (or
+// an automated reconfiguration policy, §5) can act on without scraping
+// every node by hand. Four legs:
+//
+//   - federation: an Aggregator pulls JSON metric snapshots from every
+//     group member over the existing control-plane RPC fabric, stamps
+//     each with a "node" label, and merges them into one view
+//     (federate.go);
+//   - runtime profiling: config-gated pprof endpoints plus Go
+//     runtime/metrics families re-exported through the registry
+//     (runtime.go, profile.go);
+//   - SLO burn rate: rolling multi-window latency objectives per RPC
+//     family, the signal that turns "p99 looks high" into "error
+//     budget is burning 3x too fast" (slo.go);
+//   - trace exemplars: the margo forward path attaches tail-sampled
+//     trace IDs to latency histogram buckets, linking a slow bucket
+//     straight to a concrete span tree (metrics/exemplar.go).
+//
+// Everything here is pull-driven: nothing in this package runs on the
+// RPC hot path except Tracker.Observe, which is a read-only map lookup
+// plus three atomic operations.
+package observe
+
+// ProfilingConfig gates the runtime-profiling leg. All fields default
+// to off: profiling costs nothing unless asked for.
+type ProfilingConfig struct {
+	// Pprof exposes net/http/pprof handlers under /debug/pprof/ on the
+	// monitoring listener and enables the bedrock_get_profile RPC.
+	Pprof bool `json:"pprof,omitempty"`
+	// RuntimeMetrics exports mochi_go_* families (goroutines, heap,
+	// GC pauses, scheduler latency) from runtime/metrics.
+	RuntimeMetrics bool `json:"runtime_metrics,omitempty"`
+	// PoolWait enables per-pool ULT queue-wait histograms
+	// (mochi_pool_wait_seconds); adds one clock read per ULT.
+	PoolWait bool `json:"pool_wait,omitempty"`
+}
+
+// ClusterConfig configures the federation leg.
+type ClusterConfig struct {
+	// Members statically lists peer addresses to scrape. When the
+	// process also joins an SSG group, the live view supersedes this.
+	Members []string `json:"members,omitempty"`
+	// ScrapeTimeoutMS bounds each per-node snapshot pull
+	// (default 2000).
+	ScrapeTimeoutMS int `json:"scrape_timeout_ms,omitempty"`
+}
+
+// Objective is one latency SLO: "no more than ErrorBudget of
+// TargetRPC's requests may exceed TargetMS". Burn rate 1.0 means the
+// budget is being consumed exactly as fast as it accrues; above 1.0
+// the objective will eventually be violated.
+type Objective struct {
+	// RPC names the handler family the objective applies to.
+	RPC string `json:"rpc"`
+	// TargetMS is the latency threshold in milliseconds.
+	TargetMS float64 `json:"target_ms"`
+	// ErrorBudget is the allowed fraction of slow requests, e.g. 0.01
+	// for "99% of requests under TargetMS".
+	ErrorBudget float64 `json:"error_budget"`
+}

@@ -1,0 +1,57 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"sort"
+	"time"
+)
+
+// MaxCPUProfileSeconds caps a CPU profile request: the control RPC
+// blocks for the duration, so unbounded requests could pin the
+// monitoring path for minutes.
+const MaxCPUProfileSeconds = 30
+
+// DefaultCPUProfileSeconds is used when a CPU profile request does not
+// say how long to sample.
+const DefaultCPUProfileSeconds = 5
+
+// Profiles lists the profile names WriteProfile accepts: "cpu" plus
+// every runtime/pprof lookup profile (heap, goroutine, allocs,
+// threadcreate, block, mutex).
+func Profiles() []string {
+	out := []string{"cpu"}
+	for _, p := range pprof.Profiles() {
+		out = append(out, p.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteProfile writes the named pprof profile to w. "cpu" samples for
+// the given number of seconds (default DefaultCPUProfileSeconds,
+// capped at MaxCPUProfileSeconds); every other name is served
+// instantly from runtime/pprof. The output is the binary pprof
+// protobuf format `go tool pprof` reads.
+func WriteProfile(w io.Writer, name string, seconds int) error {
+	if name == "cpu" {
+		if seconds <= 0 {
+			seconds = DefaultCPUProfileSeconds
+		}
+		if seconds > MaxCPUProfileSeconds {
+			seconds = MaxCPUProfileSeconds
+		}
+		if err := pprof.StartCPUProfile(w); err != nil {
+			return fmt.Errorf("observe: cpu profile: %w", err)
+		}
+		time.Sleep(time.Duration(seconds) * time.Second)
+		pprof.StopCPUProfile()
+		return nil
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("observe: unknown profile %q (have %v)", name, Profiles())
+	}
+	return p.WriteTo(w, 0)
+}

@@ -1,0 +1,55 @@
+package observe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteProfileHeap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, "heap", 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+	// pprof output is gzip-compressed protobuf.
+	if buf.Bytes()[0] != 0x1f || buf.Bytes()[1] != 0x8b {
+		t.Fatalf("heap profile not gzip: % x", buf.Bytes()[:2])
+	}
+}
+
+func TestWriteProfileGoroutine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, "goroutine", 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("goroutine profile is empty")
+	}
+}
+
+func TestWriteProfileUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteProfile(&buf, "no-such-profile", 0)
+	if err == nil {
+		t.Fatal("want error for unknown profile")
+	}
+	if !strings.Contains(err.Error(), "no-such-profile") {
+		t.Fatalf("error should name the profile: %v", err)
+	}
+}
+
+func TestProfilesListsCPUAndHeap(t *testing.T) {
+	names := Profiles()
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	for _, want := range []string{"cpu", "heap", "goroutine"} {
+		if !has[want] {
+			t.Fatalf("Profiles() missing %q: %v", want, names)
+		}
+	}
+}

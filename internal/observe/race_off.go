@@ -1,0 +1,9 @@
+//go:build !race
+
+package observe
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-pinning tests skip under race because the detector's
+// instrumentation allocates on paths that are allocation-free in
+// normal builds.
+const raceEnabled = false

@@ -1,0 +1,167 @@
+package observe
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+	"sync"
+
+	"mochi/internal/metrics"
+)
+
+// runtimeSamples maps the runtime/metrics names we export to mochi_go_*
+// families. Scalars become gauges/counters; the two native histograms
+// (GC pauses, scheduler latency) are re-bucketed into LatencyBuckets so
+// they merge across nodes like every other latency family.
+var runtimeScalars = []struct {
+	src  string
+	name string
+	help string
+	kind metrics.Kind
+}{
+	{"/sched/goroutines:goroutines", "mochi_go_goroutines", "Live goroutines in the process.", metrics.KindGauge},
+	{"/sched/gomaxprocs:threads", "mochi_go_gomaxprocs", "GOMAXPROCS of the process.", metrics.KindGauge},
+	{"/memory/classes/heap/objects:bytes", "mochi_go_heap_bytes", "Bytes of live heap objects.", metrics.KindGauge},
+	{"/memory/classes/total:bytes", "mochi_go_memory_bytes", "Total bytes mapped by the Go runtime.", metrics.KindGauge},
+	{"/gc/cycles/total:gc-cycles", "mochi_go_gc_cycles_total", "Completed GC cycles.", metrics.KindCounter},
+}
+
+var runtimeHistograms = []struct {
+	src  string
+	name string
+	help string
+}{
+	{"/gc/pauses:seconds", "mochi_go_gc_pause_seconds", "Stop-the-world GC pause latency."},
+	{"/sched/latencies:seconds", "mochi_go_sched_latency_seconds", "Time goroutines spend runnable before running."},
+}
+
+// runtimeSampler reads runtime/metrics once per scrape and serves all
+// registered families from that read.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []runtimemetrics.Sample
+	index   map[string]int
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{index: map[string]int{}}
+	for _, m := range runtimeScalars {
+		s.index[m.src] = len(s.samples)
+		s.samples = append(s.samples, runtimemetrics.Sample{Name: m.src})
+	}
+	for _, m := range runtimeHistograms {
+		s.index[m.src] = len(s.samples)
+		s.samples = append(s.samples, runtimemetrics.Sample{Name: m.src})
+	}
+	return s
+}
+
+// scalar returns the current value of one scalar sample, refreshing
+// the whole sample set. runtime/metrics.Read is cheap (it copies
+// pre-aggregated runtime state), so per-family reads at scrape time
+// are fine.
+func (s *runtimeSampler) read() []runtimemetrics.Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runtimemetrics.Read(s.samples)
+	out := make([]runtimemetrics.Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+func scalarValue(v runtimemetrics.Value) (float64, bool) {
+	switch v.Kind() {
+	case runtimemetrics.KindUint64:
+		return float64(v.Uint64()), true
+	case runtimemetrics.KindFloat64:
+		return v.Float64(), true
+	}
+	return 0, false
+}
+
+// rebucket folds a runtime/metrics Float64Histogram into our fixed
+// LatencyBuckets layout. Each source bucket's count is attributed to
+// the destination bucket holding its upper edge — a one-bucket-bound
+// approximation, same error model as the histograms themselves. Sum is
+// approximated from bucket upper edges (the runtime does not track it).
+func rebucket(h *runtimemetrics.Float64Histogram) *metrics.HistogramSnapshot {
+	upper := metrics.LatencyBuckets
+	s := &metrics.HistogramSnapshot{
+		Upper:  upper,
+		Counts: make([]uint64, len(upper)+1),
+	}
+	if h == nil {
+		return s
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		// Bucket i spans [Buckets[i], Buckets[i+1]).
+		edge := h.Buckets[i+1]
+		j := len(upper) // +Inf slot
+		if !math.IsInf(edge, +1) {
+			j = searchFloat(upper, edge)
+		}
+		s.Counts[j] += c
+		s.Count += c
+		if math.IsInf(edge, +1) {
+			edge = h.Buckets[i]
+		}
+		if edge > 0 && !math.IsInf(edge, +1) {
+			s.Sum += edge * float64(c)
+			if edge > s.Max {
+				s.Max = edge
+			}
+		}
+	}
+	return s
+}
+
+func searchFloat(a []float64, v float64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// RegisterRuntimeMetrics exports Go runtime health as mochi_go_*
+// families on reg: goroutine and heap gauges, GC cycle counter, and
+// GC-pause / scheduler-latency histograms re-bucketed into
+// LatencyBuckets. All values are read at scrape time; between scrapes
+// this costs nothing.
+func RegisterRuntimeMetrics(reg *metrics.Registry) {
+	s := newRuntimeSampler()
+	for _, m := range runtimeScalars {
+		m := m
+		fn := func() []metrics.Sample {
+			samples := s.read()
+			v, ok := scalarValue(samples[s.index[m.src]].Value)
+			if !ok {
+				return nil
+			}
+			return []metrics.Sample{{Value: v}}
+		}
+		if m.kind == metrics.KindCounter {
+			reg.CounterFunc(m.name, m.help, nil, fn)
+		} else {
+			reg.GaugeFunc(m.name, m.help, nil, fn)
+		}
+	}
+	for _, m := range runtimeHistograms {
+		m := m
+		reg.HistogramFunc(m.name, m.help, nil, func() []metrics.Sample {
+			samples := s.read()
+			v := samples[s.index[m.src]].Value
+			if v.Kind() != runtimemetrics.KindFloat64Histogram {
+				return nil
+			}
+			return []metrics.Sample{{Hist: rebucket(v.Float64Histogram())}}
+		})
+	}
+}

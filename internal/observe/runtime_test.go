@@ -1,0 +1,78 @@
+package observe
+
+import (
+	"math"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"testing"
+
+	"mochi/internal/metrics"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	runtime.GC() // make sure at least one GC cycle and pause exist
+
+	got := map[string]metrics.FamilySnapshot{}
+	for _, f := range reg.Snapshot() {
+		got[f.Name] = f
+	}
+
+	g, ok := got["mochi_go_goroutines"]
+	if !ok || len(g.Series) != 1 || g.Series[0].Value < 1 {
+		t.Fatalf("mochi_go_goroutines: want >= 1, got %+v", g)
+	}
+	if h, ok := got["mochi_go_heap_bytes"]; !ok || len(h.Series) != 1 || h.Series[0].Value <= 0 {
+		t.Fatalf("mochi_go_heap_bytes: want > 0, got %+v", h)
+	}
+	if c, ok := got["mochi_go_gc_cycles_total"]; !ok || c.Kind != metrics.KindCounter || c.Series[0].Value < 1 {
+		t.Fatalf("mochi_go_gc_cycles_total: want counter >= 1, got %+v", c)
+	}
+
+	p, ok := got["mochi_go_gc_pause_seconds"]
+	if !ok || p.Kind != metrics.KindHistogram || len(p.Series) != 1 || p.Series[0].Hist == nil {
+		t.Fatalf("mochi_go_gc_pause_seconds: want histogram series, got %+v", p)
+	}
+	hist := p.Series[0].Hist
+	if len(hist.Upper) != len(metrics.LatencyBuckets) {
+		t.Fatalf("gc pause buckets: want LatencyBuckets layout (%d bounds), got %d",
+			len(metrics.LatencyBuckets), len(hist.Upper))
+	}
+	if hist.Count == 0 {
+		t.Fatal("gc pause histogram empty after runtime.GC()")
+	}
+
+	// The whole registry must still serialize to valid exposition text.
+	if _, err := metrics.ParseExposition(reg.PrometheusText()); err != nil {
+		t.Fatalf("runtime families break exposition: %v", err)
+	}
+}
+
+func TestRebucket(t *testing.T) {
+	// A synthetic runtime histogram: 2 samples in [1e-5, 1e-4), 1 in
+	// [0.5, +Inf).
+	src := &runtimemetrics.Float64Histogram{
+		Counts:  []uint64{2, 0, 1},
+		Buckets: []float64{1e-5, 1e-4, 0.5, math.Inf(+1)},
+	}
+	s := rebucket(src)
+	if s.Count != 3 {
+		t.Fatalf("rebucket count: want 3, got %d", s.Count)
+	}
+	if got := len(s.Counts); got != len(metrics.LatencyBuckets)+1 {
+		t.Fatalf("rebucket layout: want %d counts, got %d", len(metrics.LatencyBuckets)+1, got)
+	}
+	// The bucket containing 1e-4 must hold 2; the +Inf bucket holds
+	// the sample whose source bucket is unbounded.
+	j := searchFloat(metrics.LatencyBuckets, 1e-4)
+	if s.Counts[j] != 2 {
+		t.Fatalf("rebucket: want 2 at bucket %d (le=%g), got %d", j, metrics.LatencyBuckets[j], s.Counts[j])
+	}
+	if s.Counts[len(metrics.LatencyBuckets)] != 1 {
+		t.Fatalf("rebucket: want 1 in +Inf bucket, got %d", s.Counts[len(metrics.LatencyBuckets)])
+	}
+	if rebucket(nil).Count != 0 {
+		t.Fatal("rebucket(nil): want empty histogram")
+	}
+}

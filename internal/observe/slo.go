@@ -1,0 +1,189 @@
+package observe
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mochi/internal/clock"
+	"mochi/internal/metrics"
+)
+
+// SLO window lengths. Two windows, per the standard multi-window
+// burn-rate alerting scheme: the short window catches fast burns
+// quickly, the long window keeps the signal from flapping once the
+// incident passes.
+const (
+	sloShortWindow = 5 * time.Minute
+	sloLongWindow  = time.Hour
+
+	// ringSeconds is the ring size in one-second cells; it must cover
+	// the longest window.
+	ringSeconds = 3600
+)
+
+// sloCell is one second of observations. epoch holds the unix second
+// the cell currently represents; readers ignore cells whose epoch has
+// fallen out of the window, so cells are recycled without a sweeper.
+type sloCell struct {
+	epoch atomic.Int64
+	total atomic.Uint64
+	slow  atomic.Uint64
+}
+
+// sloState tracks one objective.
+type sloState struct {
+	obj    Objective
+	target time.Duration
+	cells  [ringSeconds]sloCell
+}
+
+// Tracker evaluates latency objectives over rolling windows. Observe
+// is safe for concurrent use and allocation-free; everything else is
+// scrape-time work.
+type Tracker struct {
+	clk clock.Clock
+	// byRPC is immutable after NewTracker, so Observe needs no lock.
+	byRPC map[string]*sloState
+	order []string
+}
+
+// NewTracker builds a tracker for the given objectives. Objectives
+// with a non-positive target or budget are rejected: a zero budget
+// makes burn rate undefined, and a zero target marks every request
+// slow.
+func NewTracker(clk clock.Clock, objectives []Objective) (*Tracker, error) {
+	if clk == nil {
+		clk = clock.New()
+	}
+	t := &Tracker{clk: clk, byRPC: map[string]*sloState{}}
+	for _, o := range objectives {
+		if o.RPC == "" {
+			return nil, fmt.Errorf("observe: slo objective needs an rpc name")
+		}
+		if o.TargetMS <= 0 {
+			return nil, fmt.Errorf("observe: slo %q: target_ms must be positive, got %g", o.RPC, o.TargetMS)
+		}
+		if o.ErrorBudget <= 0 || o.ErrorBudget > 1 {
+			return nil, fmt.Errorf("observe: slo %q: error_budget must be in (0, 1], got %g", o.RPC, o.ErrorBudget)
+		}
+		if _, dup := t.byRPC[o.RPC]; dup {
+			return nil, fmt.Errorf("observe: duplicate slo objective for %q", o.RPC)
+		}
+		t.byRPC[o.RPC] = &sloState{
+			obj:    o,
+			target: time.Duration(o.TargetMS * float64(time.Millisecond)),
+		}
+		t.order = append(t.order, o.RPC)
+	}
+	sort.Strings(t.order)
+	return t, nil
+}
+
+// Objectives returns the configured objectives in name order.
+func (t *Tracker) Objectives() []Objective {
+	out := make([]Objective, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, t.byRPC[name].obj)
+	}
+	return out
+}
+
+// Observe records one completed request. RPCs with no objective are a
+// single map lookup; tracked RPCs additionally CAS the current
+// one-second cell's epoch and add two atomics. It never allocates, so
+// it is safe to call from the handler-completion hook.
+func (t *Tracker) Observe(rpc string, d time.Duration) {
+	st, ok := t.byRPC[rpc]
+	if !ok {
+		return
+	}
+	sec := t.clk.Now().Unix()
+	cell := &st.cells[sec%ringSeconds]
+	if e := cell.epoch.Load(); e != sec {
+		// First writer of this second claims the cell and resets it. A
+		// racing Observe between the CAS and the resets can be lost or
+		// land in the dying epoch — at most a one-sample error per
+		// second, irrelevant at burn-rate granularity.
+		if cell.epoch.CompareAndSwap(e, sec) {
+			cell.total.Store(0)
+			cell.slow.Store(0)
+		}
+	}
+	cell.total.Add(1)
+	if d > st.target {
+		cell.slow.Add(1)
+	}
+}
+
+// windowCounts sums the cells whose epoch falls inside the window
+// ending now.
+func (st *sloState) windowCounts(now int64, window time.Duration) (total, slow uint64) {
+	lo := now - int64(window/time.Second) + 1
+	for i := range st.cells {
+		c := &st.cells[i]
+		e := c.epoch.Load()
+		if e >= lo && e <= now {
+			total += c.total.Load()
+			slow += c.slow.Load()
+		}
+	}
+	return total, slow
+}
+
+// burnRate returns the budget-consumption speed over the window: the
+// observed slow fraction divided by the error budget. 0 when the
+// window holds no requests.
+func (st *sloState) burnRate(now int64, window time.Duration) float64 {
+	total, slow := st.windowCounts(now, window)
+	if total == 0 {
+		return 0
+	}
+	return (float64(slow) / float64(total)) / st.obj.ErrorBudget
+}
+
+// BurnRate reports the burn rate of one objective over the given
+// window (use sloShortWindow/sloLongWindow-style durations). Unknown
+// RPCs report 0.
+func (t *Tracker) BurnRate(rpc string, window time.Duration) float64 {
+	st, ok := t.byRPC[rpc]
+	if !ok {
+		return 0
+	}
+	return st.burnRate(t.clk.Now().Unix(), window)
+}
+
+// Degraded returns the RPC families whose burn rate is at or above
+// 1.0 in BOTH windows — the multi-window AND that suppresses
+// one-blip alerts. Empty means all objectives are healthy.
+func (t *Tracker) Degraded() []string {
+	now := t.clk.Now().Unix()
+	var out []string
+	for _, name := range t.order {
+		st := t.byRPC[name]
+		if st.burnRate(now, sloShortWindow) >= 1 && st.burnRate(now, sloLongWindow) >= 1 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Register exposes mochi_slo_burn_rate{rpc,window} as a scrape-time
+// gauge family.
+func (t *Tracker) Register(reg *metrics.Registry) {
+	reg.GaugeFunc("mochi_slo_burn_rate",
+		"Error-budget burn rate per RPC latency objective (1.0 = budget consumed exactly at accrual speed).",
+		[]string{"rpc", "window"}, func() []metrics.Sample {
+			now := t.clk.Now().Unix()
+			out := make([]metrics.Sample, 0, 2*len(t.order))
+			for _, name := range t.order {
+				st := t.byRPC[name]
+				out = append(out,
+					metrics.Sample{LabelValues: []string{name, "5m"}, Value: st.burnRate(now, sloShortWindow)},
+					metrics.Sample{LabelValues: []string{name, "1h"}, Value: st.burnRate(now, sloLongWindow)},
+				)
+			}
+			return out
+		})
+}

@@ -1,0 +1,12 @@
+package observe
+
+import "mochi/internal/ssg"
+
+// SSGMembers adapts a service group to a federation member source:
+// every refresh scrapes the members the failure detector currently
+// believes are alive or merely suspected (a suspected member may just
+// be slow; dropping it early would punch a hole in the cluster view
+// before SWIM has made up its mind).
+func SSGMembers(g *ssg.Group) func() []string {
+	return func() []string { return g.View().Alive() }
+}
