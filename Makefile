@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-c10k bench-observe bench-full fuzz examples vet fmt-check lint reshard-soak observe-smoke test-unsafe ci clean
+.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-c10k bench-observe bench-full fuzz examples vet fmt-check lint reshard-soak observe-smoke sim sim-curves test-unsafe ci clean
 
 all: build test
 
@@ -42,6 +42,50 @@ reshard-soak:
 	RESHARD_SOAK_MS=$(RESHARD_SOAK_MS) $(GO) test -race -count=1 -v \
 		-run 'TestReshardUnderLiveTraffic|TestReshardSoakChaos' \
 		-timeout 900s ./internal/yokan/router/
+
+# Deterministic simulation suite (DESIGN.md §14, EXPERIMENTS.md E14).
+# Four legs, in order:
+#   1. the 1k-node SWIM seed matrix (SIM_SEEDS seeds) plus the replay
+#      and partition-heal tests, under the race detector;
+#   2. the raft linearizability harness under -race at a few seeds
+#      (races surface independent of history count);
+#   3. the full SIM_HISTORIES-seed linearizability sweep plus the
+#      broken-store and FSM-dedup companions, without -race so 100
+#      histories stay inside minutes;
+#   4. the 10k-endpoint, 10-virtual-minute scale run with its <60s
+#      wall-time gate.
+# Optionally SIM_SOAK_MS runs a long virtual-time soak (e.g. 3600000
+# for an hour of protocol time). Every failing run prints a
+# `SIM_SEED=<n> go test ...` replay line; pin SIM_SEED to reproduce.
+SIM_SEEDS ?= 8
+SIM_HISTORIES ?= 100
+SIM_SOAK_MS ?=
+sim:
+	SIM_SEEDS=$(SIM_SEEDS) $(GO) test -race -count=1 -timeout 1200s -v \
+		-run 'TestSwimSeedMatrix1k|TestSwimDeterministicReplay|TestSwimPartitionHeals' ./internal/sim/
+	SIM_HISTORIES=8 $(GO) test -race -count=1 -timeout 1200s \
+		-run 'TestRaftKVLinearizableUnderFaults|TestLinearizabilityCheckerCatchesBrokenStore|TestKVFSMDeduplicatesRetries' ./internal/core/
+	SIM_HISTORIES=$(SIM_HISTORIES) $(GO) test -count=1 -timeout 1200s \
+		-run 'TestRaftKVLinearizableUnderFaults' ./internal/core/
+	SIM_SCALE=1 $(GO) test -count=1 -timeout 600s -v -run 'TestSwim10k' ./internal/sim/
+	@if [ -n "$(SIM_SOAK_MS)" ]; then \
+		SIM_SOAK_MS=$(SIM_SOAK_MS) $(GO) test -count=1 -timeout 1200s -v -run 'TestSwimSoak' ./internal/sim/; \
+	fi
+
+# E14 curves: detection latency and false positives vs cluster size
+# and loss, on the deterministic simulator. The leg runs twice and the
+# trace-identity lines must match — same binary, same seed, same
+# trace. CI uploads both tables as artifacts.
+SIM_CURVE_FLAGS ?= -sim-nodes 1000,4000 -sim-loss 0,0.02,0.10 -sim-minutes 2
+sim-curves:
+	$(GO) run ./cmd/mochi-bench -sim $(SIM_CURVE_FLAGS) | tee sim-e14-run1.txt
+	$(GO) run ./cmd/mochi-bench -sim $(SIM_CURVE_FLAGS) | tee sim-e14-run2.txt
+	@a=$$(grep '^trace-identity:' sim-e14-run1.txt); \
+	b=$$(grep '^trace-identity:' sim-e14-run2.txt); \
+	if [ "$$a" != "$$b" ]; then \
+		echo "trace identity violated:"; echo " run1: $$a"; echo " run2: $$b"; exit 1; \
+	fi; \
+	echo "trace identity holds: $$a"
 
 # Everything the CI workflow runs, in the same order. Run before pushing.
 ci: build vet fmt-check test race

@@ -15,6 +15,8 @@
 //	            [-workers 4] [-shards 8] [-read-frac 0.5]
 //	mochi-bench -c10k [-conns 64,256] [-c10k-workers 256] [-pools 1,4]
 //	            [-gomaxprocs 1,2,4] [-duration 1s] [-payload 64]
+//	mochi-bench -sim [-sim-nodes 1000,4000,10000] [-sim-loss 0,0.02,0.10]
+//	            [-sim-minutes 3] [-sim-seed 42]
 //
 // With -reshard-at the throughput leg runs against a live 3-node
 // sharded deployment instead of a local engine, fires an online
@@ -50,6 +52,11 @@ func main() {
 	batchWindow := flag.String("batch-window", "", "throughput: log group-commit window, e.g. 200us")
 	logSync := flag.Bool("log-sync", false, "throughput: fsync log commits (measures group commit against real commit latency)")
 	reshardAt := flag.Duration("reshard-at", 0, "throughput: fire an online resharding at this offset into the run (0 = off)")
+	simSweep := flag.Bool("sim", false, "run the deterministic SWIM simulation sweep (E14) instead of the experiment suite")
+	simNodes := flag.String("sim-nodes", "1000,4000,10000", "sim: comma-separated cluster sizes")
+	simLoss := flag.String("sim-loss", "0,0.02,0.10", "sim: comma-separated message drop rates")
+	simMinutes := flag.Int("sim-minutes", 3, "sim: virtual minutes per cell")
+	simSeed := flag.Int64("sim-seed", 42, "sim: master seed (same seed => identical traces)")
 	c10k := flag.Bool("c10k", false, "run the transport connection-scaling sweep (E12) instead of the experiment suite")
 	conns := flag.String("conns", "64,256", "c10k: comma-separated client-class counts")
 	c10kWorkers := flag.Int("c10k-workers", 256, "c10k: concurrent forwarders striped over the clients")
@@ -58,6 +65,9 @@ func main() {
 	payload := flag.Int("payload", 64, "c10k: payload size in bytes per direction")
 	flag.Parse()
 
+	if *simSweep {
+		os.Exit(runSwimSim(*simNodes, *simLoss, *simMinutes, *simSeed))
+	}
 	if *c10k {
 		os.Exit(runC10K(*conns, *c10kWorkers, *pools, *gomaxprocs, *duration, *payload))
 	}
@@ -146,6 +156,42 @@ func parseIntList(flagName, s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// runSwimSim drives the deterministic simulation leg (E14). The
+// trailing "trace-identity:" line lists one hash per cell in sweep
+// order; CI runs a leg twice and diffs the two lines to prove
+// same-seed replay identity (wall-time columns differ, hashes do not).
+func runSwimSim(nodes, loss string, minutes int, seed int64) int {
+	opts := experiments.SwimSimOptions{
+		Seed:     seed,
+		Duration: time.Duration(minutes) * time.Minute,
+	}
+	var err error
+	if opts.Nodes, err = parseIntList("sim-nodes", nodes); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, part := range strings.Split(loss, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f < 0 || f >= 1 {
+			fmt.Fprintf(os.Stderr, "bad -sim-loss entry %q\n", part)
+			return 2
+		}
+		opts.DropRate = append(opts.DropRate, f)
+	}
+	table, err := experiments.RunSwimSim(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sim sweep FAILED: %v\n", err)
+		return 1
+	}
+	table.Render(os.Stdout)
+	hashes := make([]string, 0, len(table.Rows))
+	for _, row := range table.Rows {
+		hashes = append(hashes, row[len(row)-1])
+	}
+	fmt.Printf("trace-identity: %s\n", strings.Join(hashes, " "))
+	return 0
 }
 
 // runC10K drives the transport-scaling leg (E12).

@@ -1,6 +1,7 @@
 package clock
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -153,6 +154,10 @@ func (s *Sim) advanceToLocked(target time.Time) {
 			s.seq++
 			w.seq = s.seq
 			s.insertLocked(w)
+		} else if w.period == 0 {
+			// A fired one-shot timer is expired: Stop and Reset must
+			// report it inactive, like time.Timer.
+			w.stopped = true
 		}
 	}
 	if s.now.Before(target) {
@@ -177,6 +182,38 @@ func (s *Sim) PendingTimers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.waiters)
+}
+
+// NextDeadline returns the earliest armed deadline. ok is false when
+// no timers are armed.
+func (s *Sim) NextDeadline() (t time.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) == 0 {
+		return time.Time{}, false
+	}
+	return s.waiters[0].deadline, true
+}
+
+// WaitForWaiters blocks (in wall-clock time) until at least n timers
+// or tickers are armed on the clock, or the wall-clock timeout passes.
+// It is the quiescence primitive for tests that drive goroutine-based
+// protocol code on a Sim: a driver waits until every protocol
+// goroutine has parked on its timer, then advances virtual time,
+// knowing no goroutine is still mid-step. Returns whether the target
+// count was reached.
+func (s *Sim) WaitForWaiters(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.PendingTimers() >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return s.PendingTimers() >= n
+		}
+		runtime.Gosched()
+		time.Sleep(200 * time.Microsecond) // wall-clock: polls real goroutine progress
+	}
 }
 
 func (w *simWaiter) C() <-chan time.Time { return w.ch }

@@ -1,0 +1,221 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Table-driven edge cases for the Sim timer wheel: the situations in
+// which std-library timers are notoriously subtle (Reset after fire,
+// Stop racing a fire, ticker backpressure, identical deadlines). Run
+// with -race: several cases exercise concurrent Stop/Advance.
+func TestSimTimerEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, s *Sim)
+	}{
+		{
+			// Reset after the timer fired must re-arm it for a second
+			// fire (this is the case time.Timer.Reset documents as
+			// "only safe after a drain").
+			name: "reset-after-fire-rearms",
+			run: func(t *testing.T, s *Sim) {
+				tm := s.NewTimer(10 * time.Millisecond)
+				s.Advance(10 * time.Millisecond)
+				if got := <-tm.C(); !got.Equal(s.Now()) {
+					t.Fatalf("first fire at %v, now %v", got, s.Now())
+				}
+				if active := tm.Reset(5 * time.Millisecond); active {
+					t.Fatal("Reset after fire reported the timer as still active")
+				}
+				s.Advance(5 * time.Millisecond)
+				select {
+				case <-tm.C():
+				default:
+					t.Fatal("timer did not re-fire after Reset")
+				}
+			},
+		},
+		{
+			// Stop after the deadline passed must report false (too
+			// late) and the fired tick stays readable, matching
+			// time.Timer semantics for a fired-but-undrained timer.
+			name: "stop-after-fire-reports-false",
+			run: func(t *testing.T, s *Sim) {
+				tm := s.NewTimer(time.Millisecond)
+				s.Advance(time.Millisecond)
+				if tm.Stop() {
+					t.Fatal("Stop returned true after the timer fired")
+				}
+				select {
+				case <-tm.C():
+				default:
+					t.Fatal("fired tick lost after late Stop")
+				}
+			},
+		},
+		{
+			// A goroutine calling Stop while another advances the
+			// clock: whichever wins, exactly one outcome holds — Stop
+			// true and no tick, or Stop false and one tick. Never both,
+			// never neither.
+			name: "stop-vs-fire-race",
+			run: func(t *testing.T, s *Sim) {
+				for i := 0; i < 200; i++ {
+					tm := s.NewTimer(time.Millisecond)
+					var wg sync.WaitGroup
+					var stopped bool
+					wg.Add(2)
+					go func() { defer wg.Done(); stopped = tm.Stop() }()
+					go func() { defer wg.Done(); s.Advance(time.Millisecond) }()
+					wg.Wait()
+					fired := false
+					select {
+					case <-tm.C():
+						fired = true
+					default:
+					}
+					if stopped == fired {
+						t.Fatalf("iteration %d: stopped=%v fired=%v (want exactly one)", i, stopped, fired)
+					}
+				}
+			},
+		},
+		{
+			// A huge advance across many ticker periods delivers one
+			// buffered tick (the rest drop, like time.Ticker under a
+			// slow consumer) and the ticker stays armed on the period
+			// grid afterwards.
+			name: "ticker-drift-under-large-advance",
+			run: func(t *testing.T, s *Sim) {
+				tk := s.NewTicker(10 * time.Millisecond)
+				defer tk.Stop()
+				s.Advance(250 * time.Millisecond) // 25 periods, buffer of 1
+				n := 0
+				for {
+					select {
+					case <-tk.C():
+						n++
+						continue
+					default:
+					}
+					break
+				}
+				if n != 1 {
+					t.Fatalf("got %d buffered ticks after large advance, want 1", n)
+				}
+				// The re-armed deadline must stay on the period grid:
+				// one more period, one more tick.
+				s.Advance(10 * time.Millisecond)
+				select {
+				case <-tk.C():
+				default:
+					t.Fatal("ticker lost its arming after a large advance")
+				}
+			},
+		},
+		{
+			// Two goroutines parked on the same deadline both wake on a
+			// single advance.
+			name: "two-goroutines-same-deadline",
+			run: func(t *testing.T, s *Sim) {
+				var wg sync.WaitGroup
+				woke := make(chan int, 2)
+				for i := 0; i < 2; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						s.Sleep(7 * time.Millisecond)
+						woke <- i
+					}(i)
+				}
+				if !s.WaitForWaiters(2, time.Second) {
+					t.Fatalf("goroutines never parked: %d waiters", s.PendingTimers())
+				}
+				s.Advance(7 * time.Millisecond)
+				wg.Wait()
+				if len(woke) != 2 {
+					t.Fatalf("%d goroutines woke, want 2", len(woke))
+				}
+			},
+		},
+		{
+			// Same-deadline timers fire in creation order (seq
+			// tie-break) — the property the deterministic simulator
+			// depends on.
+			name: "same-deadline-fires-in-creation-order",
+			run: func(t *testing.T, s *Sim) {
+				a := s.NewTimer(3 * time.Millisecond)
+				b := s.NewTimer(3 * time.Millisecond)
+				var order []string
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for len(order) < 2 {
+						select {
+						case <-a.C():
+							order = append(order, "a")
+						case <-b.C():
+							order = append(order, "b")
+						}
+					}
+				}()
+				if !s.WaitForWaiters(2, time.Second) {
+					t.Fatal("timers not armed")
+				}
+				s.Advance(3 * time.Millisecond)
+				<-done
+				// Both fire during one Advance; the buffered channels
+				// are filled in seq order before the reader drains, so
+				// the reader's select sees both ready — what matters is
+				// both fired exactly once.
+				if len(order) != 2 || order[0] == order[1] {
+					t.Fatalf("fired %v, want one of each", order)
+				}
+			},
+		},
+		{
+			// Reset while armed moves the deadline without a spurious
+			// fire at the old one.
+			name: "reset-while-armed-moves-deadline",
+			run: func(t *testing.T, s *Sim) {
+				tm := s.NewTimer(10 * time.Millisecond)
+				if active := tm.Reset(30 * time.Millisecond); !active {
+					t.Fatal("Reset on an armed timer reported inactive")
+				}
+				s.Advance(10 * time.Millisecond)
+				select {
+				case <-tm.C():
+					t.Fatal("timer fired at the old deadline after Reset")
+				default:
+				}
+				s.Advance(20 * time.Millisecond)
+				select {
+				case <-tm.C():
+				default:
+					t.Fatal("timer did not fire at the moved deadline")
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			c.run(t, NewSim(time.Time{}))
+		})
+	}
+}
+
+func TestSimWaitForWaitersTimesOut(t *testing.T) {
+	s := NewSim(time.Time{})
+	if s.WaitForWaiters(1, 5*time.Millisecond) {
+		t.Fatal("WaitForWaiters reported success with no waiters")
+	}
+	s.NewTimer(time.Second)
+	if !s.WaitForWaiters(1, time.Second) {
+		t.Fatal("WaitForWaiters missed an armed timer")
+	}
+	if dl, ok := s.NextDeadline(); !ok || !dl.Equal(s.Now().Add(time.Second)) {
+		t.Fatalf("NextDeadline = %v, %v", dl, ok)
+	}
+}

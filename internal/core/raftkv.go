@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"mochi/internal/codec"
 	"mochi/internal/margo"
@@ -27,19 +29,34 @@ const (
 )
 
 type kvCommand struct {
-	Op    uint8
+	Op uint8
+	// CID/Seq identify the client session and its operation number for
+	// at-most-once semantics. The raft client (and the margo resilience
+	// layer under it) retries a command when a reply is lost, so the
+	// same command can reach the log twice; without dedup a duplicate
+	// Put re-applied after an interleaving write resurrects the old
+	// value — a real linearizability violation the simulation harness
+	// flags (see internal/core/linearize_test.go). The FSM caches the
+	// last (Seq, result) per CID and replays the cached result for a
+	// duplicate instead of re-applying.
+	CID   string
+	Seq   uint64
 	Key   []byte
 	Value []byte
 }
 
 func (c *kvCommand) MarshalMochi(e *codec.Encoder) {
 	e.Uint8(c.Op)
+	e.String(c.CID)
+	e.Uvarint(c.Seq)
 	e.BytesField(c.Key)
 	e.BytesField(c.Value)
 }
 
 func (c *kvCommand) UnmarshalMochi(d *codec.Decoder) {
 	c.Op = d.Uint8()
+	c.CID = d.String()
+	c.Seq = d.Uvarint()
 	c.Key = append([]byte(nil), d.BytesField()...)
 	c.Value = append([]byte(nil), d.BytesField()...)
 }
@@ -62,9 +79,19 @@ func (r *kvResult) UnmarshalMochi(d *codec.Decoder) {
 	r.Value = append([]byte(nil), d.BytesField()...)
 }
 
+// kvSession is the at-most-once state for one client: the highest
+// operation number applied and its cached result. Each client has at
+// most one outstanding operation, so one slot per client suffices
+// (the Raft dissertation's session scheme, §6.3).
+type kvSession struct {
+	Seq    uint64
+	Result []byte
+}
+
 // kvFSM adapts a yokan.Database to raft.FSM.
 type kvFSM struct {
-	db yokan.Database
+	db       yokan.Database
+	sessions map[string]kvSession
 }
 
 // Apply implements raft.FSM.
@@ -72,6 +99,16 @@ func (f *kvFSM) Apply(_ uint64, cmd []byte) []byte {
 	var c kvCommand
 	if err := codec.Unmarshal(cmd, &c); err != nil {
 		return codec.Marshal(&kvResult{Status: 2, Err: err.Error()})
+	}
+	if c.CID != "" {
+		if s, ok := f.sessions[c.CID]; ok && c.Seq <= s.Seq {
+			// Duplicate delivery of an already-applied command: replay
+			// the cached result instead of re-executing. (Seq < s.Seq
+			// cannot happen with blocking clients, but replying with
+			// the newer cached result is still safe — the older reply
+			// was already delivered or abandoned.)
+			return s.Result
+		}
 	}
 	var res kvResult
 	switch c.Op {
@@ -98,10 +135,19 @@ func (f *kvFSM) Apply(_ uint64, cmd []byte) []byte {
 			res.Status, res.Err = 2, err.Error()
 		}
 	}
-	return codec.Marshal(&res)
+	out := codec.Marshal(&res)
+	if c.CID != "" {
+		if f.sessions == nil {
+			f.sessions = map[string]kvSession{}
+		}
+		f.sessions[c.CID] = kvSession{Seq: c.Seq, Result: out}
+	}
+	return out
 }
 
-// Snapshot implements raft.FSM.
+// Snapshot implements raft.FSM. The session table is part of the
+// state machine: a replica restored from a snapshot must still
+// recognize duplicates of commands the snapshot already covers.
 func (f *kvFSM) Snapshot() ([]byte, error) {
 	kvs, err := f.db.ListKeyValues(nil, nil, 0)
 	if err != nil {
@@ -112,6 +158,18 @@ func (f *kvFSM) Snapshot() ([]byte, error) {
 	for _, kv := range kvs {
 		e.BytesField(kv.Key)
 		e.BytesField(kv.Value)
+	}
+	cids := make([]string, 0, len(f.sessions))
+	for cid := range f.sessions {
+		cids = append(cids, cid)
+	}
+	sort.Strings(cids) // deterministic snapshot bytes
+	e.Uvarint(uint64(len(cids)))
+	for _, cid := range cids {
+		s := f.sessions[cid]
+		e.String(cid)
+		e.Uvarint(s.Seq)
+		e.BytesField(s.Result)
 	}
 	return e.Bytes(), nil
 }
@@ -140,6 +198,17 @@ func (f *kvFSM) Restore(snap []byte) error {
 			return err
 		}
 	}
+	f.sessions = map[string]kvSession{}
+	ns := d.Uvarint()
+	for i := uint64(0); i < ns; i++ {
+		cid := d.String()
+		seq := d.Uvarint()
+		res := append([]byte(nil), d.BytesField()...)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		f.sessions[cid] = kvSession{Seq: seq, Result: res}
+	}
 	return d.Finish()
 }
 
@@ -150,16 +219,26 @@ func NewRaftKVNode(inst *margo.Instance, group string, peers []string, store raf
 }
 
 // RaftKVClient performs replicated KV operations from any process.
+// Each client is one at-most-once session: operations carry (CID, Seq)
+// so retried commands are deduplicated by the FSM.
 type RaftKVClient struct {
-	rc *raft.Client
+	rc  *raft.Client
+	cid string
+	seq uint64
 }
+
+// kvClientCtr disambiguates multiple clients on one instance address.
+var kvClientCtr uint64
 
 // NewRaftKVClient creates a client for the replicated KV group.
 func NewRaftKVClient(inst *margo.Instance, group string, seeds []string) *RaftKVClient {
-	return &RaftKVClient{rc: raft.NewClient(inst, group, seeds)}
+	cid := fmt.Sprintf("%s#%d", inst.Addr(), atomic.AddUint64(&kvClientCtr, 1))
+	return &RaftKVClient{rc: raft.NewClient(inst, group, seeds), cid: cid}
 }
 
 func (c *RaftKVClient) do(ctx context.Context, cmd kvCommand) (*kvResult, error) {
+	cmd.CID = c.cid
+	cmd.Seq = atomic.AddUint64(&c.seq, 1)
 	out, err := c.rc.Apply(ctx, codec.Marshal(&cmd))
 	if err != nil {
 		return nil, err

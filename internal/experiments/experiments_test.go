@@ -55,6 +55,29 @@ func TestE4Quick(t *testing.T) {
 	runQuick(t, "E4")
 }
 
+// TestE14Quick runs a reduced single-cell sweep directly (the Runner's
+// quick mode still covers 1k and 4k nodes — that is sim-smoke
+// territory, not unit-test territory) and asserts replay identity:
+// the same seed must produce the same trace hash.
+func TestE14Quick(t *testing.T) {
+	opts := SwimSimOptions{Nodes: []int{256}, DropRate: []float64{0.02}, Duration: time.Minute}
+	a, err := RunSwimSim(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 || len(a.Rows[0]) != len(a.Columns) {
+		t.Fatalf("malformed table %+v", a)
+	}
+	b, err := RunSwimSim(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, hb := a.Rows[0][len(a.Columns)-1], b.Rows[0][len(b.Columns)-1]
+	if ha != hb {
+		t.Fatalf("same-seed sweep produced different traces: %s vs %s", ha, hb)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := &Table{
 		ID:      "EX",

@@ -83,27 +83,34 @@ func (ct *ChaosTransport) Stats() ChaosStats {
 	}
 }
 
-type chaosAction struct {
-	reset bool
-	drop  bool
-	dup   bool
-	delay time.Duration
+// FaultDecision is the outcome of one per-message fault draw: which
+// faults apply to the message about to be sent.
+type FaultDecision struct {
+	Reset bool
+	Drop  bool
+	Dup   bool
+	Delay time.Duration
 }
 
-func (ct *ChaosTransport) decide() chaosAction {
+// Decide draws the fault decision for one message from the seeded
+// schedule. The live chaos path consumes decisions as it sends; the
+// deterministic simulator (internal/sim) consumes the same schedule on
+// virtual time, so a seed exercises the identical fault sequence in
+// both worlds.
+func (ct *ChaosTransport) Decide() FaultDecision {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
-	var a chaosAction
+	var a FaultDecision
 	cfg := &ct.cfg
 	// Always draw every variate so the sequence (and thus the rest of
 	// the schedule) is independent of which faults are enabled.
 	rReset, rDrop, rDelay, rDup := ct.rng.Float64(), ct.rng.Float64(), ct.rng.Float64(), ct.rng.Float64()
 	fDelay := ct.rng.Float64()
-	a.reset = rReset < cfg.ResetRate
-	a.drop = rDrop < cfg.DropRate
-	a.dup = rDup < cfg.DupRate
+	a.Reset = rReset < cfg.ResetRate
+	a.Drop = rDrop < cfg.DropRate
+	a.Dup = rDup < cfg.DupRate
 	if rDelay < cfg.DelayRate && cfg.DelayMax > 0 {
-		a.delay = cfg.DelayMin + time.Duration(fDelay*float64(cfg.DelayMax-cfg.DelayMin))
+		a.Delay = cfg.DelayMin + time.Duration(fDelay*float64(cfg.DelayMax-cfg.DelayMin))
 	}
 	return a
 }
@@ -118,21 +125,21 @@ type connResetter interface {
 // send applies the fault decision for one message, then (unless it was
 // dropped or reset) forwards it to the real transport.
 func (ct *ChaosTransport) send(tr transport, ctx context.Context, dst string, m *message) error {
-	a := ct.decide()
-	if a.reset {
+	a := ct.Decide()
+	if a.Reset {
 		ct.resets.Add(1)
 		if r, ok := tr.(connResetter); ok {
 			r.resetConn(dst)
 		}
 		return fmt.Errorf("%w: %s (chaos)", ErrConnReset, dst)
 	}
-	if a.drop {
+	if a.Drop {
 		ct.drops.Add(1)
 		return nil // silent loss: the caller times out, like Fabric drops
 	}
-	if a.delay > 0 {
+	if a.Delay > 0 {
 		ct.delays.Add(1)
-		t := time.NewTimer(a.delay)
+		t := time.NewTimer(a.Delay)
 		select {
 		case <-t.C:
 		case <-ctx.Done():
@@ -143,7 +150,7 @@ func (ct *ChaosTransport) send(tr transport, ctx context.Context, dst string, m 
 	if err := tr.send(ctx, dst, m); err != nil {
 		return err
 	}
-	if a.dup {
+	if a.Dup {
 		ct.dups.Add(1)
 		// Best effort: the first copy was delivered, a failed
 		// duplicate must not fail the send.

@@ -147,7 +147,7 @@ func TestChaosScheduleReproducible(t *testing.T) {
 	a.Configure(ca)
 	b.Configure(cb)
 	for i := 0; i < 500; i++ {
-		if da, db := a.decide(), b.decide(); da != db {
+		if da, db := a.Decide(), b.Decide(); da != db {
 			t.Fatalf("draw %d diverged: %+v vs %+v", i, da, db)
 		}
 	}
@@ -163,7 +163,7 @@ func TestChaosScheduleReproducible(t *testing.T) {
 	d.Configure(cd)
 	same := true
 	for i := 0; i < 500; i++ {
-		if c.decide() != d.decide() {
+		if c.Decide() != d.Decide() {
 			same = false
 			break
 		}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"mochi/internal/clock"
 	"mochi/internal/codec"
 	"mochi/internal/margo"
 )
@@ -14,6 +15,7 @@ import (
 // leader hints and retrying across elections.
 type Client struct {
 	inst  *margo.Instance
+	clk   clock.Clock
 	group string
 	// seeds are addresses of known members.
 	seeds []string
@@ -21,9 +23,25 @@ type Client struct {
 	RetryInterval time.Duration
 }
 
-// NewClient creates a client for the group reachable via seeds.
+// NewClient creates a client for the group reachable via seeds. Retry
+// pacing uses the instance's clock, so clients inside a simulation
+// back off on virtual time.
 func NewClient(inst *margo.Instance, group string, seeds []string) *Client {
-	return &Client{inst: inst, group: group, seeds: seeds, RetryInterval: 50 * time.Millisecond}
+	return &Client{inst: inst, clk: inst.Clock(), group: group, seeds: seeds, RetryInterval: 50 * time.Millisecond}
+}
+
+// retryWait blocks for one RetryInterval on the injected clock,
+// releasing the timer immediately when ctx fires (a bare time.After
+// here leaked one timer per retry for the full interval).
+func (c *Client) retryWait(ctx context.Context) bool {
+	t := c.clk.NewTimer(c.RetryInterval)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C():
+		return true
+	}
 }
 
 // Apply submits a command, retrying until ctx expires.
@@ -57,13 +75,11 @@ func (c *Client) Apply(ctx context.Context, cmd []byte) ([]byte, error) {
 				break // try the hinted leader next round, immediately
 			}
 		}
-		select {
-		case <-ctx.Done():
+		if !c.retryWait(ctx) {
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last: %v)", ErrTimeout, lastErr)
 			}
 			return nil, ErrTimeout
-		case <-time.After(c.RetryInterval):
 		}
 	}
 }
@@ -103,10 +119,8 @@ func (c *Client) configChange(ctx context.Context, addr string, remove bool) err
 				return lastErr
 			}
 		}
-		select {
-		case <-ctx.Done():
+		if !c.retryWait(ctx) {
 			return fmt.Errorf("%w (last: %v)", ErrTimeout, lastErr)
-		case <-time.After(c.RetryInterval):
 		}
 	}
 }

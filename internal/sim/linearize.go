@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file is the in-repo linearizability checker: Wing & Gong's
+// algorithm with Lowe's memoization (a visited set over (linearized
+// bitset, model state)), plus two scalability levers — per-key history
+// partitioning and quiescent-point windowing — and support for
+// ambiguous operations (a timed-out write MAY have taken effect; the
+// checker explores both worlds).
+
+// Op is one client operation in a recorded history. Call/Return are
+// monotonic timestamps (any unit, commonly UnixNano); an op whose
+// return was never observed (client crashed / timed out) uses
+// Return = PendingReturn.
+type Op struct {
+	Client int
+	Input  interface{}
+	Output interface{}
+	Call   int64
+	Return int64
+	// Maybe marks an ambiguous failure: the op got an error after
+	// submitting (e.g. a timed-out raft Apply) so it may or may not
+	// have executed. The checker tries both linearizing and dropping
+	// it.
+	Maybe bool
+}
+
+// PendingReturn is the Return value for operations that never
+// completed: concurrent with everything after their call.
+const PendingReturn = math.MaxInt64
+
+// Unobserved is the Output for ops whose result the client never saw
+// (it got an error after submitting). Models must accept any result
+// for an Unobserved output: the op may have executed, but nothing is
+// known about what it returned. Typically paired with Maybe and
+// PendingReturn.
+var Unobserved unobserved
+
+type unobserved struct{}
+
+// Model is a sequential specification. State values must be treated
+// as immutable: Step returns a fresh state.
+type Model struct {
+	// Init returns the initial state.
+	Init func() interface{}
+	// Step applies input to state, checking the observed output.
+	// It returns whether the (input, output) pair is legal in this
+	// state, and the successor state.
+	Step func(state, input, output interface{}) (bool, interface{})
+	// Key renders a state to a canonical string for memoization.
+	Key func(state interface{}) string
+	// Partition optionally splits a history into independent
+	// sub-histories (e.g. per key) checked separately.
+	Partition func(ops []Op) [][]Op
+}
+
+// CheckResult reports the verdict and, on failure, the smallest
+// window of operations that has no valid linearization.
+type CheckResult struct {
+	Ok bool
+	// Bad holds the offending window when Ok is false.
+	Bad []Op
+}
+
+// Check decides whether the history is linearizable with respect to
+// the model.
+func Check(m Model, ops []Op) CheckResult {
+	parts := [][]Op{ops}
+	if m.Partition != nil {
+		parts = m.Partition(ops)
+	}
+	for _, part := range parts {
+		// Windows check independently, but the model state threads
+		// through: each window starts from the set of states some
+		// linearization of the previous windows could have left (a
+		// window like [put; erase] has two legal final states).
+		states := []interface{}{m.Init()}
+		for _, window := range windows(part) {
+			states = checkWindow(m, window, states)
+			if len(states) == 0 {
+				return CheckResult{Ok: false, Bad: window}
+			}
+		}
+	}
+	return CheckResult{Ok: true}
+}
+
+// windows splits a history at quiescent points: instants where every
+// earlier op has returned. Linearizations cannot cross a quiescent
+// point, so each window checks independently — turning one long
+// history into many small searches. Ops with PendingReturn never
+// quiesce, which is correct (they stay concurrent with the rest).
+func windows(ops []Op) [][]Op {
+	if len(ops) == 0 {
+		return nil
+	}
+	sorted := append([]Op(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Call == sorted[j].Call {
+			return sorted[i].Return < sorted[j].Return
+		}
+		return sorted[i].Call < sorted[j].Call
+	})
+	var out [][]Op
+	start := 0
+	maxRet := int64(math.MinInt64)
+	for i, op := range sorted {
+		if op.Return > maxRet {
+			maxRet = op.Return
+		}
+		// Quiescent after i if every op so far returned before the
+		// next op's call.
+		if i+1 < len(sorted) && maxRet < sorted[i+1].Call {
+			out = append(out, sorted[start:i+1])
+			start = i + 1
+			maxRet = math.MinInt64
+		}
+	}
+	out = append(out, sorted[start:])
+	return out
+}
+
+// bitset over op indices within one window.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)   { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool {
+	return b[i/64]&(1<<(uint(i)%64)) != 0
+}
+func (b bitset) key(buf []byte) []byte {
+	for _, w := range b {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	return buf
+}
+
+// checkWindow runs the memoized Wing–Gong search over one window from
+// every candidate initial state, returning all model states a complete
+// linearization can end in (empty: the window is not linearizable from
+// any of them). Collecting all final states — instead of stopping at
+// the first complete linearization — is what makes quiescent-point
+// windowing sound.
+func checkWindow(m Model, ops []Op, inits []interface{}) []interface{} {
+	n := len(ops)
+	if n == 0 {
+		return inits
+	}
+	done := newBitset(n)
+	visited := map[string]struct{}{}
+	finals := map[string]interface{}{}
+	var dfs func(state interface{})
+	dfs = func(state interface{}) {
+		// Memoize on (linearized set, state): identical futures.
+		kb := done.key(make([]byte, 0, len(done)*8+16))
+		kb = append(kb, '|')
+		kb = append(kb, m.Key(state)...)
+		k := string(kb)
+		if _, seen := visited[k]; seen {
+			return
+		}
+		visited[k] = struct{}{}
+		// A remaining op can linearize first iff no other remaining op
+		// returned before its call (real-time order).
+		minRet := int64(math.MaxInt64)
+		remaining := 0
+		for i := 0; i < n; i++ {
+			if !done.has(i) {
+				remaining++
+				if ops[i].Return < minRet {
+					minRet = ops[i].Return
+				}
+			}
+		}
+		if remaining == 0 {
+			finals[m.Key(state)] = state
+			return
+		}
+		for i := 0; i < n; i++ {
+			if done.has(i) || ops[i].Call > minRet {
+				continue
+			}
+			ok, next := m.Step(state, ops[i].Input, ops[i].Output)
+			if ok {
+				done.set(i)
+				dfs(next)
+				done.clear(i)
+			}
+			if ops[i].Maybe {
+				// The other world: the op never executed. Its recorded
+				// output is ignored (the client saw an error).
+				done.set(i)
+				dfs(state)
+				done.clear(i)
+			}
+		}
+	}
+	seenInit := map[string]bool{}
+	for _, init := range inits {
+		if k := m.Key(init); !seenInit[k] {
+			seenInit[k] = true
+			dfs(init)
+		}
+	}
+	// Deterministic order for the returned state set.
+	keys := make([]string, 0, len(finals))
+	for k := range finals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]interface{}, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, finals[k])
+	}
+	return out
+}
+
+// CheckBrute is an independent brute-force checker used to
+// differential-test Check on small histories: enumerate every
+// real-time-respecting permutation (and, for Maybe ops, every
+// executed/dropped subset) and simulate each. Exponential — keep
+// histories under ~8 ops.
+func CheckBrute(m Model, ops []Op) bool {
+	parts := [][]Op{ops}
+	if m.Partition != nil {
+		parts = m.Partition(ops)
+	}
+	for _, part := range parts {
+		if !bruteWindow(m, part) {
+			return false
+		}
+	}
+	return true
+}
+
+func bruteWindow(m Model, ops []Op) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	used := make([]bool, n)
+	// mode per op: 0 = execute; for Maybe ops also 1 = dropped.
+	var rec func(state interface{}, placed int) bool
+	rec = func(state interface{}, placed int) bool {
+		if placed == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Real-time: every unplaced op that returned before this
+			// op's call must go first.
+			legal := true
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && ops[j].Return < ops[i].Call {
+					legal = false
+					break
+				}
+			}
+			if !legal {
+				continue
+			}
+			if ok, next := m.Step(state, ops[i].Input, ops[i].Output); ok {
+				used[i] = true
+				if rec(next, placed+1) {
+					return true
+				}
+				used[i] = false
+			}
+			if ops[i].Maybe {
+				used[i] = true
+				if rec(state, placed+1) {
+					return true
+				}
+				used[i] = false
+			}
+		}
+		return false
+	}
+	return rec(m.Init(), 0)
+}
+
+// --- KV register model ---
+
+// KV op codes for KVInput.
+const (
+	KVPut uint8 = iota
+	KVGet
+	KVErase
+)
+
+// KVInput is one KV operation.
+type KVInput struct {
+	Op    uint8
+	Key   string
+	Value string
+}
+
+// KVOutput is the observed result. Found distinguishes a hit from
+// key-not-found on Get/Erase; Puts ignore it.
+type KVOutput struct {
+	Value string
+	Found bool
+}
+
+type kvState struct {
+	value  string
+	exists bool
+}
+
+// KVModel returns the sequential specification of a per-key
+// register map, partitioned by key.
+func KVModel() Model {
+	return Model{
+		Init: func() interface{} { return kvState{} },
+		Step: func(state, input, output interface{}) (bool, interface{}) {
+			st := state.(kvState)
+			in := input.(KVInput)
+			if _, un := output.(unobserved); un {
+				// The client never saw a result: any output is legal,
+				// only the state transition matters.
+				switch in.Op {
+				case KVPut:
+					return true, kvState{value: in.Value, exists: true}
+				case KVGet:
+					return true, st
+				case KVErase:
+					return true, kvState{}
+				}
+				return false, st
+			}
+			out, _ := output.(KVOutput)
+			switch in.Op {
+			case KVPut:
+				return true, kvState{value: in.Value, exists: true}
+			case KVGet:
+				if st.exists {
+					return out.Found && out.Value == st.value, st
+				}
+				return !out.Found, st
+			case KVErase:
+				// Erase reports whether the key existed.
+				return out.Found == st.exists, kvState{}
+			}
+			return false, st
+		},
+		Key: func(state interface{}) string {
+			st := state.(kvState)
+			if !st.exists {
+				return "-"
+			}
+			return "v" + st.value
+		},
+		Partition: func(ops []Op) [][]Op {
+			byKey := map[string][]Op{}
+			var keys []string
+			for _, op := range ops {
+				k := op.Input.(KVInput).Key
+				if _, ok := byKey[k]; !ok {
+					keys = append(keys, k)
+				}
+				byKey[k] = append(byKey[k], op)
+			}
+			sort.Strings(keys)
+			out := make([][]Op, 0, len(keys))
+			for _, k := range keys {
+				out = append(out, byKey[k])
+			}
+			return out
+		},
+	}
+}
+
+// FormatOps renders a window for failure diagnostics.
+func FormatOps(ops []Op) string {
+	var b strings.Builder
+	for _, op := range ops {
+		ret := fmt.Sprint(op.Return)
+		if op.Return == PendingReturn {
+			ret = "pending"
+		}
+		flag := ""
+		if op.Maybe {
+			flag = " maybe"
+		}
+		fmt.Fprintf(&b, "  client=%d call=%d ret=%s%s in=%+v out=%+v\n",
+			op.Client, op.Call, ret, flag, op.Input, op.Output)
+	}
+	return b.String()
+}

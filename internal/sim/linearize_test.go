@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func put(c int, key, val string, call, ret int64) Op {
+	return Op{Client: c, Input: KVInput{Op: KVPut, Key: key, Value: val}, Call: call, Return: ret}
+}
+func get(c int, key, val string, found bool, call, ret int64) Op {
+	return Op{Client: c, Input: KVInput{Op: KVGet, Key: key}, Output: KVOutput{Value: val, Found: found}, Call: call, Return: ret}
+}
+func erase(c int, key string, found bool, call, ret int64) Op {
+	return Op{Client: c, Input: KVInput{Op: KVErase, Key: key}, Output: KVOutput{Found: found}, Call: call, Return: ret}
+}
+
+// TestCheckAcceptsValidHistories: a corpus of linearizable histories,
+// sequential and concurrent.
+func TestCheckAcceptsValidHistories(t *testing.T) {
+	m := KVModel()
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"empty", nil},
+		{"sequential-put-get", []Op{
+			put(0, "k", "a", 1, 2),
+			get(0, "k", "a", true, 3, 4),
+		}},
+		{"read-before-any-write", []Op{
+			get(0, "k", "", false, 1, 2),
+			put(0, "k", "a", 3, 4),
+		}},
+		{"concurrent-put-get-sees-either", []Op{
+			put(0, "k", "a", 1, 10),
+			get(1, "k", "", false, 2, 3), // linearizes before the put
+		}},
+		{"concurrent-put-get-sees-new", []Op{
+			put(0, "k", "a", 1, 10),
+			get(1, "k", "a", true, 2, 9), // linearizes after the put
+		}},
+		{"overlapping-writers-last-wins", []Op{
+			put(0, "k", "a", 1, 10),
+			put(1, "k", "b", 2, 9),
+			get(0, "k", "a", true, 11, 12), // order: b then a
+		}},
+		{"erase-roundtrip", []Op{
+			put(0, "k", "a", 1, 2),
+			erase(0, "k", true, 3, 4),
+			get(1, "k", "", false, 5, 6),
+			erase(1, "k", false, 7, 8),
+		}},
+		{"maybe-write-dropped", []Op{
+			// The timed-out put never landed: reads legally miss it.
+			{Client: 0, Input: KVInput{Op: KVPut, Key: "k", Value: "x"}, Call: 1, Return: PendingReturn, Maybe: true},
+			get(1, "k", "", false, 2, 3),
+			get(1, "k", "", false, 4, 5),
+		}},
+		{"maybe-write-landed", []Op{
+			// The timed-out put DID land: later reads see it.
+			{Client: 0, Input: KVInput{Op: KVPut, Key: "k", Value: "x"}, Call: 1, Return: PendingReturn, Maybe: true},
+			get(1, "k", "x", true, 2, 3),
+		}},
+		{"independent-keys", []Op{
+			put(0, "a", "1", 1, 2),
+			put(1, "b", "2", 1, 2),
+			get(0, "b", "2", true, 3, 4),
+			get(1, "a", "1", true, 3, 4),
+		}},
+		{"windowed-long-history", longValidHistory(200)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if res := Check(m, c.ops); !res.Ok {
+				t.Fatalf("valid history rejected; window:\n%s", FormatOps(res.Bad))
+			}
+		})
+	}
+}
+
+// longValidHistory builds a sequential per-key history with many
+// quiescent points, exercising the windowing path.
+func longValidHistory(n int) []Op {
+	var ops []Op
+	ts := int64(1)
+	val := map[string]string{}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i%3)
+		if i%4 == 3 {
+			v, ok := val[key]
+			ops = append(ops, get(i%2, key, v, ok, ts, ts+1))
+		} else {
+			v := fmt.Sprintf("v%d", i)
+			val[key] = v
+			ops = append(ops, put(i%2, key, v, ts, ts+1))
+		}
+		ts += 2 // returns strictly before the next call: quiescent
+	}
+	return ops
+}
+
+// TestCheckRejectsViolations: the classic non-linearizable shapes.
+func TestCheckRejectsViolations(t *testing.T) {
+	m := KVModel()
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"stale-read-after-ack", []Op{
+			put(0, "k", "a", 1, 2),
+			put(0, "k", "b", 3, 4),       // acked
+			get(1, "k", "a", true, 5, 6), // then reads the old value
+		}},
+		{"lost-acked-write", []Op{
+			put(0, "k", "a", 1, 2),       // acked
+			get(1, "k", "", false, 3, 4), // then the key is gone
+		}},
+		{"split-brain-double-commit", []Op{
+			// Two acked writes, then reads flip-flop between them:
+			// no single order explains both reads.
+			put(0, "k", "a", 1, 2),
+			put(1, "k", "b", 3, 4),
+			get(0, "k", "a", true, 5, 6),
+			get(1, "k", "b", true, 7, 8),
+			get(0, "k", "a", true, 9, 10),
+		}},
+		{"read-from-the-future", []Op{
+			get(1, "k", "a", true, 1, 2), // sees a value not yet written
+			put(0, "k", "a", 3, 4),
+		}},
+		{"erase-lies-about-presence", []Op{
+			put(0, "k", "a", 1, 2),
+			erase(1, "k", false, 3, 4), // claims the key was absent
+		}},
+		{"maybe-cannot-explain-both", []Op{
+			// Even with the ambiguous write free to land or not, one
+			// read sees it and a later read doesn't: unexplainable.
+			{Client: 0, Input: KVInput{Op: KVPut, Key: "k", Value: "x"}, Call: 1, Return: PendingReturn, Maybe: true},
+			get(1, "k", "x", true, 2, 3),
+			get(1, "k", "", false, 4, 5),
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if res := Check(m, c.ops); res.Ok {
+				t.Fatal("non-linearizable history accepted")
+			}
+		})
+	}
+}
+
+// TestCheckDifferentialBrute: the memoized checker and the
+// independent brute-force search must agree on thousands of random
+// small histories (seeded: failures replay).
+func TestCheckDifferentialBrute(t *testing.T) {
+	m := KVModel()
+	rng := rand.New(rand.NewSource(7))
+	agreeOk, agreeBad := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		ops := randomHistory(rng, 2+rng.Intn(5))
+		want := CheckBrute(m, ops)
+		got := Check(m, ops).Ok
+		if got != want {
+			t.Fatalf("trial %d: Check=%v brute=%v on:\n%s", trial, got, want, FormatOps(ops))
+		}
+		if want {
+			agreeOk++
+		} else {
+			agreeBad++
+		}
+	}
+	// The corpus must exercise both verdicts to mean anything.
+	if agreeOk == 0 || agreeBad == 0 {
+		t.Fatalf("degenerate corpus: ok=%d bad=%d", agreeOk, agreeBad)
+	}
+}
+
+// randomHistory generates small overlapping-op histories over one key
+// with random (sometimes wrong) outputs and occasional Maybe ops.
+func randomHistory(rng *rand.Rand, n int) []Op {
+	vals := []string{"", "a", "b"}
+	var ops []Op
+	for i := 0; i < n; i++ {
+		call := int64(rng.Intn(20))
+		ret := call + 1 + int64(rng.Intn(10))
+		var op Op
+		switch rng.Intn(3) {
+		case 0:
+			op = put(rng.Intn(2), "k", vals[1+rng.Intn(2)], call, ret)
+			if rng.Intn(4) == 0 {
+				op.Maybe = true
+				op.Return = PendingReturn
+			}
+		case 1:
+			found := rng.Intn(2) == 0
+			v := ""
+			if found {
+				v = vals[1+rng.Intn(2)]
+			}
+			op = get(rng.Intn(2), "k", v, found, call, ret)
+		default:
+			op = erase(rng.Intn(2), "k", rng.Intn(2) == 0, call, ret)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// TestWindowsSplitAtQuiescence: sanity on the windowing helper.
+func TestWindowsSplitAtQuiescence(t *testing.T) {
+	ops := []Op{
+		put(0, "k", "a", 1, 2),
+		put(0, "k", "b", 3, 10),
+		get(1, "k", "b", true, 4, 9), // overlaps the second put
+		get(0, "k", "b", true, 20, 21),
+	}
+	ws := windows(ops)
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3", len(ws))
+	}
+	if len(ws[0]) != 1 || len(ws[1]) != 2 || len(ws[2]) != 1 {
+		t.Fatalf("window sizes %d/%d/%d, want 1/2/1", len(ws[0]), len(ws[1]), len(ws[2]))
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"mochi/internal/mercury"
+)
+
+// PartitionWindow splits the cluster in two for [Start, End) of
+// virtual time: messages crossing between the two sides are dropped.
+type PartitionWindow struct {
+	Start, End time.Duration // offsets from simulation start
+	// Left holds the node IDs on one side; everyone else is on the
+	// other side.
+	Left []int32
+}
+
+// Net models the cluster's links on virtual time. Per-message faults
+// (loss, duplication, extra delay) come from one seeded
+// mercury.ChaosTransport schedule per source node — the exact fault
+// model the live chaos tests use, consumed via Decide() instead of a
+// real send. Base latency and jitter come from a dedicated RNG so the
+// latency schedule and the fault schedule stay independent.
+type Net struct {
+	base   time.Duration
+	jitter time.Duration
+	chaos  []*mercury.ChaosTransport // per source node
+	jrng   *rand.Rand
+
+	start      time.Time
+	partitions []PartitionWindow
+	inLeft     []map[int32]bool // memoized side sets, one per window
+	down       []bool           // crashed / flapped-out nodes
+}
+
+// NewNet builds the link model for n nodes. Each node's fault schedule
+// is seeded with seed+node so schedules are independent but fully
+// determined by the master seed.
+func NewNet(n int, seed int64, base, jitter time.Duration, faults mercury.ChaosConfig, start time.Time, partitions []PartitionWindow) *Net {
+	net := &Net{
+		base:       base,
+		jitter:     jitter,
+		chaos:      make([]*mercury.ChaosTransport, n),
+		jrng:       rand.New(rand.NewSource(seed ^ 0x6c696e6b)), // distinct stream from fault draws
+		start:      start,
+		partitions: partitions,
+		down:       make([]bool, n),
+	}
+	for i := range net.chaos {
+		cfg := faults
+		cfg.Seed = seed + int64(i)*7919
+		net.chaos[i] = mercury.NewChaos(cfg)
+	}
+	net.inLeft = make([]map[int32]bool, len(partitions))
+	for i, p := range partitions {
+		set := make(map[int32]bool, len(p.Left))
+		for _, id := range p.Left {
+			set[id] = true
+		}
+		net.inLeft[i] = set
+	}
+	return net
+}
+
+// SetDown marks a node crashed (or recovered). Down nodes neither
+// send nor receive.
+func (n *Net) SetDown(id int32, down bool) { n.down[id] = down }
+
+// Down reports whether a node is currently down.
+func (n *Net) Down(id int32) bool { return n.down[id] }
+
+// Partitioned reports whether from and to are on opposite sides of an
+// active partition window at virtual time now.
+func (n *Net) Partitioned(from, to int32, now time.Time) bool {
+	el := now.Sub(n.start)
+	for i, p := range n.partitions {
+		if el >= p.Start && el < p.End {
+			if n.inLeft[i][from] != n.inLeft[i][to] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Deliver decides the fate of one message from -> to sent at now:
+// whether it arrives, with what one-way latency, and whether the
+// network duplicates it. The fault draw is consumed from the sender's
+// schedule regardless of outcome (dead-destination messages still
+// consume a draw, matching a live sender whose message is lost).
+func (n *Net) Deliver(from, to int32, now time.Time) (lat time.Duration, dup bool, ok bool) {
+	d := n.chaos[from].Decide()
+	lat = n.base + time.Duration(n.jrng.Int63n(int64(n.jitter)+1)) + d.Delay
+	if d.Reset || d.Drop {
+		return lat, false, false // resets behave as loss on the sim fabric
+	}
+	if n.down[from] || n.down[to] {
+		return lat, false, false
+	}
+	if n.Partitioned(from, to, now) {
+		return lat, false, false
+	}
+	return lat, d.Dup, true
+}

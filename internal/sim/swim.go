@@ -1,0 +1,566 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mochi/internal/mercury"
+	"mochi/internal/ssg"
+)
+
+// Trace event kinds.
+const (
+	evProbe uint8 = iota + 1
+	evTransition
+	evKill
+	evFlap
+	evRefute
+)
+
+// KillEvent crashes one node at a virtual-time offset.
+type KillEvent struct {
+	Node int32
+	At   time.Duration
+}
+
+// SwimConfig describes one SWIM-at-scale simulation.
+type SwimConfig struct {
+	Nodes int
+	Seed  int64
+	// Protocol tunes the SWIM engines (defaults apply as in ssg).
+	Protocol ssg.Config
+	// Duration is the virtual runtime.
+	Duration time.Duration
+	// Latency/Jitter model one-way link delay (defaults 500µs/300µs).
+	Latency, Jitter time.Duration
+	// Faults is the per-message fault mix, drawn from per-node seeded
+	// ChaosTransport schedules (Seed is derived; the field is ignored).
+	Faults mercury.ChaosConfig
+	// Kills crashes nodes mid-run. If nil and KillCount > 0, KillCount
+	// victims are drawn from the seed at evenly spaced offsets across
+	// the middle of the run.
+	Kills     []KillEvent
+	KillCount int
+	// Flappers nodes cycle down/up every FlapPeriod, staying down for
+	// FlapDown each cycle (refutation stress).
+	Flappers   int
+	FlapPeriod time.Duration
+	FlapDown   time.Duration
+	// Partitions are split-brain windows.
+	Partitions []PartitionWindow
+}
+
+func (c SwimConfig) withDefaults() SwimConfig {
+	if c.Latency <= 0 {
+		c.Latency = 500 * time.Microsecond
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 300 * time.Microsecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Minute
+	}
+	if c.FlapPeriod <= 0 {
+		c.FlapPeriod = 10 * time.Second
+	}
+	if c.FlapDown <= 0 {
+		c.FlapDown = 2 * time.Second
+	}
+	if c.Protocol.PiggybackLimit <= 0 {
+		// ssg's default of 8 models tiny control messages; at thousands
+		// of members the rumor arrival rate exceeds that pipe and
+		// dissemination stalls. 32 updates is roughly one 1400-byte UDP
+		// datagram at ~40 bytes per update — what memberlist-style
+		// implementations actually piggyback.
+		c.Protocol.PiggybackLimit = 32
+	}
+	if c.Protocol.SuspicionPeriods <= 0 {
+		// The suspicion window must cover a rumor round trip — the
+		// suspicion gossiping out to the suspect and the refutation
+		// gossiping back — and epidemic spread time grows with log n.
+		// Lifeguard-style scaling: 4 periods per decade of cluster size,
+		// which recovers ssg's default of 4 for small groups.
+		c.Protocol.SuspicionPeriods = 4 * int(math.Ceil(math.Log10(float64(c.Nodes)+1)))
+		if c.Protocol.SuspicionPeriods < 4 {
+			c.Protocol.SuspicionPeriods = 4
+		}
+	}
+	return c
+}
+
+// SwimResult aggregates one run's determinism fingerprint and
+// detection-quality metrics.
+type SwimResult struct {
+	Nodes           int
+	Seed            int64
+	VirtualDuration time.Duration
+	Wall            time.Duration
+	Events          uint64
+	TraceHash       uint64
+	TraceCount      uint64
+
+	Kills int
+	// Detection latency: kill -> first observer declares dead.
+	DetectP50, DetectP99, DetectMax time.Duration
+	// Dissemination: kill -> 99% of surviving nodes know.
+	DissemP50, DissemMax time.Duration
+	Detected             int // kills detected by at least one node
+	Disseminated         int // kills known to >= 99% of survivors
+
+	// False positives. FalseSuspicions counts first-hand suspicion
+	// events: a probe round ending in SuspectID against a target that
+	// was up and reachable from the prober (gossip-propagated copies of
+	// the same rumor are not re-counted). FalseDeaths counts distinct
+	// live nodes that any observer declared dead — the refutation
+	// machinery's failures, since a timely refutation clears a false
+	// suspicion before it expires into a death.
+	FalseSuspicions int64
+	FalseDeaths     int64
+	// FalseSuspectRate is false suspicions per node per virtual minute.
+	FalseSuspectRate float64
+
+	PingsSent       int64
+	PingReqsSent    int64
+	AcksReceived    int64
+	UpdatesGossiped int64
+	Refutations     int64
+
+	// StaleDeadBeliefs counts (observer, target) pairs where, at the
+	// end of the run, a surviving observer still believes a surviving
+	// target dead — the convergence/reconciliation failure metric.
+	StaleDeadBeliefs int
+}
+
+type killRec struct {
+	at        time.Time
+	firstDead time.Time
+	dissemAt  time.Time
+	deadSeen  int
+}
+
+type probeState struct {
+	target         int32
+	acked          bool
+	directDeadline time.Time
+	checkAt        time.Time
+}
+
+type swimDriver struct {
+	sim     *Sim
+	net     *Net
+	cfg     SwimConfig
+	tbl     *ssg.AddrTable
+	engines []*ssg.Engine
+	stats   ssg.Stats
+
+	period      time.Duration
+	pingTimeout time.Duration
+	k           int
+
+	killed  []bool
+	killRec map[int32]*killRec
+	flapper []bool
+	// pending[i] is node i's in-flight probe; its suspicion decision is
+	// folded into the node's next tick (same instant, same ordering as a
+	// separate end-of-period event, but half as many heap operations).
+	pending []*probeState
+
+	falseSuspicions int64
+	falseDeadVict   map[int32]bool
+	dissemTarget    int
+}
+
+// RunSwim executes one simulation and returns its metrics. The same
+// config (seed included) yields a bit-identical run: same TraceHash,
+// same counters, same curves.
+func RunSwim(cfg SwimConfig) *SwimResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	s := New(cfg.Seed)
+
+	proto := cfg.Protocol
+	d := &swimDriver{
+		sim:           s,
+		cfg:           cfg,
+		tbl:           ssg.NewAddrTable(),
+		engines:       make([]*ssg.Engine, cfg.Nodes),
+		killed:        make([]bool, cfg.Nodes),
+		killRec:       map[int32]*killRec{},
+		flapper:       make([]bool, cfg.Nodes),
+		pending:       make([]*probeState, cfg.Nodes),
+		falseDeadVict: map[int32]bool{},
+	}
+	d.net = NewNet(cfg.Nodes, cfg.Seed, cfg.Latency, cfg.Jitter, cfg.Faults, s.Now(), cfg.Partitions)
+
+	// Bootstrap: every node knows the full member list (the paper's
+	// static bootstrap). Interning all addresses up front fixes the
+	// ID space; engines share the table so each address exists once.
+	ids := make([]int32, cfg.Nodes)
+	for i := range ids {
+		ids[i] = d.tbl.Intern(fmt.Sprintf("n%05d", i))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+		e := ssg.NewEngineFromIDs(d.tbl, ids[i], ids, proto, s.Clock, rng, &d.stats)
+		d.engines[i] = e
+		self := int32(i)
+		e.SetTransitionHookID(func(id int32, inc uint64, old, new ssg.State) {
+			d.onTransition(self, id, inc, new)
+		})
+	}
+	// Resolve protocol defaults from a throwaway engine's view of cfg:
+	// ssg keeps withDefaults private, so mirror the two we need.
+	d.period = proto.ProtocolPeriod
+	if d.period <= 0 {
+		d.period = 200 * time.Millisecond
+	}
+	d.pingTimeout = proto.PingTimeout
+	if d.pingTimeout <= 0 {
+		d.pingTimeout = d.period / 4
+	}
+	d.k = proto.IndirectPings
+	if d.k <= 0 {
+		d.k = 3
+	}
+
+	// Kill schedule.
+	kills := cfg.Kills
+	if kills == nil && cfg.KillCount > 0 {
+		perm := s.Rand().Perm(cfg.Nodes)
+		window := cfg.Duration / 2
+		for i := 0; i < cfg.KillCount && i < cfg.Nodes; i++ {
+			at := cfg.Duration/4 + time.Duration(int64(window)*int64(i)/int64(cfg.KillCount))
+			kills = append(kills, KillEvent{Node: int32(perm[i]), At: at})
+		}
+	}
+	d.dissemTarget = int(math.Ceil(0.99 * float64(cfg.Nodes-len(kills)-1)))
+	for _, k := range kills {
+		k := k
+		s.At(k.At, func() { d.kill(k.Node) })
+	}
+
+	// Flappers: the last Flappers non-killed nodes cycle down/up.
+	killedSet := map[int32]bool{}
+	for _, k := range kills {
+		killedSet[k.Node] = true
+	}
+	flapped := 0
+	for i := cfg.Nodes - 1; i >= 0 && flapped < cfg.Flappers; i-- {
+		if killedSet[int32(i)] {
+			continue
+		}
+		d.flapper[i] = true
+		flapped++
+		id := int32(i)
+		// Stagger flap cycles so flappers do not move in lockstep.
+		offset := time.Duration(s.Rand().Int63n(int64(cfg.FlapPeriod)))
+		s.At(cfg.FlapPeriod+offset, func() { d.flapDown(id) })
+	}
+
+	// Stagger protocol ticks across the period, like real processes
+	// starting at slightly different instants.
+	for i := 0; i < cfg.Nodes; i++ {
+		id := int32(i)
+		offset := time.Duration(s.Rand().Int63n(int64(d.period)))
+		s.At(offset, func() { d.tick(id) })
+	}
+
+	s.RunFor(cfg.Duration)
+	return d.result(start)
+}
+
+func (d *swimDriver) onTransition(observer, id int32, inc uint64, new ssg.State) {
+	now := d.sim.Now()
+	d.sim.Trace.Record(now, evTransition, observer, id, uint64(new)<<32|inc&0xffffffff)
+	if new == ssg.StateDead {
+		if rec := d.killRec[id]; rec != nil {
+			if rec.deadSeen == 0 {
+				rec.firstDead = now
+			}
+			rec.deadSeen++
+			if rec.deadSeen >= d.dissemTarget && rec.dissemAt.IsZero() {
+				rec.dissemAt = now
+			}
+		} else if !d.killed[id] && !d.net.Down(id) {
+			d.falseDeadVict[id] = true
+		}
+	}
+}
+
+func (d *swimDriver) kill(id int32) {
+	d.killed[id] = true
+	d.net.SetDown(id, true)
+	d.killRec[id] = &killRec{at: d.sim.Now()}
+	d.sim.Trace.Record(d.sim.Now(), evKill, id, -1, 0)
+}
+
+func (d *swimDriver) flapDown(id int32) {
+	if d.killed[id] {
+		return
+	}
+	d.net.SetDown(id, true)
+	d.sim.Trace.Record(d.sim.Now(), evFlap, id, -1, 0)
+	d.sim.At(d.cfg.FlapDown, func() { d.flapUp(id) })
+}
+
+func (d *swimDriver) flapUp(id int32) {
+	if d.killed[id] {
+		return
+	}
+	d.net.SetDown(id, false)
+	d.sim.Trace.Record(d.sim.Now(), evFlap, id, -1, 1)
+	d.sim.At(d.cfg.FlapPeriod, func() { d.flapDown(id) })
+}
+
+// tick is one protocol period on one node: decide the previous probe
+// (the suspicion check runs exactly one period after the probe, before
+// anything else this period — the live Group's ordering), expire
+// suspicions, pick a probe target, run the probe sequence, re-arm.
+func (d *swimDriver) tick(i int32) {
+	if d.killed[i] {
+		return
+	}
+	if st := d.pending[i]; st != nil {
+		d.pending[i] = nil
+		if !st.acked && !d.net.Down(i) {
+			j := st.target
+			// First-hand false positive: the target was reachable and
+			// still believed alive, yet the whole probe round failed
+			// (message loss ate every leg).
+			if !d.killed[j] && !d.net.Down(j) && !d.net.Partitioned(i, j, d.sim.Now()) {
+				if s, _, ok := d.engines[i].StateByID(j); ok && s == ssg.StateAlive {
+					d.falseSuspicions++
+				}
+			}
+			d.engines[i].SuspectID(j)
+		}
+	}
+	if !d.net.Down(i) {
+		e := d.engines[i]
+		e.ExpireSuspicions()
+		if j, ok := e.NextProbeTargetID(); ok {
+			d.probe(i, j)
+		}
+	}
+	d.sim.At(d.period, func() { d.tick(i) })
+}
+
+// probe models the full SWIM probe sequence i -> j on virtual time:
+// direct ping with piggybacked gossip, ping timeout, k indirect
+// relays, and the end-of-period suspicion decision — the same state
+// transitions the live Group drives through RPCs.
+func (d *swimDriver) probe(i, j int32) {
+	now := d.sim.Now()
+	d.sim.Trace.Record(now, evProbe, i, j, 0)
+	d.stats.PingsSent.Add(1)
+	st := &probeState{
+		target:         j,
+		directDeadline: now.Add(d.pingTimeout),
+		checkAt:        now.Add(d.period),
+	}
+	d.pending[i] = st
+	payload := d.engines[i].TakeGossipIDs()
+	lat, dup, ok := d.net.Deliver(i, j, now)
+	if ok {
+		d.sim.At(lat, func() { d.deliverPing(i, j, payload, st, true) })
+		if dup {
+			d.sim.At(lat+d.cfg.Jitter, func() { d.deliverPing(i, j, payload, st, false) })
+		}
+	}
+	d.sim.At(d.pingTimeout, func() { d.directTimeout(i, j, st) })
+}
+
+// deliverPing lands the direct ping at j; wantAck=false marks a
+// network-duplicated copy whose gossip is applied but whose ack is
+// not modeled a second time.
+func (d *swimDriver) deliverPing(i, j int32, payload []ssg.WireUpdate, st *probeState, wantAck bool) {
+	if d.killed[j] || d.net.Down(j) {
+		return
+	}
+	e := d.engines[j]
+	e.ApplyIDs(payload)
+	if !wantAck {
+		return
+	}
+	reply := append(e.TakeGossipIDs(), e.PingExtrasID(i)...)
+	now := d.sim.Now()
+	lat, _, ok := d.net.Deliver(j, i, now)
+	if !ok {
+		return
+	}
+	d.sim.At(lat, func() { d.deliverDirectAck(i, j, reply, st) })
+}
+
+func (d *swimDriver) deliverDirectAck(i, j int32, reply []ssg.WireUpdate, st *probeState) {
+	now := d.sim.Now()
+	if now.After(st.directDeadline) {
+		return // the live pinger's context expired; the ack is discarded
+	}
+	d.ackProbe(i, j, reply, st)
+}
+
+func (d *swimDriver) ackProbe(i, j int32, reply []ssg.WireUpdate, st *probeState) {
+	if d.killed[i] || d.net.Down(i) || st.acked {
+		return
+	}
+	st.acked = true
+	d.stats.AcksReceived.Add(1)
+	e := d.engines[i]
+	e.NoteAckID(j)
+	e.ApplyIDs(reply)
+}
+
+// directTimeout fires when the direct ack window closes: fan out
+// ping-req relays through k random peers, each a 4-leg exchange
+// (i->v, v->j, j->v, v->i) that must complete before the period ends.
+func (d *swimDriver) directTimeout(i, j int32, st *probeState) {
+	if st.acked || d.killed[i] || d.net.Down(i) {
+		return
+	}
+	e := d.engines[i]
+	vias := e.IndirectViaIDs(j, d.k)
+	now := d.sim.Now()
+	for _, v := range vias {
+		v := v
+		d.stats.PingReqsSent.Add(1)
+		payload := e.TakeGossipIDs()
+		lat, _, ok := d.net.Deliver(i, v, now)
+		if !ok {
+			continue
+		}
+		d.sim.At(lat, func() { d.relayPingReq(i, v, j, payload, st) })
+	}
+}
+
+// relayPingReq is the via node receiving the ping-req: apply the
+// requester's gossip, then ping the target directly on its behalf.
+func (d *swimDriver) relayPingReq(i, v, j int32, payload []ssg.WireUpdate, st *probeState) {
+	if d.killed[v] || d.net.Down(v) {
+		return
+	}
+	ev := d.engines[v]
+	ev.ApplyIDs(payload)
+	d.stats.PingsSent.Add(1)
+	viaPayload := ev.TakeGossipIDs()
+	now := d.sim.Now()
+	lat, _, ok := d.net.Deliver(v, j, now)
+	if !ok {
+		return
+	}
+	d.sim.At(lat, func() { d.relayPing(i, v, j, viaPayload, st) })
+}
+
+// relayPing lands the relayed ping at the target j, which acks back
+// to the via.
+func (d *swimDriver) relayPing(i, v, j int32, payload []ssg.WireUpdate, st *probeState) {
+	if d.killed[j] || d.net.Down(j) {
+		return
+	}
+	ej := d.engines[j]
+	ej.ApplyIDs(payload)
+	reply := append(ej.TakeGossipIDs(), ej.PingExtrasID(v)...)
+	now := d.sim.Now()
+	lat, _, ok := d.net.Deliver(j, v, now)
+	if !ok {
+		return
+	}
+	d.sim.At(lat, func() { d.relayAck(i, v, j, reply, st) })
+}
+
+// relayAck is the via receiving the target's ack: fold it in, then
+// forward the ack (with the via's own gossip) to the requester.
+func (d *swimDriver) relayAck(i, v, j int32, reply []ssg.WireUpdate, st *probeState) {
+	if d.killed[v] || d.net.Down(v) {
+		return
+	}
+	ev := d.engines[v]
+	ev.NoteAckID(j)
+	ev.ApplyIDs(reply)
+	forward := ev.TakeGossipIDs()
+	now := d.sim.Now()
+	lat, _, ok := d.net.Deliver(v, i, now)
+	if !ok {
+		return
+	}
+	d.sim.At(lat, func() {
+		if d.sim.Now().After(st.checkAt) {
+			return // past the suspicion decision; too late to count
+		}
+		d.ackProbe(i, j, forward, st)
+	})
+}
+
+func (d *swimDriver) result(start time.Time) *SwimResult {
+	r := &SwimResult{
+		Nodes:           d.cfg.Nodes,
+		Seed:            d.cfg.Seed,
+		VirtualDuration: d.cfg.Duration,
+		Wall:            time.Since(start),
+		Events:          d.sim.Events(),
+		TraceHash:       d.sim.Trace.Hash(),
+		TraceCount:      d.sim.Trace.Count(),
+		Kills:           len(d.killRec),
+		FalseSuspicions: d.falseSuspicions,
+		FalseDeaths:     int64(len(d.falseDeadVict)),
+		PingsSent:       d.stats.PingsSent.Load(),
+		PingReqsSent:    d.stats.PingReqsSent.Load(),
+		AcksReceived:    d.stats.AcksReceived.Load(),
+		UpdatesGossiped: d.stats.UpdatesGossiped.Load(),
+		Refutations:     d.stats.RefutationsSent.Load(),
+	}
+	for i := range d.engines {
+		if d.killed[i] {
+			continue
+		}
+		for j := range d.engines {
+			if j == i || d.killed[j] {
+				continue
+			}
+			if st, _, ok := d.engines[i].StateByID(int32(j)); ok && st == ssg.StateDead {
+				r.StaleDeadBeliefs++
+			}
+		}
+	}
+	var detect, dissem []time.Duration
+	for _, rec := range d.killRec {
+		if !rec.firstDead.IsZero() {
+			r.Detected++
+			detect = append(detect, rec.firstDead.Sub(rec.at))
+		}
+		if !rec.dissemAt.IsZero() {
+			r.Disseminated++
+			dissem = append(dissem, rec.dissemAt.Sub(rec.at))
+		}
+	}
+	sort.Slice(detect, func(i, j int) bool { return detect[i] < detect[j] })
+	sort.Slice(dissem, func(i, j int) bool { return dissem[i] < dissem[j] })
+	if len(detect) > 0 {
+		r.DetectP50 = detect[len(detect)/2]
+		r.DetectP99 = detect[len(detect)*99/100]
+		r.DetectMax = detect[len(detect)-1]
+	}
+	if len(dissem) > 0 {
+		r.DissemP50 = dissem[len(dissem)/2]
+		r.DissemMax = dissem[len(dissem)-1]
+	}
+	nodeMinutes := float64(d.cfg.Nodes) * d.cfg.Duration.Minutes()
+	if nodeMinutes > 0 {
+		r.FalseSuspectRate = float64(d.falseSuspicions) / nodeMinutes
+	}
+	return r
+}
+
+// String renders the one-line summary used by mochi-bench and the CI
+// log (stable formatting: part of the replay-identity diff).
+func (r *SwimResult) String() string {
+	return fmt.Sprintf(
+		"swim n=%d seed=%d virt=%s events=%d trace=%016x kills=%d detected=%d dissem=%d detect_p50=%s detect_p99=%s dissem_p50=%s false_suspect=%d false_dead=%d fs_rate=%.4f/node-min refutes=%d pings=%d",
+		r.Nodes, r.Seed, r.VirtualDuration, r.Events, r.TraceHash,
+		r.Kills, r.Detected, r.Disseminated,
+		r.DetectP50.Round(time.Millisecond), r.DetectP99.Round(time.Millisecond),
+		r.DissemP50.Round(time.Millisecond),
+		r.FalseSuspicions, r.FalseDeaths, r.FalseSuspectRate, r.Refutations, r.PingsSent)
+}

@@ -43,9 +43,9 @@ func BenchmarkApplyUpdates(b *testing.B) {
 		g.Stop()
 		inst.Finalize()
 	})
-	ups := make([]update, 8)
+	ups := make([]Update, 8)
 	for i := range ups {
-		ups[i] = update{
+		ups[i] = Update{
 			Addr:        fmt.Sprintf("sm://peer-%d", i),
 			Incarnation: uint64(i),
 			State:       StateAlive,

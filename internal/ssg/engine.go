@@ -1,0 +1,828 @@
+package ssg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mochi/internal/clock"
+)
+
+// This file holds the transport-free SWIM protocol core. Engine owns
+// every protocol rule — the membership table, incarnation arithmetic,
+// suspicion clocks, gossip budgets, and probe-target selection — but
+// performs no I/O and starts no goroutines. Two drivers run it:
+//
+//   - the live Group (group.go), which wraps an Engine in a mutex and
+//     wires it to margo RPCs and real goroutines; and
+//   - the deterministic simulator (internal/sim), which runs thousands
+//     of engines sequentially on virtual time, so the exact code that
+//     decides "suspect", "dead", and "refute" in production is what is
+//     model-checked at 10k nodes.
+//
+// Engines are NOT safe for concurrent use: the caller serializes all
+// calls (Group under its mutex, the simulator by being single-threaded).
+//
+// Memory layout is deliberately compact so a 10k-node simulation
+// (10k engines x 10k members = 100M membership records) stays within a
+// couple of GB: members are keyed by dense int32 IDs interned in an
+// AddrTable that all engines of one simulation share, and per-member
+// state is a 16-byte slot in a flat slice indexed by ID — no per-member
+// allocation, no per-engine string storage.
+
+// AddrTable interns member addresses into dense int32 IDs. A table may
+// be shared by many engines (the simulator shares one across the whole
+// cluster so each address string is stored once); callers must
+// serialize access along with the engines that use it.
+type AddrTable struct {
+	ids   map[string]int32
+	addrs []string
+}
+
+// NewAddrTable returns an empty table.
+func NewAddrTable() *AddrTable { return &AddrTable{ids: map[string]int32{}} }
+
+// Intern returns the ID for addr, assigning the next dense ID on first
+// sight.
+func (t *AddrTable) Intern(addr string) int32 {
+	if id, ok := t.ids[addr]; ok {
+		return id
+	}
+	id := int32(len(t.addrs))
+	t.ids[addr] = id
+	t.addrs = append(t.addrs, addr)
+	return id
+}
+
+// Lookup returns the ID for addr without interning it.
+func (t *AddrTable) Lookup(addr string) (int32, bool) {
+	id, ok := t.ids[addr]
+	return id, ok
+}
+
+// Addr returns the address for a previously interned ID.
+func (t *AddrTable) Addr(id int32) string { return t.addrs[id] }
+
+// Len returns the number of interned addresses.
+func (t *AddrTable) Len() int { return len(t.addrs) }
+
+// Update is a gossiped membership assertion: "addr is in this state at
+// this incarnation". It is both the wire payload riding piggyback on
+// probe traffic and the unit the protocol rules consume.
+type Update struct {
+	Addr        string
+	Incarnation uint64
+	State       State
+}
+
+// WireUpdate is the ID-keyed form of Update, for callers that share
+// the engine's AddrTable (the simulator runs millions of gossip
+// exchanges per virtual minute; address-string round trips through the
+// intern map dominate its profile). The live RPC path keeps Update.
+type WireUpdate struct {
+	ID          int32
+	Incarnation uint64
+	State       State
+}
+
+// slot is one member's state as seen by one engine: 8 bytes, indexed
+// by interned ID. Suspicion deadlines live in a side map because at
+// any instant only a handful of members are suspects.
+//
+// Incarnations are stored as uint32 (the wire type stays uint64):
+// incarnations start at zero and bump only on refutation, so four
+// billion is unreachable in practice; absurd remote values saturate,
+// which freezes that member's conflict resolution at the cap rather
+// than corrupting it. Halving the slot matters because the simulator
+// holds 100M of them (10k engines x 10k members).
+type slot struct {
+	inc     uint32
+	state   State
+	present bool
+}
+
+// clampInc saturates a wire incarnation into slot storage.
+func clampInc(v uint64) uint32 {
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// The gossip buffer keeps at most ONE pending assertion per member —
+// the latest one (memberlist semantics: a newer assertion about a
+// member supersedes any older queued one; retransmitting an obsolete
+// rumor would only waste the pipe). Budget-indexed buckets give
+// O(PiggybackLimit) freshest-first selection with no hashing in the
+// probe hot path.
+//
+// Each bucket entry carries the full assertion inline (gEntry), so a
+// TakeGossip scan reads sequentially; the only random access per entry
+// is one packed meta word (gen<<16 | budget) that decides liveness: an
+// entry is current iff its generation matches the member's. Enqueueing
+// bumps the generation, which lazily invalidates every older copy.
+
+// gEntry is one queued assertion, stored inline in its budget bucket.
+type gEntry struct {
+	id    int32
+	gen   uint16
+	state State
+	inc   uint32
+}
+
+// Engine is one member's SWIM protocol state machine.
+type Engine struct {
+	tbl   *AddrTable
+	cfg   Config
+	clk   clock.Clock
+	rng   *rand.Rand
+	stats *Stats // optional; nil disables counting
+
+	self     int32
+	selfAddr string
+	selfInc  uint64
+	version  uint64
+
+	slots []slot
+	order []int32 // present member IDs, sorted by address
+
+	gMeta    []uint32   // per member: generation<<16 | remaining budget (0 = idle)
+	gLive    int        // members with budget > 0
+	gEntries int        // bucket entries not yet passed by a head (incl. stale)
+	gTop     int        // highest bucket that may hold live entries
+	buckets  [][]gEntry // buckets[b]: assertions enqueued at budget b, FIFO
+	heads    []int      // per-bucket scan offset past consumed/stale entries
+	lens     []int      // scratch: bucket-length snapshot for one TakeGossip call
+
+	dead []int32 // members seen transitioning to dead (lazily cleaned)
+
+	suspectAt   map[int32]time.Time
+	suspectNext time.Time // earliest deadline in suspectAt (conservative)
+
+	probe    []int32
+	probeIdx int
+
+	onTransition   func(m Member, old, new State)
+	onTransitionID func(id int32, inc uint64, old, new State)
+}
+
+// NewEngine creates the protocol core for self, bootstrapped with the
+// given member addresses (self is added if absent). cfg defaults are
+// applied. rng drives probe-order shuffling and must be seeded by the
+// caller; stats may be nil.
+func NewEngine(tbl *AddrTable, self string, bootstrap []string, cfg Config, clk clock.Clock, rng *rand.Rand, stats *Stats) *Engine {
+	ids := make([]int32, len(bootstrap))
+	for i, a := range bootstrap {
+		ids[i] = tbl.Intern(a)
+	}
+	return NewEngineFromIDs(tbl, tbl.Intern(self), ids, cfg, clk, rng, stats)
+}
+
+// NewEngineFromIDs is NewEngine with a pre-interned bootstrap list, for
+// callers that build many engines over one shared table (the simulator
+// creates 10k engines from the same 10k addresses; re-interning every
+// address per engine would be 100M map lookups of pure setup).
+func NewEngineFromIDs(tbl *AddrTable, self int32, bootstrap []int32, cfg Config, clk clock.Clock, rng *rand.Rand, stats *Stats) *Engine {
+	e := &Engine{
+		tbl:       tbl,
+		cfg:       cfg.withDefaults(),
+		clk:       clk,
+		rng:       rng,
+		stats:     stats,
+		self:      self,
+		selfAddr:  tbl.Addr(self),
+		suspectAt: map[int32]time.Time{},
+	}
+	// Bulk bootstrap: append members unsorted and sort once, instead of
+	// one sorted-insert (an O(n) memmove) per member — at 10k members
+	// x 10k simulated engines the incremental path is minutes of setup.
+	e.order = make([]int32, 0, len(bootstrap)+1)
+	for _, id := range bootstrap {
+		e.ensure(id)
+		if e.slots[id].present {
+			continue
+		}
+		e.slots[id] = slot{present: true, state: StateAlive}
+		e.order = append(e.order, id)
+	}
+	byAddr := func(i, j int) bool { return tbl.Addr(e.order[i]) < tbl.Addr(e.order[j]) }
+	if !sort.SliceIsSorted(e.order, byAddr) {
+		sort.Slice(e.order, byAddr)
+	}
+	e.ensure(e.self)
+	if !e.slots[e.self].present {
+		e.addLocked(e.self, 0, StateAlive, false)
+	}
+	e.version++
+	return e
+}
+
+// SetTransitionHook installs the membership-transition observer. The
+// hook runs synchronously inside the protocol call that caused the
+// transition (the live Group defers callback fan-out to a goroutine;
+// the simulator records events in place).
+func (e *Engine) SetTransitionHook(fn func(m Member, old, new State)) { e.onTransition = fn }
+
+// SetTransitionHookID installs an ID-keyed transition observer that
+// takes precedence over the Member-based hook; it avoids constructing
+// a Member (and its address string) per transition, which matters when
+// the simulator records millions of them.
+func (e *Engine) SetTransitionHookID(fn func(id int32, inc uint64, old, new State)) {
+	e.onTransitionID = fn
+}
+
+// Self returns this engine's address.
+func (e *Engine) Self() string { return e.selfAddr }
+
+// SelfID returns this engine's interned ID.
+func (e *Engine) SelfID() int32 { return e.self }
+
+// SelfIncarnation returns the current self incarnation number.
+func (e *Engine) SelfIncarnation() uint64 { return e.selfInc }
+
+// Version returns the local view version.
+func (e *Engine) Version() uint64 { return e.version }
+
+// ensure grows the per-member arrays to cover id.
+func (e *Engine) ensure(id int32) {
+	if int(id) >= len(e.slots) {
+		n := e.tbl.Len()
+		grown := make([]slot, n)
+		copy(grown, e.slots)
+		e.slots = grown
+		gm := make([]uint32, n)
+		copy(gm, e.gMeta)
+		e.gMeta = gm
+	}
+}
+
+// addLocked registers a newly discovered member. fire controls whether
+// the transition hook runs (bootstrap members do not fire it).
+func (e *Engine) addLocked(id int32, inc uint64, s State, fire bool) {
+	sl := &e.slots[id]
+	sl.present = true
+	sl.inc = clampInc(inc)
+	sl.state = s
+	addr := e.tbl.Addr(id)
+	i := sort.Search(len(e.order), func(i int) bool { return e.tbl.Addr(e.order[i]) >= addr })
+	e.order = append(e.order, 0)
+	copy(e.order[i+1:], e.order[i:])
+	e.order[i] = id
+	e.version++
+	if s == StateSuspect {
+		e.setSuspectDeadline(id)
+	}
+	if s == StateDead {
+		e.dead = append(e.dead, id)
+	}
+	if fire {
+		if e.onTransitionID != nil {
+			e.onTransitionID(id, inc, StateDead, s)
+		} else if e.onTransition != nil {
+			e.onTransition(Member{Addr: addr, Incarnation: inc, State: s}, StateDead, s)
+		}
+	}
+}
+
+// transition applies a state change to a known member, bumping the
+// view version and firing the hook.
+func (e *Engine) transition(id int32, s State, inc uint64) {
+	sl := &e.slots[id]
+	old := sl.state
+	sl.state = s
+	sl.inc = clampInc(inc)
+	e.version++
+	if s != StateSuspect {
+		delete(e.suspectAt, id)
+	}
+	if s == StateDead {
+		e.dead = append(e.dead, id)
+	}
+	if e.onTransitionID != nil {
+		e.onTransitionID(id, inc, old, s)
+	} else if e.onTransition != nil {
+		e.onTransition(Member{Addr: e.tbl.Addr(id), Incarnation: inc, State: s}, old, s)
+	}
+}
+
+// View returns a snapshot of the membership, sorted by address.
+func (e *Engine) View() View {
+	v := View{Version: e.version, Members: make([]Member, 0, len(e.order))}
+	for _, id := range e.order {
+		sl := e.slots[id]
+		v.Members = append(v.Members, Member{Addr: e.tbl.Addr(id), Incarnation: uint64(sl.inc), State: sl.state})
+	}
+	return v
+}
+
+// StateByID returns a member's state and incarnation.
+func (e *Engine) StateByID(id int32) (State, uint64, bool) {
+	if int(id) >= len(e.slots) || !e.slots[id].present {
+		return 0, 0, false
+	}
+	sl := e.slots[id]
+	return sl.state, uint64(sl.inc), true
+}
+
+// Incarnation returns the known incarnation for addr.
+func (e *Engine) Incarnation(addr string) (uint64, bool) {
+	id, ok := e.tbl.Lookup(addr)
+	if !ok {
+		return 0, false
+	}
+	_, inc, ok := e.StateByID(id)
+	return inc, ok
+}
+
+// AlivePeers returns the addresses of alive-or-suspect peers (not
+// self), sorted by address.
+func (e *Engine) AlivePeers() []string {
+	var out []string
+	for _, id := range e.order {
+		if id == e.self {
+			continue
+		}
+		s := e.slots[id].state
+		if s == StateAlive || s == StateSuspect {
+			out = append(out, e.tbl.Addr(id))
+		}
+	}
+	return out
+}
+
+// pickDead returns a uniformly random member currently believed dead,
+// compacting stale entries (resurrected members) as it goes.
+func (e *Engine) pickDead() (int32, bool) {
+	for len(e.dead) > 0 {
+		i := e.rng.Intn(len(e.dead))
+		id := e.dead[i]
+		if e.slots[id].present && e.slots[id].state == StateDead {
+			return id, true
+		}
+		e.dead[i] = e.dead[len(e.dead)-1]
+		e.dead = e.dead[:len(e.dead)-1]
+	}
+	return 0, false
+}
+
+// NextProbeTargetID implements SWIM's randomized round-robin: a
+// shuffled pass over all alive peers, reshuffled when exhausted. With
+// no alive peers it falls back to a random dead member so a fully
+// partitioned member can rediscover the group after healing.
+//
+// Even with alive peers, roughly one probe round in 16 targets a dead
+// member instead: on a large bisected cluster both halves keep plenty
+// of alive peers, so the no-alive-peers fallback never fires and the
+// sides would otherwise never re-contact each other after the
+// partition heals. A direct ack from a "dead" member resurrects it
+// (NoteAck) and the ack's PingExtras trigger the incarnation-bump
+// refutations that spread the resurrection.
+func (e *Engine) NextProbeTargetID() (int32, bool) {
+	if len(e.dead) > 0 && e.rng.Intn(16) == 0 {
+		if id, ok := e.pickDead(); ok {
+			return id, true
+		}
+	}
+	if e.probeIdx >= len(e.probe) {
+		e.probe = e.probe[:0]
+		for _, id := range e.order {
+			if id == e.self {
+				continue
+			}
+			s := e.slots[id].state
+			if s == StateAlive || s == StateSuspect {
+				e.probe = append(e.probe, id)
+			}
+		}
+		e.rng.Shuffle(len(e.probe), func(i, j int) { e.probe[i], e.probe[j] = e.probe[j], e.probe[i] })
+		e.probeIdx = 0
+	}
+	for e.probeIdx < len(e.probe) {
+		id := e.probe[e.probeIdx]
+		e.probeIdx++
+		s := e.slots[id].state
+		if e.slots[id].present && (s == StateAlive || s == StateSuspect) {
+			return id, true
+		}
+	}
+	var dead []int32
+	for _, id := range e.order {
+		if id != e.self && e.slots[id].state == StateDead {
+			dead = append(dead, id)
+		}
+	}
+	if len(dead) == 0 {
+		return 0, false
+	}
+	return dead[e.rng.Intn(len(dead))], true
+}
+
+// NextProbeTarget is NextProbeTargetID resolved to an address.
+func (e *Engine) NextProbeTarget() (string, bool) {
+	id, ok := e.NextProbeTargetID()
+	if !ok {
+		return "", false
+	}
+	return e.tbl.Addr(id), true
+}
+
+// IndirectViaIDs returns up to k random alive peers to relay an
+// indirect probe of target. For large clusters it rejection-samples
+// from the member table instead of materializing and shuffling the
+// full candidate list (an O(n) allocation on every failed direct
+// ping); dense membership means a handful of draws find k alive
+// peers. Sparse or tiny clusters fall back to the exact scan.
+func (e *Engine) IndirectViaIDs(target int32, k int) []int32 {
+	if n := len(e.order); n >= 64 {
+		var out []int32
+	sample:
+		for tries := 0; tries < 8*k+16 && len(out) < k; tries++ {
+			id := e.order[e.rng.Intn(n)]
+			if id == e.self || id == target {
+				continue
+			}
+			if s := e.slots[id].state; s != StateAlive && s != StateSuspect {
+				continue
+			}
+			for _, o := range out {
+				if o == id {
+					continue sample
+				}
+			}
+			out = append(out, id)
+		}
+		if len(out) == k {
+			return out
+		}
+	}
+	var peers []int32
+	for _, id := range e.order {
+		if id == e.self || id == target {
+			continue
+		}
+		s := e.slots[id].state
+		if s == StateAlive || s == StateSuspect {
+			peers = append(peers, id)
+		}
+	}
+	e.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	if len(peers) > k {
+		peers = peers[:k]
+	}
+	return peers
+}
+
+// IndirectViaAddrs is IndirectViaIDs resolved to addresses.
+func (e *Engine) IndirectViaAddrs(target string, k int) []string {
+	tid := int32(-1)
+	if id, ok := e.tbl.Lookup(target); ok {
+		tid = id
+	}
+	ids := e.IndirectViaIDs(tid, k)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = e.tbl.Addr(id)
+	}
+	return out
+}
+
+// enqueueGossip queues an assertion for piggybacking with a budget of
+// RetransmitMult*log2(N+1) transmissions, superseding any older
+// queued assertion about the same member (the generation bump lazily
+// invalidates every older bucket copy).
+func (e *Engine) enqueueGossip(id int32, inc uint64, s State) {
+	n := len(e.order)
+	budget := e.cfg.RetransmitMult * int(math.Ceil(math.Log2(float64(n+1))))
+	if budget < 1 {
+		budget = 1
+	}
+	m := e.gMeta[id]
+	if m&0xffff == 0 {
+		e.gLive++
+	}
+	gen := uint16(m>>16) + 1
+	e.gMeta[id] = uint32(gen)<<16 | uint32(budget)
+	e.bucketPut(budget, gEntry{id: id, gen: gen, state: s, inc: clampInc(inc)})
+}
+
+// bucketPut appends an entry to the budget-b bucket, growing the
+// bucket array as needed. Stale copies in other buckets are skipped
+// lazily by the generation check during scans.
+func (e *Engine) bucketPut(b int, en gEntry) {
+	for len(e.buckets) <= b {
+		e.buckets = append(e.buckets, nil)
+		e.heads = append(e.heads, 0)
+	}
+	e.buckets[b] = append(e.buckets[b], en)
+	e.gEntries++
+	if b > e.gTop {
+		e.gTop = b
+	}
+}
+
+// TakeGossip selects up to PiggybackLimit updates to send, consuming
+// transmission budget. Selection prefers the rumors with the MOST
+// remaining budget — i.e. the least-transmitted, freshest ones — with
+// enqueue order as the deterministic tie-break (the same policy as
+// memberlist's TransmitLimitedQueue). Plain FIFO order deadlocks at
+// scale: when more rumors are pending than piggyback slots, the head
+// entries monopolize the pipe for their whole retransmit budget (tens
+// of sends) while fresh rumors — deaths, refutations — starve behind
+// them, and a cluster-wide rumor never reaches everyone. Freshest-
+// first gets a new rumor onto the wire on the very next send, which
+// is what epidemic dissemination time bounds assume.
+func (e *Engine) TakeGossipIDs() []WireUpdate {
+	if e.gLive == 0 {
+		return nil
+	}
+	max := e.cfg.PiggybackLimit
+	if e.gLive < max {
+		max = e.gLive
+	}
+	out := make([]WireUpdate, 0, max)
+	// Trim the top-bucket hint past trailing fully-consumed buckets so
+	// the scan starts where live entries can actually be.
+	for e.gTop >= 1 && e.heads[e.gTop] >= len(e.buckets[e.gTop]) {
+		e.gTop--
+	}
+	// Snapshot bucket lengths: a taken rumor's decremented copy is
+	// appended past its bucket's snapshot, so this call never re-takes
+	// it (a rumor drains one transmission per send, not its whole
+	// budget at once). The leftovers are scanned on the next call.
+	if cap(e.lens) <= e.gTop {
+		e.lens = make([]int, len(e.buckets))
+	}
+	lens := e.lens[:e.gTop+1]
+	for b := 1; b <= e.gTop; b++ {
+		lens[b] = len(e.buckets[b])
+	}
+	for b := e.gTop; b >= 1 && len(out) < e.cfg.PiggybackLimit; b-- {
+		bucket := e.buckets[b]
+		h := e.heads[b]
+		for h < lens[b] && len(out) < e.cfg.PiggybackLimit {
+			en := bucket[h]
+			h++
+			e.gEntries--
+			if uint16(e.gMeta[en.id]>>16) != en.gen {
+				continue // stale copy: superseded, spent, or evicted
+			}
+			out = append(out, WireUpdate{ID: en.id, Incarnation: uint64(en.inc), State: en.state})
+			e.gMeta[en.id] = uint32(en.gen)<<16 | uint32(b-1)
+			if b-1 >= 1 {
+				e.bucketPut(b-1, en)
+			} else {
+				e.gLive--
+			}
+			if e.stats != nil {
+				e.stats.UpdatesGossiped.Add(1)
+			}
+		}
+		e.heads[b] = h
+	}
+	e.compactGossip()
+	return out
+}
+
+// TakeGossip is TakeGossipIDs resolved to addresses (the live RPC
+// path).
+func (e *Engine) TakeGossip() []Update {
+	ids := e.TakeGossipIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Update, len(ids))
+	for i, u := range ids {
+		out[i] = Update{Addr: e.tbl.Addr(u.ID), Incarnation: u.Incarnation, State: u.State}
+	}
+	return out
+}
+
+// compactGossip bounds the queue under rumor overload and rebuilds
+// the buckets once stale copies dominate. When more rumors are live
+// than the pipe can ever drain (demand is budget x arrival rate,
+// capacity is PiggybackLimit per send), the most-transmitted rumors
+// are evicted first — they are the ones everyone has already heard.
+func (e *Engine) compactGossip() {
+	const maxLive = 256 // live-rumor bound under overload
+	if e.gLive > maxLive {
+		evict := e.gLive - maxLive
+		for b := 1; b < len(e.buckets) && evict > 0; b++ {
+			for h := e.heads[b]; h < len(e.buckets[b]) && evict > 0; h++ {
+				en := e.buckets[b][h]
+				m := e.gMeta[en.id]
+				if uint16(m>>16) == en.gen && m&0xffff != 0 {
+					gen := uint16(m>>16) + 1 // invalidate without enqueueing
+					e.gMeta[en.id] = uint32(gen) << 16
+					e.gLive--
+					evict--
+				}
+			}
+		}
+	}
+	if e.gEntries < 64 || e.gEntries < 4*e.gLive {
+		return
+	}
+	// Rebuild: keep only current entries. A member has at most one
+	// generation-matching entry ahead of the heads (older copies were
+	// consumed or superseded), so no per-member dedup is needed.
+	total := 0
+	for b := range e.buckets {
+		live := e.buckets[b][:0]
+		for _, en := range e.buckets[b][e.heads[b]:] {
+			if uint16(e.gMeta[en.id]>>16) == en.gen {
+				live = append(live, en)
+			}
+		}
+		e.buckets[b] = live
+		e.heads[b] = 0
+		total += len(live)
+	}
+	e.gEntries = total
+}
+
+// AnnounceSelf queues a fresh alive assertion about this member (used
+// after Join so the newcomer propagates even if the seed's gossip is
+// slow).
+func (e *Engine) AnnounceSelf() {
+	e.enqueueGossip(e.self, e.selfInc, StateAlive)
+}
+
+// Suspect marks target suspected after a failed probe round and
+// gossips the suspicion.
+func (e *Engine) Suspect(addr string) {
+	if id, ok := e.tbl.Lookup(addr); ok {
+		e.SuspectID(id)
+	}
+}
+
+// SuspectID is Suspect by interned ID.
+func (e *Engine) SuspectID(id int32) {
+	if int(id) >= len(e.slots) || !e.slots[id].present || e.slots[id].state != StateAlive {
+		return
+	}
+	if e.stats != nil {
+		e.stats.SuspectsRaised.Add(1)
+	}
+	inc := uint64(e.slots[id].inc)
+	e.transition(id, StateSuspect, inc)
+	e.setSuspectDeadline(id)
+	e.enqueueGossip(id, inc, StateSuspect)
+}
+
+// setSuspectDeadline (re)arms id's refutation window, tracking the
+// earliest pending deadline so ExpireSuspicions can skip its map scan
+// on the overwhelmingly common tick where nothing is due.
+func (e *Engine) setSuspectDeadline(id int32) {
+	dl := e.clk.Now().Add(time.Duration(e.cfg.SuspicionPeriods) * e.cfg.ProtocolPeriod)
+	e.suspectAt[id] = dl
+	if e.suspectNext.IsZero() || dl.Before(e.suspectNext) {
+		e.suspectNext = dl
+	}
+}
+
+// ExpireSuspicions declares dead every suspect whose refutation window
+// has passed.
+func (e *Engine) ExpireSuspicions() {
+	if len(e.suspectAt) == 0 {
+		return
+	}
+	now := e.clk.Now()
+	if !now.After(e.suspectNext) {
+		return // earliest deadline still pending; deletions only raise it
+	}
+	var due []int32
+	next := time.Time{}
+	for id, dl := range e.suspectAt {
+		if e.slots[id].state == StateSuspect && now.After(dl) {
+			due = append(due, id)
+		} else if next.IsZero() || dl.Before(next) {
+			next = dl
+		}
+	}
+	e.suspectNext = next
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] }) // deterministic order
+	for _, id := range due {
+		if e.stats != nil {
+			e.stats.DeathsDeclared.Add(1)
+		}
+		inc := uint64(e.slots[id].inc)
+		e.transition(id, StateDead, inc)
+		e.enqueueGossip(id, inc, StateDead)
+	}
+}
+
+// NoteAck records first-hand evidence of life from a direct ack:
+// a member we believed dead is resurrected (its refutation gossip will
+// follow with a higher incarnation).
+func (e *Engine) NoteAck(addr string) {
+	id, ok := e.tbl.Lookup(addr)
+	if !ok {
+		return
+	}
+	e.NoteAckID(id)
+}
+
+// NoteAckID is NoteAck by interned ID.
+func (e *Engine) NoteAckID(id int32) {
+	if int(id) < len(e.slots) && e.slots[id].present && e.slots[id].state == StateDead {
+		e.transition(id, StateAlive, uint64(e.slots[id].inc))
+	}
+}
+
+// PingExtras returns the assertion to piggyback on an ack when the
+// pinger itself is locally believed suspect or dead: telling it
+// triggers its refutation, SWIM's mechanism for recovering from false
+// positives.
+func (e *Engine) PingExtras(from string) []Update {
+	id, ok := e.tbl.Lookup(from)
+	if !ok {
+		return nil
+	}
+	ids := e.PingExtrasID(id)
+	if len(ids) == 0 {
+		return nil
+	}
+	return []Update{{Addr: from, Incarnation: ids[0].Incarnation, State: ids[0].State}}
+}
+
+// PingExtrasID is PingExtras by interned ID.
+func (e *Engine) PingExtrasID(id int32) []WireUpdate {
+	if int(id) >= len(e.slots) || !e.slots[id].present {
+		return nil
+	}
+	sl := e.slots[id]
+	if sl.state == StateDead || sl.state == StateSuspect {
+		return []WireUpdate{{ID: id, Incarnation: uint64(sl.inc), State: sl.state}}
+	}
+	return nil
+}
+
+// Apply folds received membership assertions into local state (the
+// SWIM update rules with incarnation numbers).
+func (e *Engine) Apply(ups []Update) {
+	for _, u := range ups {
+		e.ApplyOne(u)
+	}
+}
+
+// ApplyOne applies a single assertion, interning unknown addresses.
+func (e *Engine) ApplyOne(u Update) {
+	e.ApplyOneID(WireUpdate{ID: e.tbl.Intern(u.Addr), Incarnation: u.Incarnation, State: u.State})
+}
+
+// ApplyIDs folds ID-keyed assertions (IDs must come from the shared
+// AddrTable).
+func (e *Engine) ApplyIDs(ups []WireUpdate) {
+	for _, u := range ups {
+		e.ApplyOneID(u)
+	}
+}
+
+// ApplyOneID applies a single ID-keyed assertion.
+func (e *Engine) ApplyOneID(u WireUpdate) {
+	id := u.ID
+	e.ensure(id)
+	if id == e.self {
+		// Refute rumors of our demise with a higher incarnation.
+		if (u.State == StateSuspect || u.State == StateDead) && u.Incarnation >= e.selfInc {
+			e.selfInc = u.Incarnation + 1
+			if e.stats != nil {
+				e.stats.RefutationsSent.Add(1)
+			}
+			e.slots[e.self].inc = clampInc(e.selfInc)
+			e.enqueueGossip(e.self, e.selfInc, StateAlive)
+		}
+		return
+	}
+	sl := &e.slots[id]
+	if !sl.present {
+		// Newly discovered member.
+		e.addLocked(id, u.Incarnation, u.State, true)
+		e.enqueueGossip(id, u.Incarnation, u.State)
+		return
+	}
+	inc := uint64(sl.inc)
+	switch u.State {
+	case StateAlive:
+		// Strictly newer incarnations only: an alive assertion at the
+		// same incarnation as a death rumor must not resurrect the
+		// member (refutation always bumps the incarnation first).
+		if u.Incarnation > inc {
+			e.transition(id, StateAlive, u.Incarnation)
+			e.enqueueGossip(id, u.Incarnation, StateAlive)
+		}
+	case StateSuspect:
+		if (sl.state == StateAlive && u.Incarnation >= inc) ||
+			(sl.state == StateSuspect && u.Incarnation > inc) {
+			e.transition(id, StateSuspect, u.Incarnation)
+			e.setSuspectDeadline(id)
+			e.enqueueGossip(id, u.Incarnation, StateSuspect)
+		}
+	case StateDead, StateLeft:
+		if sl.state != StateDead && sl.state != StateLeft && u.Incarnation >= inc {
+			e.transition(id, u.State, u.Incarnation)
+			e.enqueueGossip(id, u.Incarnation, u.State)
+		}
+	}
+}

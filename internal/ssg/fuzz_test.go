@@ -10,7 +10,7 @@ import (
 // arbitrary bytes: gossip from a malfunctioning member must produce
 // decode errors, never panics.
 func FuzzWireMessages(f *testing.F) {
-	ups := []update{{Addr: "sm://a", Incarnation: 2, State: StateSuspect}}
+	ups := []Update{{Addr: "sm://a", Incarnation: 2, State: StateSuspect}}
 	seed := func(sel uint8, m codec.Marshaler) { f.Add(sel, codec.Marshal(m)) }
 	seed(0, &pingArgs{Group: "g", From: "sm://a", Updates: ups})
 	seed(1, &ackReply{OK: true, Updates: ups})

@@ -3,11 +3,9 @@ package ssg
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"mochi/internal/clock"
 	"mochi/internal/codec"
@@ -66,12 +64,9 @@ type Stats struct {
 	RefutationsSent atomic.Int64
 }
 
-type memberInfo struct {
-	member          Member
-	suspectDeadline time.Time
-}
-
-// Group is one process's membership in a named SSG group.
+// Group is one process's membership in a named SSG group. All protocol
+// rules live in Engine (engine.go); Group owns the transport, the
+// goroutines, and the mutex that serializes engine access.
 type Group struct {
 	inst *margo.Instance
 	clk  clock.Clock
@@ -80,17 +75,9 @@ type Group struct {
 	self string
 
 	mu        sync.Mutex
-	members   map[string]*memberInfo
-	selfInc   uint64
-	version   uint64
-	gossip    map[string]*update
-	probeList []string
-	probeIdx  int
+	eng       *Engine
 	callbacks []MembershipCallback
 	left      bool
-
-	rng   *rand.Rand
-	rngMu sync.Mutex
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -113,26 +100,26 @@ func create(inst *margo.Instance, name string, bootstrap []string, cfg Config, c
 		return nil, err
 	}
 	g := &Group{
-		inst:    inst,
-		clk:     clk,
-		name:    name,
-		cfg:     cfg.withDefaults(),
-		self:    inst.Addr(),
-		members: map[string]*memberInfo{},
-		gossip:  map[string]*update{},
-		stop:    make(chan struct{}),
-		rng:     rand.New(rand.NewSource(int64(mercury.NameToID(inst.Addr() + "/" + name)))),
+		inst: inst,
+		clk:  clk,
+		name: name,
+		cfg:  cfg.withDefaults(),
+		self: inst.Addr(),
+		stop: make(chan struct{}),
 	}
-	found := false
-	for _, a := range bootstrap {
-		if a == g.self {
-			found = true
-		}
-		g.members[a] = &memberInfo{member: Member{Addr: a, State: StateAlive}}
-	}
-	if !found {
-		g.members[g.self] = &memberInfo{member: Member{Addr: g.self, State: StateAlive}}
-	}
+	rng := rand.New(rand.NewSource(int64(mercury.NameToID(inst.Addr() + "/" + name))))
+	g.eng = NewEngine(NewAddrTable(), g.self, bootstrap, g.cfg, clk, rng, &g.stats)
+	// The hook fires inside engine calls, which always run under g.mu;
+	// callback fan-out moves to a goroutine so callbacks never observe
+	// (or deadlock on) the group lock.
+	g.eng.SetTransitionHook(func(m Member, old, new State) {
+		cbs := append([]MembershipCallback(nil), g.callbacks...)
+		go func() {
+			for _, cb := range cbs {
+				cb(m, old, new)
+			}
+		}()
+	})
 	reg.mu.Lock()
 	if _, dup := reg.groups[name]; dup {
 		reg.mu.Unlock()
@@ -175,7 +162,7 @@ func Join(ctx context.Context, inst *margo.Instance, name, seedAddr string, cfg 
 	// Announce ourselves so the join propagates even if the seed's
 	// gossip is slow.
 	g.mu.Lock()
-	g.enqueueGossipLocked(update{Addr: g.self, Incarnation: g.selfInc, State: StateAlive})
+	g.eng.AnnounceSelf()
 	g.mu.Unlock()
 	return g, nil
 }
@@ -201,12 +188,7 @@ func (g *Group) OnChange(cb MembershipCallback) {
 func (g *Group) View() View {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	v := View{Version: g.version}
-	for _, mi := range g.members {
-		v.Members = append(v.Members, mi.member)
-	}
-	sortMembers(v.Members)
-	return v
+	return g.eng.View()
 }
 
 // Leave departs gracefully: the leave is pushed to a few peers and
@@ -218,13 +200,13 @@ func (g *Group) Leave(ctx context.Context) error {
 		return ErrLeft
 	}
 	g.left = true
-	inc := g.selfInc
-	peers := g.alivePeersLocked()
+	inc := g.eng.SelfIncarnation()
+	peers := g.eng.AlivePeers()
 	g.mu.Unlock()
 	args := pingArgs{
 		Group:   g.name,
 		From:    g.self,
-		Updates: []update{{Addr: g.self, Incarnation: inc, State: StateLeft}},
+		Updates: []Update{{Addr: g.self, Incarnation: inc, State: StateLeft}},
 	}
 	payload := codec.Marshal(&args)
 	n := 0
@@ -303,56 +285,15 @@ func (g *Group) protocolLoop() {
 	}
 }
 
-func (g *Group) alivePeersLocked() []string {
-	var out []string
-	for a, mi := range g.members {
-		if a == g.self {
-			continue
-		}
-		if mi.member.State == StateAlive || mi.member.State == StateSuspect {
-			out = append(out, a)
-		}
-	}
-	return out
-}
-
 // nextProbeTarget implements SWIM's randomized round-robin.
 func (g *Group) nextProbeTarget() string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.probeIdx >= len(g.probeList) {
-		g.probeList = g.alivePeersLocked()
-		g.rngMu.Lock()
-		g.rng.Shuffle(len(g.probeList), func(i, j int) {
-			g.probeList[i], g.probeList[j] = g.probeList[j], g.probeList[i]
-		})
-		g.rngMu.Unlock()
-		g.probeIdx = 0
-	}
-	for g.probeIdx < len(g.probeList) {
-		t := g.probeList[g.probeIdx]
-		g.probeIdx++
-		mi, ok := g.members[t]
-		if ok && (mi.member.State == StateAlive || mi.member.State == StateSuspect) {
-			return t
-		}
-	}
-	// No alive peers: a fully partitioned member would otherwise never
-	// re-contact the group. Probe a random dead member so that healing
-	// a partition lets both sides rediscover each other.
-	var dead []string
-	for a, mi := range g.members {
-		if a != g.self && mi.member.State == StateDead {
-			dead = append(dead, a)
-		}
-	}
-	if len(dead) == 0 {
+	t, ok := g.eng.NextProbeTarget()
+	if !ok {
 		return ""
 	}
-	g.rngMu.Lock()
-	pick := dead[g.rng.Intn(len(dead))]
-	g.rngMu.Unlock()
-	return pick
+	return t
 }
 
 // probe runs one SWIM probe sequence against target.
@@ -362,26 +303,15 @@ func (g *Group) probe(target string) {
 	}
 	// Indirect probes through k random peers.
 	g.mu.Lock()
-	peers := g.alivePeersLocked()
+	vias := g.eng.IndirectViaAddrs(target, g.cfg.IndirectPings)
 	g.mu.Unlock()
-	g.rngMu.Lock()
-	g.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
-	g.rngMu.Unlock()
 	acked := make(chan bool, g.cfg.IndirectPings)
-	sent := 0
-	for _, p := range peers {
-		if p == target {
-			continue
-		}
-		if sent >= g.cfg.IndirectPings {
-			break
-		}
-		sent++
+	for _, p := range vias {
 		go func(p string) { acked <- g.pingIndirect(p, target) }(p)
 	}
 	deadline := g.clk.NewTimer(g.cfg.ProtocolPeriod - g.cfg.PingTimeout)
 	defer deadline.Stop()
-	for i := 0; i < sent; i++ {
+	for i := 0; i < len(vias); i++ {
 		select {
 		case ok := <-acked:
 			if ok {
@@ -415,9 +345,7 @@ func (g *Group) pingDirect(target string) bool {
 	// we believed dead (its refutation gossip will follow with a
 	// higher incarnation).
 	g.mu.Lock()
-	if mi, ok := g.members[target]; ok && mi.member.State == StateDead {
-		g.transitionLocked(mi, StateAlive, mi.member.Incarnation)
-	}
+	g.eng.NoteAck(target)
 	g.mu.Unlock()
 	g.applyUpdates(reply.Updates)
 	return true
@@ -444,144 +372,31 @@ func (g *Group) pingIndirect(via, target string) bool {
 func (g *Group) suspect(target string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	mi, ok := g.members[target]
-	if !ok || mi.member.State != StateAlive {
-		return
-	}
-	g.stats.SuspectsRaised.Add(1)
-	g.transitionLocked(mi, StateSuspect, mi.member.Incarnation)
-	mi.suspectDeadline = g.clk.Now().Add(time.Duration(g.cfg.SuspicionPeriods) * g.cfg.ProtocolPeriod)
-	g.enqueueGossipLocked(update{Addr: target, Incarnation: mi.member.Incarnation, State: StateSuspect})
+	g.eng.Suspect(target)
 }
 
 func (g *Group) expireSuspicions() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	now := g.clk.Now()
-	for _, mi := range g.members {
-		if mi.member.State == StateSuspect && now.After(mi.suspectDeadline) {
-			g.stats.DeathsDeclared.Add(1)
-			g.transitionLocked(mi, StateDead, mi.member.Incarnation)
-			g.enqueueGossipLocked(update{Addr: mi.member.Addr, Incarnation: mi.member.Incarnation, State: StateDead})
-		}
-	}
-}
-
-// transitionLocked applies a state change, bumping the view version
-// and firing callbacks.
-func (g *Group) transitionLocked(mi *memberInfo, s State, inc uint64) {
-	old := mi.member.State
-	mi.member.State = s
-	mi.member.Incarnation = inc
-	g.version++
-	member := mi.member
-	cbs := append([]MembershipCallback(nil), g.callbacks...)
-	// Fire callbacks without the lock.
-	go func() {
-		for _, cb := range cbs {
-			cb(member, old, s)
-		}
-	}()
-}
-
-// enqueueGossipLocked queues an update for piggybacking, with a
-// retransmission budget of RetransmitMult*log2(N+1).
-func (g *Group) enqueueGossipLocked(u update) {
-	n := len(g.members)
-	u.transmit = g.cfg.RetransmitMult * int(math.Ceil(math.Log2(float64(n+1))))
-	if u.transmit < 1 {
-		u.transmit = 1
-	}
-	g.gossip[u.key()] = &u
+	g.eng.ExpireSuspicions()
 }
 
 // takeGossip selects up to PiggybackLimit updates to send.
-func (g *Group) takeGossip() []update {
+func (g *Group) takeGossip() []Update {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	var out []update
-	for k, u := range g.gossip {
-		if len(out) >= g.cfg.PiggybackLimit {
-			break
-		}
-		out = append(out, *u)
-		u.transmit--
-		if u.transmit <= 0 {
-			delete(g.gossip, k)
-		}
-		g.stats.UpdatesGossiped.Add(1)
-	}
-	return out
+	return g.eng.TakeGossip()
 }
 
 // applyUpdates folds received membership assertions into local state
 // (the SWIM update rules with incarnation numbers).
-func (g *Group) applyUpdates(ups []update) {
+func (g *Group) applyUpdates(ups []Update) {
 	if len(ups) == 0 {
 		return
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, u := range ups {
-		g.applyOneLocked(u)
-	}
-}
-
-func (g *Group) applyOneLocked(u update) {
-	if u.Addr == g.self {
-		// Refute rumors of our demise with a higher incarnation.
-		if (u.State == StateSuspect || u.State == StateDead) && u.Incarnation >= g.selfInc {
-			g.selfInc = u.Incarnation + 1
-			g.stats.RefutationsSent.Add(1)
-			if mi, ok := g.members[g.self]; ok {
-				mi.member.Incarnation = g.selfInc
-			}
-			g.enqueueGossipLocked(update{Addr: g.self, Incarnation: g.selfInc, State: StateAlive})
-		}
-		return
-	}
-	mi, ok := g.members[u.Addr]
-	if !ok {
-		// Newly discovered member.
-		mi = &memberInfo{member: Member{Addr: u.Addr, Incarnation: u.Incarnation, State: u.State}}
-		g.members[u.Addr] = mi
-		g.version++
-		if u.State == StateSuspect {
-			mi.suspectDeadline = g.clk.Now().Add(time.Duration(g.cfg.SuspicionPeriods) * g.cfg.ProtocolPeriod)
-		}
-		member := mi.member
-		cbs := append([]MembershipCallback(nil), g.callbacks...)
-		go func() {
-			for _, cb := range cbs {
-				cb(member, StateDead, member.State)
-			}
-		}()
-		g.enqueueGossipLocked(u)
-		return
-	}
-	cur := mi.member
-	switch u.State {
-	case StateAlive:
-		// Strictly newer incarnations only: an alive assertion at the
-		// same incarnation as a death rumor must not resurrect the
-		// member (refutation always bumps the incarnation first).
-		if u.Incarnation > cur.Incarnation {
-			g.transitionLocked(mi, StateAlive, u.Incarnation)
-			g.enqueueGossipLocked(u)
-		}
-	case StateSuspect:
-		if (cur.State == StateAlive && u.Incarnation >= cur.Incarnation) ||
-			(cur.State == StateSuspect && u.Incarnation > cur.Incarnation) {
-			g.transitionLocked(mi, StateSuspect, u.Incarnation)
-			mi.suspectDeadline = g.clk.Now().Add(time.Duration(g.cfg.SuspicionPeriods) * g.cfg.ProtocolPeriod)
-			g.enqueueGossipLocked(u)
-		}
-	case StateDead, StateLeft:
-		if cur.State != StateDead && cur.State != StateLeft && u.Incarnation >= cur.Incarnation {
-			g.transitionLocked(mi, u.State, u.Incarnation)
-			g.enqueueGossipLocked(u)
-		}
-	}
+	g.eng.Apply(ups)
 }
 
 // --- RPC handlers (registry level) ---
@@ -604,9 +419,7 @@ func (r *registry) handlePing(_ context.Context, h *mercury.Handle) {
 	// incarnation and be resurrected across the group, the SWIM
 	// mechanism for recovering from false positives.
 	g.mu.Lock()
-	if mi, ok := g.members[args.From]; ok && (mi.member.State == StateDead || mi.member.State == StateSuspect) {
-		ups = append(ups, update{Addr: args.From, Incarnation: mi.member.Incarnation, State: mi.member.State})
-	}
+	ups = append(ups, g.eng.PingExtras(args.From)...)
 	g.mu.Unlock()
 	_ = h.Respond(codec.Marshal(&ackReply{OK: true, Updates: ups}))
 }
@@ -641,10 +454,10 @@ func (r *registry) handleJoin(_ context.Context, h *mercury.Handle) {
 	if args.Addr != "" {
 		g.mu.Lock()
 		inc := uint64(0)
-		if old, ok := g.members[args.Addr]; ok {
-			inc = old.member.Incarnation + 1
+		if old, ok := g.eng.Incarnation(args.Addr); ok {
+			inc = old + 1
 		}
-		g.applyOneLocked(update{Addr: args.Addr, Incarnation: inc, State: StateAlive})
+		g.eng.ApplyOne(Update{Addr: args.Addr, Incarnation: inc, State: StateAlive})
 		g.mu.Unlock()
 	}
 	_ = h.Respond(codec.Marshal(g.viewReplyNow()))

@@ -11,9 +11,9 @@ func TestPiggybackLimitRespected(t *testing.T) {
 	c := newCluster(t, 2)
 	g := c.groups[0]
 	// Inject many updates about unknown members.
-	var ups []update
+	var ups []Update
 	for i := 0; i < 100; i++ {
-		ups = append(ups, update{
+		ups = append(ups, Update{
 			Addr:        "sm://ghost-" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
 			Incarnation: 1,
 			State:       StateAlive,
@@ -31,7 +31,7 @@ func TestPiggybackLimitRespected(t *testing.T) {
 func TestGossipRetransmissionBudgetExpires(t *testing.T) {
 	c := newCluster(t, 2)
 	g := c.groups[0]
-	g.applyUpdates([]update{{Addr: "sm://one-shot", Incarnation: 1, State: StateAlive}})
+	g.applyUpdates([]Update{{Addr: "sm://one-shot", Incarnation: 1, State: StateAlive}})
 	seen := 0
 	for i := 0; i < 100; i++ {
 		batch := g.takeGossip()
@@ -61,7 +61,7 @@ func TestGossipRetransmissionBudgetExpires(t *testing.T) {
 func TestViewVersionMonotonic(t *testing.T) {
 	c := newCluster(t, 3)
 	v0 := c.groups[0].View().Version
-	c.groups[0].applyUpdates([]update{{Addr: "sm://newcomer", Incarnation: 0, State: StateAlive}})
+	c.groups[0].applyUpdates([]Update{{Addr: "sm://newcomer", Incarnation: 0, State: StateAlive}})
 	v1 := c.groups[0].View().Version
 	if v1 <= v0 {
 		t.Fatalf("version did not advance: %d -> %d", v0, v1)

@@ -13,7 +13,6 @@ package ssg
 
 import (
 	"errors"
-	"fmt"
 	"hash/fnv"
 	"sort"
 	"time"
@@ -151,19 +150,6 @@ func (c Config) withDefaults() Config {
 // MembershipCallback observes membership transitions (§7 Obs. 12:
 // "a way for any member to be notified if any other member dies").
 type MembershipCallback func(member Member, old, new State)
-
-// update is a gossiped membership assertion.
-type update struct {
-	Addr        string
-	Incarnation uint64
-	State       State
-	// transmit counts remaining retransmissions (local only).
-	transmit int
-}
-
-func (u update) key() string {
-	return fmt.Sprintf("%s/%d/%d", u.Addr, u.Incarnation, u.State)
-}
 
 // sortMembers orders members by address for stable views.
 func sortMembers(ms []Member) {

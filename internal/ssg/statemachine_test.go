@@ -32,83 +32,83 @@ func TestSwimUpdateRules(t *testing.T) {
 	const peer = "sm://peer"
 	cases := []struct {
 		name      string
-		setup     []update // applied first
-		incoming  update
+		setup     []Update // applied first
+		incoming  Update
 		wantState State
 		wantInc   uint64
 	}{
 		{
 			name:      "alive discovers new member",
-			incoming:  update{Addr: peer, Incarnation: 0, State: StateAlive},
+			incoming:  Update{Addr: peer, Incarnation: 0, State: StateAlive},
 			wantState: StateAlive,
 			wantInc:   0,
 		},
 		{
 			name:      "suspect with equal incarnation suspects an alive member",
-			setup:     []update{{Addr: peer, Incarnation: 1, State: StateAlive}},
-			incoming:  update{Addr: peer, Incarnation: 1, State: StateSuspect},
+			setup:     []Update{{Addr: peer, Incarnation: 1, State: StateAlive}},
+			incoming:  Update{Addr: peer, Incarnation: 1, State: StateSuspect},
 			wantState: StateSuspect,
 			wantInc:   1,
 		},
 		{
 			name:      "stale suspect does not override newer alive",
-			setup:     []update{{Addr: peer, Incarnation: 5, State: StateAlive}},
-			incoming:  update{Addr: peer, Incarnation: 3, State: StateSuspect},
+			setup:     []Update{{Addr: peer, Incarnation: 5, State: StateAlive}},
+			incoming:  Update{Addr: peer, Incarnation: 3, State: StateSuspect},
 			wantState: StateAlive,
 			wantInc:   5,
 		},
 		{
 			name: "alive with higher incarnation refutes suspicion",
-			setup: []update{
+			setup: []Update{
 				{Addr: peer, Incarnation: 1, State: StateAlive},
 				{Addr: peer, Incarnation: 1, State: StateSuspect},
 			},
-			incoming:  update{Addr: peer, Incarnation: 2, State: StateAlive},
+			incoming:  Update{Addr: peer, Incarnation: 2, State: StateAlive},
 			wantState: StateAlive,
 			wantInc:   2,
 		},
 		{
 			name: "alive with equal incarnation does not refute suspicion",
-			setup: []update{
+			setup: []Update{
 				{Addr: peer, Incarnation: 1, State: StateAlive},
 				{Addr: peer, Incarnation: 1, State: StateSuspect},
 			},
-			incoming:  update{Addr: peer, Incarnation: 1, State: StateAlive},
+			incoming:  Update{Addr: peer, Incarnation: 1, State: StateAlive},
 			wantState: StateSuspect,
 			wantInc:   1,
 		},
 		{
 			name:      "dead overrides alive at same incarnation",
-			setup:     []update{{Addr: peer, Incarnation: 2, State: StateAlive}},
-			incoming:  update{Addr: peer, Incarnation: 2, State: StateDead},
+			setup:     []Update{{Addr: peer, Incarnation: 2, State: StateAlive}},
+			incoming:  Update{Addr: peer, Incarnation: 2, State: StateDead},
 			wantState: StateDead,
 			wantInc:   2,
 		},
 		{
 			name:      "stale dead does not kill newer alive",
-			setup:     []update{{Addr: peer, Incarnation: 4, State: StateAlive}},
-			incoming:  update{Addr: peer, Incarnation: 2, State: StateDead},
+			setup:     []Update{{Addr: peer, Incarnation: 4, State: StateAlive}},
+			incoming:  Update{Addr: peer, Incarnation: 2, State: StateDead},
 			wantState: StateAlive,
 			wantInc:   4,
 		},
 		{
 			name:      "alive with higher incarnation resurrects the dead",
-			setup:     []update{{Addr: peer, Incarnation: 1, State: StateDead}},
-			incoming:  update{Addr: peer, Incarnation: 2, State: StateAlive},
+			setup:     []Update{{Addr: peer, Incarnation: 1, State: StateDead}},
+			incoming:  Update{Addr: peer, Incarnation: 2, State: StateAlive},
 			wantState: StateAlive,
 			wantInc:   2,
 		},
 		{
 			name:      "left is terminal like dead",
-			setup:     []update{{Addr: peer, Incarnation: 1, State: StateAlive}},
-			incoming:  update{Addr: peer, Incarnation: 1, State: StateLeft},
+			setup:     []Update{{Addr: peer, Incarnation: 1, State: StateAlive}},
+			incoming:  Update{Addr: peer, Incarnation: 1, State: StateLeft},
 			wantState: StateLeft,
 			wantInc:   1,
 		},
 		{
 			name:      "suspect does not downgrade dead",
-			setup:     []update{{Addr: peer, Incarnation: 3, State: StateDead}},
-			incoming:  update{Addr: peer, Incarnation: 3, State: StateSuspect},
+			setup:     []Update{{Addr: peer, Incarnation: 3, State: StateDead}},
+			incoming:  Update{Addr: peer, Incarnation: 3, State: StateSuspect},
 			wantState: StateDead,
 			wantInc:   3,
 		},
@@ -118,7 +118,7 @@ func TestSwimUpdateRules(t *testing.T) {
 			g := newLoneGroup(t)
 			_ = i
 			g.applyUpdates(c.setup)
-			g.applyUpdates([]update{c.incoming})
+			g.applyUpdates([]Update{c.incoming})
 			st, inc, ok := memberState(g, peer)
 			if !ok {
 				t.Fatal("peer unknown after updates")
@@ -137,7 +137,7 @@ func TestSwimSelfRefutation(t *testing.T) {
 	g := newLoneGroup(t)
 	self := g.Self()
 
-	g.applyUpdates([]update{{Addr: self, Incarnation: 0, State: StateSuspect}})
+	g.applyUpdates([]Update{{Addr: self, Incarnation: 0, State: StateSuspect}})
 	_, inc, _ := memberState(g, self)
 	if inc != 1 {
 		t.Fatalf("incarnation after refutation = %d, want 1", inc)
@@ -156,12 +156,12 @@ func TestSwimSelfRefutation(t *testing.T) {
 		t.Fatal("refutation not in gossip queue")
 	}
 	// A stale rumor (incarnation 0 < current 1) is ignored.
-	g.applyUpdates([]update{{Addr: self, Incarnation: 0, State: StateDead}})
+	g.applyUpdates([]Update{{Addr: self, Incarnation: 0, State: StateDead}})
 	if _, inc, _ := memberState(g, self); inc != 1 {
 		t.Fatalf("stale rumor bumped incarnation to %d", inc)
 	}
 	// A current rumor of death triggers another refutation.
-	g.applyUpdates([]update{{Addr: self, Incarnation: 1, State: StateDead}})
+	g.applyUpdates([]Update{{Addr: self, Incarnation: 1, State: StateDead}})
 	if _, inc, _ := memberState(g, self); inc != 2 {
 		t.Fatalf("incarnation after second refutation = %d, want 2", inc)
 	}
@@ -171,8 +171,8 @@ func TestSwimSelfRefutation(t *testing.T) {
 // queue so information disseminates epidemically.
 func TestSwimUpdatesAreRegossiped(t *testing.T) {
 	g := newLoneGroup(t)
-	g.applyUpdates([]update{{Addr: "sm://x", Incarnation: 0, State: StateAlive}})
-	g.applyUpdates([]update{{Addr: "sm://x", Incarnation: 0, State: StateDead}})
+	g.applyUpdates([]Update{{Addr: "sm://x", Incarnation: 0, State: StateAlive}})
+	g.applyUpdates([]Update{{Addr: "sm://x", Incarnation: 0, State: StateDead}})
 	var states []State
 	for i := 0; i < 10; i++ {
 		for _, u := range g.takeGossip() {
@@ -201,8 +201,8 @@ func TestSwimNoIllegalTransitions(t *testing.T) {
 			for _, d := range []int{-1, 0, 1} {
 				g := newLoneGroup(t)
 				peer := fmt.Sprintf("sm://p-%d-%d-%d", s1, s2, d)
-				g.applyUpdates([]update{{Addr: peer, Incarnation: 5, State: s1}})
-				g.applyUpdates([]update{{Addr: peer, Incarnation: uint64(5 + d), State: s2}})
+				g.applyUpdates([]Update{{Addr: peer, Incarnation: 5, State: s1}})
+				g.applyUpdates([]Update{{Addr: peer, Incarnation: uint64(5 + d), State: s2}})
 				st, _, ok := memberState(g, peer)
 				if !ok {
 					t.Fatalf("%v->%v(%+d): peer vanished", s1, s2, d)

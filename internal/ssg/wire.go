@@ -18,7 +18,7 @@ type wireUpdate struct {
 	State       uint8
 }
 
-func encodeUpdates(e *codec.Encoder, ups []update) {
+func encodeUpdates(e *codec.Encoder, ups []Update) {
 	e.Uvarint(uint64(len(ups)))
 	for _, u := range ups {
 		e.String(u.Addr)
@@ -27,14 +27,14 @@ func encodeUpdates(e *codec.Encoder, ups []update) {
 	}
 }
 
-func decodeUpdates(d *codec.Decoder) []update {
+func decodeUpdates(d *codec.Decoder) []Update {
 	n := d.Uvarint()
 	if n > uint64(d.Remaining()) {
 		return nil
 	}
-	ups := make([]update, 0, n)
+	ups := make([]Update, 0, n)
 	for i := uint64(0); i < n; i++ {
-		var u update
+		var u Update
 		u.Addr = d.String()
 		u.Incarnation = d.Uint64()
 		u.State = State(d.Uint8())
@@ -49,7 +49,7 @@ func decodeUpdates(d *codec.Decoder) []update {
 type pingArgs struct {
 	Group   string
 	From    string
-	Updates []update
+	Updates []Update
 }
 
 func (a *pingArgs) MarshalMochi(e *codec.Encoder) {
@@ -66,7 +66,7 @@ func (a *pingArgs) UnmarshalMochi(d *codec.Decoder) {
 
 type ackReply struct {
 	OK      bool
-	Updates []update
+	Updates []Update
 }
 
 func (r *ackReply) MarshalMochi(e *codec.Encoder) {
@@ -83,7 +83,7 @@ type pingReqArgs struct {
 	Group   string
 	From    string
 	Target  string
-	Updates []update
+	Updates []Update
 }
 
 func (a *pingReqArgs) MarshalMochi(e *codec.Encoder) {

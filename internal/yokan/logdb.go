@@ -200,6 +200,9 @@ func (d *logDB) enqueue(ops ...*logOp) (*logBatch, bool) {
 // join, detach the batch, then write + sync + apply under commitMu.
 func (d *logDB) lead(b *logBatch) {
 	if d.window > 0 {
+		// wall-clock: the linger window is a storage-throughput knob
+		// (batching real fsync latency), not a protocol timeout — it
+		// stays on real time even inside simulations.
 		time.Sleep(d.window)
 	}
 	d.commitMu.Lock()

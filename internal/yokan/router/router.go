@@ -118,12 +118,12 @@ func (r *Router) backoff(ctx context.Context, attempt int) error {
 	if d > 100*time.Millisecond {
 		d = 100 * time.Millisecond
 	}
-	t := time.NewTimer(d)
+	t := r.inst.Clock().NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-t.C:
+	case <-t.C():
 		return nil
 	}
 }
