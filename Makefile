@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-c10k bench-observe bench-full fuzz examples vet fmt-check lint reshard-soak observe-smoke sim sim-curves test-unsafe ci clean
+.PHONY: all build test race bench bench-alloc bench-throughput bench-reshard bench-c10k bench-raft bench-observe bench-full fuzz examples vet fmt-check lint reshard-soak observe-smoke sim sim-curves test-unsafe ci clean
 
 all: build test
 
@@ -102,7 +102,7 @@ bench:
 # GetMulti <= 1.5 per key over sm transport) regress. Also prints the
 # -benchmem numbers for the same paths for context.
 bench-alloc:
-	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/
+	$(GO) test -run 'AllocsPinned' -count=1 -v ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/ ./internal/raft/
 	$(GO) test -run 'AllocsPinned' -count=1 -tags mochi_unsafe ./internal/codec/ ./internal/mercury/
 	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkForward|BenchmarkMulti' -benchtime=1000x -benchmem ./internal/codec/ ./internal/mercury/ ./internal/margo/ ./internal/yokan/
 
@@ -156,6 +156,16 @@ bench-reshard:
 C10K_FLAGS ?= -conns 16,64,256 -c10k-workers 256 -pools 1,4 -gomaxprocs 1,2,4 -duration 500ms
 bench-c10k:
 	$(GO) run ./cmd/mochi-bench -c10k $(C10K_FLAGS)
+
+# Raft hot-path sweep (EXPERIMENTS.md E15): a 3-member RaftKV group,
+# before (single-entry appends, gets through the log) vs after (group
+# commit + batched apply + ReadIndex gets), reporting ops/s and leader
+# fsyncs per op. CI runs this in bench-smoke and uploads the table;
+# override for the full table, e.g.
+#   make bench-raft RAFT_FLAGS="-duration 1s"
+RAFT_FLAGS ?= -raft-clients 1,8,64 -raft-stores file,mem -raft-mixes 0,0.9 -duration 400ms
+bench-raft:
+	$(GO) run ./cmd/mochi-bench -raft $(RAFT_FLAGS)
 
 # The introspection-plane smoke (EXPERIMENTS.md E13): the multi-node
 # metrics federation, exemplar→trace resolution, SLO burn-rate health

@@ -17,6 +17,13 @@
 //	            [-gomaxprocs 1,2,4] [-duration 1s] [-payload 64]
 //	mochi-bench -sim [-sim-nodes 1000,4000,10000] [-sim-loss 0,0.02,0.10]
 //	            [-sim-minutes 3] [-sim-seed 42]
+//	mochi-bench -raft [-raft-clients 1,8,64] [-raft-stores file,mem]
+//	            [-raft-mixes 0,0.9] [-duration 1s] [-value-size 64]
+//
+// With -raft it runs the replicated-KV hot-path sweep (E15): a
+// 3-member RaftKV group, before (single-entry appends, gets through
+// the log) vs after (group commit + batched apply + ReadIndex gets),
+// reporting ops/s and leader fsyncs per op.
 //
 // With -reshard-at the throughput leg runs against a live 3-node
 // sharded deployment instead of a local engine, fires an online
@@ -63,8 +70,15 @@ func main() {
 	pools := flag.String("pools", "1,4", "c10k: comma-separated per-destination pool sizes")
 	gomaxprocs := flag.String("gomaxprocs", "", "c10k: comma-separated GOMAXPROCS values (default: current)")
 	payload := flag.Int("payload", 64, "c10k: payload size in bytes per direction")
+	raftSweep := flag.Bool("raft", false, "run the raft hot-path sweep (E15) instead of the experiment suite")
+	raftClients := flag.String("raft-clients", "1,8,64", "raft: comma-separated concurrent client-session counts")
+	raftStores := flag.String("raft-stores", "file,mem", "raft: comma-separated log stores to sweep (file = fsync enabled)")
+	raftMixes := flag.String("raft-mixes", "0,0.9", "raft: comma-separated read fractions (0 = write-heavy)")
 	flag.Parse()
 
+	if *raftSweep {
+		os.Exit(runRaftBench(*raftClients, *raftStores, *raftMixes, *duration, *valueSize))
+	}
 	if *simSweep {
 		os.Exit(runSwimSim(*simNodes, *simLoss, *simMinutes, *simSeed))
 	}
@@ -191,6 +205,45 @@ func runSwimSim(nodes, loss string, minutes int, seed int64) int {
 		hashes = append(hashes, row[len(row)-1])
 	}
 	fmt.Printf("trace-identity: %s\n", strings.Join(hashes, " "))
+	return 0
+}
+
+// runRaftBench drives the raft hot-path leg (E15).
+func runRaftBench(clients, stores, mixes string, duration time.Duration, valueSize int) int {
+	opts := experiments.RaftBenchOptions{
+		Duration:  duration,
+		ValueSize: valueSize,
+	}
+	var err error
+	if opts.Clients, err = parseIntList("raft-clients", clients); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, part := range strings.Split(stores, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part != "file" && part != "mem" {
+			fmt.Fprintf(os.Stderr, "bad -raft-stores entry %q (want file or mem)\n", part)
+			return 2
+		}
+		opts.Stores = append(opts.Stores, part)
+	}
+	for _, part := range strings.Split(mixes, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f < 0 || f > 1 {
+			fmt.Fprintf(os.Stderr, "bad -raft-mixes entry %q\n", part)
+			return 2
+		}
+		opts.ReadFracs = append(opts.ReadFracs, f)
+	}
+	table, err := experiments.RunRaftBench(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raft sweep FAILED: %v\n", err)
+		return 1
+	}
+	table.Render(os.Stdout)
 	return 0
 }
 

@@ -63,6 +63,12 @@ func kvHistory(t *testing.T, seed int64, opsPerClient int) []sim.Op {
 		t.Cleanup(inst.Finalize)
 		clients[ci] = NewRaftKVClient(inst, "lin", r.addrs)
 	}
+	// Client 0 keeps reading through the log (the kvOpGet fallback);
+	// the rest use the default ReadIndex path. Every history therefore
+	// interleaves both read protocols against the same writes, so the
+	// checker re-verifies ReadIndex under loss, partitions, leader
+	// churn, and crash-restarts on every seed.
+	clients[0].LogReads = true
 
 	// Warm-up: make sure the group has a leader before faults start.
 	if !r.put("warm", "up", 10*time.Second) {
@@ -398,4 +404,143 @@ func TestLinearizabilityCheckerCatchesBrokenStore(t *testing.T) {
 		t.Fatal("violation reported without a bad window")
 	}
 	t.Logf("checker correctly rejected the broken store; bad window:\n%s", sim.FormatOps(res.Bad))
+}
+
+// TestBrokenReadIndexStaleReadsRejected proves the checker guards the
+// ReadIndex protocol itself: raft.Config.UnsafeLocalReads skips the
+// leadership-confirmation quorum round, so a deposed leader that has
+// not heard about the new term keeps serving reads from its stale
+// state machine. The recorded history — put v1, read v1, put v2 (new
+// leader), read v1 (old leader) — is sequential, so only the
+// linearizability checker can reject it.
+func TestBrokenReadIndexStaleReadsRejected(t *testing.T) {
+	f := mercury.NewFabric()
+	var addrs []string
+	nodes := map[string]*raft.Node{}
+	cfg := chaosRaftCfg()
+	cfg.UnsafeLocalReads = true // the deliberate protocol break
+	var insts []*margo.Instance
+	for i := 0; i < 3; i++ {
+		cls, err := f.NewClass(fmt.Sprintf("stale-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := margo.New(cls, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(inst.Finalize)
+		insts = append(insts, inst)
+		addrs = append(addrs, inst.Addr())
+	}
+	for _, inst := range insts {
+		db, _ := yokan.Open(yokan.Config{Type: "map"})
+		node, err := NewRaftKVNode(inst, "stale", addrs, raft.NewMemoryStore(), db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Stop)
+		nodes[inst.Addr()] = node
+	}
+	newClient := func(name string, seeds []string) (*RaftKVClient, string) {
+		cls, err := f.NewClass(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := margo.New(cls, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(inst.Finalize)
+		return NewRaftKVClient(inst, "stale", seeds), inst.Addr()
+	}
+	writer, _ := newClient("stale-writer", addrs)
+
+	ctx := sctx(t)
+	epoch := time.Now()
+	ts := func() int64 { return time.Since(epoch).Nanoseconds() }
+	var ops []sim.Op
+	record := func(in sim.KVInput, out sim.KVOutput, call int64) {
+		ops = append(ops, sim.Op{Client: 0, Input: in, Output: out, Call: call, Return: ts()})
+	}
+
+	call := ts()
+	if err := writer.Put(ctx, []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	record(sim.KVInput{Op: sim.KVPut, Key: "k", Value: "v1"}, sim.KVOutput{}, call)
+
+	// Find the leader, then give a dedicated reader client that only
+	// knows the leader's address and gets partitioned with it.
+	var oldLeader string
+	if !pollUntil(2000, 5*time.Millisecond, func() bool {
+		for addr, n := range nodes {
+			if n.IsLeader() {
+				oldLeader = addr
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("no leader")
+	}
+	reader, readerAddr := newClient("stale-reader", []string{oldLeader})
+	// A post-partition writer seeded with the majority only: a forward
+	// into the partition is silently dropped (it would burn the whole
+	// op deadline), so the writer must never address the old leader.
+	var majorityAddrs []string
+	for _, a := range addrs {
+		if a != oldLeader {
+			majorityAddrs = append(majorityAddrs, a)
+		}
+	}
+	majorityWriter, _ := newClient("stale-writer2", majorityAddrs)
+
+	call = ts()
+	v, err := reader.Get(ctx, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(sim.KVInput{Op: sim.KVGet, Key: "k"}, sim.KVOutput{Value: string(v), Found: true}, call)
+
+	// Isolate the leader together with its reader; the majority elects
+	// a new leader and accepts a write the old leader never sees.
+	minority := []string{oldLeader, readerAddr}
+	f.Partition(minority)
+	if !pollUntil(4000, 5*time.Millisecond, func() bool {
+		for addr, n := range nodes {
+			if addr != oldLeader && n.IsLeader() {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("majority never elected a new leader")
+	}
+	call = ts()
+	if err := majorityWriter.Put(ctx, []byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	record(sim.KVInput{Op: sim.KVPut, Key: "k", Value: "v2"}, sim.KVOutput{}, call)
+
+	// The deposed leader, with quorum confirmation disabled, still
+	// thinks it leads and serves its stale state.
+	call = ts()
+	v, err = reader.Get(ctx, []byte("k"))
+	if err != nil {
+		t.Fatalf("deposed leader refused the read (UnsafeLocalReads should have served it): %v", err)
+	}
+	record(sim.KVInput{Op: sim.KVGet, Key: "k"}, sim.KVOutput{Value: string(v), Found: true}, call)
+	if string(v) != "v1" {
+		t.Fatalf("expected the stale v1 from the deposed leader, got %q", v)
+	}
+
+	res := sim.Check(sim.KVModel(), ops)
+	if res.Ok {
+		t.Fatal("checker accepted a stale read served without quorum confirmation")
+	}
+	if len(res.Bad) == 0 {
+		t.Fatal("violation reported without a bad window")
+	}
+	t.Logf("checker correctly rejected the broken ReadIndex; bad window:\n%s", sim.FormatOps(res.Bad))
 }

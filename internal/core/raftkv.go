@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"mochi/internal/codec"
@@ -88,14 +89,61 @@ type kvSession struct {
 	Result []byte
 }
 
-// kvFSM adapts a yokan.Database to raft.FSM.
+// kvFSM adapts a yokan.Database to raft.FSM. It also implements
+// raft.BatchFSM (the applier hands a whole committed run over under
+// one lock acquisition) and raft.ReaderFSM (ReadIndex gets bypass the
+// log; mu lets those reads run concurrently with each other while
+// excluding the applier).
 type kvFSM struct {
+	mu       sync.RWMutex
 	db       yokan.Database
 	sessions map[string]kvSession
 }
 
 // Apply implements raft.FSM.
 func (f *kvFSM) Apply(_ uint64, cmd []byte) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applyOne(cmd)
+}
+
+// ApplyBatch implements raft.BatchFSM: one lock acquisition covers the
+// whole committed run instead of one per command.
+func (f *kvFSM) ApplyBatch(cmds []raft.Command) [][]byte {
+	results := make([][]byte, len(cmds))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, c := range cmds {
+		results[i] = f.applyOne(c.Data)
+	}
+	return results
+}
+
+// Read implements raft.ReaderFSM: a ReadIndex query is a kvCommand
+// with no CID/Seq — reads have no side effects, so they never touch
+// the session table.
+func (f *kvFSM) Read(query []byte) []byte {
+	var c kvCommand
+	if err := codec.Unmarshal(query, &c); err != nil {
+		return codec.Marshal(&kvResult{Status: 2, Err: err.Error()})
+	}
+	var res kvResult
+	f.mu.RLock()
+	v, err := f.db.Get(c.Key)
+	f.mu.RUnlock()
+	switch err {
+	case nil:
+		res.Value = v
+	case yokan.ErrKeyNotFound:
+		res.Status = 1
+	default:
+		res.Status, res.Err = 2, err.Error()
+	}
+	return codec.Marshal(&res)
+}
+
+// applyOne executes one committed command; caller holds mu.
+func (f *kvFSM) applyOne(cmd []byte) []byte {
 	var c kvCommand
 	if err := codec.Unmarshal(cmd, &c); err != nil {
 		return codec.Marshal(&kvResult{Status: 2, Err: err.Error()})
@@ -149,6 +197,8 @@ func (f *kvFSM) Apply(_ uint64, cmd []byte) []byte {
 // state machine: a replica restored from a snapshot must still
 // recognize duplicates of commands the snapshot already covers.
 func (f *kvFSM) Snapshot() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	kvs, err := f.db.ListKeyValues(nil, nil, 0)
 	if err != nil {
 		return nil, err
@@ -176,6 +226,8 @@ func (f *kvFSM) Snapshot() ([]byte, error) {
 
 // Restore implements raft.FSM.
 func (f *kvFSM) Restore(snap []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	// Clear the database by erasing all keys, then load the snapshot.
 	keys, err := f.db.ListKeys(nil, nil, 0)
 	if err != nil {
@@ -225,6 +277,13 @@ type RaftKVClient struct {
 	rc  *raft.Client
 	cid string
 	seq uint64
+
+	// LogReads routes Get through the replicated log (a kvOpGet
+	// command with full session bookkeeping) instead of the default
+	// ReadIndex path. Reads through the log pay an append, an fsync,
+	// and a replication round each; keep this off unless replaying old
+	// histories or A/B-benchmarking the two paths (EXPERIMENTS.md E15).
+	LogReads bool
 }
 
 // kvClientCtr disambiguates multiple clients on one instance address.
@@ -259,9 +318,21 @@ func (c *RaftKVClient) Put(ctx context.Context, key, value []byte) error {
 	return err
 }
 
-// Get reads linearizably (through the log).
+// Get reads linearizably. By default it uses the ReadIndex path: no
+// log entry, no fsync — the leader confirms leadership with one
+// heartbeat quorum round (shared across concurrent reads) and answers
+// from the state machine. With LogReads set, the get is serialized
+// through the log like a write.
 func (c *RaftKVClient) Get(ctx context.Context, key []byte) ([]byte, error) {
-	res, err := c.do(ctx, kvCommand{Op: kvOpGet, Key: key})
+	var res *kvResult
+	var err error
+	if c.LogReads {
+		res, err = c.do(ctx, kvCommand{Op: kvOpGet, Key: key})
+	} else {
+		// No CID/Seq: reads have no side effects, so they need no
+		// at-most-once session bookkeeping.
+		res, err = c.read(ctx, kvCommand{Op: kvOpGet, Key: key})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -269,6 +340,21 @@ func (c *RaftKVClient) Get(ctx context.Context, key []byte) ([]byte, error) {
 		return nil, yokan.ErrKeyNotFound
 	}
 	return res.Value, nil
+}
+
+func (c *RaftKVClient) read(ctx context.Context, cmd kvCommand) (*kvResult, error) {
+	out, err := c.rc.Read(ctx, codec.Marshal(&cmd))
+	if err != nil {
+		return nil, err
+	}
+	var res kvResult
+	if err := codec.Unmarshal(out, &res); err != nil {
+		return nil, err
+	}
+	if res.Status == 2 {
+		return nil, fmt.Errorf("core: raft kv: %s", res.Err)
+	}
+	return &res, nil
 }
 
 // Erase removes a key through the log.

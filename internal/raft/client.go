@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"mochi/internal/clock"
@@ -21,6 +22,26 @@ type Client struct {
 	seeds []string
 	// RetryInterval between attempts (default 50ms).
 	RetryInterval time.Duration
+
+	// leaderMu guards leader, the last address that answered (or was
+	// hinted) as leader. Caching it across calls keeps the steady state
+	// at one RPC per op; without it every call rediscovers the leader
+	// by walking the seed list.
+	leaderMu sync.Mutex
+	leader   string
+}
+
+// cachedLeader returns the last known leader address ("" if none).
+func (c *Client) cachedLeader() string {
+	c.leaderMu.Lock()
+	defer c.leaderMu.Unlock()
+	return c.leader
+}
+
+func (c *Client) storeLeader(addr string) {
+	c.leaderMu.Lock()
+	c.leader = addr
+	c.leaderMu.Unlock()
 }
 
 // NewClient creates a client for the group reachable via seeds. Retry
@@ -48,13 +69,15 @@ func (c *Client) retryWait(ctx context.Context) bool {
 func (c *Client) Apply(ctx context.Context, cmd []byte) ([]byte, error) {
 	args := applyArgs{Group: c.group, Cmd: cmd}
 	payload := codec.Marshal(&args)
-	target := ""
+	target := c.cachedLeader()
 	var lastErr error
+	fast := 0
 	for {
 		candidates := c.seeds
 		if target != "" {
 			candidates = append([]string{target}, c.seeds...)
 		}
+		hinted := false
 		for _, addr := range candidates {
 			out, err := c.inst.Forward(ctx, addr, rpcApply, payload)
 			if err != nil {
@@ -67,14 +90,81 @@ func (c *Client) Apply(ctx context.Context, cmd []byte) ([]byte, error) {
 				continue
 			}
 			if reply.OK {
+				c.storeLeader(addr)
 				return reply.Result, nil
 			}
 			lastErr = fmt.Errorf("raft: %s", reply.Err)
 			if reply.LeaderHint != "" && reply.LeaderHint != addr {
 				target = reply.LeaderHint
-				break // try the hinted leader next round, immediately
+				c.storeLeader(target)
+				hinted = true
+				break // try the hinted leader next round
 			}
 		}
+		// A fresh hint retries without sleeping (bounded, so mutually
+		// stale hints cannot hot-loop); otherwise pace the retry.
+		if hinted && fast < 3 {
+			fast++
+			continue
+		}
+		fast = 0
+		if !c.retryWait(ctx) {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last: %v)", ErrTimeout, lastErr)
+			}
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// Read submits a read-only query over the ReadIndex path (no log
+// entry, no fsync), retrying until ctx expires. The group's FSM must
+// implement ReaderFSM.
+func (c *Client) Read(ctx context.Context, query []byte) ([]byte, error) {
+	args := readArgs{Group: c.group, Query: query}
+	payload := codec.Marshal(&args)
+	target := c.cachedLeader()
+	var lastErr error
+	fast := 0
+	for {
+		candidates := c.seeds
+		if target != "" {
+			candidates = append([]string{target}, c.seeds...)
+		}
+		hinted := false
+		for _, addr := range candidates {
+			out, err := c.inst.Forward(ctx, addr, rpcRead, payload)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			var reply applyReply
+			if err := codec.Unmarshal(out, &reply); err != nil {
+				lastErr = err
+				continue
+			}
+			if reply.OK {
+				c.storeLeader(addr)
+				return reply.Result, nil
+			}
+			lastErr = fmt.Errorf("raft: %s", reply.Err)
+			if strings.Contains(reply.Err, "does not support read-only") {
+				return nil, ErrNoReader // terminal: retrying cannot help
+			}
+			if reply.LeaderHint != "" && reply.LeaderHint != addr {
+				target = reply.LeaderHint
+				c.storeLeader(target)
+				hinted = true
+				break // try the hinted leader next round
+			}
+		}
+		// A fresh hint retries without sleeping (bounded, so mutually
+		// stale hints cannot hot-loop); otherwise pace the retry.
+		if hinted && fast < 3 {
+			fast++
+			continue
+		}
+		fast = 0
 		if !c.retryWait(ctx) {
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last: %v)", ErrTimeout, lastErr)

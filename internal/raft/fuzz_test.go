@@ -26,10 +26,11 @@ func FuzzWireMessages(f *testing.F) {
 	seed(7, &configChangeArgs{Group: "g", Addr: "sm://c", Remove: true})
 	seed(8, &statusReply{OK: true, Role: 2, Term: 3, Leader: "sm://a", Peers: []string{"sm://a"}})
 	seed(9, &snapshotEnvelope{Peers: []string{"sm://a"}, FSM: []byte("state")})
+	seed(10, &readArgs{Group: "g", Query: []byte("get k")})
 	f.Add(uint8(2), []byte{0x01, 0x61, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 
 	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
-		switch sel % 10 {
+		switch sel % 11 {
 		case 0:
 			var v requestVoteArgs
 			_ = codec.Unmarshal(data, &v)
@@ -59,6 +60,9 @@ func FuzzWireMessages(f *testing.F) {
 			_ = codec.Unmarshal(data, &v)
 		case 9:
 			var v snapshotEnvelope
+			_ = codec.Unmarshal(data, &v)
+		case 10:
+			var v readArgs
 			_ = codec.Unmarshal(data, &v)
 		}
 	})

@@ -1,0 +1,56 @@
+package raft
+
+import (
+	"mochi/internal/metrics"
+)
+
+// batchBuckets spans 1 to 512 entries in factor-2 steps — group-commit
+// and apply batches are capped by MaxBatchEntries (default 64), so the
+// interesting range is small and dense.
+var batchBuckets = metrics.ExpBuckets(1, 2, 10)
+
+// nodeMetrics is the replication-health surface of one Raft node,
+// registered on the instance's registry so the series ride the
+// existing exposition plane (bedrock /metrics, bedrock_get_metrics,
+// bedrock-query -metrics, the cluster federation view) for free.
+type nodeMetrics struct {
+	// commitLatency is the full proposal round trip observed by Apply:
+	// enqueue → group commit → replication → apply → waiter wakeup.
+	commitLatency *metrics.Histogram // mochi_raft_commit_latency_seconds{group}
+	// batchEntries is the number of proposals coalesced into one
+	// leader group commit (one store.Append, one fsync).
+	batchEntries *metrics.Histogram // mochi_raft_batch_entries{group}
+	// applyEntries is the committed-range run drained per applier
+	// wakeup (the batched-apply mirror of batchEntries).
+	applyEntries *metrics.Histogram // mochi_raft_apply_entries{group}
+	// readRounds counts ReadIndex leadership-confirmation heartbeat
+	// rounds; readBatch is how many pending reads each round served.
+	readRounds *metrics.Counter   // mochi_raft_readindex_rounds_total{group}
+	readBatch  *metrics.Histogram // mochi_raft_readindex_batch{group}
+	// appendErrors counts persistent-store write failures (each one
+	// steps a leader down rather than silently dropping the command).
+	appendErrors *metrics.Counter // mochi_raft_store_append_errors_total{group}
+}
+
+func newNodeMetrics(reg *metrics.Registry, group string) *nodeMetrics {
+	return &nodeMetrics{
+		commitLatency: reg.Histogram("mochi_raft_commit_latency_seconds",
+			"Proposal round trip at the leader: submit to applied result, by group.",
+			metrics.LatencyBuckets, "group").With(group),
+		batchEntries: reg.Histogram("mochi_raft_batch_entries",
+			"Entries coalesced per leader group commit (one store append + fsync), by group.",
+			batchBuckets, "group").With(group),
+		applyEntries: reg.Histogram("mochi_raft_apply_entries",
+			"Committed entries drained per applier wakeup, by group.",
+			batchBuckets, "group").With(group),
+		readRounds: reg.Counter("mochi_raft_readindex_rounds_total",
+			"ReadIndex leadership-confirmation heartbeat rounds, by group.",
+			"group").With(group),
+		readBatch: reg.Histogram("mochi_raft_readindex_batch",
+			"Pending linearizable reads served per ReadIndex confirmation round, by group.",
+			batchBuckets, "group").With(group),
+		appendErrors: reg.Counter("mochi_raft_store_append_errors_total",
+			"Persistent-store append failures on the leader (each steps the leader down), by group.",
+			"group").With(group),
+	}
+}

@@ -30,6 +30,27 @@ type Config struct {
 	// MaxEntriesPerAppend caps entries per AppendEntries RPC
 	// (default 64).
 	MaxEntriesPerAppend int
+	// MaxBatchEntries caps how many concurrent proposals coalesce into
+	// one leader group commit — one store.Append (one fsync on
+	// FileStore) and one waiter registration pass (default 64). It
+	// also caps the committed run the applier drains per wakeup.
+	// 1 restores the pre-batching behavior (every proposal pays its
+	// own append), kept as the A/B baseline for the E15 tables.
+	MaxBatchEntries int
+	// BatchWindow makes a group-commit leader linger before appending
+	// so more concurrent proposals can join its batch (default 0:
+	// batches still form naturally while an earlier append holds the
+	// node mutex). Wall-clock, like logdb's batch_window — it
+	// amortizes real fsync latency, not protocol time.
+	BatchWindow time.Duration
+	// UnsafeLocalReads skips the ReadIndex leadership-confirmation
+	// quorum round, so a leader answers reads from local state alone
+	// and a deposed leader serves stale reads — a real
+	// linearizability violation. The knob exists so the simulation
+	// harness can prove its checker rejects exactly that history
+	// (internal/core TestBrokenReadIndexStaleReadsRejected); never
+	// enable it in production.
+	UnsafeLocalReads bool
 }
 
 func (c Config) withDefaults() Config {
@@ -44,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEntriesPerAppend <= 0 {
 		c.MaxEntriesPerAppend = 64
+	}
+	if c.MaxBatchEntries <= 0 {
+		c.MaxBatchEntries = 64
 	}
 	return c
 }
@@ -62,6 +86,43 @@ type Status struct {
 type applyResult struct {
 	result []byte
 	term   uint64
+}
+
+// proposal is one command queued for the leader group commit. resCh
+// receives the apply result once the entry commits and applies; term
+// is the term the entry was appended at.
+type proposal struct {
+	entry LogEntry
+	idx   uint64
+	term  uint64
+	err   error
+	resCh chan applyResult
+}
+
+// proposalBatch is one group commit in formation. The first proposer
+// becomes the batch leader: it appends every queued entry with one
+// store.Append (one fsync on FileStore), registers every waiter under
+// one mutex acquisition, then closes done to release the followers —
+// the same leader/follower shape as logdb's group commit.
+type proposalBatch struct {
+	props []*proposal
+	done  chan struct{}
+}
+
+// readBatch is one ReadIndex confirmation in formation: every read
+// pending when the round starts rides the same leadership-confirmation
+// heartbeat quorum round.
+type readBatch struct {
+	term uint64
+	n    int
+	err  error
+	done chan struct{}
+}
+
+// applyWaiter parks a ReadIndex read until lastApplied reaches index.
+type applyWaiter struct {
+	index uint64
+	ch    chan struct{}
 }
 
 type raftRegistry struct {
@@ -84,6 +145,7 @@ func raftRegistryFor(inst *margo.Instance) (*raftRegistry, error) {
 			rpcAppendEntries:   reg.handleAppendEntries,
 			rpcInstallSnapshot: reg.handleInstallSnapshot,
 			rpcApply:           reg.handleApply,
+			rpcRead:            reg.handleRead,
 			rpcConfigChange:    reg.handleConfigChange,
 			rpcStatus:          reg.handleStatus,
 		}
@@ -138,6 +200,32 @@ type Node struct {
 
 	rng   *rand.Rand
 	rngMu sync.Mutex
+
+	met *nodeMetrics
+
+	// Group-commit proposal path: propMu guards only the forming
+	// batch, never held across I/O or n.mu. commitMu serializes batch
+	// leaders; a leader detaches its batch only after acquiring it, so
+	// the forming batch keeps absorbing proposals for as long as the
+	// previous batch's append (and fsync) is in flight — that window,
+	// not the optional BatchWindow linger, is what grows batches under
+	// load.
+	propMu      sync.Mutex
+	propPending *proposalBatch
+	commitMu    sync.Mutex
+
+	// ReadIndex path: readMu guards the forming read batch; roundMu
+	// serializes confirmation rounds, so a batch formed while a round
+	// is in flight waits for the next one. That ordering matters for
+	// safety: every member of a batch recorded its read index before
+	// the round that confirms it sends a single RPC.
+	readMu      sync.Mutex
+	readPending *readBatch
+	roundMu     sync.Mutex
+
+	// applyWaiters are ReadIndex reads parked until lastApplied
+	// reaches their index; guarded by mu, signaled by the applier.
+	applyWaiters []applyWaiter
 }
 
 // NewNode creates and starts a Raft member. peers is the initial
@@ -166,6 +254,7 @@ func NewNode(inst *margo.Instance, group string, peers []string, store Store, fs
 		replNotify:    map[string]chan struct{}{},
 		stopCh:        make(chan struct{}),
 		rng:           rand.New(rand.NewSource(int64(mercury.NameToID(inst.Addr() + "/" + group)))),
+		met:           newNodeMetrics(inst.Metrics(), group),
 	}
 	// Recover persistent state.
 	term, voted, err := store.State()
@@ -258,6 +347,10 @@ func (n *Node) Stop() {
 			close(ch)
 			delete(n.waiters, idx)
 		}
+		for _, w := range n.applyWaiters {
+			close(w.ch)
+		}
+		n.applyWaiters = nil
 		n.mu.Unlock()
 		close(n.stopCh)
 	})
@@ -414,8 +507,11 @@ func (n *Node) becomeLeader(term uint64) {
 	n.mu.Unlock()
 
 	// Commit entries from previous terms by appending a no-op at the
-	// current term (§5.4.2 of the Raft paper).
-	n.appendLocal(LogEntry{Type: EntryNoop})
+	// current term (§5.4.2 of the Raft paper). An append failure has
+	// already stepped us back down; nothing more to do here.
+	if _, err := n.appendLocal(LogEntry{Type: EntryNoop}); err != nil {
+		return
+	}
 
 	for _, p := range peers {
 		if p != n.id {
@@ -447,14 +543,23 @@ func (n *Node) stepDown(term uint64, leader string) {
 
 // --- log append / replication ---
 
-// appendLocal appends an entry at the leader and returns its index.
-func (n *Node) appendLocal(e LogEntry) uint64 {
+// appendLocal appends a single protocol entry (no-op, config) at the
+// leader and returns its index. A persistent-store failure surfaces
+// the error and steps the leader down: a leader that cannot write its
+// own log must not keep acking commands it will never replicate.
+func (n *Node) appendLocal(e LogEntry) (uint64, error) {
 	n.mu.Lock()
 	e.Index = n.store.LastIndex() + 1
 	e.Term = n.term
 	if err := n.store.Append([]LogEntry{e}); err != nil {
+		n.met.appendErrors.Inc()
+		if n.role == Leader {
+			n.role = Follower
+			n.leaderGen++
+		}
 		n.mu.Unlock()
-		return 0
+		n.resetElectionTimer()
+		return 0, fmt.Errorf("raft: leader store append: %w", err)
 	}
 	n.matchIndex[n.id] = e.Index
 	if e.Type == EntryConfig {
@@ -465,7 +570,7 @@ func (n *Node) appendLocal(e LogEntry) uint64 {
 	}
 	n.mu.Unlock()
 	n.notifyReplicators()
-	return e.Index
+	return e.Index, nil
 }
 
 // applyConfigLocked switches to a new peer set immediately (Raft uses
@@ -767,6 +872,11 @@ func (n *Node) applier() {
 	}
 }
 
+// applyCommitted drains the committed range in runs of up to
+// MaxBatchEntries: one mutex acquisition reads the run, the FSM
+// applies it outside the lock (through ApplyBatch when supported), and
+// one re-acquisition advances lastApplied, collects every waiter, and
+// releases ReadIndex reads that the run satisfied.
 func (n *Node) applyCommitted() {
 	for {
 		n.mu.Lock()
@@ -774,31 +884,69 @@ func (n *Node) applyCommitted() {
 			n.mu.Unlock()
 			return
 		}
-		idx := n.lastApplied + 1
-		e, err := n.store.Entry(idx)
-		if err != nil {
+		lo := n.lastApplied + 1
+		hi := n.commitIndex
+		if span := uint64(n.cfg.MaxBatchEntries); hi-lo+1 > span {
+			hi = lo + span - 1
+		}
+		entries, err := n.store.Entries(lo, hi)
+		n.mu.Unlock()
+		if err != nil || len(entries) == 0 {
+			return
+		}
+
+		results := make([][]byte, len(entries))
+		if bf, ok := n.fsm.(BatchFSM); ok {
+			cmds := make([]Command, 0, len(entries))
+			pos := make([]int, 0, len(entries))
+			for i, e := range entries {
+				if e.Type == EntryCommand {
+					cmds = append(cmds, Command{Index: e.Index, Data: e.Data})
+					pos = append(pos, i)
+				}
+			}
+			if len(cmds) > 0 {
+				for i, r := range bf.ApplyBatch(cmds) {
+					if i < len(pos) {
+						results[pos[i]] = r
+					}
+				}
+			}
+		} else {
+			for i, e := range entries {
+				if e.Type == EntryCommand {
+					results[i] = n.fsm.Apply(e.Index, e.Data)
+				}
+			}
+		}
+
+		type wake struct {
+			ch  chan applyResult
+			res applyResult
+		}
+		var wakes []wake
+		n.mu.Lock()
+		if n.lastApplied+1 != lo {
+			// A snapshot install moved lastApplied underneath us (it
+			// only ever jumps forward over committed, applied state);
+			// this run is stale, drop it.
 			n.mu.Unlock()
 			return
 		}
-		n.mu.Unlock()
-
-		var result []byte
-		if e.Type == EntryCommand {
-			result = n.fsm.Apply(e.Index, e.Data)
+		n.lastApplied = hi
+		n.appliedSinceSnap += uint64(len(entries))
+		for i, e := range entries {
+			if ch, ok := n.waiters[e.Index]; ok {
+				delete(n.waiters, e.Index)
+				wakes = append(wakes, wake{ch: ch, res: applyResult{result: results[i], term: e.Term}})
+			}
 		}
-
-		n.mu.Lock()
-		n.lastApplied = idx
-		n.appliedSinceSnap++
-		ch, ok := n.waiters[idx]
-		if ok {
-			delete(n.waiters, idx)
-		}
+		n.signalAppliedLocked()
 		needSnap := n.cfg.SnapshotThreshold > 0 && n.appliedSinceSnap >= n.cfg.SnapshotThreshold
-		term := e.Term
 		n.mu.Unlock()
-		if ok {
-			ch <- applyResult{result: result, term: term}
+		n.met.applyEntries.Observe(float64(len(entries)))
+		for _, w := range wakes {
+			w.ch <- w.res
 		}
 		if needSnap {
 			_ = n.TakeSnapshot()
@@ -806,47 +954,399 @@ func (n *Node) applyCommitted() {
 	}
 }
 
+// signalAppliedLocked releases ReadIndex waiters whose target index
+// has been applied. Caller holds mu.
+func (n *Node) signalAppliedLocked() {
+	if len(n.applyWaiters) == 0 {
+		return
+	}
+	kept := n.applyWaiters[:0]
+	for _, w := range n.applyWaiters {
+		if w.index <= n.lastApplied {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	n.applyWaiters = kept
+}
+
 // Apply submits a command locally; the caller must be talking to the
 // leader (use Client.Apply for automatic forwarding).
+//
+// Concurrent Apply calls coalesce: the first proposer of a batch
+// becomes its leader and performs one store.Append (one fsync on
+// FileStore) and one waiter-registration pass for every queued
+// command; the rest just wait on the batch. Replicators then ship the
+// whole run in one AppendEntries round.
 func (n *Node) Apply(ctx context.Context, cmd []byte) ([]byte, error) {
-	n.mu.Lock()
-	if n.stopped {
-		n.mu.Unlock()
-		return nil, ErrStopped
+	// No leadership pre-check here: it would need n.mu, which an
+	// in-flight group commit holds across its fsync — exactly the
+	// window in which new proposals must keep enqueueing for batches
+	// to form. The batch leader performs the authoritative role check
+	// under n.mu and fails the whole batch with the same leaderError.
+	start := time.Now()
+	p := &proposal{
+		entry: LogEntry{Type: EntryCommand, Data: cmd},
+		resCh: make(chan applyResult, 1),
 	}
-	if n.role != Leader {
-		leader := n.leader
-		n.mu.Unlock()
-		return nil, leaderError(leader)
+	b, lead := n.enqueueProposal(p)
+	if lead {
+		n.leadProposals(b)
+	} else {
+		// Bounded wait: the batch leader always closes done, even on
+		// stop or step-down.
+		<-b.done
 	}
-	term := n.term
-	n.mu.Unlock()
-
-	idx := n.appendLocal(LogEntry{Type: EntryCommand, Data: cmd})
-	if idx == 0 {
-		return nil, fmt.Errorf("raft: append failed")
+	if p.err != nil {
+		return nil, p.err
 	}
-	ch := make(chan applyResult, 1)
-	n.mu.Lock()
-	n.waiters[idx] = ch
-	n.mu.Unlock()
-	n.advanceCommit() // single-node fast path
 	select {
-	case res, ok := <-ch:
+	case res, ok := <-p.resCh:
 		if !ok {
 			return nil, ErrStopped
 		}
-		if res.term != term {
+		if res.term != p.term {
 			return nil, ErrNotLeader // overwritten by a newer leader
 		}
+		n.met.commitLatency.Observe(time.Since(start).Seconds())
 		return res.result, nil
 	case <-ctx.Done():
 		n.mu.Lock()
-		delete(n.waiters, idx)
+		if ch, ok := n.waiters[p.idx]; ok && ch == p.resCh {
+			delete(n.waiters, p.idx)
+		}
 		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
 	case <-n.stopCh:
 		return nil, ErrStopped
+	}
+}
+
+// enqueueProposal adds p to the forming batch, starting a fresh one if
+// none is pending or the pending one is full. Returns the batch and
+// whether the caller became its leader.
+func (n *Node) enqueueProposal(p *proposal) (*proposalBatch, bool) {
+	n.propMu.Lock()
+	b := n.propPending
+	lead := b == nil || len(b.props) >= n.cfg.MaxBatchEntries
+	if lead {
+		b = &proposalBatch{done: make(chan struct{})}
+		n.propPending = b
+	}
+	b.props = append(b.props, p)
+	n.propMu.Unlock()
+	return b, lead
+}
+
+// leadProposals runs one group commit: optionally linger so more
+// proposals join, wait for the previous batch leader to finish, detach
+// the batch, then assign contiguous indexes and persist every entry
+// with a single store.Append under one node-mutex acquisition.
+//
+// The detach happens only after commitMu is held: while an earlier
+// batch's fsync is in flight, this batch stays pending and keeps
+// absorbing concurrent proposals, which is where multi-entry batches
+// come from even with BatchWindow 0.
+func (n *Node) leadProposals(b *proposalBatch) {
+	if n.cfg.BatchWindow > 0 {
+		// Wall-clock on purpose (like logdb's batch window): the
+		// linger amortizes real fsync latency, which the simulated
+		// clock does not model.
+		time.Sleep(n.cfg.BatchWindow)
+	}
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	if n.cfg.BatchWindow == 0 {
+		// Adaptive linger: while earlier entries are appended but not
+		// yet applied, hold off detaching — commit latency is gated on
+		// their replication anyway, and every proposal arriving in the
+		// meantime joins this batch. Without this gate the group is
+		// metastable: once proposals start arriving one replication
+		// round apart, each finds the pipeline idle, appends alone, and
+		// keeps the one-fsync-per-op lockstep going. The wait is
+		// bounded so a stalled pipeline (lost leadership mid-wait)
+		// degrades to the role check below instead of hanging.
+		n.mu.Lock()
+		if last := n.store.LastIndex(); last > n.lastApplied && !n.stopped && n.role == Leader {
+			ch := make(chan struct{})
+			n.applyWaiters = append(n.applyWaiters, applyWaiter{index: last, ch: ch})
+			n.mu.Unlock()
+			t := n.clk.NewTimer(n.cfg.HeartbeatInterval)
+			select {
+			case <-ch:
+			case <-t.C():
+			case <-n.stopCh:
+			}
+			t.Stop()
+		} else {
+			n.mu.Unlock()
+		}
+	}
+	n.propMu.Lock()
+	if n.propPending == b {
+		n.propPending = nil
+	}
+	n.propMu.Unlock()
+
+	n.mu.Lock()
+	if n.stopped {
+		failProposals(b, ErrStopped)
+		n.mu.Unlock()
+		close(b.done)
+		return
+	}
+	if n.role != Leader {
+		err := leaderError(n.leader)
+		failProposals(b, err)
+		n.mu.Unlock()
+		close(b.done)
+		return
+	}
+	base := n.store.LastIndex()
+	term := n.term
+	entries := make([]LogEntry, len(b.props))
+	for i, p := range b.props {
+		p.entry.Index = base + 1 + uint64(i)
+		p.entry.Term = term
+		entries[i] = p.entry
+	}
+	if err := n.store.Append(entries); err != nil {
+		// The leader cannot persist its own log: step down and
+		// surface the store error to every caller in the batch
+		// instead of silently dropping the commands.
+		n.met.appendErrors.Inc()
+		n.role = Follower
+		n.leaderGen++
+		failProposals(b, fmt.Errorf("raft: leader store append: %w", err))
+		n.mu.Unlock()
+		n.resetElectionTimer()
+		close(b.done)
+		return
+	}
+	last := base + uint64(len(b.props))
+	n.matchIndex[n.id] = last
+	for _, p := range b.props {
+		p.idx = p.entry.Index
+		p.term = term
+		n.waiters[p.idx] = p.resCh
+	}
+	n.mu.Unlock()
+	n.met.batchEntries.Observe(float64(len(b.props)))
+	close(b.done)
+	n.notifyReplicators()
+	n.advanceCommit() // single-node fast path
+}
+
+func failProposals(b *proposalBatch, err error) {
+	for _, p := range b.props {
+		p.err = err
+	}
+}
+
+// --- ReadIndex ---
+
+// Read answers a read-only query linearizably without writing a log
+// entry (the ReadIndex protocol): record commitIndex as the read
+// index, confirm leadership with one heartbeat quorum round shared by
+// every pending read, wait until the read index has been applied, then
+// query the FSM. The caller must be talking to the leader (use
+// Client.Read for automatic forwarding). The FSM must implement
+// ReaderFSM.
+//
+// Safety does not need a leader lease: once the quorum round confirms
+// the term, every write that completed before this read began is
+// covered by the recorded read index (a later leader needs a quorum at
+// a higher term, which the round would have observed), so serving the
+// query is linearizable even if this node is deposed right after.
+func (n *Node) Read(ctx context.Context, query []byte) ([]byte, error) {
+	rf, ok := n.fsm.(ReaderFSM)
+	if !ok {
+		return nil, ErrNoReader
+	}
+	for {
+		n.mu.Lock()
+		if n.stopped {
+			n.mu.Unlock()
+			return nil, ErrStopped
+		}
+		if n.role != Leader {
+			leader := n.leader
+			n.mu.Unlock()
+			return nil, leaderError(leader)
+		}
+		term := n.term
+		readIndex := n.commitIndex
+		commitTerm, terr := n.store.Term(readIndex)
+		n.mu.Unlock()
+		if terr == nil && commitTerm == term {
+			// ReadIndex precondition holds: an entry of the current
+			// term is committed (the no-op appended at election
+			// guarantees this happens promptly), so commitIndex covers
+			// everything committed by earlier leaders.
+			if !n.cfg.UnsafeLocalReads {
+				if err := n.confirmLeadership(ctx, term); err != nil {
+					return nil, err
+				}
+			}
+			if err := n.waitApplied(ctx, readIndex); err != nil {
+				return nil, err
+			}
+			return rf.Read(query), nil
+		}
+		// The current term's no-op has not committed yet: wait a beat
+		// and retry.
+		t := n.clk.NewTimer(n.cfg.HeartbeatInterval / 2)
+		select {
+		case <-t.C():
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+		case <-n.stopCh:
+			t.Stop()
+			return nil, ErrStopped
+		}
+		t.Stop()
+	}
+}
+
+// confirmLeadership establishes that this node still led term by
+// completing one heartbeat quorum round. Concurrent reads batch: the
+// first pending read becomes the round leader and one round serves
+// every read queued behind it. Reads arriving while a round is in
+// flight form the next batch — they must not ride the current one,
+// because the safety argument needs every member's read index recorded
+// before the round's replies arrive, and roundMu enforces exactly
+// that by detaching the batch before the round starts.
+func (n *Node) confirmLeadership(ctx context.Context, term uint64) error {
+	n.readMu.Lock()
+	if b := n.readPending; b != nil && b.term == term {
+		b.n++
+		n.readMu.Unlock()
+		select {
+		case <-b.done:
+			return b.err
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+		case <-n.stopCh:
+			return ErrStopped
+		}
+	}
+	b := &readBatch{term: term, n: 1, done: make(chan struct{})}
+	n.readPending = b
+	n.readMu.Unlock()
+
+	n.roundMu.Lock()
+	n.readMu.Lock()
+	if n.readPending == b {
+		n.readPending = nil
+	}
+	n.readMu.Unlock()
+	b.err = n.heartbeatQuorum(ctx, term)
+	n.roundMu.Unlock()
+	n.met.readRounds.Inc()
+	n.met.readBatch.Observe(float64(b.n))
+	close(b.done)
+	return b.err
+}
+
+// heartbeatQuorum sends one empty AppendEntries to every peer and
+// waits for a majority (counting self) to acknowledge the term. The
+// empty heartbeat carries LeaderCommit 0, so it cannot move follower
+// state; only the reply term matters. A reply carrying a higher term
+// steps this node down and fails the round.
+func (n *Node) heartbeatQuorum(ctx context.Context, term uint64) error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	if n.role != Leader || n.term != term {
+		leader := n.leader
+		n.mu.Unlock()
+		return leaderError(leader)
+	}
+	peers := append([]string(nil), n.peers...)
+	n.mu.Unlock()
+
+	needed := len(peers)/2 + 1
+	acks := 0
+	for _, p := range peers {
+		if p == n.id {
+			acks++
+		}
+	}
+	if acks >= needed {
+		return nil // single-node group
+	}
+	args := appendEntriesArgs{Group: n.group, Term: term, Leader: n.id}
+	payload := codec.Marshal(&args)
+	rctx, cancel := context.WithTimeout(ctx, n.cfg.ElectionTimeoutMin)
+	defer cancel()
+	replies := make(chan uint64, len(peers))
+	for _, p := range peers {
+		if p == n.id {
+			continue
+		}
+		go func(p string) {
+			out, err := n.inst.Forward(rctx, p, rpcAppendEntries, payload)
+			if err != nil {
+				return
+			}
+			var reply appendEntriesReply
+			if codec.Unmarshal(out, &reply) != nil {
+				return
+			}
+			replies <- reply.Term
+		}(p)
+	}
+	for {
+		select {
+		case rt := <-replies:
+			if rt > term {
+				n.stepDown(rt, "")
+				return ErrNotLeader
+			}
+			acks++
+			if acks >= needed {
+				return nil
+			}
+		case <-rctx.Done():
+			return fmt.Errorf("%w: readindex quorum: %v", ErrTimeout, rctx.Err())
+		case <-n.stopCh:
+			return ErrStopped
+		}
+	}
+}
+
+// waitApplied blocks until lastApplied >= index, i.e. the effects at
+// the read index are visible in the FSM.
+func (n *Node) waitApplied(ctx context.Context, index uint64) error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	if n.lastApplied >= index {
+		n.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	n.applyWaiters = append(n.applyWaiters, applyWaiter{index: index, ch: ch})
+	n.mu.Unlock()
+	select {
+	case <-ch:
+		n.mu.Lock()
+		stopped := n.stopped
+		n.mu.Unlock()
+		if stopped {
+			return ErrStopped
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	case <-n.stopCh:
+		return ErrStopped
 	}
 }
 
@@ -908,9 +1408,9 @@ func (n *Node) changeConfig(ctx context.Context, addr string, remove bool) error
 	term := n.term
 	n.mu.Unlock()
 
-	idx := n.appendLocal(LogEntry{Type: EntryConfig, Data: data})
-	if idx == 0 {
-		return fmt.Errorf("raft: config append failed")
+	idx, err := n.appendLocal(LogEntry{Type: EntryConfig, Data: data})
+	if err != nil {
+		return err
 	}
 	n.advanceCommit()
 	// Wait for commitment.
@@ -1091,12 +1591,14 @@ func (n *Node) onAppendEntries(args *appendEntriesArgs) *appendEntriesReply {
 		}
 	}
 
-	// Append, resolving conflicts.
+	// Resolve conflicts, then append all new entries with a single
+	// store.Append — one fsync per RPC instead of one per entry.
+	toAppend := args.Entries[:0:0]
 	for _, e := range args.Entries {
 		if e.Index < first {
 			continue // covered by snapshot
 		}
-		if e.Index <= n.store.LastIndex() {
+		if len(toAppend) == 0 && e.Index <= n.store.LastIndex() {
 			t, err := n.store.Term(e.Index)
 			if err == nil && t == e.Term {
 				continue // already have it
@@ -1106,15 +1608,21 @@ func (n *Node) onAppendEntries(args *appendEntriesArgs) *appendEntriesReply {
 				return reply
 			}
 		}
-		if err := n.store.Append([]LogEntry{e}); err != nil {
+		toAppend = append(toAppend, e)
+	}
+	if len(toAppend) > 0 {
+		if err := n.store.Append(toAppend); err != nil {
+			n.met.appendErrors.Inc()
 			n.mu.Unlock()
 			return reply
 		}
-		if e.Type == EntryConfig {
-			var ps []string
-			if json.Unmarshal(e.Data, &ps) == nil {
-				n.peers = append([]string(nil), ps...)
-				n.pendingConfig = e.Index
+		for _, e := range toAppend {
+			if e.Type == EntryConfig {
+				var ps []string
+				if json.Unmarshal(e.Data, &ps) == nil {
+					n.peers = append([]string(nil), ps...)
+					n.pendingConfig = e.Index
+				}
 			}
 		}
 	}
@@ -1192,6 +1700,7 @@ func (n *Node) onInstallSnapshot(args *installSnapshotArgs) *appendEntriesReply 
 	n.peers = append([]string(nil), env.Peers...)
 	n.commitIndex = args.LastIndex
 	n.lastApplied = args.LastIndex
+	n.signalAppliedLocked()
 	reply.Success = true
 	n.mu.Unlock()
 	return reply
@@ -1211,6 +1720,31 @@ func (r *raftRegistry) handleApply(_ context.Context, h *mercury.Handle) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*n.cfg.ElectionTimeoutMax)
 	defer cancel()
 	result, err := n.Apply(ctx, args.Cmd)
+	reply := applyReply{}
+	if err != nil {
+		reply.Err = err.Error()
+		reply.LeaderHint = n.Leader()
+	} else {
+		reply.OK = true
+		reply.Result = result
+	}
+	_ = h.Respond(codec.Marshal(&reply))
+}
+
+func (r *raftRegistry) handleRead(_ context.Context, h *mercury.Handle) {
+	var args readArgs
+	if err := codec.Unmarshal(h.Input(), &args); err != nil {
+		_ = h.RespondError(err)
+		return
+	}
+	n := r.lookup(args.Group)
+	if n == nil {
+		_ = h.Respond(codec.Marshal(&applyReply{Err: "unknown group"}))
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*n.cfg.ElectionTimeoutMax)
+	defer cancel()
+	result, err := n.Read(ctx, args.Query)
 	reply := applyReply{}
 	if err != nil {
 		reply.Err = err.Error()

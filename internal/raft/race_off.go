@@ -1,0 +1,9 @@
+//go:build !race
+
+package raft
+
+// raceEnabled reports whether the race detector is compiled in.
+//
+// Allocation-pinning tests skip under the race detector: its
+// instrumentation allocates shadow state that would fail any pin.
+const raceEnabled = false

@@ -26,6 +26,7 @@ var (
 	ErrBadConfig  = errors.New("raft: invalid configuration change")
 	ErrCompacted  = errors.New("raft: index compacted into snapshot")
 	ErrInProgress = errors.New("raft: configuration change in progress")
+	ErrNoReader   = errors.New("raft: fsm does not support read-only queries")
 )
 
 // FSM is the replicated state machine. Apply is invoked exactly once
@@ -37,6 +38,32 @@ type FSM interface {
 	Snapshot() ([]byte, error)
 	// Restore replaces the state from a snapshot.
 	Restore(snapshot []byte) error
+}
+
+// Command is one committed command handed to BatchFSM.ApplyBatch.
+type Command struct {
+	Index uint64
+	Data  []byte
+}
+
+// BatchFSM is an optional FSM extension: the applier drains the whole
+// committed range per wakeup and, when the FSM implements it, hands
+// the run of commands over in one call so the FSM can apply them under
+// one internal lock acquisition instead of one per command. Results
+// must be returned positionally (len(results) == len(cmds)); ordering
+// and exactly-once semantics are unchanged from Apply.
+type BatchFSM interface {
+	FSM
+	ApplyBatch(cmds []Command) [][]byte
+}
+
+// ReaderFSM is an optional FSM extension for the ReadIndex path: Read
+// answers a read-only query from current state without writing a log
+// entry. Unlike Apply, Read is called from RPC handler goroutines
+// concurrently with the applier, so implementations must synchronize
+// reads against Apply/ApplyBatch internally.
+type ReaderFSM interface {
+	Read(query []byte) []byte
 }
 
 // EntryType distinguishes log entry kinds.

@@ -15,12 +15,17 @@ import (
 )
 
 // kvFSM is a simple replicated map: commands are "set k v" / "get k".
+// It implements BatchFSM and ReaderFSM (see batch_test.go), so every
+// test in this package exercises the batched apply and ReadIndex
+// paths.
 type kvFSM struct {
 	mu sync.Mutex
 	m  map[string]string
 	// applied records the exact sequence of applied commands, to
 	// verify the state machine safety property.
 	applied []string
+	// batchSizes records the length of every ApplyBatch run.
+	batchSizes []int
 }
 
 func newKVFSM() *kvFSM { return &kvFSM{m: map[string]string{}} }

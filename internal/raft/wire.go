@@ -8,6 +8,7 @@ const (
 	rpcAppendEntries   = "raft_append_entries"
 	rpcInstallSnapshot = "raft_install_snapshot"
 	rpcApply           = "raft_apply"
+	rpcRead            = "raft_read"
 	rpcConfigChange    = "raft_config_change"
 	rpcStatus          = "raft_status"
 )
@@ -158,6 +159,22 @@ func (a *applyArgs) MarshalMochi(e *codec.Encoder) {
 func (a *applyArgs) UnmarshalMochi(d *codec.Decoder) {
 	a.Group = d.String()
 	a.Cmd = append([]byte(nil), d.BytesField()...)
+}
+
+// readArgs carries a ReadIndex query; the reply reuses applyReply.
+type readArgs struct {
+	Group string
+	Query []byte
+}
+
+func (a *readArgs) MarshalMochi(e *codec.Encoder) {
+	e.String(a.Group)
+	e.BytesField(a.Query)
+}
+
+func (a *readArgs) UnmarshalMochi(d *codec.Decoder) {
+	a.Group = d.String()
+	a.Query = append([]byte(nil), d.BytesField()...)
 }
 
 type applyReply struct {
